@@ -1,0 +1,86 @@
+"""Experiment X1 (section 6): cost of the extension features.
+
+Measures checking/elaboration for named models + use, parameterized-model
+instantiation (including recursive resolution through nested list types),
+and default-member elaboration — the ablation question being what each
+extension adds over the core MDL rule.
+"""
+
+import pytest
+
+from repro import extensions as ext
+from repro.syntax import parse_fg
+
+MONOID = r"""
+concept Monoid<t> { op : fn(t, t) -> t; id : t; } in
+let mconcat = /\t where Monoid<t>.
+  fix (\mc : fn(list t) -> t. \ls : list t.
+    if null[t](ls) then Monoid<t>.id
+    else Monoid<t>.op(car[t](ls), mc(cdr[t](ls)))) in
+"""
+
+PLAIN_MODEL = MONOID + r"""
+model Monoid<int> { op = iadd; id = 0; } in
+mconcat[int](cons[int](1, cons[int](2, nil[int])))
+"""
+
+NAMED_MODEL = MONOID + r"""
+model m = Monoid<int> { op = iadd; id = 0; } in
+use m in mconcat[int](cons[int](1, cons[int](2, nil[int])))
+"""
+
+PARAM_MODEL = MONOID + r"""
+model Monoid<int> { op = iadd; id = 0; } in
+model forall t where Monoid<t>. Monoid<list t> {
+  op = fix (\app : fn(list t, list t) -> list t.
+    \a : list t, b : list t.
+      if null[t](a) then b
+      else cons[t](car[t](a), app(cdr[t](a), b)));
+  id = nil[t];
+} in
+"""
+
+DEFAULTS = r"""
+concept Ord<t> {
+  lt  : fn(t, t) -> bool;
+  gt  : fn(t, t) -> bool = \x : t, y : t. Ord<t>.lt(y, x);
+  lte : fn(t, t) -> bool = \x : t, y : t. bnot(Ord<t>.gt(x, y));
+  gte : fn(t, t) -> bool = \x : t, y : t. bnot(Ord<t>.lt(x, y));
+} in
+model Ord<int> { lt = ilt; } in
+(Ord<int>.gt(1, 2), Ord<int>.lte(2, 2))
+"""
+
+
+def _check(src: str):
+    return ext.typecheck(parse_fg(src))
+
+
+class TestAblation:
+    def test_baseline_plain_model(self, benchmark):
+        term = parse_fg(PLAIN_MODEL)
+        benchmark(lambda: ext.typecheck(term))
+
+    def test_named_model_and_use(self, benchmark):
+        term = parse_fg(NAMED_MODEL)
+        benchmark(lambda: ext.typecheck(term))
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_param_model_instantiation_depth(self, benchmark, depth):
+        """Resolving Monoid<list^depth int> recurses through the family."""
+        ty = "int"
+        val = "cons[int](1, nil[int])"
+        for _ in range(depth):
+            val = f"cons[list {ty}]({val}, nil[list {ty}])"
+            ty = f"list {ty}"
+        term = parse_fg(PARAM_MODEL + f"mconcat[{ty}]({val})")
+        benchmark(lambda: ext.typecheck(term))
+
+    def test_defaults_elaboration(self, benchmark):
+        term = parse_fg(DEFAULTS)
+        benchmark(lambda: ext.typecheck(term))
+
+    def test_extension_checker_on_core_program(self, benchmark):
+        """ExtChecker should not tax programs that use no extensions."""
+        term = parse_fg(PLAIN_MODEL)
+        benchmark(lambda: ext.typecheck(term))

@@ -1,0 +1,85 @@
+"""Experiment F1 (Figure 1): ``square`` across the five languages.
+
+The paper's Figure 1 is a qualitative comparison; the quantitative question
+this bench answers is what each approach's machinery costs: checking
+(conformance / instance resolution / structural match / by-name lookup /
+model lookup + translation) and running (vtable dispatch / dictionary
+passing / direct ops).
+
+Regenerates: the five-way Figure 1 row of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.approaches import byname as D
+from repro.approaches import structural as C
+from repro.approaches import subtyping as A
+from repro.approaches import typeclasses as B
+from repro.approaches.figure1 import (
+    FG_SQUARE_SOURCE,
+    byname_program,
+    structural_program,
+    subtyping_program,
+    typeclasses_program,
+)
+
+
+class TestCheckSquare:
+    """Typechecking cost of Figure 1 per language."""
+
+    def test_check_subtyping(self, benchmark):
+        program = subtyping_program()
+        assert benchmark(lambda: A.check(program)) == A.INT
+
+    def test_check_typeclasses(self, benchmark):
+        program = typeclasses_program()
+        assert benchmark(lambda: B.check(program)) == B.INT
+
+    def test_check_structural(self, benchmark):
+        program = structural_program()
+        assert benchmark(lambda: C.check(program)) == C.INT
+
+    def test_check_byname(self, benchmark):
+        program = byname_program()
+        assert benchmark(lambda: D.check(program)) == D.INT
+
+    def test_check_fg(self, benchmark):
+        from repro.fg import typecheck
+        from repro.syntax import parse_fg
+
+        term = parse_fg(FG_SQUARE_SOURCE)
+        benchmark(lambda: typecheck(term))
+
+
+class TestRunSquare:
+    """End-to-end (check + evaluate) cost of Figure 1 per language."""
+
+    def test_run_subtyping(self, benchmark):
+        program = subtyping_program()
+        assert benchmark(lambda: A.run(program)) == 16
+
+    def test_run_typeclasses(self, benchmark):
+        program = typeclasses_program()
+        assert benchmark(lambda: B.run(program)) == 16
+
+    def test_run_structural(self, benchmark):
+        program = structural_program()
+        assert benchmark(lambda: C.run(program)) == 16
+
+    def test_run_byname(self, benchmark):
+        program = byname_program()
+        assert benchmark(lambda: D.run(program)) == 16
+
+    def test_run_fg(self, benchmark):
+        from repro import fg_run
+
+        assert benchmark(lambda: fg_run(FG_SQUARE_SOURCE)) == 16
+
+
+class TestComparisonTable:
+    def test_verify_full_table(self, benchmark):
+        """Cost of running every probe in the comparison table."""
+        from repro.approaches.comparison import verify_table
+
+        rows = benchmark(verify_table)
+        assert len(rows) >= 9

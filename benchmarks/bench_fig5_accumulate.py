@@ -1,0 +1,72 @@
+"""Experiment F5 (Figure 5): the generic ``accumulate`` pipeline costs.
+
+Breaks the F_G pipeline into stages — parse, typecheck+translate, System F
+re-check (the Theorem 1 verifier), evaluate — over the Figure 5 program, and
+sweeps list length for the evaluation stage.
+"""
+
+import pytest
+
+from repro.fg import typecheck as fg_typecheck
+from repro.fg import verify_translation
+from repro.syntax import parse_fg
+from repro.systemf import evaluate as f_evaluate
+from repro.systemf import type_of as f_type_of
+
+
+def _int_list_src(n: int) -> str:
+    out = "nil[int]"
+    for i in reversed(range(n)):
+        out = f"cons[int]({i}, {out})"
+    return out
+
+
+def figure5(n: int = 4) -> str:
+    return rf"""
+    concept Semigroup<t> {{ binary_op : fn(t, t) -> t; }} in
+    concept Monoid<t> {{ refines Semigroup<t>; identity_elt : t; }} in
+    let accumulate = /\t where Monoid<t>.
+      fix (\accum : fn(list t) -> t.
+        \ls : list t.
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))) in
+    model Semigroup<int> {{ binary_op = iadd; }} in
+    model Monoid<int> {{ identity_elt = 0; }} in
+    accumulate[int]({_int_list_src(n)})
+    """
+
+
+class TestPipelineStages:
+    def test_parse(self, benchmark):
+        src = figure5()
+        term = benchmark(lambda: parse_fg(src))
+        assert term is not None
+
+    def test_typecheck_translate(self, benchmark):
+        term = parse_fg(figure5())
+        fg_type, sf = benchmark(lambda: fg_typecheck(term))
+        assert sf is not None
+
+    def test_systemf_recheck(self, benchmark):
+        _, sf = fg_typecheck(parse_fg(figure5()))
+        benchmark(lambda: f_type_of(sf))
+
+    def test_full_theorem_verification(self, benchmark):
+        term = parse_fg(figure5())
+        benchmark(lambda: verify_translation(term))
+
+    @pytest.mark.parametrize("n", [16, 128, 512])
+    def test_evaluate(self, benchmark, n):
+        _, sf = fg_typecheck(parse_fg(figure5(n)))
+        assert benchmark(lambda: f_evaluate(sf)) == n * (n - 1) // 2
+
+
+class TestPreludeScale:
+    """Checking the full prelude: a library-sized program through the
+    typechecker (the scalability story behind lexically scoped concepts)."""
+
+    def test_check_whole_prelude(self, benchmark):
+        from repro.prelude import parse
+
+        term = parse("accumulate[int](range(1, 4))")
+        benchmark(lambda: fg_typecheck(term))

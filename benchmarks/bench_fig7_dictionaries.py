@@ -1,0 +1,84 @@
+"""Experiment F7 (Figure 7): dictionary representation costs.
+
+Figure 7 nests dictionaries along concept refinement: a member of the k-th
+ancestor costs k tuple projections.  This bench sweeps refinement depth and
+measures (a) checking/translation cost and (b) the runtime cost of member
+access through the nested tuples — the 'shape' claim is linear growth in
+depth with small constants.
+"""
+
+import pytest
+
+from repro.fg import typecheck as fg_typecheck
+from repro.syntax import parse_fg
+from repro.systemf import evaluate as f_evaluate
+
+
+def refinement_chain(depth: int, calls: int = 50) -> str:
+    """C0 <- C1 <- ... <- C_depth, then repeatedly access C0's member
+    through the deepest concept."""
+    parts = ["concept C0<t> { op0 : fn(t, t) -> t; } in"]
+    for i in range(1, depth + 1):
+        parts.append(
+            f"concept C{i}<t> {{ refines C{i - 1}<t>; op{i} : t; }} in"
+        )
+    parts.append("model C0<int> { op0 = iadd; } in")
+    for i in range(1, depth + 1):
+        parts.append(f"model C{i}<int> {{ op{i} = {i}; }} in")
+    # A chain of additions through the deepest concept's inherited member.
+    expr = "0"
+    for _ in range(calls):
+        expr = f"C{depth}<int>.op0({expr}, 1)"
+    parts.append(expr)
+    return "\n".join(parts)
+
+
+class TestRefinementDepth:
+    @pytest.mark.parametrize("depth", [1, 4, 16])
+    def test_check_deep_refinement(self, benchmark, depth):
+        term = parse_fg(refinement_chain(depth, calls=5))
+        benchmark(lambda: fg_typecheck(term))
+
+    @pytest.mark.parametrize("depth", [1, 4, 16])
+    def test_member_access_through_depth(self, benchmark, depth):
+        term = parse_fg(refinement_chain(depth, calls=50))
+        _, sf = fg_typecheck(term)
+        assert benchmark(lambda: f_evaluate(sf)) == 50
+
+
+class TestDictionaryVsDirect:
+    """Dictionary projection overhead versus calling the primitive
+    directly — the constant factor Figure 7's representation costs."""
+
+    def _sum_chain(self, op_expr: str, calls: int = 200) -> str:
+        expr = "0"
+        for _ in range(calls):
+            expr = f"{op_expr}({expr}, 1)"
+        return expr
+
+    def test_direct_primitive(self, benchmark):
+        term = parse_fg(self._sum_chain("iadd"))
+        _, sf = fg_typecheck(term)
+        assert benchmark(lambda: f_evaluate(sf)) == 200
+
+    def test_through_dictionary(self, benchmark):
+        src = (
+            "concept C<t> { op : fn(t, t) -> t; } in"
+            " model C<int> { op = iadd; } in "
+            + self._sum_chain("C<int>.op")
+        )
+        term = parse_fg(src)
+        _, sf = fg_typecheck(term)
+        assert benchmark(lambda: f_evaluate(sf)) == 200
+
+    def test_through_nested_dictionary(self, benchmark):
+        src = (
+            "concept B<t> { op : fn(t, t) -> t; } in"
+            " concept C<t> { refines B<t>; } in"
+            " model B<int> { op = iadd; } in"
+            " model C<int> { } in "
+            + self._sum_chain("C<int>.op")
+        )
+        term = parse_fg(src)
+        _, sf = fg_typecheck(term)
+        assert benchmark(lambda: f_evaluate(sf)) == 200

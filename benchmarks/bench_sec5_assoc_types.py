@@ -1,0 +1,120 @@
+"""Experiment S5 (section 5): associated types and same-type constraints.
+
+Measures the cost the section 5 machinery adds: elaborating where clauses
+with associated-type slots, deciding same-type constraints through the
+congruence solver, and running the translated ``merge`` — plus a sweep over
+the number of iterator constraints (each adds a fresh slot and dictionary).
+"""
+
+import pytest
+
+from repro.fg import typecheck as fg_typecheck
+from repro.fg import verify_translation
+from repro.syntax import parse_fg
+from repro.systemf import evaluate as f_evaluate
+
+ITER = r"""
+concept Iterator<Iter> {
+  types elt;
+  next : fn(Iter) -> Iter;
+  curr : fn(Iter) -> elt;
+  at_end : fn(Iter) -> bool;
+} in
+"""
+
+LIST_INT = r"""
+model Iterator<list int> {
+  types elt = int;
+  next = \ls : list int. cdr[int](ls);
+  curr = \ls : list int. car[int](ls);
+  at_end = \ls : list int. null[int](ls);
+} in
+"""
+
+
+def _range_src(lo: int, hi: int) -> str:
+    out = "nil[int]"
+    for i in reversed(range(lo, hi)):
+        out = f"cons[int]({i}, {out})"
+    return out
+
+
+MERGE = ITER + r"""
+concept OutputIterator<Out, t> { put : fn(Out, t) -> Out; } in
+concept LessThanComparable<t> { less : fn(t, t) -> bool; } in
+let copy = /\Iter, Out where Iterator<Iter>, OutputIterator<Out, Iterator<Iter>.elt>.
+  fix (\cp : fn(Iter, Out) -> Out.
+    \it : Iter, out : Out.
+      if Iterator<Iter>.at_end(it) then out
+      else cp(Iterator<Iter>.next(it),
+              OutputIterator<Out, Iterator<Iter>.elt>.put(out, Iterator<Iter>.curr(it)))) in
+let merge = /\Iter1, Iter2, Out
+    where Iterator<Iter1>, Iterator<Iter2>,
+          OutputIterator<Out, Iterator<Iter1>.elt>,
+          LessThanComparable<Iterator<Iter1>.elt>;
+          Iterator<Iter1>.elt == Iterator<Iter2>.elt.
+  fix (\m : fn(Iter1, Iter2, Out) -> Out.
+    \i1 : Iter1, i2 : Iter2, out : Out.
+      if Iterator<Iter1>.at_end(i1) then copy[Iter2, Out](i2, out)
+      else if Iterator<Iter2>.at_end(i2) then copy[Iter1, Out](i1, out)
+      else if LessThanComparable<Iterator<Iter1>.elt>.less(
+                Iterator<Iter1>.curr(i1), Iterator<Iter2>.curr(i2))
+      then m(Iterator<Iter1>.next(i1), i2,
+             OutputIterator<Out, Iterator<Iter1>.elt>.put(out, Iterator<Iter1>.curr(i1)))
+      else m(i1, Iterator<Iter2>.next(i2),
+             OutputIterator<Out, Iterator<Iter1>.elt>.put(out, Iterator<Iter2>.curr(i2)))) in
+""" + LIST_INT + r"""
+model OutputIterator<list int, int> {
+  put = \out : list int, x : int. cons[int](x, out);
+} in
+model LessThanComparable<int> { less = ilt; } in
+"""
+
+
+class TestMerge:
+    def test_check_merge(self, benchmark):
+        src = MERGE + "merge[list int, list int, list int](nil[int], nil[int], nil[int])"
+        term = parse_fg(src)
+        benchmark(lambda: fg_typecheck(term))
+
+    def test_verify_merge(self, benchmark):
+        src = MERGE + "merge[list int, list int, list int](nil[int], nil[int], nil[int])"
+        term = parse_fg(src)
+        benchmark(lambda: verify_translation(term))
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_run_merge(self, benchmark, n):
+        src = MERGE + (
+            f"merge[list int, list int, list int]"
+            f"({_range_src(0, n)}, {_range_src(1, n + 1)}, nil[int])"
+        )
+        _, sf = fg_typecheck(parse_fg(src))
+        result = benchmark(lambda: f_evaluate(sf))
+        assert len(result) == 2 * n
+
+
+class TestAssocSlotSweep:
+    """Each additional iterator constraint adds one associated-type slot
+    and one dictionary parameter; elaboration cost should grow linearly."""
+
+    def _many_iterators(self, k: int) -> str:
+        vars_ = ", ".join(f"I{i}" for i in range(k))
+        reqs = ", ".join(f"Iterator<I{i}>" for i in range(k))
+        sames = "; " + ", ".join(
+            f"Iterator<I0>.elt == Iterator<I{i}>.elt" for i in range(1, k)
+        ) if k > 1 else ""
+        params = ", ".join(f"x{i} : I{i}" for i in range(k))
+        tyargs = ", ".join("list int" for _ in range(k))
+        args = ", ".join(_range_src(0, 1) for _ in range(k))
+        return (
+            ITER
+            + LIST_INT
+            + f"let f = /\\{vars_} where {reqs}{sames}."
+            + f" \\{params}. Iterator<I0>.curr(x0) in"
+            + f" f[{tyargs}]({args})"
+        )
+
+    @pytest.mark.parametrize("k", [1, 4, 8])
+    def test_check_k_iterators(self, benchmark, k):
+        term = parse_fg(self._many_iterators(k))
+        benchmark(lambda: fg_typecheck(term))

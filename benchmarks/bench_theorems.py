@@ -1,0 +1,69 @@
+"""Experiments T1/T2: the executable metatheory at scale.
+
+The paper proves translation-preserves-typing in Isabelle; our verifier
+re-typechecks every translated program with the independent System F
+checker.  This bench measures the verifier over programs of growing size
+(number of concepts + generic functions), the reproduction of the theorems'
+practical cost.
+"""
+
+import pytest
+
+from repro.fg import verify_translation
+from repro.syntax import parse_fg
+
+_OPS = ["iadd", "imult", "imax", "imin"]
+
+
+def synthetic_program(n_concepts: int) -> str:
+    """n concepts, each refined once, modeled at int, and exercised."""
+    parts = []
+    for i in range(n_concepts):
+        parts.append(f"concept C{i}<t> {{ op{i} : fn(t, t) -> t; }} in")
+        parts.append(
+            f"concept D{i}<t> {{ refines C{i}<t>; unit{i} : t; }} in"
+        )
+    for i in range(n_concepts):
+        parts.append(
+            f"let f{i} = /\\t where D{i}<t>."
+            f" \\x : t. C{i}<t>.op{i}(x, D{i}<t>.unit{i}) in"
+        )
+    for i in range(n_concepts):
+        parts.append(f"model C{i}<int> {{ op{i} = {_OPS[i % 4]}; }} in")
+        parts.append(f"model D{i}<int> {{ unit{i} = {i}; }} in")
+    calls = ", ".join(f"f{i}[int]({i})" for i in range(n_concepts))
+    parts.append(f"({calls})" if n_concepts > 1 else calls)
+    return "\n".join(parts)
+
+
+class TestTheoremVerification:
+    @pytest.mark.parametrize("n", [1, 4, 16])
+    def test_verify_n_concepts(self, benchmark, n):
+        term = parse_fg(synthetic_program(n))
+        benchmark(lambda: verify_translation(term))
+
+    def test_verify_section5_program(self, benchmark):
+        src = r"""
+        concept Iterator<Iter> {
+          types elt;
+          next : fn(Iter) -> Iter;
+          curr : fn(Iter) -> elt;
+          at_end : fn(Iter) -> bool;
+        } in
+        concept Monoid<t> { op : fn(t, t) -> t; id : t; } in
+        let accumulate = /\Iter where Iterator<Iter>, Monoid<Iterator<Iter>.elt>.
+          fix (\a : fn(Iter) -> Iterator<Iter>.elt. \it : Iter.
+            if Iterator<Iter>.at_end(it) then Monoid<Iterator<Iter>.elt>.id
+            else Monoid<Iterator<Iter>.elt>.op(
+                   Iterator<Iter>.curr(it), a(Iterator<Iter>.next(it)))) in
+        model Iterator<list int> {
+          types elt = int;
+          next = \ls : list int. cdr[int](ls);
+          curr = \ls : list int. car[int](ls);
+          at_end = \ls : list int. null[int](ls);
+        } in
+        model Monoid<int> { op = iadd; id = 0; } in
+        accumulate[list int](cons[int](1, cons[int](2, nil[int])))
+        """
+        term = parse_fg(src)
+        benchmark(lambda: verify_translation(term))

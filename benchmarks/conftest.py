@@ -1,0 +1,14 @@
+"""Benchmark fixtures: pre-parsed programs shared across benchmark files."""
+
+import sys
+
+import pytest
+
+sys.setrecursionlimit(50_000)
+
+
+@pytest.fixture(scope="session")
+def prelude_source():
+    from repro.prelude import PRELUDE
+
+    return PRELUDE

@@ -1,0 +1,40 @@
+"""Figure 1, live: `square` in the four pre-existing approaches and in F_G.
+
+Runs the paper's Figure 1 example in all five mini-languages —
+
+  (a) subtype bounds        (Java-like, F-bounded generics + vtables)
+  (b) type classes          (Haskell-like, global instances + dictionaries)
+  (c) structural matching   (CLU-like type sets, explicit instantiation)
+  (d) by-name lookup        (Cforall-like specs over free functions)
+  (fg) concepts             (the paper's answer)
+
+— then prints the executable feature-comparison table, with each verdict
+backed by a probe program (a run that succeeds, or a rejection with the
+characteristic error).
+
+Run with::
+
+    python examples/four_approaches.py
+"""
+
+from repro.approaches.comparison import format_table, verify_table
+from repro.approaches.figure1 import run_all
+
+
+def main() -> None:
+    print("== Figure 1: square(4) in five languages ==\n")
+    for language, value in run_all().items():
+        print(f"  {language:<12} square(4) = {value}")
+
+    print("\n== Feature comparison (probes verified at run time) ==\n")
+    rows = verify_table()
+    print(format_table(rows))
+
+    print("\nEvery cell above is backed by a probe: 'yes' rows ran a")
+    print("program exercising the feature; '-' rows demonstrated the")
+    print("characteristic rejection (e.g. Haskell's overlapping-instances")
+    print("error for the scoped-conformance row, paper section 3.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""The four pre-existing approaches to generic programming (paper Figure 1).
+
+Each submodule is a self-contained mini-language — abstract syntax,
+typechecker, and evaluator — faithful to the approach it illustrates:
+
+- :mod:`repro.approaches.subtyping` — subtype bounds on type parameters,
+  F-bounded generics with vtable dispatch (Java / C# / Eiffel style);
+- :mod:`repro.approaches.typeclasses` — type classes with *global* instance
+  declarations and dictionary passing (Haskell style);
+- :mod:`repro.approaches.structural` — structurally matched type sets with
+  explicit instantiation (CLU style);
+- :mod:`repro.approaches.byname` — by-name operation lookup against
+  free-standing functions (Cforall / C++ style).
+
+:mod:`repro.approaches.figure1` encodes Figure 1's ``square`` example in all
+four, and :mod:`repro.approaches.comparison` reproduces the qualitative
+comparison the paper builds on (Garcia et al., OOPSLA 2003) as runnable
+probes.
+"""
+
+from repro.approaches import byname, structural, subtyping, typeclasses
+
+__all__ = ["byname", "structural", "subtyping", "typeclasses"]

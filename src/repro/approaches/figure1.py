@@ -1,0 +1,198 @@
+"""The paper's Figure 1, executable: ``square`` in all four approaches.
+
+Each builder returns a checked program computing ``square(4) == 16``; the
+F_G version (Figure 1 would be incomplete without the paper's own answer) is
+provided as source text for :func:`repro.fg_run`.
+"""
+
+from __future__ import annotations
+
+from repro.approaches import byname as D
+from repro.approaches import structural as C
+from repro.approaches import subtyping as A
+from repro.approaches import typeclasses as B
+
+# ---------------------------------------------------------------------------
+# (a) Subtype bounds — Java
+# ---------------------------------------------------------------------------
+
+
+def subtyping_program() -> A.Program:
+    """``interface Number<U>``, ``class BigInt implements Number<BigInt>``,
+    ``<T extends Number<T>> T square(T x)``, ``square(BigInt(4))``."""
+    number = A.Interface(
+        "Number",
+        ("U",),
+        (A.MethodSig("mult", (A.TVar("U"),), A.TVar("U")),),
+    )
+    bigint = A.ClassDecl(
+        "BigInt",
+        implements=(A.TName("Number", (A.TName("BigInt"),)),),
+        fields=(("value", A.INT),),
+        methods=(
+            A.Method(
+                "mult",
+                (("x", A.TName("BigInt")),),
+                A.TName("BigInt"),
+                A.New(
+                    "BigInt",
+                    (
+                        A.PrimOp(
+                            "mul",
+                            (
+                                A.FieldAccess(A.Var("this"), "value"),
+                                A.FieldAccess(A.Var("x"), "value"),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    square = A.GenericFunc(
+        "square",
+        type_params=(A.TypeParam("T", A.TName("Number", (A.TVar("T"),))),),
+        params=(("x", A.TVar("T")),),
+        ret=A.TVar("T"),
+        body=A.MethodCall(A.Var("x"), "mult", (A.Var("x"),)),
+    )
+    return A.Program(
+        interfaces=(number,),
+        classes=(bigint,),
+        functions=(square,),
+        main=A.FieldAccess(
+            A.Call("square", (A.New("BigInt", (A.IntLit(4),)),)), "value"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# (b) Type classes — Haskell
+# ---------------------------------------------------------------------------
+
+
+def typeclasses_program() -> B.Program:
+    """``class Number u where mult``, ``instance Number Int``,
+    ``square :: Number t => t -> t``, ``square (4 :: Int)``."""
+    number = B.ClassDecl(
+        "Number",
+        "u",
+        (("mult", B.TFn((B.TVar("u"), B.TVar("u")), B.TVar("u"))),),
+    )
+    # `mult = (*)` — express the primitive as a checked wrapper function.
+    int_instance = B.InstanceDecl(
+        "Number",
+        B.INT,
+        (("mult", B.Var("primMulInt")),),
+    )
+    prim_mul = B.FuncDecl(
+        "primMulInt",
+        type_params=(),
+        constraints=(),
+        params=(("a", B.INT), ("b", B.INT)),
+        ret=B.INT,
+        body=B.PrimOp("mul", (B.Var("a"), B.Var("b"))),
+    )
+    square = B.FuncDecl(
+        "square",
+        type_params=("t",),
+        constraints=(B.Constraint("Number", "t"),),
+        params=(("x", B.TVar("t")),),
+        ret=B.TVar("t"),
+        body=B.Call(B.MethodRef("mult"), (B.Var("x"), B.Var("x"))),
+    )
+    return B.Program(
+        classes=(number,),
+        instances=(int_instance,),
+        functions=(prim_mul, square),
+        main=B.Call(B.Var("square"), (B.IntLit(4),)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# (c) Structural matching — CLU
+# ---------------------------------------------------------------------------
+
+
+def structural_program() -> C.Program:
+    """``number = { u | u has mul }``, ``square = proc[t] where t in number``,
+    explicitly instantiated at ``int``."""
+    number = C.TypeSet(
+        "number",
+        "u",
+        (("mul", C.ProcType((C.TVar("u"), C.TVar("u")), C.TVar("u"))),),
+    )
+    square = C.Proc(
+        "square",
+        type_params=("t",),
+        where=(C.WhereClause("t", "number"),),
+        params=(("a", C.TVar("t")),),
+        ret=C.TVar("t"),
+        body=C.OpCall(C.TVar("t"), "mul", (C.Var("a"), C.Var("a"))),
+    )
+    return C.Program(
+        type_sets=(number,),
+        procs=(square,),
+        main=C.ProcCall("square", (C.INT,), (C.IntLit(4),)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# (d) By-name operation lookup — Cforall
+# ---------------------------------------------------------------------------
+
+
+def byname_program() -> D.Program:
+    """``spec number(type U) { U mult(U, U); }``, ``forall(type T |
+    number(T)) T square(T x)``, and a free-standing ``int mult(int, int)``."""
+    number = D.Spec(
+        "number",
+        "U",
+        (D.FnSig("mult", (D.TVar("U"), D.TVar("U")), D.TVar("U")),),
+    )
+    mult_int = D.FuncDecl(
+        "mult",
+        (("x", D.INT), ("y", D.INT)),
+        D.INT,
+        builtin="mul",
+    )
+    square = D.ForallFunc(
+        "square",
+        type_params=("T",),
+        assertions=(D.Assertion("number", "T"),),
+        params=(("x", D.TVar("T")),),
+        ret=D.TVar("T"),
+        body=D.Call("mult", (D.Var("x"), D.Var("x"))),
+    )
+    return D.Program(
+        specs=(number,),
+        functions=(mult_int,),
+        foralls=(square,),
+        main=D.Call("square", (D.IntLit(4),)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The paper's own answer: F_G
+# ---------------------------------------------------------------------------
+
+#: Figure 1 in F_G itself (concepts + models + where clause).
+FG_SQUARE_SOURCE = r"""
+concept Number<u> { mult : fn(u, u) -> u; } in
+let square = /\t where Number<t>. \x : t. Number<t>.mult(x, x) in
+model Number<int> { mult = imult; } in
+square[int](4)
+"""
+
+
+def run_all() -> dict:
+    """Run Figure 1 in all five languages; every entry should be 16."""
+    from repro import fg_run
+
+    return {
+        "subtyping": A.run(subtyping_program()),
+        "typeclasses": B.run(typeclasses_program()),
+        "structural": C.run(structural_program()),
+        "byname": D.run(byname_program()),
+        "fg": fg_run(FG_SQUARE_SOURCE),
+    }

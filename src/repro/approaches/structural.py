@@ -1,0 +1,529 @@
+"""Structural matching (paper Figure 1c): a CLU-like mini-language.
+
+Constraints are *type sets* defined structurally: a type set names the
+operations a type must have (``number = { u | u has mul: proctype (u,u)
+returns (u) }``); any type whose *cluster* supplies operations with the
+required signatures belongs — no conformance declaration.  Polymorphic
+procedures carry ``where`` clauses over their type parameters and are
+**explicitly instantiated** (``square[int]``), at which point the structural
+check runs.  Operations are invoked with CLU's ``t$op`` syntax, modeled here
+by :class:`OpCall`.
+
+The characteristic differences from F_G fall out: membership is structural
+(a type with an accidentally matching ``mul`` is admitted), there is no way
+to compose type sets by refinement, and no associated types exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.diagnostics.errors import EvalError, TypeError_
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    pass
+
+
+@dataclass(frozen=True)
+class TInt(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class TBool(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TCluster(Type):
+    """A user-defined cluster (abstract data type) by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = TInt()
+BOOL = TBool()
+
+
+@dataclass(frozen=True)
+class ProcType:
+    """``proctype (args) returns (ret)``."""
+
+    params: Tuple[Type, ...]
+    ret: Type
+
+    def __str__(self) -> str:
+        return f"proctype ({', '.join(map(str, self.params))}) returns ({self.ret})"
+
+
+def substitute(t: Type, subst: Dict[str, Type]) -> Type:
+    if isinstance(t, TVar):
+        return subst.get(t.name, t)
+    return t
+
+
+def substitute_proc(p: ProcType, subst: Dict[str, Type]) -> ProcType:
+    return ProcType(
+        tuple(substitute(x, subst) for x in p.params),
+        substitute(p.ret, subst),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeSet:
+    """``name = { var | var has op: proctype..., ... }`` — purely structural."""
+
+    name: str
+    var: str
+    required_ops: Tuple[Tuple[str, ProcType], ...]
+
+
+@dataclass(frozen=True)
+class ClusterOp:
+    """A (possibly builtin) operation of a cluster."""
+
+    name: str
+    params: Tuple[Tuple[str, Type], ...]
+    ret: Type
+    body: Optional["Expr"] = None  # None marks a builtin
+    builtin: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A cluster: a named type together with its operation table."""
+
+    name: str
+    ops: Tuple[ClusterOp, ...]
+
+
+@dataclass(frozen=True)
+class WhereClause:
+    """``where t in number`` — the type variable must belong to the type set."""
+
+    tyvar: str
+    type_set: str
+
+
+@dataclass(frozen=True)
+class Proc:
+    """``name = proc[t, ...](params) returns (ret) where clauses body``."""
+
+    name: str
+    type_params: Tuple[str, ...]
+    where: Tuple[WhereClause, ...]
+    params: Tuple[Tuple[str, Type], ...]
+    ret: Type
+    body: "Expr"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class OpCall(Expr):
+    """CLU's ``t$op(args)``: the operation named ``op`` of type ``type``."""
+
+    type: Type
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ProcCall(Expr):
+    """``name[type-args](args)`` — instantiation is explicit."""
+
+    proc: str
+    type_args: Tuple[Type, ...]
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    else_: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    type_sets: Tuple[TypeSet, ...] = ()
+    clusters: Tuple[Cluster, ...] = ()
+    procs: Tuple[Proc, ...] = ()
+    main: Expr = IntLit(0)
+
+
+#: The built-in ``int`` cluster: CLU's int has static operations for
+#: arithmetic; ``mul``'s presence is what admits int into Figure 1c's
+#: ``number`` type set.
+INT_CLUSTER = Cluster(
+    "int",
+    (
+        ClusterOp("add", (("a", INT), ("b", INT)), INT, builtin="add"),
+        ClusterOp("sub", (("a", INT), ("b", INT)), INT, builtin="sub"),
+        ClusterOp("mul", (("a", INT), ("b", INT)), INT, builtin="mul"),
+        ClusterOp("lt", (("a", INT), ("b", INT)), BOOL, builtin="lt"),
+        ClusterOp("equal", (("a", INT), ("b", INT)), BOOL, builtin="equal"),
+    ),
+)
+
+BOOL_CLUSTER = Cluster(
+    "bool",
+    (
+        ClusterOp("and", (("a", BOOL), ("b", BOOL)), BOOL, builtin="and"),
+        ClusterOp("or", (("a", BOOL), ("b", BOOL)), BOOL, builtin="or"),
+        ClusterOp("not", (("a", BOOL),), BOOL, builtin="not"),
+    ),
+)
+
+_BUILTIN_IMPLS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "lt": lambda a, b: a < b,
+    "equal": lambda a, b: a == b,
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+    "not": lambda a: not a,
+}
+
+
+# ---------------------------------------------------------------------------
+# Typechecking
+# ---------------------------------------------------------------------------
+
+
+class Checker:
+    """Typechecker: structural where-clause matching at explicit instantiation."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.type_sets = {s.name: s for s in program.type_sets}
+        self.clusters: Dict[str, Cluster] = {
+            "int": INT_CLUSTER,
+            "bool": BOOL_CLUSTER,
+        }
+        for cluster in program.clusters:
+            if cluster.name in self.clusters:
+                raise TypeError_(f"duplicate cluster '{cluster.name}'")
+            self.clusters[cluster.name] = cluster
+        self.procs = {p.name: p for p in program.procs}
+        if len(self.procs) != len(program.procs):
+            raise TypeError_("duplicate proc declaration")
+
+    def cluster_of(self, t: Type) -> Cluster:
+        if isinstance(t, TInt):
+            return INT_CLUSTER
+        if isinstance(t, TBool):
+            return BOOL_CLUSTER
+        if isinstance(t, TCluster):
+            cluster = self.clusters.get(t.name)
+            if cluster is None:
+                raise TypeError_(f"unknown cluster '{t.name}'")
+            return cluster
+        raise TypeError_(f"type {t} has no cluster")
+
+    def check_membership(self, t: Type, set_name: str) -> None:
+        """The structural check: ``t``'s cluster must supply every required op.
+
+        Required signatures are instantiated with ``t`` for the set's own
+        variable; matching is by name *and* full signature.
+        """
+        type_set = self.type_sets.get(set_name)
+        if type_set is None:
+            raise TypeError_(f"unknown type set '{set_name}'")
+        cluster = self.cluster_of(t)
+        ops = {op.name: op for op in cluster.ops}
+        subst = {type_set.var: t}
+        for name, required in type_set.required_ops:
+            required_at_t = substitute_proc(required, subst)
+            op = ops.get(name)
+            if op is None:
+                raise TypeError_(
+                    f"type {t} is not in type set '{set_name}': cluster "
+                    f"'{cluster.name}' has no operation '{name}'"
+                )
+            actual = ProcType(tuple(pt for _, pt in op.params), op.ret)
+            if actual != required_at_t:
+                raise TypeError_(
+                    f"type {t} is not in type set '{set_name}': operation "
+                    f"'{name}' has signature {actual}, required "
+                    f"{required_at_t}"
+                )
+
+    def check_program(self) -> Type:
+        for cluster in self.program.clusters:
+            self._check_cluster(cluster)
+        for proc in self.program.procs:
+            self._check_proc(proc)
+        return self.check_expr(self.program.main, {}, frozenset(), ())
+
+    def _check_cluster(self, cluster: Cluster) -> None:
+        for op in cluster.ops:
+            if op.body is None and op.builtin is None:
+                raise TypeError_(
+                    f"operation '{op.name}' of cluster '{cluster.name}' "
+                    "has neither body nor builtin"
+                )
+            if op.body is not None:
+                scope = dict(op.params)
+                actual = self.check_expr(op.body, scope, frozenset(), ())
+                if actual != op.ret:
+                    raise TypeError_(
+                        f"operation '{cluster.name}${op.name}' returns "
+                        f"{actual}, declared {op.ret}"
+                    )
+
+    def _check_proc(self, proc: Proc) -> None:
+        tyvars = frozenset(proc.type_params)
+        if len(tyvars) != len(proc.type_params):
+            raise TypeError_(f"duplicate type parameter in '{proc.name}'")
+        for clause in proc.where:
+            if clause.tyvar not in tyvars:
+                raise TypeError_(
+                    f"where clause on unknown type parameter "
+                    f"'{clause.tyvar}'"
+                )
+            if clause.type_set not in self.type_sets:
+                raise TypeError_(f"unknown type set '{clause.type_set}'")
+        scope = dict(proc.params)
+        actual = self.check_expr(proc.body, scope, tyvars, proc.where)
+        if actual != proc.ret:
+            raise TypeError_(
+                f"proc '{proc.name}' returns {actual}, declared {proc.ret}"
+            )
+
+    def check_expr(
+        self,
+        expr: Expr,
+        scope: Dict[str, Type],
+        tyvars: frozenset,
+        where: Tuple[WhereClause, ...],
+    ) -> Type:
+        if isinstance(expr, Var):
+            if expr.name not in scope:
+                raise TypeError_(f"unbound variable '{expr.name}'")
+            return scope[expr.name]
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, OpCall):
+            return self._check_opcall(expr, scope, tyvars, where)
+        if isinstance(expr, ProcCall):
+            return self._check_proccall(expr, scope, tyvars, where)
+        if isinstance(expr, Let):
+            bound = self.check_expr(expr.bound, scope, tyvars, where)
+            inner = dict(scope)
+            inner[expr.name] = bound
+            return self.check_expr(expr.body, inner, tyvars, where)
+        if isinstance(expr, If):
+            cond = self.check_expr(expr.cond, scope, tyvars, where)
+            if cond != BOOL:
+                raise TypeError_(f"if condition has type {cond}")
+            then = self.check_expr(expr.then, scope, tyvars, where)
+            else_ = self.check_expr(expr.else_, scope, tyvars, where)
+            if then != else_:
+                raise TypeError_(f"if branches disagree: {then} vs {else_}")
+            return then
+        raise AssertionError(f"unknown expression: {expr!r}")
+
+    def _op_signature(
+        self, t: Type, op_name: str, tyvars: frozenset,
+        where: Tuple[WhereClause, ...],
+    ) -> ProcType:
+        """The signature of ``t$op``: from a where clause if ``t`` is a
+        variable, from the cluster otherwise."""
+        if isinstance(t, TVar):
+            if t.name not in tyvars:
+                raise TypeError_(f"unknown type parameter '{t.name}'")
+            for clause in where:
+                if clause.tyvar != t.name:
+                    continue
+                type_set = self.type_sets[clause.type_set]
+                for name, sig in type_set.required_ops:
+                    if name == op_name:
+                        return substitute_proc(sig, {type_set.var: t})
+            raise TypeError_(
+                f"no where clause gives '{t.name}' an operation "
+                f"'{op_name}'"
+            )
+        cluster = self.cluster_of(t)
+        for op in cluster.ops:
+            if op.name == op_name:
+                return ProcType(tuple(pt for _, pt in op.params), op.ret)
+        raise TypeError_(
+            f"cluster '{cluster.name}' has no operation '{op_name}'"
+        )
+
+    def _check_opcall(self, expr, scope, tyvars, where) -> Type:
+        sig = self._op_signature(expr.type, expr.op, tyvars, where)
+        if len(expr.args) != len(sig.params):
+            raise TypeError_(f"operation '{expr.op}' arity mismatch")
+        for arg, expected in zip(expr.args, sig.params):
+            actual = self.check_expr(arg, scope, tyvars, where)
+            if actual != expected:
+                raise TypeError_(
+                    f"operation '{expr.op}' expects {expected}, got {actual}"
+                )
+        return sig.ret
+
+    def _check_proccall(self, expr, scope, tyvars, where) -> Type:
+        proc = self.procs.get(expr.proc)
+        if proc is None:
+            raise TypeError_(f"unknown proc '{expr.proc}'")
+        if len(expr.type_args) != len(proc.type_params):
+            raise TypeError_(
+                f"proc '{proc.name}' expects {len(proc.type_params)} type "
+                f"argument(s), got {len(expr.type_args)}"
+            )
+        subst = dict(zip(proc.type_params, expr.type_args))
+        # The structural check happens at instantiation: every where clause
+        # must hold for the supplied type arguments.
+        for clause in proc.where:
+            target = subst[clause.tyvar]
+            if isinstance(target, TVar):
+                # Instantiating with an enclosing type parameter: it must
+                # carry a clause for the same type set.
+                ok = any(
+                    c.tyvar == target.name and c.type_set == clause.type_set
+                    for c in where
+                )
+                if not ok:
+                    raise TypeError_(
+                        f"type parameter '{target.name}' is not known to be "
+                        f"in type set '{clause.type_set}'"
+                    )
+            else:
+                self.check_membership(target, clause.type_set)
+        if len(expr.args) != len(proc.params):
+            raise TypeError_(f"proc '{proc.name}' arity mismatch")
+        for arg, (_, declared) in zip(expr.args, proc.params):
+            actual = self.check_expr(arg, scope, tyvars, where)
+            expected = substitute(declared, subst)
+            if actual != expected:
+                raise TypeError_(
+                    f"proc '{proc.name}' expects {expected}, got {actual}"
+                )
+        return substitute(proc.ret, subst)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+class Interpreter:
+    """Evaluator; type arguments are passed so ``t$op`` resolves per instance."""
+
+    def __init__(self, program: Program, checker: Checker):
+        self.program = program
+        self.checker = checker
+
+    def run(self):
+        return self.eval(self.program.main, {}, {})
+
+    def eval(self, expr: Expr, env: Dict[str, object], tyenv: Dict[str, Type]):
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise EvalError(f"unbound variable '{expr.name}'")
+            return env[expr.name]
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, OpCall):
+            t = substitute(expr.type, tyenv)
+            cluster = self.checker.cluster_of(t)
+            op = next((o for o in cluster.ops if o.name == expr.op), None)
+            if op is None:
+                raise EvalError(
+                    f"cluster '{cluster.name}' has no operation '{expr.op}'"
+                )
+            args = [self.eval(a, env, tyenv) for a in expr.args]
+            if op.builtin is not None:
+                return _BUILTIN_IMPLS[op.builtin](*args)
+            scope = {n: v for (n, _), v in zip(op.params, args)}
+            return self.eval(op.body, scope, {})
+        if isinstance(expr, ProcCall):
+            proc = self.checker.procs[expr.proc]
+            actual_types = tuple(substitute(t, tyenv) for t in expr.type_args)
+            args = [self.eval(a, env, tyenv) for a in expr.args]
+            scope = {n: v for (n, _), v in zip(proc.params, args)}
+            inner_tyenv = dict(zip(proc.type_params, actual_types))
+            return self.eval(proc.body, scope, inner_tyenv)
+        if isinstance(expr, Let):
+            bound = self.eval(expr.bound, env, tyenv)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval(expr.body, inner, tyenv)
+        if isinstance(expr, If):
+            branch = expr.then if self.eval(expr.cond, env, tyenv) else expr.else_
+            return self.eval(branch, env, tyenv)
+        raise AssertionError(f"unknown expression: {expr!r}")
+
+
+def check(program: Program) -> Type:
+    """Typecheck ``program``; returns the type of ``main``."""
+    return Checker(program).check_program()
+
+
+def run(program: Program):
+    """Typecheck and evaluate ``program``."""
+    checker = Checker(program)
+    checker.check_program()
+    return Interpreter(program, checker).run()

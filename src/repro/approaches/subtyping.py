@@ -1,0 +1,701 @@
+"""Subtype bounds (paper Figure 1a): a Java-like mini-language.
+
+Generic functions constrain type parameters by *subtyping*: ``<T extends
+Number<T>> T square(T x)``.  Objects carry their operations in a virtual
+table, so a value passed to a generic function brings the implementation
+with it.  This module implements:
+
+- generic interfaces and classes (``class BigInt implements Number<BigInt>``),
+- F-bounded polymorphism (the bound may mention the parameter itself,
+  Canning et al. 1989, which Figure 1a uses),
+- type-argument inference at call sites by first-order matching,
+- vtable-dispatched evaluation.
+
+The known limitations the paper attributes to this approach fall out
+naturally and are exercised in the tests and comparison module: conformance
+is fixed at class-definition time (no retroactive modeling), there are no
+associated types, and constraints on *groups* of types cannot be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnostics.errors import EvalError, TypeError_
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of types in the subtyping mini-language."""
+
+
+@dataclass(frozen=True)
+class TInt(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class TBool(Type):
+    def __str__(self) -> str:
+        return "boolean"
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A generic-method type parameter."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TName(Type):
+    """A class or interface type, possibly with type arguments."""
+
+    name: str
+    args: Tuple[Type, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}<{', '.join(map(str, self.args))}>"
+
+
+INT = TInt()
+BOOL = TBool()
+
+
+def substitute(t: Type, subst: Dict[str, Type]) -> Type:
+    if isinstance(t, TVar):
+        return subst.get(t.name, t)
+    if isinstance(t, TName):
+        return TName(t.name, tuple(substitute(a, subst) for a in t.args))
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodSig:
+    """A method signature inside an interface."""
+
+    name: str
+    params: Tuple[Type, ...]
+    ret: Type
+
+
+@dataclass(frozen=True)
+class Interface:
+    """``interface Name<params> { sigs }``."""
+
+    name: str
+    params: Tuple[str, ...]
+    methods: Tuple[MethodSig, ...]
+
+
+@dataclass(frozen=True)
+class Method:
+    """A concrete method: signature plus body (params are named)."""
+
+    name: str
+    params: Tuple[Tuple[str, Type], ...]
+    ret: Type
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class ClassDecl:
+    """``class Name implements I<...> { fields; methods }``.
+
+    Conformance is *nominal and closed*: the implements clause is the only
+    way a class enters an interface's subtype set.
+    """
+
+    name: str
+    implements: Tuple[TName, ...]
+    fields: Tuple[Tuple[str, Type], ...]
+    methods: Tuple[Method, ...]
+
+
+@dataclass(frozen=True)
+class TypeParam:
+    """A generic-function type parameter with an optional ``extends`` bound."""
+
+    name: str
+    bound: Optional[TName] = None
+
+
+@dataclass(frozen=True)
+class GenericFunc:
+    """``<T extends Bound> Ret name(params) { body }``."""
+
+    name: str
+    type_params: Tuple[TypeParam, ...]
+    params: Tuple[Tuple[str, Type], ...]
+    ret: Type
+    body: "Expr"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class New(Expr):
+    """``new ClassName(args)``."""
+
+    class_name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    obj: Expr
+    field: str
+
+
+@dataclass(frozen=True)
+class MethodCall(Expr):
+    """``obj.method(args)`` — virtual dispatch."""
+
+    obj: Expr
+    method: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A generic-function call; type arguments are inferred when omitted."""
+
+    func: str
+    args: Tuple[Expr, ...]
+    type_args: Optional[Tuple[Type, ...]] = None
+
+
+@dataclass(frozen=True)
+class PrimOp(Expr):
+    """Integer primitives: ``add``, ``mul``, ``lt``, ``eq``."""
+
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    else_: Expr
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole program: declarations plus a main expression."""
+
+    interfaces: Tuple[Interface, ...] = ()
+    classes: Tuple[ClassDecl, ...] = ()
+    functions: Tuple[GenericFunc, ...] = ()
+    main: Expr = IntLit(0)
+
+
+_PRIM_SIGS = {
+    "add": ((INT, INT), INT),
+    "sub": ((INT, INT), INT),
+    "mul": ((INT, INT), INT),
+    "lt": ((INT, INT), BOOL),
+    "eq": ((INT, INT), BOOL),
+}
+
+_PRIM_IMPLS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "lt": lambda a, b: a < b,
+    "eq": lambda a, b: a == b,
+}
+
+
+# ---------------------------------------------------------------------------
+# Typechecking
+# ---------------------------------------------------------------------------
+
+
+class Checker:
+    """Typechecker: nominal subtyping with F-bounded generic functions."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.interfaces = {i.name: i for i in program.interfaces}
+        self.classes = {c.name: c for c in program.classes}
+        self.functions = {f.name: f for f in program.functions}
+        dup = (
+            set(self.interfaces) & set(self.classes)
+            or len(self.interfaces) + len(self.classes) + len(self.functions)
+            != len(program.interfaces)
+            + len(program.classes)
+            + len(program.functions)
+        )
+        if dup:
+            raise TypeError_("duplicate top-level declaration")
+
+    # -- subtyping -------------------------------------------------------
+
+    def is_subtype(self, sub: Type, sup: Type) -> bool:
+        """``sub <: sup``: reflexive, plus implements-clauses (no variance)."""
+        if sub == sup:
+            return True
+        if isinstance(sub, TName) and sub.name in self.classes:
+            cls = self.classes[sub.name]
+            return any(iface == sup for iface in cls.implements)
+        return False
+
+    def check_type(self, t: Type, tyvars: frozenset) -> None:
+        if isinstance(t, TVar):
+            if t.name not in tyvars:
+                raise TypeError_(f"unknown type parameter '{t.name}'")
+            return
+        if isinstance(t, TName):
+            if t.name in self.interfaces:
+                expected = len(self.interfaces[t.name].params)
+            elif t.name in self.classes:
+                expected = 0
+            else:
+                raise TypeError_(f"unknown type '{t.name}'")
+            if len(t.args) != expected:
+                raise TypeError_(
+                    f"'{t.name}' expects {expected} type argument(s), "
+                    f"got {len(t.args)}"
+                )
+            for a in t.args:
+                self.check_type(a, tyvars)
+
+    # -- interface conformance ---------------------------------------------
+
+    def check_program(self) -> Type:
+        """Check every declaration, then the main expression; returns its type."""
+        for cls in self.program.classes:
+            self._check_class(cls)
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.check_expr(self.program.main, {}, frozenset())
+
+    def _interface_methods(self, iface_type: TName) -> List[MethodSig]:
+        iface = self.interfaces.get(iface_type.name)
+        if iface is None:
+            raise TypeError_(f"unknown interface '{iface_type.name}'")
+        if len(iface.params) != len(iface_type.args):
+            raise TypeError_(
+                f"interface {iface.name} expects {len(iface.params)} "
+                f"argument(s)"
+            )
+        subst = dict(zip(iface.params, iface_type.args))
+        return [
+            MethodSig(
+                m.name,
+                tuple(substitute(p, subst) for p in m.params),
+                substitute(m.ret, subst),
+            )
+            for m in iface.methods
+        ]
+
+    def _check_class(self, cls: ClassDecl) -> None:
+        methods = {m.name: m for m in cls.methods}
+        if len(methods) != len(cls.methods):
+            raise TypeError_(f"duplicate method in class {cls.name}")
+        for _, t in cls.fields:
+            self.check_type(t, frozenset())
+        for iface_type in cls.implements:
+            for sig in self._interface_methods(iface_type):
+                impl = methods.get(sig.name)
+                if impl is None:
+                    raise TypeError_(
+                        f"class {cls.name} does not implement "
+                        f"{iface_type}.{sig.name}"
+                    )
+                impl_params = tuple(t for _, t in impl.params)
+                if impl_params != sig.params or impl.ret != sig.ret:
+                    raise TypeError_(
+                        f"class {cls.name} implements {sig.name} at the "
+                        f"wrong signature"
+                    )
+        this_type = TName(cls.name)
+        for method in cls.methods:
+            scope: Dict[str, Type] = {"this": this_type}
+            for name, t in cls.fields:
+                self.check_type(t, frozenset())
+            for name, t in method.params:
+                self.check_type(t, frozenset())
+                scope[name] = t
+            body_type = self.check_expr(method.body, scope, frozenset())
+            if not self.is_subtype(body_type, method.ret):
+                raise TypeError_(
+                    f"method {cls.name}.{method.name} returns {body_type}, "
+                    f"declared {method.ret}"
+                )
+
+    def _check_function(self, func: GenericFunc) -> None:
+        tyvars = frozenset(tp.name for tp in func.type_params)
+        if len(tyvars) != len(func.type_params):
+            raise TypeError_(f"duplicate type parameter in {func.name}")
+        for tp in func.type_params:
+            if tp.bound is not None:
+                self.check_type(tp.bound, tyvars)
+        scope: Dict[str, Type] = {}
+        for name, t in func.params:
+            self.check_type(t, tyvars)
+            scope[name] = t
+        self.check_type(func.ret, tyvars)
+        bounds = {
+            tp.name: tp.bound for tp in func.type_params if tp.bound is not None
+        }
+        body_type = self.check_expr(func.body, scope, tyvars, bounds)
+        if not self._subtype_under(body_type, func.ret, tyvars):
+            raise TypeError_(
+                f"function {func.name} returns {body_type}, declared {func.ret}"
+            )
+
+    def _subtype_under(self, sub: Type, sup: Type, tyvars: frozenset) -> bool:
+        if sub == sup:
+            return True
+        return self.is_subtype(sub, sup)
+
+    # -- expressions ----------------------------------------------------------
+
+    def check_expr(
+        self, expr: Expr, scope: Dict[str, Type], tyvars: frozenset,
+        bounds: Optional[Dict[str, TName]] = None,
+    ) -> Type:
+        bounds = bounds or {}
+        if isinstance(expr, Var):
+            if expr.name not in scope:
+                raise TypeError_(f"unbound variable '{expr.name}'")
+            return scope[expr.name]
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, PrimOp):
+            if expr.op not in _PRIM_SIGS:
+                raise TypeError_(f"unknown primitive '{expr.op}'")
+            param_types, ret = _PRIM_SIGS[expr.op]
+            if len(expr.args) != len(param_types):
+                raise TypeError_(f"primitive '{expr.op}' arity mismatch")
+            for arg, expected in zip(expr.args, param_types):
+                actual = self.check_expr(arg, scope, tyvars, bounds)
+                if actual != expected:
+                    raise TypeError_(
+                        f"primitive '{expr.op}' expects {expected}, "
+                        f"got {actual}"
+                    )
+            return ret
+        if isinstance(expr, New):
+            cls = self.classes.get(expr.class_name)
+            if cls is None:
+                raise TypeError_(f"unknown class '{expr.class_name}'")
+            if len(expr.args) != len(cls.fields):
+                raise TypeError_(
+                    f"constructor {cls.name} expects {len(cls.fields)} "
+                    f"argument(s)"
+                )
+            for arg, (_, ftype) in zip(expr.args, cls.fields):
+                actual = self.check_expr(arg, scope, tyvars, bounds)
+                if not self.is_subtype(actual, ftype):
+                    raise TypeError_(
+                        f"constructor {cls.name}: expected {ftype}, "
+                        f"got {actual}"
+                    )
+            return TName(cls.name)
+        if isinstance(expr, FieldAccess):
+            obj_type = self.check_expr(expr.obj, scope, tyvars, bounds)
+            if isinstance(obj_type, TName) and obj_type.name in self.classes:
+                for name, t in self.classes[obj_type.name].fields:
+                    if name == expr.field:
+                        return t
+            raise TypeError_(f"no field '{expr.field}' on {obj_type}")
+        if isinstance(expr, MethodCall):
+            obj_type = self.check_expr(expr.obj, scope, tyvars, bounds)
+            sig = self._method_signature(obj_type, expr.method, bounds)
+            if len(expr.args) != len(sig.params):
+                raise TypeError_(f"method '{expr.method}' arity mismatch")
+            for arg, expected in zip(expr.args, sig.params):
+                actual = self.check_expr(arg, scope, tyvars, bounds)
+                if not self._subtype_under(actual, expected, tyvars):
+                    raise TypeError_(
+                        f"method '{expr.method}': expected {expected}, "
+                        f"got {actual}"
+                    )
+            return sig.ret
+        if isinstance(expr, Call):
+            return self._check_call(expr, scope, tyvars, bounds)
+        if isinstance(expr, Let):
+            bound_type = self.check_expr(expr.bound, scope, tyvars, bounds)
+            inner = dict(scope)
+            inner[expr.name] = bound_type
+            return self.check_expr(expr.body, inner, tyvars, bounds)
+        if isinstance(expr, If):
+            cond = self.check_expr(expr.cond, scope, tyvars, bounds)
+            if cond != BOOL:
+                raise TypeError_(f"if condition has type {cond}")
+            then = self.check_expr(expr.then, scope, tyvars, bounds)
+            else_ = self.check_expr(expr.else_, scope, tyvars, bounds)
+            if then != else_:
+                raise TypeError_(f"if branches disagree: {then} vs {else_}")
+            return then
+        raise AssertionError(f"unknown expression: {expr!r}")
+
+    def _method_signature(
+        self, obj_type: Type, method: str, bounds: Dict[str, TName]
+    ) -> MethodSig:
+        """Find ``method`` on a class, interface, or bounded type variable."""
+        if isinstance(obj_type, TVar):
+            bound = bounds.get(obj_type.name)
+            if bound is None:
+                raise TypeError_(
+                    f"type parameter '{obj_type.name}' has no bound; "
+                    f"cannot call '{method}' on it"
+                )
+            obj_type = bound
+        if isinstance(obj_type, TName) and obj_type.name in self.classes:
+            cls = self.classes[obj_type.name]
+            for m in cls.methods:
+                if m.name == method:
+                    return MethodSig(
+                        m.name, tuple(t for _, t in m.params), m.ret
+                    )
+            raise TypeError_(f"no method '{method}' on class {cls.name}")
+        if isinstance(obj_type, TName) and obj_type.name in self.interfaces:
+            for sig in self._interface_methods(obj_type):
+                if sig.name == method:
+                    return sig
+            raise TypeError_(f"no method '{method}' on interface {obj_type}")
+        raise TypeError_(f"cannot call '{method}' on {obj_type}")
+
+    def _check_call(
+        self,
+        expr: Call,
+        scope: Dict[str, Type],
+        tyvars: frozenset,
+        bounds: Dict[str, TName],
+    ) -> Type:
+        func = self.functions.get(expr.func)
+        if func is None:
+            raise TypeError_(f"unknown function '{expr.func}'")
+        if len(expr.args) != len(func.params):
+            raise TypeError_(f"function '{func.name}' arity mismatch")
+        arg_types = [
+            self.check_expr(a, scope, tyvars, bounds) for a in expr.args
+        ]
+        if expr.type_args is not None:
+            if len(expr.type_args) != len(func.type_params):
+                raise TypeError_(
+                    f"function '{func.name}' expects "
+                    f"{len(func.type_params)} type argument(s)"
+                )
+            subst = {
+                tp.name: ta
+                for tp, ta in zip(func.type_params, expr.type_args)
+            }
+        else:
+            subst = self._infer_type_args(func, arg_types)
+        # Bounds: each actual must be a subtype of the substituted bound
+        # (F-bounded: the bound may mention the parameter being checked).
+        for tp in func.type_params:
+            if tp.bound is not None:
+                actual = subst[tp.name]
+                bound = substitute(tp.bound, subst)
+                if not self.is_subtype(actual, bound):
+                    raise TypeError_(
+                        f"type argument {actual} for '{tp.name}' does not "
+                        f"satisfy bound {bound}"
+                    )
+        for actual, (_, declared) in zip(arg_types, func.params):
+            expected = substitute(declared, subst)
+            if not self._subtype_under(actual, expected, tyvars):
+                raise TypeError_(
+                    f"call to '{func.name}': expected {expected}, "
+                    f"got {actual}"
+                )
+        return substitute(func.ret, subst)
+
+    def _infer_type_args(
+        self, func: GenericFunc, arg_types: List[Type]
+    ) -> Dict[str, Type]:
+        """First-order matching of declared parameter types against actuals."""
+        subst: Dict[str, Type] = {}
+
+        def match(declared: Type, actual: Type) -> None:
+            if isinstance(declared, TVar):
+                prev = subst.get(declared.name)
+                if prev is None:
+                    subst[declared.name] = actual
+                elif prev != actual:
+                    raise TypeError_(
+                        f"conflicting inference for '{declared.name}': "
+                        f"{prev} vs {actual}"
+                    )
+                return
+            if isinstance(declared, TName) and isinstance(actual, TName):
+                if declared.name == actual.name and len(declared.args) == len(
+                    actual.args
+                ):
+                    for d, a in zip(declared.args, actual.args):
+                        match(d, a)
+                    return
+            if declared == actual:
+                return
+            # Try the actual's implements-clauses (upcast before matching).
+            if isinstance(actual, TName) and actual.name in self.classes:
+                for iface in self.classes[actual.name].implements:
+                    try:
+                        match(declared, iface)
+                        return
+                    except TypeError_:
+                        continue
+            raise TypeError_(
+                f"cannot match declared {declared} against actual {actual}"
+            )
+
+        for (_, declared), actual in zip(func.params, arg_types):
+            match(declared, actual)
+        for tp in func.type_params:
+            if tp.name not in subst:
+                raise TypeError_(
+                    f"cannot infer type argument '{tp.name}' for "
+                    f"'{func.name}'"
+                )
+        return subst
+
+# ---------------------------------------------------------------------------
+# Evaluation (vtable dispatch)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ObjectValue:
+    """A runtime object: class name, field values, and its vtable.
+
+    The vtable is how the subtyping approach connects operations to generic
+    code: every object carries its methods (paper section 1, "objects passed
+    to the generic function must carry along the necessary operations").
+    """
+
+    class_name: str
+    fields: Dict[str, object]
+    vtable: Dict[str, Method] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Evaluator for checked programs."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.classes = {c.name: c for c in program.classes}
+        self.functions = {f.name: f for f in program.functions}
+
+    def run(self):
+        return self.eval(self.program.main, {})
+
+    def eval(self, expr: Expr, env: Dict[str, object]):
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise EvalError(f"unbound variable '{expr.name}'")
+            return env[expr.name]
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, PrimOp):
+            args = [self.eval(a, env) for a in expr.args]
+            return _PRIM_IMPLS[expr.op](*args)
+        if isinstance(expr, New):
+            cls = self.classes[expr.class_name]
+            values = [self.eval(a, env) for a in expr.args]
+            return ObjectValue(
+                cls.name,
+                {name: v for (name, _), v in zip(cls.fields, values)},
+                {m.name: m for m in cls.methods},
+            )
+        if isinstance(expr, FieldAccess):
+            obj = self.eval(expr.obj, env)
+            if not isinstance(obj, ObjectValue):
+                raise EvalError(f"field access on non-object {obj!r}")
+            return obj.fields[expr.field]
+        if isinstance(expr, MethodCall):
+            obj = self.eval(expr.obj, env)
+            if not isinstance(obj, ObjectValue):
+                raise EvalError(f"method call on non-object {obj!r}")
+            method = obj.vtable.get(expr.method)
+            if method is None:
+                raise EvalError(
+                    f"no method '{expr.method}' on {obj.class_name}"
+                )
+            args = [self.eval(a, env) for a in expr.args]
+            scope: Dict[str, object] = {"this": obj}
+            scope.update(
+                {name: v for (name, _), v in zip(method.params, args)}
+            )
+            return self.eval(method.body, scope)
+        if isinstance(expr, Call):
+            func = self.functions[expr.func]
+            args = [self.eval(a, env) for a in expr.args]
+            scope = {name: v for (name, _), v in zip(func.params, args)}
+            return self.eval(func.body, scope)
+        if isinstance(expr, Let):
+            bound = self.eval(expr.bound, env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval(expr.body, inner)
+        if isinstance(expr, If):
+            return self.eval(
+                expr.then if self.eval(expr.cond, env) else expr.else_, env
+            )
+        raise AssertionError(f"unknown expression: {expr!r}")
+
+
+def check(program: Program) -> Type:
+    """Typecheck ``program`` (declarations, generic bodies, main)."""
+    return Checker(program).check_program()
+
+
+def run(program: Program):
+    """Typecheck and evaluate ``program``."""
+    check(program)
+    return Interpreter(program).run()

@@ -1,0 +1,712 @@
+"""Type classes (paper Figure 1b): a Haskell-like mini-language.
+
+A class declares required operations over one type parameter; an *instance*
+declares that a type belongs to the class and supplies implementations.
+Instances live in a single **global** table — the critical contrast with
+F_G's lexically scoped models: declaring two instances of the same class at
+the same type is rejected as *overlapping*, which is exactly what makes the
+paper's Figure 6 (scoped ``sum``/``product`` monoids) inexpressible here
+(section 3.2).
+
+Generic functions carry class constraints on their type parameters;
+evaluation is by dictionary passing, with instance dictionaries resolved at
+each (explicit or inferred) instantiation — mirroring Hall et al.'s
+"Type classes in Haskell" translation that the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnostics.errors import EvalError, TypeError_
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of types."""
+
+
+@dataclass(frozen=True)
+class TInt(Type):
+    def __str__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class TBool(Type):
+    def __str__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TList(Type):
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"[{self.elem}]"
+
+
+@dataclass(frozen=True)
+class TFn(Type):
+    params: Tuple[Type, ...]
+    ret: Type
+
+    def __str__(self) -> str:
+        return f"({', '.join(map(str, self.params))}) -> {self.ret}"
+
+
+INT = TInt()
+BOOL = TBool()
+
+
+def substitute(t: Type, subst: Dict[str, Type]) -> Type:
+    if isinstance(t, TVar):
+        return subst.get(t.name, t)
+    if isinstance(t, TList):
+        return TList(substitute(t.elem, subst))
+    if isinstance(t, TFn):
+        return TFn(
+            tuple(substitute(p, subst) for p in t.params),
+            substitute(t.ret, subst),
+        )
+    return t
+
+
+def head_name(t: Type) -> str:
+    """The outermost constructor name of an instance head type."""
+    if isinstance(t, TInt):
+        return "Int"
+    if isinstance(t, TBool):
+        return "Bool"
+    if isinstance(t, TList):
+        return "List"
+    if isinstance(t, TFn):
+        return "Fn"
+    raise TypeError_(f"type {t} cannot head an instance declaration")
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassDecl:
+    """``class Name u where methods`` — method types mention ``param``."""
+
+    name: str
+    param: str
+    methods: Tuple[Tuple[str, Type], ...]
+
+
+@dataclass(frozen=True)
+class InstanceDecl:
+    """``instance Name Head where impls``.
+
+    ``head`` must be a non-variable type; its outermost constructor is the
+    instance key (Haskell's restriction), which is what makes the table
+    global and overlap detection a matter of comparing heads.
+    """
+
+    class_name: str
+    head: Type
+    impls: Tuple[Tuple[str, "Expr"], ...]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``ClassName tyvar`` on the left of ``=>``."""
+
+    class_name: str
+    tyvar: str
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    """``name :: constraints => params -> ret``, with named parameters."""
+
+    name: str
+    type_params: Tuple[str, ...]
+    constraints: Tuple[Constraint, ...]
+    params: Tuple[Tuple[str, Type], ...]
+    ret: Type
+    body: "Expr"
+    recursive: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class MethodRef(Expr):
+    """A reference to a class method such as ``mult``.
+
+    Inside a generic function the method resolves against the constraint
+    dictionary; at a concrete type it resolves against the instance table.
+    ``at_type`` pins the class parameter when it cannot be inferred.
+    """
+
+    method: str
+    at_type: Optional[Type] = None
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Call a top-level function, a class method, or a local function value."""
+
+    fn: Expr
+    args: Tuple[Expr, ...]
+    type_args: Optional[Tuple[Type, ...]] = None
+
+
+@dataclass(frozen=True)
+class PrimOp(Expr):
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    else_: Expr
+
+
+@dataclass(frozen=True)
+class ListLit(Expr):
+    items: Tuple[Expr, ...]
+    elem_type: Type
+
+
+@dataclass(frozen=True)
+class Program:
+    classes: Tuple[ClassDecl, ...] = ()
+    instances: Tuple[InstanceDecl, ...] = ()
+    functions: Tuple[FuncDecl, ...] = ()
+    main: Expr = IntLit(0)
+
+
+_PRIMS = {
+    "add": (TFn((INT, INT), INT), lambda a, b: a + b),
+    "sub": (TFn((INT, INT), INT), lambda a, b: a - b),
+    "mul": (TFn((INT, INT), INT), lambda a, b: a * b),
+    "lt": (TFn((INT, INT), BOOL), lambda a, b: a < b),
+    "eq": (TFn((INT, INT), BOOL), lambda a, b: a == b),
+}
+
+
+# ---------------------------------------------------------------------------
+# The global instance table
+# ---------------------------------------------------------------------------
+
+
+class InstanceTable:
+    """The program-wide instance table.
+
+    Keyed by ``(class name, head constructor)``.  Re-registering a key
+    raises the overlapping-instances error — Haskell's behavior, and the
+    behavior the paper contrasts with F_G's scoped models (section 3.2:
+    "instance declarations implicitly leak out of a module").
+    """
+
+    def __init__(self):
+        self._table: Dict[Tuple[str, str], InstanceDecl] = {}
+
+    def add(self, inst: InstanceDecl) -> None:
+        key = (inst.class_name, head_name(inst.head))
+        if key in self._table:
+            raise TypeError_(
+                f"overlapping instances: duplicate instance "
+                f"{inst.class_name} {inst.head} (instances are global; "
+                f"see paper section 3.2)"
+            )
+        self._table[key] = inst
+
+    def lookup(self, class_name: str, t: Type) -> InstanceDecl:
+        inst = self._table.get((class_name, head_name(t)))
+        if inst is None:
+            raise TypeError_(f"no instance for {class_name} {t}")
+        return inst
+
+
+# ---------------------------------------------------------------------------
+# Typechecking
+# ---------------------------------------------------------------------------
+
+
+class Checker:
+    """Typechecker with dictionary-style constraint resolution."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        # Static dispatch decisions, keyed by Call-node identity; the
+        # interpreter replays them instead of re-dispatching dynamically
+        # (type classes are resolved at compile time).
+        self.resolutions: Dict[int, tuple] = {}
+        self.classes = {c.name: c for c in program.classes}
+        if len(self.classes) != len(program.classes):
+            raise TypeError_("duplicate class declaration")
+        # Haskell restriction the paper calls out: two classes in the same
+        # module may not share a method name (unlike F_G concepts).
+        self.method_owner: Dict[str, ClassDecl] = {}
+        for cls in program.classes:
+            for method, _ in cls.methods:
+                if method in self.method_owner:
+                    raise TypeError_(
+                        f"method '{method}' declared in two classes "
+                        f"({self.method_owner[method].name} and {cls.name}); "
+                        "class methods share one global namespace"
+                    )
+                self.method_owner[method] = cls
+        self.instances = InstanceTable()
+        for inst in program.instances:
+            self._check_instance_shape(inst)
+            self.instances.add(inst)
+        self.functions = {f.name: f for f in program.functions}
+        if len(self.functions) != len(program.functions):
+            raise TypeError_("duplicate function declaration")
+
+    def _check_instance_shape(self, inst: InstanceDecl) -> None:
+        cls = self.classes.get(inst.class_name)
+        if cls is None:
+            raise TypeError_(f"instance of unknown class '{inst.class_name}'")
+        provided = {name for name, _ in inst.impls}
+        required = {name for name, _ in cls.methods}
+        if provided != required:
+            raise TypeError_(
+                f"instance {cls.name} {inst.head} must define exactly "
+                f"{sorted(required)}, got {sorted(provided)}"
+            )
+
+    def check_program(self) -> Type:
+        for inst in self.program.instances:
+            self._check_instance_bodies(inst)
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.infer(self.program.main, {}, ())
+
+    def _check_instance_bodies(self, inst: InstanceDecl) -> None:
+        cls = self.classes[inst.class_name]
+        subst = {cls.param: inst.head}
+        impls = dict(inst.impls)
+        for name, declared in cls.methods:
+            expected = substitute(declared, subst)
+            actual = self.infer(impls[name], {}, ())
+            if actual != expected:
+                raise TypeError_(
+                    f"instance {cls.name} {inst.head}: method '{name}' has "
+                    f"type {actual}, expected {expected}"
+                )
+
+    def _check_function(self, func: FuncDecl) -> None:
+        for constraint in func.constraints:
+            if constraint.class_name not in self.classes:
+                raise TypeError_(
+                    f"unknown class '{constraint.class_name}' in constraint"
+                )
+            if constraint.tyvar not in func.type_params:
+                raise TypeError_(
+                    f"constraint on unknown type variable "
+                    f"'{constraint.tyvar}'"
+                )
+        scope: Dict[str, Type] = dict(func.params)
+        if func.recursive:
+            scope[func.name] = TFn(
+                tuple(t for _, t in func.params), func.ret
+            )
+        body_type = self.infer(func.body, scope, func.constraints)
+        if body_type != func.ret:
+            raise TypeError_(
+                f"function '{func.name}' returns {body_type}, "
+                f"declared {func.ret}"
+            )
+
+    # -- inference ---------------------------------------------------------
+
+    def infer(
+        self,
+        expr: Expr,
+        scope: Dict[str, Type],
+        constraints: Tuple[Constraint, ...],
+    ) -> Type:
+        if isinstance(expr, Var):
+            if expr.name in scope:
+                return scope[expr.name]
+            func = self.functions.get(expr.name)
+            if func is not None and not func.type_params:
+                return TFn(tuple(t for _, t in func.params), func.ret)
+            raise TypeError_(f"unbound variable '{expr.name}'")
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, ListLit):
+            for item in expr.items:
+                actual = self.infer(item, scope, constraints)
+                if actual != expr.elem_type:
+                    raise TypeError_(
+                        f"list element has type {actual}, "
+                        f"expected {expr.elem_type}"
+                    )
+            return TList(expr.elem_type)
+        if isinstance(expr, PrimOp):
+            if expr.op not in _PRIMS:
+                raise TypeError_(f"unknown primitive '{expr.op}'")
+            sig, _ = _PRIMS[expr.op]
+            if len(expr.args) != len(sig.params):
+                raise TypeError_(f"primitive '{expr.op}' arity mismatch")
+            for arg, expected in zip(expr.args, sig.params):
+                actual = self.infer(arg, scope, constraints)
+                if actual != expected:
+                    raise TypeError_(
+                        f"primitive '{expr.op}' expects {expected}, "
+                        f"got {actual}"
+                    )
+            return sig.ret
+        if isinstance(expr, MethodRef):
+            return self._method_type(expr, scope, constraints)
+        if isinstance(expr, Call):
+            return self._infer_call(expr, scope, constraints)
+        if isinstance(expr, Let):
+            bound = self.infer(expr.bound, scope, constraints)
+            inner = dict(scope)
+            inner[expr.name] = bound
+            return self.infer(expr.body, inner, constraints)
+        if isinstance(expr, If):
+            cond = self.infer(expr.cond, scope, constraints)
+            if cond != BOOL:
+                raise TypeError_(f"if condition has type {cond}")
+            then = self.infer(expr.then, scope, constraints)
+            else_ = self.infer(expr.else_, scope, constraints)
+            if then != else_:
+                raise TypeError_(f"if branches disagree: {then} vs {else_}")
+            return then
+        raise AssertionError(f"unknown expression: {expr!r}")
+
+    def _method_type(
+        self,
+        expr: MethodRef,
+        scope: Dict[str, Type],
+        constraints: Tuple[Constraint, ...],
+    ) -> Type:
+        cls = self.method_owner.get(expr.method)
+        if cls is None:
+            raise TypeError_(f"unknown class method '{expr.method}'")
+        declared = dict(cls.methods)[expr.method]
+        if expr.at_type is not None:
+            at = expr.at_type
+            if isinstance(at, TVar):
+                if not any(
+                    c.class_name == cls.name and c.tyvar == at.name
+                    for c in constraints
+                ):
+                    raise TypeError_(
+                        f"no constraint {cls.name} {at.name} in scope for "
+                        f"method '{expr.method}'"
+                    )
+            else:
+                self.instances.lookup(cls.name, at)
+            return substitute(declared, {cls.param: at})
+        raise TypeError_(
+            f"method '{expr.method}' needs a type annotation here "
+            "(use MethodRef(..., at_type=...) or call it with arguments)"
+        )
+
+    def _infer_call(
+        self,
+        expr: Call,
+        scope: Dict[str, Type],
+        constraints: Tuple[Constraint, ...],
+    ) -> Type:
+        arg_types = [self.infer(a, scope, constraints) for a in expr.args]
+        # Class-method call: infer the class parameter from the arguments.
+        if isinstance(expr.fn, MethodRef):
+            cls = self.method_owner.get(expr.fn.method)
+            if cls is None:
+                raise TypeError_(f"unknown class method '{expr.fn.method}'")
+            declared = dict(cls.methods)[expr.fn.method]
+            if not isinstance(declared, TFn):
+                raise TypeError_(
+                    f"class method '{expr.fn.method}' is not a function"
+                )
+            if expr.fn.at_type is not None:
+                at = expr.fn.at_type
+            else:
+                subst = self._match_params(
+                    declared.params, arg_types, (cls.param,), expr.fn.method
+                )
+                at = subst[cls.param]
+            resolved = MethodRef(expr.fn.method, at_type=at)
+            fn_type = self._method_type(resolved, scope, constraints)
+            assert isinstance(fn_type, TFn)
+            self._check_args(fn_type, arg_types, expr.fn.method)
+            self.resolutions[id(expr)] = ("method", cls.name, at)
+            return fn_type.ret
+        # Generic top-level function call.
+        if isinstance(expr.fn, Var) and expr.fn.name in self.functions \
+                and expr.fn.name not in scope:
+            func = self.functions[expr.fn.name]
+            declared_params = tuple(t for _, t in func.params)
+            if expr.type_args is not None:
+                if len(expr.type_args) != len(func.type_params):
+                    raise TypeError_(
+                        f"'{func.name}' expects {len(func.type_params)} "
+                        f"type argument(s)"
+                    )
+                subst = dict(zip(func.type_params, expr.type_args))
+            else:
+                subst = self._match_params(
+                    declared_params, arg_types, func.type_params, func.name
+                )
+            # Resolve every constraint at the instantiation.
+            for constraint in func.constraints:
+                at = subst[constraint.tyvar]
+                self._resolve_constraint(constraint.class_name, at, constraints)
+            expected = tuple(substitute(p, subst) for p in declared_params)
+            self._check_args(TFn(expected, func.ret), arg_types, func.name)
+            self.resolutions[id(expr)] = ("generic", func.name, subst)
+            return substitute(func.ret, subst)
+        # First-class function value.
+        fn_type = self.infer(expr.fn, scope, constraints)
+        if not isinstance(fn_type, TFn):
+            raise TypeError_(f"cannot call non-function of type {fn_type}")
+        self._check_args(fn_type, arg_types, "<function value>")
+        return fn_type.ret
+
+    def _resolve_constraint(
+        self, class_name: str, at: Type, constraints: Tuple[Constraint, ...]
+    ) -> None:
+        if isinstance(at, TVar):
+            if not any(
+                c.class_name == class_name and c.tyvar == at.name
+                for c in constraints
+            ):
+                raise TypeError_(
+                    f"no constraint {class_name} {at.name} available"
+                )
+            return
+        self.instances.lookup(class_name, at)
+
+    def _check_args(self, fn_type: TFn, arg_types: List[Type], what: str):
+        if len(fn_type.params) != len(arg_types):
+            raise TypeError_(f"'{what}' arity mismatch")
+        for i, (actual, expected) in enumerate(
+            zip(arg_types, fn_type.params)
+        ):
+            if actual != expected:
+                raise TypeError_(
+                    f"'{what}' argument {i + 1} has type {actual}, "
+                    f"expected {expected}"
+                )
+
+    def _match_params(self, declared, actuals, type_params, what):
+        subst: Dict[str, Type] = {}
+
+        def match(d: Type, a: Type) -> None:
+            if isinstance(d, TVar) and d.name in type_params:
+                prev = subst.get(d.name)
+                if prev is None:
+                    subst[d.name] = a
+                elif prev != a:
+                    raise TypeError_(
+                        f"conflicting inference for '{d.name}' in "
+                        f"'{what}': {prev} vs {a}"
+                    )
+                return
+            if isinstance(d, TList) and isinstance(a, TList):
+                match(d.elem, a.elem)
+                return
+            if isinstance(d, TFn) and isinstance(a, TFn) and len(d.params) == len(a.params):
+                for dp, ap in zip(d.params, a.params):
+                    match(dp, ap)
+                match(d.ret, a.ret)
+                return
+            if d == a:
+                return
+            raise TypeError_(
+                f"cannot match declared {d} against actual {a} in '{what}'"
+            )
+
+        if len(declared) != len(actuals):
+            raise TypeError_(f"'{what}' arity mismatch")
+        for d, a in zip(declared, actuals):
+            match(d, a)
+        for name in type_params:
+            if name not in subst:
+                raise TypeError_(
+                    f"cannot infer type argument '{name}' for '{what}'"
+                )
+        return subst
+
+
+# ---------------------------------------------------------------------------
+# Evaluation (dictionary passing)
+# ---------------------------------------------------------------------------
+
+
+class _Closure:
+    __slots__ = ("params", "body", "env", "interp", "constraints", "dicts")
+
+    def __init__(self, params, body, env, interp, constraints, dicts):
+        self.params = params
+        self.body = body
+        self.env = env
+        self.interp = interp
+        self.constraints = constraints
+        self.dicts = dicts
+
+
+class Interpreter:
+    """Dictionary-passing evaluator.
+
+    A generic function's constraints become dictionary parameters; each call
+    resolves the needed instance dictionaries (from the global table or the
+    enclosing function's own dictionaries) and passes them down.
+    """
+
+    def __init__(self, program: Program, checker: Checker):
+        self.program = program
+        self.checker = checker
+
+    def run(self):
+        return self.eval(self.program.main, {}, {})
+
+    def _instance_dict(self, class_name: str, t: Type, dicts) -> Dict[str, object]:
+        if isinstance(t, TVar):
+            key = (class_name, t.name)
+            if key not in dicts:
+                raise EvalError(
+                    f"no dictionary for {class_name} {t.name} at runtime"
+                )
+            return dicts[key]
+        inst = self.checker.instances.lookup(class_name, t)
+        return {
+            name: self.eval(impl, {}, {}) for name, impl in inst.impls
+        }
+
+    def eval(self, expr: Expr, env: Dict[str, object], dicts) -> object:
+        if isinstance(expr, Var):
+            if expr.name in env:
+                return env[expr.name]
+            func = self.checker.functions.get(expr.name)
+            if func is not None and not func.type_params:
+                return _Closure(
+                    tuple(n for n, _ in func.params), func.body, {}, self,
+                    (), {},
+                )
+            raise EvalError(f"unbound variable '{expr.name}'")
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, ListLit):
+            return [self.eval(i, env, dicts) for i in expr.items]
+        if isinstance(expr, PrimOp):
+            _, impl = _PRIMS[expr.op]
+            return impl(*[self.eval(a, env, dicts) for a in expr.args])
+        if isinstance(expr, MethodRef):
+            raise EvalError(
+                f"bare method reference '{expr.method}' must be called"
+            )
+        if isinstance(expr, Call):
+            return self._eval_call(expr, env, dicts)
+        if isinstance(expr, Let):
+            bound = self.eval(expr.bound, env, dicts)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval(expr.body, inner, dicts)
+        if isinstance(expr, If):
+            branch = expr.then if self.eval(expr.cond, env, dicts) else expr.else_
+            return self.eval(branch, env, dicts)
+        raise AssertionError(f"unknown expression: {expr!r}")
+
+    def _eval_call(self, expr: Call, env, dicts):
+        args = [self.eval(a, env, dicts) for a in expr.args]
+        resolution = self.checker.resolutions.get(id(expr))
+        if resolution is not None and resolution[0] == "method":
+            # Static class-method dispatch: replay the checker's decision.
+            _, class_name, at = resolution
+            dictionary = self._instance_dict(class_name, at, dicts)
+            method_value = dictionary[expr.fn.method]  # type: ignore[union-attr]
+            return self._apply(method_value, args)
+        if resolution is not None and resolution[0] == "generic":
+            _, func_name, subst = resolution
+            func = self.checker.functions[func_name]
+            new_dicts = {}
+            for constraint in func.constraints:
+                at = subst[constraint.tyvar]
+                new_dicts[(constraint.class_name, constraint.tyvar)] = (
+                    self._instance_dict(constraint.class_name, at, dicts)
+                )
+            scope = {n: v for (n, _), v in zip(func.params, args)}
+            if func.recursive:
+                scope[func.name] = _Closure(
+                    tuple(n for n, _ in func.params), func.body, scope, self,
+                    func.constraints, new_dicts,
+                )
+            return self.eval(func.body, scope, new_dicts)
+        fn_value = self.eval(expr.fn, env, dicts)
+        return self._apply(fn_value, args)
+
+    def _apply(self, fn_value, args):
+        if isinstance(fn_value, _Closure):
+            scope = dict(fn_value.env)
+            scope.update(dict(zip(fn_value.params, args)))
+            return self.eval(fn_value.body, scope, fn_value.dicts)
+        if callable(fn_value):
+            return fn_value(*args)
+        raise EvalError(f"cannot call non-function {fn_value!r}")
+
+
+def check(program: Program) -> Type:
+    """Typecheck ``program``; returns the type of ``main``."""
+    return Checker(program).check_program()
+
+
+def run(program: Program):
+    """Typecheck and evaluate ``program``."""
+    checker = Checker(program)
+    checker.check_program()
+    return Interpreter(program, checker).run()

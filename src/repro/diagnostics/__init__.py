@@ -1,0 +1,29 @@
+"""Source positions, spans, and diagnostic errors shared by every front end.
+
+Every AST node in the System F and F_G packages carries an optional
+:class:`Span`.  Errors raised by the lexer, parsers, and typecheckers are
+subclasses of :class:`Diagnostic` and render with a source excerpt when the
+originating source text is available.
+"""
+
+from repro.diagnostics.source import Position, Span, SourceText
+from repro.diagnostics.errors import (
+    Diagnostic,
+    LexError,
+    ParseError,
+    TypeError_,
+    TranslationError,
+    EvalError,
+)
+
+__all__ = [
+    "Position",
+    "Span",
+    "SourceText",
+    "Diagnostic",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+    "TranslationError",
+    "EvalError",
+]

@@ -1,0 +1,77 @@
+"""Diagnostic error hierarchy used across all language front ends."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.diagnostics.source import SourceText, Span
+
+
+class Diagnostic(Exception):
+    """Base class for positioned language-processing errors.
+
+    Carries an optional :class:`Span` and, when the driver attaches the
+    originating :class:`SourceText`, renders a caret-underlined excerpt.
+    """
+
+    kind = "error"
+
+    def __init__(self, message: str, span: Optional[Span] = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+        self.source: Optional[SourceText] = None
+
+    def attach_source(self, source: SourceText) -> "Diagnostic":
+        """Remember the source text so ``str(err)`` can show an excerpt."""
+        self.source = source
+        return self
+
+    def __str__(self) -> str:
+        parts = []
+        if self.span is not None and self.span.filename != "<synthetic>":
+            parts.append(f"{self.span}: {self.kind}: {self.message}")
+        else:
+            parts.append(f"{self.kind}: {self.message}")
+        if self.source is not None and self.span is not None:
+            excerpt = self.source.excerpt(self.span)
+            if excerpt:
+                parts.append(excerpt)
+        return "\n".join(parts)
+
+
+class LexError(Diagnostic):
+    """Raised on malformed input at the token level."""
+
+    kind = "lex error"
+
+
+class ParseError(Diagnostic):
+    """Raised on syntactically invalid input."""
+
+    kind = "parse error"
+
+
+class TypeError_(Diagnostic):
+    """Raised when a program fails to typecheck.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+    kind = "type error"
+
+
+class TranslationError(Diagnostic):
+    """Raised when F_G-to-System-F translation hits an internal inconsistency.
+
+    A :class:`TranslationError` on a program that typechecked indicates a bug
+    in this library, never in user code; the tests assert it is unreachable.
+    """
+
+    kind = "translation error"
+
+
+class EvalError(Diagnostic):
+    """Raised by evaluators on runtime failures (e.g. ``car`` of ``nil``)."""
+
+    kind = "evaluation error"

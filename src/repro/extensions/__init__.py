@@ -1,0 +1,97 @@
+"""The paper's section 6 extensions, implemented on top of core F_G.
+
+Features:
+
+- **named models** (``model m = C<int> { ... } in``) with scoped adoption
+  (``use m in ...``) — the paper's suggested mechanism for managing
+  overlapping models, after Kahl & Scheffczyk's named instances;
+- **parameterized models** (``model forall t where C<t>. D<list t> { ... }``)
+  — Haskell's parameterized instances, resolved by matching plus recursive
+  model resolution;
+- **concept-member defaults** (``member : type = default-body;``) — a rich
+  interface implemented in terms of a few required operations;
+- **nested requirements** live in core F_G already (``require C<assoc>;``
+  inside a concept) since they reuse the refinement machinery.
+
+Entry points mirror :mod:`repro.fg` but use :class:`ExtChecker`::
+
+    from repro import extensions as ext
+    ext.run("model m = Monoid<int> { ... } in use m in accumulate[int](...)")
+"""
+
+from typing import Optional, Tuple
+
+from repro.extensions import ast
+from repro.extensions.checker import ExtChecker
+from repro.fg import ast as G
+from repro.fg.env import Env
+from repro.syntax import parse_fg
+from repro.systemf import ast as F
+from repro.systemf import evaluate as _sf_evaluate
+from repro.systemf import type_of as _sf_type_of
+
+
+def typecheck(term: G.Term, env: Optional[Env] = None) -> Tuple[G.FGType, F.Term]:
+    """Typecheck an extended-F_G term; returns type and translation."""
+    checker = ExtChecker()
+    return checker.check(term, env if env is not None else Env.initial())
+
+
+def type_of(term: G.Term, env: Optional[Env] = None) -> G.FGType:
+    return typecheck(term, env)[0]
+
+
+def translate(term: G.Term, env: Optional[Env] = None) -> F.Term:
+    return typecheck(term, env)[1]
+
+
+def evaluate(term: G.Term, env: Optional[Env] = None):
+    """Run an extended-F_G program via its System F translation."""
+    _, sf_term = typecheck(term, env)
+    return _sf_evaluate(sf_term)
+
+
+def verify_translation(term: G.Term, env: Optional[Env] = None):
+    """Theorem 1/2 check for the extended language: re-check the image."""
+    checker = ExtChecker()
+    base_env = env if env is not None else Env.initial()
+    fg_type, sf_term = checker.check(term, base_env)
+    sf_type = _sf_type_of(sf_term)
+    return fg_type, sf_type
+
+
+def check(program: str, use_prelude: bool = False) -> G.FGType:
+    """Typecheck extended-F_G source; returns the program type."""
+    return type_of(_parse(program, use_prelude))
+
+
+def run(program: str, use_prelude: bool = False):
+    """Typecheck, translate, and evaluate extended-F_G source."""
+    return evaluate(_parse(program, use_prelude))
+
+
+def verify(program: str, use_prelude: bool = False):
+    """Translation-preserves-typing check on extended-F_G source."""
+    return verify_translation(_parse(program, use_prelude))
+
+
+def _parse(program: str, use_prelude: bool) -> G.Term:
+    if use_prelude:
+        from repro.prelude import wrap
+
+        return parse_fg(wrap(program))
+    return parse_fg(program)
+
+
+__all__ = [
+    "ExtChecker",
+    "ast",
+    "check",
+    "evaluate",
+    "run",
+    "translate",
+    "type_of",
+    "typecheck",
+    "verify",
+    "verify_translation",
+]

@@ -1,0 +1,543 @@
+"""Abstract syntax of System F_G (paper Figures 4 and 11).
+
+F_G extends System F with:
+
+- ``concept`` expressions declaring named requirement sets with refinement,
+  associated-type requirements, and same-type requirements (Fig. 11),
+- ``model`` expressions establishing that particular types satisfy a
+  concept, lexically scoped like ``let``,
+- ``where`` clauses on type abstractions, listing concept requirements and
+  same-type constraints,
+- member-access terms ``c<taus>.x`` and member-access *types*
+  ``c<taus>.s`` (associated types),
+- ``type t = tau in e`` aliases (Fig. 11).
+
+As with our System F, we carry the paper's informal extensions (literals,
+``if``, ``fix``, ``let``, tuples) as primitive term forms so the running
+examples can be written directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.diagnostics.source import Span
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FGType:
+    """Base class of F_G types."""
+
+
+@dataclass(frozen=True)
+class TVar(FGType):
+    """A type variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TBase(FGType):
+    """A base type (``int`` or ``bool``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Base types shared with System F.
+INT = TBase("int")
+BOOL = TBase("bool")
+
+
+@dataclass(frozen=True)
+class TList(FGType):
+    """The list type constructor."""
+
+    elem: FGType
+
+    def __str__(self) -> str:
+        return f"list {self.elem}"
+
+
+@dataclass(frozen=True)
+class TFn(FGType):
+    """A multi-parameter function type ``fn(t1, ..., tn) -> t``."""
+
+    params: Tuple[FGType, ...]
+    result: FGType
+
+    def __str__(self) -> str:
+        return f"fn({', '.join(map(str, self.params))}) -> {self.result}"
+
+
+@dataclass(frozen=True)
+class TTuple(FGType):
+    """A product type (engineering extension, mirrors System F tuples)."""
+
+    items: Tuple[FGType, ...]
+
+    def __str__(self) -> str:
+        if not self.items:
+            return "unit"
+        return "(" + " * ".join(map(str, self.items)) + ")"
+
+
+@dataclass(frozen=True)
+class ConceptReq(FGType):
+    """A concept requirement ``c<tau1, ..., taun>`` in a where clause.
+
+    Not itself a type that terms can inhabit; modeled as an ``FGType``
+    subclass only so it can reuse the type traversal helpers.
+    """
+
+    concept: str
+    args: Tuple[FGType, ...]
+
+    def __str__(self) -> str:
+        return f"{self.concept}<{', '.join(map(str, self.args))}>"
+
+
+@dataclass(frozen=True)
+class SameType:
+    """A same-type constraint ``tau == tau'`` (paper section 5)."""
+
+    left: FGType
+    right: FGType
+
+    def __str__(self) -> str:
+        return f"{self.left} == {self.right}"
+
+
+@dataclass(frozen=True)
+class TForall(FGType):
+    """``forall t1..tn where c<taus>, ...; tau == tau', ... . t`` (Figs. 4, 11)."""
+
+    vars: Tuple[str, ...]
+    requirements: Tuple[ConceptReq, ...]
+    same_types: Tuple[SameType, ...]
+    body: FGType
+
+    def __str__(self) -> str:
+        clauses = [str(r) for r in self.requirements]
+        clauses += [str(s) for s in self.same_types]
+        where = f" where {', '.join(clauses)}" if clauses else ""
+        return f"forall {', '.join(self.vars)}{where}. {self.body}"
+
+
+@dataclass(frozen=True)
+class TAssoc(FGType):
+    """An associated-type reference ``c<taus>.member`` (Fig. 11)."""
+
+    concept: str
+    args: Tuple[FGType, ...]
+    member: str
+
+    def __str__(self) -> str:
+        return f"{self.concept}<{', '.join(map(str, self.args))}>.{self.member}"
+
+
+def free_type_vars(t: FGType) -> frozenset:
+    """Free type variables of an F_G type (where clauses included)."""
+    if isinstance(t, TVar):
+        return frozenset((t.name,))
+    if isinstance(t, TBase):
+        return frozenset()
+    if isinstance(t, TList):
+        return free_type_vars(t.elem)
+    if isinstance(t, TFn):
+        out = free_type_vars(t.result)
+        for p in t.params:
+            out |= free_type_vars(p)
+        return out
+    if isinstance(t, TTuple):
+        out = frozenset()
+        for item in t.items:
+            out |= free_type_vars(item)
+        return out
+    if isinstance(t, ConceptReq):
+        out = frozenset()
+        for a in t.args:
+            out |= free_type_vars(a)
+        return out
+    if isinstance(t, TAssoc):
+        out = frozenset()
+        for a in t.args:
+            out |= free_type_vars(a)
+        return out
+    if isinstance(t, TForall):
+        out = free_type_vars(t.body)
+        for r in t.requirements:
+            out |= free_type_vars(r)
+        for s in t.same_types:
+            out |= free_type_vars(s.left) | free_type_vars(s.right)
+        return out - frozenset(t.vars)
+    raise AssertionError(f"unknown F_G type node: {t!r}")
+
+
+def concept_names(t: FGType) -> frozenset:
+    """``CV(t)``: concept names occurring in where clauses / assoc types of ``t``."""
+    if isinstance(t, (TVar, TBase)):
+        return frozenset()
+    if isinstance(t, TList):
+        return concept_names(t.elem)
+    if isinstance(t, TFn):
+        out = concept_names(t.result)
+        for p in t.params:
+            out |= concept_names(p)
+        return out
+    if isinstance(t, TTuple):
+        out = frozenset()
+        for item in t.items:
+            out |= concept_names(item)
+        return out
+    if isinstance(t, ConceptReq):
+        out = frozenset((t.concept,))
+        for a in t.args:
+            out |= concept_names(a)
+        return out
+    if isinstance(t, TAssoc):
+        out = frozenset((t.concept,))
+        for a in t.args:
+            out |= concept_names(a)
+        return out
+    if isinstance(t, TForall):
+        out = concept_names(t.body)
+        for r in t.requirements:
+            out |= concept_names(r)
+        for s in t.same_types:
+            out |= concept_names(s.left) | concept_names(s.right)
+        return out
+    raise AssertionError(f"unknown F_G type node: {t!r}")
+
+
+def substitute(t: FGType, subst) -> FGType:
+    """Capture-avoiding simultaneous substitution ``[t -> tau]t``.
+
+    ``subst`` maps type-variable names to :class:`FGType` values.
+    """
+    if not subst:
+        return t
+    if isinstance(t, TVar):
+        return subst.get(t.name, t)
+    if isinstance(t, TBase):
+        return t
+    if isinstance(t, TList):
+        return TList(substitute(t.elem, subst))
+    if isinstance(t, TFn):
+        return TFn(
+            tuple(substitute(p, subst) for p in t.params),
+            substitute(t.result, subst),
+        )
+    if isinstance(t, TTuple):
+        return TTuple(tuple(substitute(i, subst) for i in t.items))
+    if isinstance(t, ConceptReq):
+        return ConceptReq(t.concept, tuple(substitute(a, subst) for a in t.args))
+    if isinstance(t, TAssoc):
+        return TAssoc(
+            t.concept, tuple(substitute(a, subst) for a in t.args), t.member
+        )
+    if isinstance(t, TForall):
+        inner = {k: v for k, v in subst.items() if k not in t.vars}
+        if not inner:
+            return t
+        captured = frozenset()
+        for v in inner.values():
+            captured |= free_type_vars(v)
+        renaming = {}
+        new_vars = []
+        for var in t.vars:
+            if var in captured:
+                from repro.systemf.ast import fresh_type_var
+
+                fresh = fresh_type_var(var.split("%")[0])
+                renaming[var] = TVar(fresh)
+                new_vars.append(fresh)
+            else:
+                new_vars.append(var)
+        reqs = t.requirements
+        sames = t.same_types
+        body = t.body
+        if renaming:
+            reqs = tuple(substitute(r, renaming) for r in reqs)
+            sames = tuple(
+                SameType(substitute(s.left, renaming), substitute(s.right, renaming))
+                for s in sames
+            )
+            body = substitute(body, renaming)
+        return TForall(
+            tuple(new_vars),
+            tuple(substitute(r, inner) for r in reqs),
+            tuple(
+                SameType(substitute(s.left, inner), substitute(s.right, inner))
+                for s in sames
+            ),
+            substitute(body, inner),
+        )
+    raise AssertionError(f"unknown F_G type node: {t!r}")
+
+
+def substitute_term_types(term: "Term", subst) -> "Term":
+    """Apply a type substitution to every type embedded in a term.
+
+    Used to instantiate concept-member *defaults*, whose bodies are written
+    against the concept's formal parameters; binders are term-level only, so
+    no type-variable capture can occur here beyond what :func:`substitute`
+    already handles.
+    """
+    if not subst:
+        return term
+
+    def sub_t(t: FGType) -> FGType:
+        return substitute(t, subst)
+
+    def go(e: "Term") -> "Term":
+        if isinstance(e, (Var, IntLit, BoolLit)):
+            return e
+        if isinstance(e, Lam):
+            return Lam(
+                span=e.span,
+                params=tuple((n, sub_t(t)) for n, t in e.params),
+                body=go(e.body),
+            )
+        if isinstance(e, App):
+            return App(span=e.span, fn=go(e.fn), args=tuple(go(a) for a in e.args))
+        if isinstance(e, TyLam):
+            inner = {k: v for k, v in subst.items() if k not in e.vars}
+            if not inner:
+                return e
+            return TyLam(
+                span=e.span,
+                vars=e.vars,
+                requirements=tuple(substitute(r, inner) for r in e.requirements),
+                same_types=tuple(
+                    SameType(substitute(s.left, inner), substitute(s.right, inner))
+                    for s in e.same_types
+                ),
+                body=substitute_term_types(e.body, inner),
+            )
+        if isinstance(e, TyApp):
+            return TyApp(
+                span=e.span, fn=go(e.fn), args=tuple(sub_t(t) for t in e.args)
+            )
+        if isinstance(e, Let):
+            return Let(span=e.span, name=e.name, bound=go(e.bound), body=go(e.body))
+        if isinstance(e, Tuple_):
+            return Tuple_(span=e.span, items=tuple(go(i) for i in e.items))
+        if isinstance(e, Nth):
+            return Nth(span=e.span, tuple_=go(e.tuple_), index=e.index)
+        if isinstance(e, If):
+            return If(span=e.span, cond=go(e.cond), then=go(e.then), else_=go(e.else_))
+        if isinstance(e, Fix):
+            return Fix(span=e.span, fn=go(e.fn))
+        if isinstance(e, MemberAccess):
+            return MemberAccess(
+                span=e.span,
+                concept=e.concept,
+                args=tuple(sub_t(a) for a in e.args),
+                member=e.member,
+            )
+        if isinstance(e, TypeAlias):
+            return TypeAlias(
+                span=e.span, name=e.name, aliased=sub_t(e.aliased), body=go(e.body)
+            )
+        # Concept/model expressions and extension nodes inside defaults are
+        # rare; handle the general declaration forms conservatively.
+        if isinstance(e, ConceptExpr):
+            return ConceptExpr(span=e.span, concept=e.concept, body=go(e.body))
+        if isinstance(e, ModelExpr):
+            mdef = e.model
+            new_mdef = ModelDef(
+                mdef.concept,
+                tuple(sub_t(a) for a in mdef.args),
+                tuple((n, sub_t(t)) for n, t in mdef.type_assignments),
+                tuple((n, go(d)) for n, d in mdef.member_defs),
+            )
+            return ModelExpr(span=e.span, model=new_mdef, body=go(e.body))
+        raise AssertionError(
+            f"substitute_term_types: unsupported node {type(e).__name__}"
+        )
+
+    return go(term)
+
+
+# ---------------------------------------------------------------------------
+# Declarations (payloads of concept/model expressions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConceptDef:
+    """The payload of ``concept c<t...> { ... }``.
+
+    ``assoc_types`` are required nested type names; ``refines`` lists refined
+    concepts (their args may mention the params and assoc names);
+    ``members`` are ``name : type`` requirements; ``same_types`` are
+    same-type requirements among associated types / params; ``nested`` are
+    requirements on associated types (paper section 6, "nested
+    requirements") — e.g. a container's iterator type must itself model
+    Iterator.  Nested requirements contribute dictionary components after
+    the refinements and before the members.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    assoc_types: Tuple[str, ...] = ()
+    refines: Tuple[ConceptReq, ...] = ()
+    members: Tuple[Tuple[str, FGType], ...] = ()
+    same_types: Tuple[SameType, ...] = ()
+    nested: Tuple[ConceptReq, ...] = ()
+    #: Default member bodies (section 6 extension); keys must name members.
+    #: Core F_G ignores defaults — they take effect under
+    #: :mod:`repro.extensions`.
+    defaults: Tuple[Tuple[str, "Term"], ...] = ()
+
+    def member_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.members)
+
+
+@dataclass(frozen=True)
+class ModelDef:
+    """The payload of ``model c<tau...> { ... }``.
+
+    ``type_assignments`` give each required associated type a definition;
+    ``member_defs`` give each required operation an implementation.
+    """
+
+    concept: str
+    args: Tuple[FGType, ...]
+    type_assignments: Tuple[Tuple[str, FGType], ...] = ()
+    member_defs: Tuple[Tuple[str, "Term"], ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of F_G terms."""
+
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class IntLit(Term):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class BoolLit(Term):
+    value: bool = False
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """``\\x1:t1, ..., xn:tn. body``."""
+
+    params: Tuple[Tuple[str, FGType], ...] = ()
+    body: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class App(Term):
+    fn: Term = None  # type: ignore[assignment]
+    args: Tuple[Term, ...] = ()
+
+
+@dataclass(frozen=True)
+class TyLam(Term):
+    """``/\\t... where reqs; sames. body`` — generic function (Figs. 4, 11)."""
+
+    vars: Tuple[str, ...] = ()
+    requirements: Tuple[ConceptReq, ...] = ()
+    same_types: Tuple[SameType, ...] = ()
+    body: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class TyApp(Term):
+    """Instantiation ``e[tau...]``: triggers model lookup."""
+
+    fn: Term = None  # type: ignore[assignment]
+    args: Tuple[FGType, ...] = ()
+
+
+@dataclass(frozen=True)
+class Let(Term):
+    name: str = ""
+    bound: Term = None  # type: ignore[assignment]
+    body: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Tuple_(Term):
+    items: Tuple[Term, ...] = ()
+
+
+@dataclass(frozen=True)
+class Nth(Term):
+    tuple_: Term = None  # type: ignore[assignment]
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class If(Term):
+    cond: Term = None  # type: ignore[assignment]
+    then: Term = None  # type: ignore[assignment]
+    else_: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Fix(Term):
+    fn: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ConceptExpr(Term):
+    """``concept c<t...> { ... } in body`` — scoped concept declaration."""
+
+    concept: ConceptDef = None  # type: ignore[assignment]
+    body: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ModelExpr(Term):
+    """``model c<tau...> { ... } in body`` — scoped model declaration."""
+
+    model: ModelDef = None  # type: ignore[assignment]
+    body: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class MemberAccess(Term):
+    """``c<tau...>.x`` — extract an operation from a model (MEM rule)."""
+
+    concept: str = ""
+    args: Tuple[FGType, ...] = ()
+    member: str = ""
+
+
+@dataclass(frozen=True)
+class TypeAlias(Term):
+    """``type t = tau in body`` (Fig. 11, ALS rule)."""
+
+    name: str = ""
+    aliased: FGType = None  # type: ignore[assignment]
+    body: Term = None  # type: ignore[assignment]

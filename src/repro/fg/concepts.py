@@ -1,0 +1,193 @@
+"""Concept-structure helpers: the paper's ``b``, ``ba``, and the
+refinement-closure walks shared by the checker and the translator.
+
+A concept's members and associated types are declared against its formal
+parameters; using them at particular type arguments requires the *qualifying
+substitution* (the paper's ``ba(c, taus), t:taus``): parameters map to the
+arguments and each associated-type name maps to its concept-qualified
+reference ``c<taus>.s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnostics.errors import TypeError_
+from repro.fg import ast as G
+from repro.fg.env import Env
+
+
+def concept_def(env: Env, name: str, span=None) -> G.ConceptDef:
+    """Look up a concept or fail with a positioned error."""
+    cdef = env.lookup_concept(name)
+    if cdef is None:
+        raise TypeError_(f"unknown concept '{name}'", span)
+    return cdef
+
+
+def check_concept_arity(cdef: G.ConceptDef, args, span=None) -> None:
+    if len(cdef.params) != len(args):
+        raise TypeError_(
+            f"concept {cdef.name} expects {len(cdef.params)} type "
+            f"argument(s), got {len(args)}",
+            span,
+        )
+
+
+def qualifying_subst(
+    cdef: G.ConceptDef, args: Tuple[G.FGType, ...]
+) -> Dict[str, G.FGType]:
+    """Map params to ``args`` and associated names to ``c<args>.s`` (paper's ba)."""
+    subst: Dict[str, G.FGType] = dict(zip(cdef.params, args))
+    for s in cdef.assoc_types:
+        subst[s] = G.TAssoc(cdef.name, args, s)
+    return subst
+
+
+@dataclass(frozen=True)
+class MemberEntry:
+    """One concept member with its qualified type and dictionary path."""
+
+    name: str
+    type: G.FGType
+    path: Tuple[int, ...]
+    concept: str  # the concept that declares the member
+
+
+def members_with_paths(
+    env: Env, concept: str, args: Tuple[G.FGType, ...], path: Tuple[int, ...] = ()
+) -> List[MemberEntry]:
+    """The paper's ``b(c, taus, n, Gamma)``.
+
+    Collects the members of ``concept`` and everything it refines, with
+    member types qualified at ``args`` and paths into the (nested) dictionary:
+    refined concepts' dictionaries occupy the first components, followed by
+    the concept's own members, exactly as in Figure 7.
+    """
+    cdef = concept_def(env, concept)
+    check_concept_arity(cdef, args)
+    subst = qualifying_subst(cdef, args)
+    out: List[MemberEntry] = []
+    for i, req in enumerate(cdef.refines):
+        refined_args = tuple(G.substitute(a, subst) for a in req.args)
+        out.extend(members_with_paths(env, req.concept, refined_args, path + (i,)))
+    # Nested requirements occupy dictionary slots after the refinements but
+    # do not export their members through this concept — they are reached
+    # via the associated type (e.g. Iterator<Container<X>.iterator>.next).
+    base = len(cdef.refines) + len(cdef.nested)
+    for j, (name, t) in enumerate(cdef.members):
+        out.append(
+            MemberEntry(name, G.substitute(t, subst), path + (base + j,), concept)
+        )
+    return out
+
+
+def find_member(
+    env: Env, concept: str, args: Tuple[G.FGType, ...], member: str, span=None
+) -> MemberEntry:
+    """The entry for ``concept<args>.member``; nearest declaration wins."""
+    entries = members_with_paths(env, concept, args)
+    # The concept's own members shadow refined ones of the same name, so
+    # search the concept's own block (which comes last) first.
+    for entry in reversed(entries):
+        if entry.name == member:
+            return entry
+    raise TypeError_(
+        f"concept {concept} has no member '{member}'", span
+    )
+
+
+def same_type_requirements(
+    env: Env, concept: str, args: Tuple[G.FGType, ...]
+) -> List[G.SameType]:
+    """All same-type requirements of ``concept`` (and refinements), qualified."""
+    cdef = concept_def(env, concept)
+    check_concept_arity(cdef, args)
+    subst = qualifying_subst(cdef, args)
+    out: List[G.SameType] = []
+    for req in cdef.refines + cdef.nested:
+        refined_args = tuple(G.substitute(a, subst) for a in req.args)
+        out.extend(same_type_requirements(env, req.concept, refined_args))
+    for same in cdef.same_types:
+        out.append(
+            G.SameType(
+                G.substitute(same.left, subst), G.substitute(same.right, subst)
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class AssocSlot:
+    """One associated-type slot introduced by a where clause.
+
+    ``formal_args`` are the concept arguments as written in the where clause
+    (used for the de-duplication key, which must agree between a type
+    abstraction and every instantiation of it); ``actual_args`` carry the
+    instantiated arguments at a TAPP site (identical to ``formal_args`` at
+    the TABS site itself).
+    """
+
+    concept: str
+    formal_args: Tuple[G.FGType, ...]
+    actual_args: Tuple[G.FGType, ...]
+    assoc_name: str
+
+
+def assoc_slots(
+    env: Env,
+    requirements: Tuple[G.ConceptReq, ...],
+    subst: Optional[Dict[str, G.FGType]] = None,
+) -> List[AssocSlot]:
+    """The ordered associated-type slots of a where clause.
+
+    Walks each requirement's refinement closure depth-first (own associated
+    types first, then refinements, matching the paper's ``bm``), de-duplicated
+    by ``(concept, formal arguments)`` to handle refinement diamonds
+    (paper 5.2).  ``subst`` instantiates the formal arguments at a TAPP site;
+    crucially, de-duplication still keys on the *formal* arguments so the slot
+    list always has the same shape the TABS translation produced.
+    """
+    seen = set()
+    slots: List[AssocSlot] = []
+
+    def walk(concept: str, formal: Tuple[G.FGType, ...],
+             actual: Tuple[G.FGType, ...]) -> None:
+        key = (concept, formal)
+        if key in seen:
+            return
+        seen.add(key)
+        cdef = concept_def(env, concept)
+        check_concept_arity(cdef, formal)
+        for s in cdef.assoc_types:
+            slots.append(AssocSlot(concept, formal, actual, s))
+        formal_subst = qualifying_subst(cdef, formal)
+        actual_subst = qualifying_subst(cdef, actual)
+        for req in cdef.refines + cdef.nested:
+            walk(
+                req.concept,
+                tuple(G.substitute(a, formal_subst) for a in req.args),
+                tuple(G.substitute(a, actual_subst) for a in req.args),
+            )
+
+    for req in requirements:
+        actual_args = (
+            tuple(G.substitute(a, subst) for a in req.args) if subst else req.args
+        )
+        walk(req.concept, req.args, actual_args)
+    return slots
+
+
+def refinement_closure(
+    env: Env, concept: str, args: Tuple[G.FGType, ...]
+) -> List[Tuple[str, Tuple[G.FGType, ...], Tuple[int, ...]]]:
+    """Every ``(concept, args, path)`` reachable by refinement, self first."""
+    out = [(concept, args, ())]
+    cdef = concept_def(env, concept)
+    subst = qualifying_subst(cdef, args)
+    for i, req in enumerate(cdef.refines + cdef.nested):
+        refined_args = tuple(G.substitute(a, subst) for a in req.args)
+        for name, rargs, path in refinement_closure(env, req.concept, refined_args):
+            out.append((name, rargs, (i,) + path))
+    return out

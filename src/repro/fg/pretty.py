@@ -1,0 +1,186 @@
+"""Pretty printer for F_G types and terms (round-trips through the parser)."""
+
+from __future__ import annotations
+
+from repro.fg import ast as G
+
+
+def pretty_type(t: G.FGType) -> str:
+    """Render an F_G type as concrete syntax."""
+    return _ptype(t)
+
+
+def _ptype(t: G.FGType) -> str:
+    if isinstance(t, (G.TVar, G.TBase)):
+        return t.name
+    if isinstance(t, G.TList):
+        return f"list {_ptype_atom(t.elem)}"
+    if isinstance(t, G.TFn):
+        return f"fn({', '.join(_ptype(p) for p in t.params)}) -> {_ptype(t.result)}"
+    if isinstance(t, G.TTuple):
+        if not t.items:
+            return "unit"
+        if len(t.items) == 1:
+            return f"({_ptype_atom(t.items[0])} *)"
+        return "(" + " * ".join(_ptype_atom(i) for i in t.items) + ")"
+    if isinstance(t, G.TAssoc):
+        return f"{t.concept}<{', '.join(_ptype(a) for a in t.args)}>.{t.member}"
+    if isinstance(t, G.ConceptReq):
+        return f"{t.concept}<{', '.join(_ptype(a) for a in t.args)}>"
+    if isinstance(t, G.TForall):
+        clauses = [_ptype(r) for r in t.requirements]
+        clauses += [f"{_ptype(s.left)} == {_ptype(s.right)}" for s in t.same_types]
+        where = f" where {', '.join(clauses)}" if clauses else ""
+        return f"forall {', '.join(t.vars)}{where}. {_ptype(t.body)}"
+    raise AssertionError(f"unknown F_G type node: {t!r}")
+
+
+def _ptype_atom(t: G.FGType) -> str:
+    if isinstance(t, (G.TVar, G.TBase, G.TTuple, G.TAssoc, G.TList)):
+        return _ptype(t)
+    return f"({_ptype(t)})"
+
+
+def pretty_term(term: G.Term, indent: int = 0) -> str:
+    """Render an F_G term as concrete syntax."""
+    return _pterm(term, indent)
+
+
+def _pterm(term: G.Term, ind: int) -> str:
+    pad = "  " * ind
+    if isinstance(term, G.Var):
+        return term.name
+    if isinstance(term, G.IntLit):
+        return str(term.value)
+    if isinstance(term, G.BoolLit):
+        return "true" if term.value else "false"
+    if isinstance(term, G.Lam):
+        params = ", ".join(f"{n} : {_ptype(t)}" for n, t in term.params)
+        return f"(\\{params}. {_pterm(term.body, ind)})"
+    if isinstance(term, G.App):
+        args = ", ".join(_pterm(a, ind) for a in term.args)
+        return f"{_pterm_atom(term.fn, ind)}({args})"
+    if isinstance(term, G.TyLam):
+        clauses = [_ptype(r) for r in term.requirements]
+        clauses += [
+            f"{_ptype(s.left)} == {_ptype(s.right)}" for s in term.same_types
+        ]
+        where = f" where {', '.join(clauses)}" if clauses else ""
+        return f"(/\\{', '.join(term.vars)}{where}. {_pterm(term.body, ind)})"
+    if isinstance(term, G.TyApp):
+        args = ", ".join(_ptype(a) for a in term.args)
+        return f"{_pterm_atom(term.fn, ind)}[{args}]"
+    if isinstance(term, G.Let):
+        return (
+            f"let {term.name} = {_pterm(term.bound, ind + 1)} in\n"
+            f"{pad}{_pterm(term.body, ind)}"
+        )
+    if isinstance(term, G.Tuple_):
+        items = ", ".join(_pterm(i, ind) for i in term.items)
+        return f"({items},)" if len(term.items) == 1 else f"({items})"
+    if isinstance(term, G.Nth):
+        return f"(nth {_pterm_atom(term.tuple_, ind)} {term.index})"
+    if isinstance(term, G.If):
+        return (
+            f"if {_pterm(term.cond, ind)} "
+            f"then {_pterm(term.then, ind)} "
+            f"else {_pterm(term.else_, ind)}"
+        )
+    if isinstance(term, G.Fix):
+        return f"fix {_pterm_atom(term.fn, ind)}"
+    if isinstance(term, G.ConceptExpr):
+        return f"{_pconcept(term.concept, ind)} in\n{pad}{_pterm(term.body, ind)}"
+    if isinstance(term, G.ModelExpr):
+        return f"{_pmodel(term.model, ind)} in\n{pad}{_pterm(term.body, ind)}"
+    if isinstance(term, G.MemberAccess):
+        args = ", ".join(_ptype(a) for a in term.args)
+        return f"{term.concept}<{args}>.{term.member}"
+    if isinstance(term, G.TypeAlias):
+        return (
+            f"type {term.name} = {_ptype(term.aliased)} in\n"
+            f"{pad}{_pterm(term.body, ind)}"
+        )
+    ext = _pterm_extension(term, ind)
+    if ext is not None:
+        return ext
+    raise AssertionError(f"unknown F_G term node: {term!r}")
+
+
+def _pterm_extension(term: G.Term, ind: int):
+    """Render the section 6 extension forms (late import avoids a cycle)."""
+    from repro.extensions import ast as X
+
+    pad = "  " * ind
+    if isinstance(term, X.NamedModelExpr):
+        model = _pmodel(term.model, ind)
+        header = model.replace("model ", f"model {term.name} = ", 1)
+        return f"{header} in\n{pad}{_pterm(term.body, ind)}"
+    if isinstance(term, X.UseModelsExpr):
+        return f"use {', '.join(term.names)} in\n{pad}{_pterm(term.body, ind)}"
+    if isinstance(term, X.ParamModelExpr):
+        clauses = [_ptype(r) for r in term.requirements]
+        clauses += [
+            f"{_ptype(s.left)} == {_ptype(s.right)}" for s in term.same_types
+        ]
+        where = f" where {', '.join(clauses)}" if clauses else ""
+        model = _pmodel(term.model, ind)
+        header = model.replace(
+            "model ", f"model forall {', '.join(term.vars)}{where}. ", 1
+        )
+        return f"{header} in\n{pad}{_pterm(term.body, ind)}"
+    if isinstance(term, X.OverloadExpr):
+        inner = "  " * (ind + 1)
+        alts = "\n".join(
+            f"{inner}{_pterm(alt, ind + 1)};" for alt in term.alternatives
+        )
+        return (
+            f"overload {term.name} {{\n{alts}\n{pad}}} in\n"
+            f"{pad}{_pterm(term.body, ind)}"
+        )
+    return None
+
+
+def _pterm_atom(term: G.Term, ind: int) -> str:
+    if isinstance(
+        term, (G.Var, G.IntLit, G.BoolLit, G.Tuple_, G.Nth, G.MemberAccess)
+    ):
+        return _pterm(term, ind)
+    if isinstance(term, (G.App, G.TyApp)):
+        return _pterm(term, ind)
+    return f"({_pterm(term, ind)})"
+
+
+def _pconcept(cdef: G.ConceptDef, ind: int) -> str:
+    pad = "  " * (ind + 1)
+    lines = [f"concept {cdef.name}<{', '.join(cdef.params)}> {{"]
+    if cdef.assoc_types:
+        lines.append(f"{pad}types {', '.join(cdef.assoc_types)};")
+    for req in cdef.refines:
+        lines.append(f"{pad}refines {_ptype(req)};")
+    for req in cdef.nested:
+        lines.append(f"{pad}require {_ptype(req)};")
+    defaults = dict(cdef.defaults)
+    for name, t in cdef.members:
+        if name in defaults:
+            lines.append(
+                f"{pad}{name} : {_ptype(t)} = "
+                f"{_pterm(defaults[name], ind + 1)};"
+            )
+        else:
+            lines.append(f"{pad}{name} : {_ptype(t)};")
+    for same in cdef.same_types:
+        lines.append(f"{pad}require {_ptype(same.left)} == {_ptype(same.right)};")
+    lines.append("  " * ind + "}")
+    return "\n".join(lines)
+
+
+def _pmodel(mdef: G.ModelDef, ind: int) -> str:
+    pad = "  " * (ind + 1)
+    args = ", ".join(_ptype(a) for a in mdef.args)
+    lines = [f"model {mdef.concept}<{args}> {{"]
+    for name, t in mdef.type_assignments:
+        lines.append(f"{pad}types {name} = {_ptype(t)};")
+    for name, term in mdef.member_defs:
+        lines.append(f"{pad}{name} = {_pterm(term, ind + 1)};")
+    lines.append("  " * ind + "}")
+    return "\n".join(lines)

@@ -1,0 +1,929 @@
+"""Typechecking and translation of F_G to System F (paper Figures 8/9/12/13).
+
+The checker is *type-directed translation*: ``check(e, env)`` returns the
+F_G type of ``e`` together with its System F image, exactly as the paper's
+judgement ``Gamma |- e : t ~> f``.  Dictionaries are nested tuples (Fig. 7);
+where clauses become extra type parameters (one per associated-type slot)
+plus dictionary parameters; member accesses become ``nth`` chains; type
+equality is the congruence closure of the equalities in scope.
+
+Theorems 1 and 2 (translation preserves well-typing) are made executable by
+:func:`verify_translation`, which re-checks the produced System F term with
+the independent checker in :mod:`repro.systemf.typecheck` and compares the
+result against the translated F_G type.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnostics.errors import TypeError_
+from repro.fg import ast as G
+from repro.fg.concepts import (
+    assoc_slots,
+    check_concept_arity,
+    concept_def,
+    find_member,
+    members_with_paths,
+    qualifying_subst,
+)
+from repro.fg.env import Env, ModelInfo, SolverCache
+from repro.systemf import ast as F
+from repro.systemf import typecheck as sf_typecheck
+
+
+@dataclass
+class WhereResult:
+    """Outcome of elaborating a where clause (the paper's ``bw``)."""
+
+    env: Env
+    assoc_vars: Tuple[str, ...]
+    dict_params: Tuple[Tuple[str, F.Type], ...]
+    fresh_to_assoc: Dict[str, G.FGType]
+
+
+class Checker:
+    """A single typechecking/translation session.
+
+    Holds the congruence-solver cache and the fresh-name supply; stateless
+    with respect to user programs, so one instance can check many terms.
+    """
+
+    #: Concept-member defaults are a section 6 extension; the core checker
+    #: rejects them so that core programs stay within the paper's Figure 13.
+    ALLOW_DEFAULTS = False
+
+    def __init__(self, use_solver_cache: bool = True):
+        # ``use_solver_cache=False`` rebuilds the congruence solver on every
+        # query — only useful for the ablation benchmark quantifying what
+        # the cache buys.
+        self._solvers = SolverCache() if use_solver_cache else None
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Type equality and representatives
+    # ------------------------------------------------------------------
+
+    def solver(self, env: Env):
+        if self._solvers is None:
+            from repro.fg.congruence import solver_for_equalities
+
+            return solver_for_equalities(env.equalities)
+        return self._solvers.solver(env)
+
+    def rep(self, t: G.FGType, env: Env) -> G.FGType:
+        """The canonical representative of ``t`` under ``env``'s equalities."""
+        return self.solver(env).representative(t)
+
+    def equal(self, a: G.FGType, b: G.FGType, env: Env) -> bool:
+        """Decide ``env |- a = b`` (congruence of the equalities in scope)."""
+        return self.solver(env).equal(a, b)
+
+    def _fresh(self, base: str) -> str:
+        return f"{base}%{next(self._counter)}"
+
+    def _fresh_dict(self, concept: str) -> str:
+        return f"{concept}_dict%{next(self._counter)}"
+
+    # ------------------------------------------------------------------
+    # Well-formedness of types (Figures 8 and 12, left-hand premises)
+    # ------------------------------------------------------------------
+
+    def check_type_wf(
+        self, t: G.FGType, env: Env, span=None, in_decl: bool = False
+    ) -> None:
+        """Check that ``t`` is well-formed in ``env``.
+
+        ``in_decl`` relaxes the associated-type rule for use inside concept
+        declarations, where member types may reference associated types of
+        refined concepts before any model exists.
+        """
+        if isinstance(t, G.TVar):
+            if not env.has_tyvar(t.name):
+                raise TypeError_(f"unbound type variable '{t.name}'", span)
+            return
+        if isinstance(t, G.TBase):
+            if t.name not in ("int", "bool"):
+                raise TypeError_(f"unknown base type '{t.name}'", span)
+            return
+        if isinstance(t, G.TList):
+            self.check_type_wf(t.elem, env, span, in_decl)
+            return
+        if isinstance(t, G.TFn):
+            for p in t.params:
+                self.check_type_wf(p, env, span, in_decl)
+            self.check_type_wf(t.result, env, span, in_decl)
+            return
+        if isinstance(t, G.TTuple):
+            for item in t.items:
+                self.check_type_wf(item, env, span, in_decl)
+            return
+        if isinstance(t, G.TAssoc):
+            cdef = concept_def(env, t.concept, span)
+            check_concept_arity(cdef, t.args, span)
+            if t.member not in cdef.assoc_types:
+                raise TypeError_(
+                    f"concept {t.concept} has no associated type "
+                    f"'{t.member}'",
+                    span,
+                )
+            for a in t.args:
+                self.check_type_wf(a, env, span, in_decl)
+            if not in_decl and self.find_model(t.concept, t.args, env) is None:
+                raise TypeError_(
+                    f"no model of {t.concept}<"
+                    f"{', '.join(map(str, t.args))}> in scope for associated "
+                    f"type '{t.member}'",
+                    span,
+                )
+            return
+        if isinstance(t, G.TForall):
+            if len(set(t.vars)) != len(t.vars):
+                raise TypeError_("duplicate type parameter", span)
+            inner = env.bind_tyvars(t.vars)
+            for req in t.requirements:
+                cdef = concept_def(inner, req.concept, span)
+                check_concept_arity(cdef, req.args, span)
+                for a in req.args:
+                    self.check_type_wf(a, inner, span, in_decl=True)
+            for same in t.same_types:
+                self.check_type_wf(same.left, inner, span, in_decl=True)
+                self.check_type_wf(same.right, inner, span, in_decl=True)
+            self.check_type_wf(t.body, inner, span, in_decl=True)
+            return
+        if isinstance(t, G.ConceptReq):
+            raise TypeError_(
+                f"concept requirement {t} used where a type is expected", span
+            )
+        raise AssertionError(f"unknown F_G type node: {t!r}")
+
+    # ------------------------------------------------------------------
+    # Model lookup
+    # ------------------------------------------------------------------
+
+    def find_model(
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env
+    ) -> Optional[ModelInfo]:
+        """The innermost model of ``concept<args>`` modulo type equality."""
+        for info in env.models_of(concept):
+            if len(info.args) != len(args):
+                continue
+            if all(self.equal(a, b, env) for a, b in zip(info.args, args)):
+                return info
+        return None
+
+    def require_model(
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env, span=None
+    ) -> ModelInfo:
+        info = self.find_model(concept, args, env)
+        if info is None:
+            raise TypeError_(
+                f"no model of {concept}<{', '.join(map(str, args))}> in scope",
+                span,
+            )
+        return info
+
+    def dict_expr(self, info: ModelInfo) -> F.Term:
+        """The System F expression for a model's dictionary: ``nth ... d``."""
+        if info.prebuilt is not None:
+            return info.prebuilt  # type: ignore[return-value]
+        expr: F.Term = F.Var(name=info.dict_var)
+        for index in info.path:
+            expr = F.Nth(tuple_=expr, index=index)
+        return expr
+
+    # ------------------------------------------------------------------
+    # Dictionary types (the delta of the paper's bm)
+    # ------------------------------------------------------------------
+
+    def dict_type_sf(
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env, span=None
+    ) -> F.TTuple:
+        """The System F tuple type of a dictionary for ``concept<args>``.
+
+        Components: the refined concepts' dictionary types (in declaration
+        order), then the member types, qualified at ``args`` and translated —
+        so associated types appear as their current representatives (fresh
+        type variables inside a generic function; concrete assignments at a
+        concrete model).
+        """
+        cdef = concept_def(env, concept, span)
+        check_concept_arity(cdef, args, span)
+        subst = qualifying_subst(cdef, args)
+        items: List[F.Type] = []
+        for req in cdef.refines + cdef.nested:
+            refined_args = tuple(G.substitute(a, subst) for a in req.args)
+            items.append(self.dict_type_sf(req.concept, refined_args, env, span))
+        for _, member_type in cdef.members:
+            items.append(
+                self.translate_type(G.substitute(member_type, subst), env, span)
+            )
+        return F.TTuple(tuple(items))
+
+    # ------------------------------------------------------------------
+    # Where-clause elaboration (the paper's bw/bm)
+    # ------------------------------------------------------------------
+
+    def process_where(
+        self,
+        vars_: Tuple[str, ...],
+        requirements: Tuple[G.ConceptReq, ...],
+        same_types: Tuple[G.SameType, ...],
+        env: Env,
+        span=None,
+    ) -> WhereResult:
+        """Bring a where clause into scope (paper's ``bw``).
+
+        Binds the type parameters; for each requirement, registers proxy
+        models for the concept and its refinement closure (de-duplicated
+        across the whole clause), mints one fresh type variable per
+        associated-type slot with the equality ``fresh = c<taus>.s``, and
+        collects each concept's same-type requirements.  Explicit same-type
+        constraints are merged before dictionary types are computed, so
+        representatives already reflect them (the paper's ``merge`` example:
+        both iterator dictionaries mention ``elt1``).
+        """
+        if len(set(vars_)) != len(vars_):
+            raise TypeError_("duplicate type parameter in where clause", span)
+        clash = set(vars_) & env.tyvars
+        if clash:
+            raise TypeError_(
+                f"type parameter(s) shadow enclosing scope: "
+                f"{', '.join(sorted(clash))}",
+                span,
+            )
+        free_clash = set(vars_) & env.free_type_vars()
+        if free_clash:
+            raise TypeError_(
+                f"type parameter(s) not fresh for the environment: "
+                f"{', '.join(sorted(free_clash))}",
+                span,
+            )
+        env = env.bind_tyvars(vars_)
+        seen = set()
+        assoc_vars: List[str] = []
+        fresh_to_assoc: Dict[str, G.FGType] = {}
+        req_dict_vars: List[str] = []
+
+        def register(concept: str, args: Tuple[G.FGType, ...],
+                     dict_var: str, path: Tuple[int, ...]) -> None:
+            nonlocal env
+            key = (concept, args)
+            if key in seen:
+                return
+            seen.add(key)
+            cdef = concept_def(env, concept, span)
+            check_concept_arity(cdef, args, span)
+            assoc_map = {
+                s: G.TAssoc(concept, args, s) for s in cdef.assoc_types
+            }
+            equalities = []
+            fresh_names = []
+            for s in cdef.assoc_types:
+                fresh = self._fresh(s)
+                fresh_names.append(fresh)
+                assoc_vars.append(fresh)
+                fresh_to_assoc[fresh] = G.TAssoc(concept, args, s)
+                equalities.append((G.TVar(fresh), G.TAssoc(concept, args, s)))
+            subst = qualifying_subst(cdef, args)
+            for same in cdef.same_types:
+                equalities.append(
+                    (G.substitute(same.left, subst),
+                     G.substitute(same.right, subst))
+                )
+            env = env.bind_tyvars(fresh_names)
+            env = env.add_model(
+                ModelInfo(concept, args, dict_var, path, assoc_map)
+            )
+            env = env.add_equalities(equalities)
+            for i, req in enumerate(cdef.refines + cdef.nested):
+                refined_args = tuple(G.substitute(a, subst) for a in req.args)
+                register(req.concept, refined_args, dict_var, path + (i,))
+
+        for req in requirements:
+            cdef = concept_def(env, req.concept, span)
+            check_concept_arity(cdef, req.args, span)
+            for a in req.args:
+                self.check_type_wf(a, env, span)
+            dict_var = self._fresh_dict(req.concept)
+            req_dict_vars.append(dict_var)
+            register(req.concept, req.args, dict_var, ())
+
+        for same in same_types:
+            self.check_type_wf(same.left, env, span)
+            self.check_type_wf(same.right, env, span)
+            env = env.add_equality(same.left, same.right)
+
+        dict_params = tuple(
+            (dict_var, self.dict_type_sf(req.concept, req.args, env, span))
+            for dict_var, req in zip(req_dict_vars, requirements)
+        )
+        return WhereResult(env, tuple(assoc_vars), dict_params, fresh_to_assoc)
+
+    # ------------------------------------------------------------------
+    # Type translation (Figures 8 and 12)
+    # ------------------------------------------------------------------
+
+    def translate_type(self, t: G.FGType, env: Env, span=None) -> F.Type:
+        """Translate an F_G type to System F, via class representatives."""
+        t = self.rep(t, env)
+        return self._translate_rep(t, env, span)
+
+    def _translate_rep(self, t: G.FGType, env: Env, span=None) -> F.Type:
+        if isinstance(t, G.TVar):
+            if not env.has_tyvar(t.name):
+                raise TypeError_(f"unbound type variable '{t.name}'", span)
+            return F.TVar(t.name)
+        if isinstance(t, G.TBase):
+            return F.TBase(t.name)
+        if isinstance(t, G.TList):
+            return F.TList(self.translate_type(t.elem, env, span))
+        if isinstance(t, G.TFn):
+            return F.TFn(
+                tuple(self.translate_type(p, env, span) for p in t.params),
+                self.translate_type(t.result, env, span),
+            )
+        if isinstance(t, G.TTuple):
+            return F.TTuple(
+                tuple(self.translate_type(i, env, span) for i in t.items)
+            )
+        if isinstance(t, G.TAssoc):
+            raise TypeError_(
+                f"associated type {t} cannot be resolved here "
+                "(no model or constraint determines it)",
+                span,
+            )
+        if isinstance(t, G.TForall):
+            where = self.process_where(
+                t.vars, t.requirements, t.same_types, env, span
+            )
+            body = self.translate_type(t.body, where.env, span)
+            if t.requirements:
+                body = F.TFn(tuple(dt for _, dt in where.dict_params), body)
+            return F.TForall(tuple(t.vars) + where.assoc_vars, body)
+        raise TypeError_(f"{t} is not a translatable type", span)
+
+    # ------------------------------------------------------------------
+    # Terms (Figures 9 and 13)
+    # ------------------------------------------------------------------
+
+    def check(self, term: G.Term, env: Env) -> Tuple[G.FGType, F.Term]:
+        """``Gamma |- e : t ~> f`` — type and System F translation of ``term``."""
+        method_name = self._DISPATCH.get(type(term).__name__)
+        if method_name is None:
+            raise TypeError_(
+                f"term form '{type(term).__name__}' is not part of core "
+                "F_G (enable repro.extensions to use it)",
+                term.span,
+            )
+        return getattr(self, method_name)(term, env)
+
+    # -- VAR / literals ---------------------------------------------------
+
+    def _check_var(self, term: G.Var, env: Env):
+        t = env.lookup_var(term.name)
+        if t is None:
+            raise TypeError_(f"unbound variable '{term.name}'", term.span)
+        return t, F.Var(span=term.span, name=term.name)
+
+    def _check_int(self, term: G.IntLit, env: Env):
+        return G.INT, F.IntLit(span=term.span, value=term.value)
+
+    def _check_bool(self, term: G.BoolLit, env: Env):
+        return G.BOOL, F.BoolLit(span=term.span, value=term.value)
+
+    # -- ABS / APP ----------------------------------------------------------
+
+    def _check_lam(self, term: G.Lam, env: Env):
+        inner = env
+        sf_params = []
+        for name, ptype in term.params:
+            self.check_type_wf(ptype, env, term.span)
+            sf_params.append((name, self.translate_type(ptype, env, term.span)))
+            inner = inner.bind_var(name, ptype)
+        body_type, body_sf = self.check(term.body, inner)
+        return (
+            G.TFn(tuple(pt for _, pt in term.params), body_type),
+            F.Lam(span=term.span, params=tuple(sf_params), body=body_sf),
+        )
+
+    def _check_app(self, term: G.App, env: Env):
+        fn_type, fn_sf = self.check(term.fn, env)
+        fn_type = self.rep(fn_type, env)
+        if not isinstance(fn_type, G.TFn):
+            raise TypeError_(
+                f"cannot apply non-function of type {fn_type}", term.span
+            )
+        if len(fn_type.params) != len(term.args):
+            raise TypeError_(
+                f"arity mismatch: function expects {len(fn_type.params)} "
+                f"argument(s), got {len(term.args)}",
+                term.span,
+            )
+        sf_args = []
+        for i, (arg, expected) in enumerate(zip(term.args, fn_type.params)):
+            actual, arg_sf = self.check(arg, env)
+            if not self.equal(actual, expected, env):
+                raise TypeError_(
+                    f"argument {i + 1} has type {self.rep(actual, env)}, "
+                    f"expected {self.rep(expected, env)}",
+                    arg.span or term.span,
+                )
+            sf_args.append(arg_sf)
+        return fn_type.result, F.App(
+            span=term.span, fn=fn_sf, args=tuple(sf_args)
+        )
+
+    # -- TABS / TAPP ----------------------------------------------------------
+
+    def _check_tylam(self, term: G.TyLam, env: Env):
+        if not term.vars:
+            raise TypeError_("type abstraction needs parameters", term.span)
+        where = self.process_where(
+            term.vars, term.requirements, term.same_types, env, term.span
+        )
+        body_type, body_sf = self.check(term.body, where.env)
+        # Re-qualify: fresh associated-type variables must not escape into
+        # the forall type, whose only binders are the declared parameters.
+        requalify = {
+            fresh: assoc for fresh, assoc in where.fresh_to_assoc.items()
+        }
+        result_type = G.TForall(
+            term.vars,
+            term.requirements,
+            term.same_types,
+            G.substitute(body_type, requalify),
+        )
+        if term.requirements:
+            body_sf = F.Lam(
+                span=term.span, params=where.dict_params, body=body_sf
+            )
+        sf = F.TyLam(
+            span=term.span,
+            vars=tuple(term.vars) + where.assoc_vars,
+            body=body_sf,
+        )
+        return result_type, sf
+
+    def _check_tyapp(self, term: G.TyApp, env: Env):
+        fn_type, fn_sf = self.check(term.fn, env)
+        fn_type = self.rep(fn_type, env)
+        if not isinstance(fn_type, G.TForall):
+            raise TypeError_(
+                f"cannot instantiate non-generic term of type {fn_type}",
+                term.span,
+            )
+        if len(fn_type.vars) != len(term.args):
+            raise TypeError_(
+                f"expected {len(fn_type.vars)} type argument(s), "
+                f"got {len(term.args)}",
+                term.span,
+            )
+        for a in term.args:
+            self.check_type_wf(a, env, term.span)
+        subst = dict(zip(fn_type.vars, term.args))
+        sf_tyargs = [self.translate_type(a, env, term.span) for a in term.args]
+        # One extra type argument per associated-type slot, in the exact
+        # order the abstraction's translation minted fresh variables.
+        slots = assoc_slots(env, fn_type.requirements, subst)
+        for slot in slots:
+            info = self.require_model(
+                slot.concept, slot.actual_args, env, term.span
+            )
+            assigned = info.assoc.get(slot.assoc_name)
+            if assigned is None:
+                raise TypeError_(
+                    f"model of {slot.concept} lacks associated type "
+                    f"'{slot.assoc_name}'",
+                    term.span,
+                )
+            sf_tyargs.append(self.translate_type(assigned, env, term.span))
+        # Requirement dictionaries.
+        dict_args = []
+        for req in fn_type.requirements:
+            actual = tuple(G.substitute(a, subst) for a in req.args)
+            info = self.require_model(req.concept, actual, env, term.span)
+            dict_args.append(self.dict_expr(info))
+        # Same-type constraints must hold at the instantiation (TAPP premise).
+        for same in fn_type.same_types:
+            left = G.substitute(same.left, subst)
+            right = G.substitute(same.right, subst)
+            if not self.equal(left, right, env):
+                raise TypeError_(
+                    f"same-type constraint violated at instantiation: "
+                    f"{left} == {right} does not hold "
+                    f"(left is {self.rep(left, env)}, "
+                    f"right is {self.rep(right, env)})",
+                    term.span,
+                )
+        result_type = self.rep(G.substitute(fn_type.body, subst), env)
+        sf: F.Term = F.TyApp(span=term.span, fn=fn_sf, args=tuple(sf_tyargs))
+        if fn_type.requirements:
+            sf = F.App(span=term.span, fn=sf, args=tuple(dict_args))
+        return result_type, sf
+
+    # -- LET / tuples / control ---------------------------------------------
+
+    def _check_let(self, term: G.Let, env: Env):
+        bound_type, bound_sf = self.check(term.bound, env)
+        body_type, body_sf = self.check(
+            term.body, env.bind_var(term.name, bound_type)
+        )
+        return body_type, F.Let(
+            span=term.span, name=term.name, bound=bound_sf, body=body_sf
+        )
+
+    def _check_tuple(self, term: G.Tuple_, env: Env):
+        types = []
+        terms = []
+        for item in term.items:
+            t, sf = self.check(item, env)
+            types.append(t)
+            terms.append(sf)
+        return G.TTuple(tuple(types)), F.Tuple_(
+            span=term.span, items=tuple(terms)
+        )
+
+    def _check_nth(self, term: G.Nth, env: Env):
+        tuple_type, tuple_sf = self.check(term.tuple_, env)
+        tuple_type = self.rep(tuple_type, env)
+        if not isinstance(tuple_type, G.TTuple):
+            raise TypeError_(
+                f"nth applied to non-tuple of type {tuple_type}", term.span
+            )
+        if not 0 <= term.index < len(tuple_type.items):
+            raise TypeError_(
+                f"tuple index {term.index} out of range", term.span
+            )
+        return tuple_type.items[term.index], F.Nth(
+            span=term.span, tuple_=tuple_sf, index=term.index
+        )
+
+    def _check_if(self, term: G.If, env: Env):
+        cond_type, cond_sf = self.check(term.cond, env)
+        if not self.equal(cond_type, G.BOOL, env):
+            raise TypeError_(
+                f"if condition has type {self.rep(cond_type, env)}, "
+                "expected bool",
+                term.span,
+            )
+        then_type, then_sf = self.check(term.then, env)
+        else_type, else_sf = self.check(term.else_, env)
+        if not self.equal(then_type, else_type, env):
+            raise TypeError_(
+                f"if branches disagree: {self.rep(then_type, env)} vs "
+                f"{self.rep(else_type, env)}",
+                term.span,
+            )
+        return then_type, F.If(
+            span=term.span, cond=cond_sf, then=then_sf, else_=else_sf
+        )
+
+    def _check_fix(self, term: G.Fix, env: Env):
+        fn_type, fn_sf = self.check(term.fn, env)
+        fn_type = self.rep(fn_type, env)
+        if (
+            not isinstance(fn_type, G.TFn)
+            or len(fn_type.params) != 1
+            or not self.equal(fn_type.params[0], fn_type.result, env)
+        ):
+            raise TypeError_(f"fix expects fn(A) -> A, got {fn_type}", term.span)
+        result = self.rep(fn_type.result, env)
+        if not isinstance(result, G.TFn):
+            raise TypeError_(
+                f"fix is restricted to function-typed fixpoints (got {result})",
+                term.span,
+            )
+        return result, F.Fix(span=term.span, fn=fn_sf)
+
+    # -- CPT: concept declaration (Figures 9 and 13) ---------------------------
+
+    def _check_concept(self, term: G.ConceptExpr, env: Env):
+        cdef = term.concept
+        if env.lookup_concept(cdef.name) is not None:
+            # Lexical shadowing of concepts would make model lookups for the
+            # outer concept ambiguous; reject for clarity.
+            raise TypeError_(
+                f"concept '{cdef.name}' is already defined in this scope",
+                term.span,
+            )
+        if len(set(cdef.params)) != len(cdef.params):
+            raise TypeError_("duplicate concept parameter", term.span)
+        if len(set(cdef.assoc_types)) != len(cdef.assoc_types):
+            raise TypeError_("duplicate associated-type name", term.span)
+        if set(cdef.params) & set(cdef.assoc_types):
+            raise TypeError_(
+                "associated-type name clashes with concept parameter",
+                term.span,
+            )
+        names = cdef.member_names()
+        if len(set(names)) != len(names):
+            raise TypeError_("duplicate concept member name", term.span)
+        if cdef.defaults:
+            if not self.ALLOW_DEFAULTS:
+                raise TypeError_(
+                    "concept-member defaults require repro.extensions",
+                    term.span,
+                )
+            default_names = [n for n, _ in cdef.defaults]
+            if len(set(default_names)) != len(default_names):
+                raise TypeError_("duplicate member default", term.span)
+            unknown = set(default_names) - set(names)
+            if unknown:
+                raise TypeError_(
+                    f"default(s) for unknown member(s): "
+                    f"{', '.join(sorted(unknown))}",
+                    term.span,
+                )
+        decl_env = env.bind_tyvars(cdef.params + cdef.assoc_types)
+        for req in cdef.refines + cdef.nested:
+            refined = concept_def(env, req.concept, term.span)
+            check_concept_arity(refined, req.args, term.span)
+            for a in req.args:
+                self.check_type_wf(a, decl_env, term.span, in_decl=True)
+        for _, member_type in cdef.members:
+            self.check_type_wf(member_type, decl_env, term.span, in_decl=True)
+        for same in cdef.same_types:
+            self.check_type_wf(same.left, decl_env, term.span, in_decl=True)
+            self.check_type_wf(same.right, decl_env, term.span, in_decl=True)
+        body_type, body_sf = self.check(term.body, env.add_concept(cdef))
+        body_type = self.rep(body_type, env.add_concept(cdef))
+        if cdef.name in G.concept_names(body_type):
+            raise TypeError_(
+                f"concept '{cdef.name}' escapes its scope in the result "
+                f"type {body_type}",
+                term.span,
+            )
+        return body_type, body_sf
+
+    # -- MDL: model declaration (Figures 9 and 13) ------------------------------
+
+    def _check_model(self, term: G.ModelExpr, env: Env):
+        elaborated = self._elaborate_model(term.model, env, term.span)
+        info, equalities, bindings, dictionary = elaborated
+        inner = env.add_model(info).add_equalities(equalities)
+        body_type, body_sf = self.check(term.body, inner)
+        # The result type must make sense outside the model's scope.
+        result_type = self.rep(body_type, inner)
+        self.check_type_wf(result_type, env, term.span)
+        out: F.Term = F.Let(
+            span=term.span, name=info.dict_var, bound=dictionary, body=body_sf
+        )
+        for var, bound in reversed(bindings):
+            out = F.Let(span=term.span, name=var, bound=bound, body=out)
+        return result_type, out
+
+    def _elaborate_model(self, mdef: G.ModelDef, env: Env, span):
+        """Check a model declaration; build its dictionary.
+
+        Returns ``(info, equalities, bindings, dictionary)``: the
+        :class:`ModelInfo` to register, the associated-type equalities it
+        contributes, auxiliary ``let`` bindings the dictionary needs (empty
+        in core F_G; used by the defaults extension), and the dictionary
+        tuple expression.
+        """
+        cdef = concept_def(env, mdef.concept, span)
+        check_concept_arity(cdef, mdef.args, span)
+        for a in mdef.args:
+            self.check_type_wf(a, env, span)
+        # Associated-type assignments: exactly the required set.
+        assigned = dict(mdef.type_assignments)
+        if len(assigned) != len(mdef.type_assignments):
+            raise TypeError_("duplicate associated-type assignment", span)
+        required = set(cdef.assoc_types)
+        if set(assigned) != required:
+            missing = required - set(assigned)
+            extra = set(assigned) - required
+            details = []
+            if missing:
+                details.append(f"missing: {', '.join(sorted(missing))}")
+            if extra:
+                details.append(f"unexpected: {', '.join(sorted(extra))}")
+            raise TypeError_(
+                f"model of {cdef.name} has wrong associated types "
+                f"({'; '.join(details)})",
+                span,
+            )
+        for _, t in mdef.type_assignments:
+            self.check_type_wf(t, env, span)
+        # Associated-type equalities are collected over the whole lexical
+        # environment, so a shadowing model may not *reassign* an associated
+        # type already fixed by a visible model — that would merge two
+        # distinct types (e.g. int = bool) in the congruence.  (Overlapping
+        # models that keep assignments consistent — Figure 6 — are fine.)
+        existing = self.find_model(cdef.name, mdef.args, env)
+        if existing is not None:
+            for s, new_assignment in assigned.items():
+                old = existing.assoc.get(s)
+                if old is None or isinstance(old, G.TAssoc):
+                    continue  # proxy models carry no concrete assignment
+                if not self.equal(old, new_assignment, env):
+                    raise TypeError_(
+                        f"model of {cdef.name}<"
+                        f"{', '.join(map(str, mdef.args))}> shadows a model "
+                        f"with a different assignment for associated type "
+                        f"'{s}' ({old} vs {new_assignment})",
+                        span,
+                    )
+        # The model substitution S: params to args, associated names to
+        # their assignments (paper's S = taus, sigmas).
+        subst: Dict[str, G.FGType] = dict(zip(cdef.params, mdef.args))
+        subst.update(assigned)
+        # Refinements — and nested requirements on the associated types —
+        # must already be modeled in scope.
+        refined_infos = []
+        for req in cdef.refines + cdef.nested:
+            refined_args = tuple(G.substitute(a, subst) for a in req.args)
+            refined_infos.append(
+                self.require_model(req.concept, refined_args, env, span)
+            )
+        # Same-type requirements of the concept must hold.
+        for same in cdef.same_types:
+            left = G.substitute(same.left, subst)
+            right = G.substitute(same.right, subst)
+            if not self.equal(left, right, env):
+                raise TypeError_(
+                    f"model of {cdef.name} violates same-type requirement "
+                    f"{same.left} == {same.right} "
+                    f"(instantiated: {left} vs {right})",
+                    span,
+                )
+        dict_var = self._fresh_dict(cdef.name)
+        bindings, member_exprs = self._elaborate_members(
+            cdef, mdef, subst, assigned, env, span, dict_var
+        )
+        equalities = tuple(
+            (G.TAssoc(cdef.name, mdef.args, s), t)
+            for s, t in mdef.type_assignments
+        )
+        info = ModelInfo(cdef.name, mdef.args, dict_var, (), assigned)
+        dictionary = F.Tuple_(
+            span=span,
+            items=tuple(self.dict_expr(i) for i in refined_infos)
+            + tuple(member_exprs),
+        )
+        return info, equalities, bindings, dictionary
+
+    def _elaborate_members(
+        self, cdef: G.ConceptDef, mdef: G.ModelDef, subst, assigned,
+        env: Env, span, dict_var: str,
+    ):
+        """Check member definitions; returns (bindings, tuple components).
+
+        Core F_G requires exactly the declared member set and emits the
+        checked terms directly into the dictionary tuple.  The defaults
+        extension overrides this to fill in missing members.
+        """
+        defs = dict(mdef.member_defs)
+        if len(defs) != len(mdef.member_defs):
+            raise TypeError_("duplicate member definition", span)
+        declared = set(cdef.member_names())
+        if set(defs) != declared:
+            missing = declared - set(defs)
+            extra = set(defs) - declared
+            details = []
+            if missing:
+                details.append(f"missing: {', '.join(sorted(missing))}")
+            if extra:
+                details.append(f"unexpected: {', '.join(sorted(extra))}")
+            raise TypeError_(
+                f"model of {cdef.name} has wrong members "
+                f"({'; '.join(details)})",
+                span,
+            )
+        member_sf = []
+        for name, declared_type in cdef.members:
+            expected = G.substitute(declared_type, subst)
+            actual, sf = self.check(defs[name], env)
+            if not self.equal(actual, expected, env):
+                raise TypeError_(
+                    f"member '{name}' of model {cdef.name}<"
+                    f"{', '.join(map(str, mdef.args))}> has type "
+                    f"{self.rep(actual, env)}, expected "
+                    f"{self.rep(expected, env)}",
+                    defs[name].span or span,
+                )
+            member_sf.append(sf)
+        return [], member_sf
+
+    # -- MEM: model member access ----------------------------------------------
+
+    def _check_member(self, term: G.MemberAccess, env: Env):
+        cdef = concept_def(env, term.concept, term.span)
+        check_concept_arity(cdef, term.args, term.span)
+        for a in term.args:
+            self.check_type_wf(a, env, term.span)
+        info = self.require_model(term.concept, term.args, env, term.span)
+        entry = find_member(env, term.concept, term.args, term.member, term.span)
+        if info.member_vars is not None:
+            # Dictionary under construction (concept-member defaults): the
+            # member is a directly bound variable, not a tuple component.
+            if len(entry.path) > 1:
+                raise TypeError_(
+                    f"inside a default, access '{term.member}' through the "
+                    f"concept that declares it ({entry.concept}), not "
+                    f"through {term.concept}",
+                    term.span,
+                )
+            bound = info.member_vars.get(term.member)
+            if bound is None:
+                raise TypeError_(
+                    f"member '{term.member}' is not yet defined at this "
+                    "point of the model (defaults may only use earlier "
+                    "members)",
+                    term.span,
+                )
+            return self.rep(entry.type, env), F.Var(span=term.span, name=bound)
+        expr: F.Term = self.dict_expr(info)
+        for index in entry.path:
+            expr = F.Nth(span=term.span, tuple_=expr, index=index)
+        return self.rep(entry.type, env), expr
+
+    # -- ALS: type alias (Figure 13) ----------------------------------------------
+
+    def _check_alias(self, term: G.TypeAlias, env: Env):
+        if env.has_tyvar(term.name):
+            raise TypeError_(
+                f"type alias '{term.name}' shadows a type variable", term.span
+            )
+        self.check_type_wf(term.aliased, env, term.span)
+        # Merge with the aliased type first so the alias variable never
+        # becomes the class representative (it must not escape).
+        inner = env.bind_tyvars((term.name,)).add_equality(
+            term.aliased, G.TVar(term.name)
+        )
+        body_type, body_sf = self.check(term.body, inner)
+        result_type = self.rep(body_type, inner)
+        if term.name in G.free_type_vars(result_type):
+            raise TypeError_(
+                f"type alias '{term.name}' escapes its scope in the result "
+                f"type {result_type}",
+                term.span,
+            )
+        return result_type, body_sf
+
+    _DISPATCH = {
+        "Var": "_check_var",
+        "IntLit": "_check_int",
+        "BoolLit": "_check_bool",
+        "Lam": "_check_lam",
+        "App": "_check_app",
+        "TyLam": "_check_tylam",
+        "TyApp": "_check_tyapp",
+        "Let": "_check_let",
+        "Tuple_": "_check_tuple",
+        "Nth": "_check_nth",
+        "If": "_check_if",
+        "Fix": "_check_fix",
+        "ConceptExpr": "_check_concept",
+        "ModelExpr": "_check_model",
+        "MemberAccess": "_check_member",
+        "TypeAlias": "_check_alias",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def typecheck(term: G.Term, env: Optional[Env] = None) -> Tuple[G.FGType, F.Term]:
+    """Typecheck an F_G term; returns its type and System F translation."""
+    checker = Checker()
+    return checker.check(term, env if env is not None else Env.initial())
+
+
+def type_of(term: G.Term, env: Optional[Env] = None) -> G.FGType:
+    """The F_G type of ``term``."""
+    return typecheck(term, env)[0]
+
+
+def translate(term: G.Term, env: Optional[Env] = None) -> F.Term:
+    """The System F translation of ``term``."""
+    return typecheck(term, env)[1]
+
+
+def verify_translation(
+    term: G.Term, env: Optional[Env] = None
+) -> Tuple[G.FGType, F.Type]:
+    """Executable Theorems 1 and 2: translate, then independently re-check.
+
+    Typechecks ``term`` in F_G, translates it, runs the *System F* checker
+    over the image, and confirms the System F type matches the translation
+    of the F_G type.  Returns the pair of types.  Raises
+    :class:`TypeError_` if any step fails — which the theorems say cannot
+    happen for well-typed input.
+    """
+    checker = Checker()
+    base_env = env if env is not None else Env.initial()
+    fg_type, sf_term = checker.check(term, base_env)
+    sf_type = sf_typecheck.type_of(sf_term)
+    expected = checker.translate_type(fg_type, base_env)
+    if not F.types_equal(sf_type, expected):
+        raise TypeError_(
+            "translation type mismatch (Theorem 1/2 violation — library "
+            f"bug): System F says {sf_type}, expected {expected}"
+        )
+    return fg_type, sf_type

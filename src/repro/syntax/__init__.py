@@ -1,0 +1,25 @@
+"""Concrete syntax: lexer and parsers for F_G and System F.
+
+- :func:`parse_fg` / :func:`parse_fg_type` — the F_G surface language,
+- :func:`parse_f` / :func:`parse_f_type` — the System F surface language.
+
+Both share the lexer in :mod:`repro.syntax.lexer` and produce positioned
+ASTs; errors are :class:`repro.diagnostics.ParseError` with source excerpts.
+"""
+
+from repro.syntax.lexer import Token, TokenStream, stream, tokenize
+from repro.syntax.parser_f import parse_program as parse_f
+from repro.syntax.parser_f import parse_type as parse_f_type
+from repro.syntax.parser_fg import parse_program as parse_fg
+from repro.syntax.parser_fg import parse_type as parse_fg_type
+
+__all__ = [
+    "Token",
+    "TokenStream",
+    "parse_f",
+    "parse_f_type",
+    "parse_fg",
+    "parse_fg_type",
+    "stream",
+    "tokenize",
+]

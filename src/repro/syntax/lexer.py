@@ -1,0 +1,209 @@
+"""Lexer shared by the F_G and System F concrete-syntax parsers.
+
+The paper gives only abstract syntax; this concrete syntax is our engineering
+addition, designed to read like the paper's listings:
+
+.. code-block:: text
+
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = /\\t where Monoid<t>. ... in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int](ls)
+
+Comments are ``//`` to end of line and ``/* ... */`` (non-nesting).  Note the
+lexer must disambiguate ``/*``, ``//``, and the type-abstraction lambda
+``/\\``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.diagnostics.errors import LexError
+from repro.diagnostics.source import SourceText, Span
+
+#: Token kinds that stand for themselves.
+SYMBOLS = [
+    # Longest match first.
+    "/\\",
+    "->",
+    "==",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "<",
+    ">",
+    ",",
+    ";",
+    ":",
+    ".",
+    "=",
+    "*",
+    "\\",
+]
+
+#: Keywords of the F_G concrete syntax (a superset of System F's).
+KEYWORDS: Set[str] = {
+    "concept",
+    "model",
+    "refines",
+    "types",
+    "require",
+    "where",
+    "in",
+    "let",
+    "fn",
+    "forall",
+    "list",
+    "if",
+    "then",
+    "else",
+    "fix",
+    "type",
+    "nth",
+    "use",
+    "overload",
+    "true",
+    "false",
+    "int",
+    "bool",
+    "unit",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is a symbol, keyword, 'IDENT', 'NUMBER', or 'EOF'."""
+
+    kind: str
+    text: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in ("_", "'")
+
+
+def tokenize(source: SourceText) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on malformed input."""
+    text = source.text
+    n = len(text)
+    pos = 0
+    tokens: List[Token] = []
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if text.startswith("//", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end + 1
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end == -1:
+                raise LexError(
+                    "unterminated block comment", source.span(pos, pos + 2)
+                ).attach_source(source)
+            pos = end + 2
+            continue
+        if ch.isdigit() or (
+            ch == "-" and pos + 1 < n and text[pos + 1].isdigit()
+        ):
+            start = pos
+            pos += 1
+            while pos < n and text[pos].isdigit():
+                pos += 1
+            tokens.append(
+                Token("NUMBER", text[start:pos], source.span(start, pos))
+            )
+            continue
+        if _is_ident_start(ch):
+            start = pos
+            while pos < n and _is_ident_char(text[pos]):
+                pos += 1
+            word = text[start:pos]
+            kind = word if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, source.span(start, pos)))
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, pos):
+                tokens.append(
+                    Token(sym, sym, source.span(pos, pos + len(sym)))
+                )
+                pos += len(sym)
+                break
+        else:
+            raise LexError(
+                f"unexpected character {ch!r}", source.span(pos, pos + 1)
+            ).attach_source(source)
+    tokens.append(Token("EOF", "", source.span(n, n)))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: List[Token], source: SourceText):
+        self._tokens = tokens
+        self._pos = 0
+        self.source = source
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def at(self, *kinds: str) -> bool:
+        return self.peek().kind in kinds
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def match(self, kind: str) -> Optional[Token]:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, context: str = "") -> Token:
+        from repro.diagnostics.errors import ParseError
+
+        token = self.peek()
+        if token.kind != kind:
+            where = f" in {context}" if context else ""
+            raise ParseError(
+                f"expected {kind!r}{where}, found {token.kind!r}"
+                + (f" ({token.text!r})" if token.text else ""),
+                token.span,
+            ).attach_source(self.source)
+        return self.advance()
+
+    def error(self, message: str):
+        from repro.diagnostics.errors import ParseError
+
+        raise ParseError(message, self.peek().span).attach_source(self.source)
+
+    def save(self) -> int:
+        return self._pos
+
+    def restore(self, state: int) -> None:
+        self._pos = state
+
+
+def stream(text: str, filename: str = "<input>") -> TokenStream:
+    """Tokenize ``text`` into a :class:`TokenStream`."""
+    source = SourceText(text, filename)
+    return TokenStream(tokenize(source), source)

@@ -1,0 +1,204 @@
+"""Recursive-descent parser for the System F concrete syntax.
+
+The System F surface language is the F_G one minus concepts, models, where
+clauses, and associated types; type abstraction binds plain variables and
+tuples/``nth`` appear explicitly (they are the dictionary representation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.syntax.lexer import TokenStream, stream
+from repro.systemf import ast as F
+
+
+def parse_program(text: str, filename: str = "<input>") -> F.Term:
+    """Parse a complete System F program (one expression)."""
+    ts = stream(text, filename)
+    term = _expr(ts)
+    ts.expect("EOF", "end of program")
+    return term
+
+
+def parse_type(text: str, filename: str = "<type>") -> F.Type:
+    """Parse a single System F type."""
+    ts = stream(text, filename)
+    t = _type(ts)
+    ts.expect("EOF", "end of type")
+    return t
+
+
+# -- types -------------------------------------------------------------------
+
+
+def _type(ts: TokenStream) -> F.Type:
+    if ts.at("forall"):
+        ts.advance()
+        names = [ts.expect("IDENT", "type parameter").text]
+        while ts.match(","):
+            names.append(ts.expect("IDENT", "type parameter").text)
+        ts.expect(".", "forall type")
+        return F.TForall(tuple(names), _type(ts))
+    if ts.at("fn"):
+        return _fn_type(ts)
+    if ts.at("list"):
+        ts.advance()
+        return F.TList(_type_atom(ts))
+    return _type_atom(ts)
+
+
+def _fn_type(ts: TokenStream) -> F.TFn:
+    ts.expect("fn")
+    ts.expect("(", "fn type")
+    params: List[F.Type] = []
+    if not ts.at(")"):
+        params.append(_type(ts))
+        while ts.match(","):
+            params.append(_type(ts))
+    ts.expect(")", "fn type")
+    ts.expect("->", "fn type")
+    return F.TFn(tuple(params), _type(ts))
+
+
+def _type_atom(ts: TokenStream) -> F.Type:
+    token = ts.peek()
+    if token.kind == "int":
+        ts.advance()
+        return F.INT
+    if token.kind == "bool":
+        ts.advance()
+        return F.BOOL
+    if token.kind == "unit":
+        ts.advance()
+        return F.TTuple(())
+    if token.kind == "fn":
+        return _fn_type(ts)
+    if token.kind == "list":
+        ts.advance()
+        return F.TList(_type_atom(ts))
+    if token.kind == "forall":
+        return _type(ts)
+    if token.kind == "IDENT":
+        ts.advance()
+        return F.TVar(token.text)
+    if token.kind == "(":
+        ts.advance()
+        first = _type(ts)
+        if ts.at("*"):
+            items = [first]
+            while ts.match("*"):
+                if ts.at(")"):  # trailing '*' marks a 1-tuple: (t *)
+                    break
+                items.append(_type(ts))
+            ts.expect(")", "tuple type")
+            return F.TTuple(tuple(items))
+        ts.expect(")", "parenthesized type")
+        return first
+    ts.error(f"expected a type, found {token.kind!r}")
+    raise AssertionError("unreachable")
+
+
+# -- terms ---------------------------------------------------------------------
+
+
+def _expr(ts: TokenStream) -> F.Term:
+    token = ts.peek()
+    if token.kind == "let":
+        span = ts.advance().span
+        name = ts.expect("IDENT", "let binding").text
+        ts.expect("=", "let binding")
+        bound = _expr(ts)
+        ts.expect("in", "let binding")
+        return F.Let(span=span, name=name, bound=bound, body=_expr(ts))
+    if token.kind == "\\":
+        span = ts.advance().span
+        params: List[Tuple[str, F.Type]] = []
+        while True:
+            name = ts.expect("IDENT", "lambda parameter").text
+            ts.expect(":", "lambda parameter")
+            params.append((name, _type(ts)))
+            if not ts.match(","):
+                break
+        ts.expect(".", "lambda")
+        return F.Lam(span=span, params=tuple(params), body=_expr(ts))
+    if token.kind == "/\\":
+        span = ts.advance().span
+        names = [ts.expect("IDENT", "type parameter").text]
+        while ts.match(","):
+            names.append(ts.expect("IDENT", "type parameter").text)
+        ts.expect(".", "type abstraction")
+        return F.TyLam(span=span, vars=tuple(names), body=_expr(ts))
+    if token.kind == "if":
+        span = ts.advance().span
+        cond = _expr(ts)
+        ts.expect("then", "if expression")
+        then = _expr(ts)
+        ts.expect("else", "if expression")
+        return F.If(span=span, cond=cond, then=then, else_=_expr(ts))
+    return _postfix(ts)
+
+
+def _postfix(ts: TokenStream) -> F.Term:
+    term = _atom(ts)
+    while True:
+        if ts.at("("):
+            span = ts.advance().span
+            args: List[F.Term] = []
+            if not ts.at(")"):
+                args.append(_expr(ts))
+                while ts.match(","):
+                    args.append(_expr(ts))
+            ts.expect(")", "application")
+            term = F.App(span=span, fn=term, args=tuple(args))
+        elif ts.at("["):
+            span = ts.advance().span
+            types = [_type(ts)]
+            while ts.match(","):
+                types.append(_type(ts))
+            ts.expect("]", "type application")
+            term = F.TyApp(span=span, fn=term, args=tuple(types))
+        else:
+            return term
+
+
+def _atom(ts: TokenStream) -> F.Term:
+    token = ts.peek()
+    if token.kind == "NUMBER":
+        ts.advance()
+        return F.IntLit(span=token.span, value=int(token.text))
+    if token.kind == "true":
+        ts.advance()
+        return F.BoolLit(span=token.span, value=True)
+    if token.kind == "false":
+        ts.advance()
+        return F.BoolLit(span=token.span, value=False)
+    if token.kind == "nth":
+        ts.advance()
+        tuple_ = _postfix(ts)
+        index = ts.expect("NUMBER", "nth")
+        return F.Nth(span=token.span, tuple_=tuple_, index=int(index.text))
+    if token.kind == "fix":
+        # `fix` binds tighter than application.
+        ts.advance()
+        return F.Fix(span=token.span, fn=_atom(ts))
+    if token.kind == "IDENT":
+        ts.advance()
+        return F.Var(span=token.span, name=token.text)
+    if token.kind == "(":
+        ts.advance()
+        first = _expr(ts)
+        if ts.at(","):
+            items = [first]
+            while ts.match(","):
+                if ts.at(")"):
+                    break
+                items.append(_expr(ts))
+            ts.expect(")", "tuple")
+            return F.Tuple_(span=token.span, items=tuple(items))
+        ts.expect(")", "parenthesized expression")
+        return first
+    if token.kind in ("\\", "/\\", "if", "let"):
+        return _expr(ts)
+    ts.error(f"expected an expression, found {token.kind!r}")
+    raise AssertionError("unreachable")

@@ -1,0 +1,536 @@
+"""Recursive-descent parser for the F_G concrete syntax.
+
+Grammar sketch (terms)::
+
+    expr      ::= 'let' IDENT '=' expr 'in' expr
+                | 'type' IDENT '=' type 'in' expr
+                | 'concept' conceptdef 'in' expr
+                | 'model' modeldef 'in' expr
+                | '\\' params '.' expr                      -- lambda
+                | '/\\' tyvars [ 'where' clauses ] '.' expr -- generic fn
+                | 'if' expr 'then' expr 'else' expr
+                | 'fix' postfix
+                | postfix
+    postfix   ::= atom { '(' args ')' | '[' types ']' }
+    atom      ::= NUMBER | 'true' | 'false' | IDENT
+                | IDENT '<' types '>' '.' IDENT             -- member access
+                | '(' expr { ',' expr } ')'                 -- parens / tuple
+                | 'nth' atom NUMBER
+
+and (types)::
+
+    type      ::= 'forall' tyvars [ 'where' clauses ] '.' type
+                | 'fn' '(' types ')' '->' type
+                | 'list' typeatom
+                | typeatom
+    typeatom  ::= 'int' | 'bool' | 'unit' | IDENT
+                | IDENT '<' types '>' '.' IDENT             -- associated type
+                | '(' type { '*' type } ')'
+
+A where clause is a comma- (or semicolon-) separated list; each item is a
+concept requirement ``C<types>`` or a same-type constraint ``type == type``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fg import ast as G
+from repro.syntax.lexer import TokenStream, stream
+
+
+def parse_program(text: str, filename: str = "<input>") -> G.Term:
+    """Parse a complete F_G program (one expression)."""
+    ts = stream(text, filename)
+    term = _expr(ts)
+    ts.expect("EOF", "end of program")
+    return term
+
+
+def parse_type(text: str, filename: str = "<type>") -> G.FGType:
+    """Parse a single F_G type."""
+    ts = stream(text, filename)
+    t = _type(ts)
+    ts.expect("EOF", "end of type")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def _type(ts: TokenStream) -> G.FGType:
+    if ts.at("forall"):
+        return _forall_type(ts)
+    if ts.at("fn"):
+        return _fn_type(ts)
+    if ts.at("list"):
+        ts.advance()
+        return G.TList(_type_atom(ts))
+    return _type_atom(ts)
+
+
+def _forall_type(ts: TokenStream) -> G.TForall:
+    ts.expect("forall")
+    vars_ = _tyvar_list(ts)
+    reqs, sames = _where_clauses(ts)
+    ts.expect(".", "forall type")
+    body = _type(ts)
+    return G.TForall(vars_, reqs, sames, body)
+
+
+def _fn_type(ts: TokenStream) -> G.TFn:
+    ts.expect("fn")
+    ts.expect("(", "fn type")
+    params: List[G.FGType] = []
+    if not ts.at(")"):
+        params.append(_type(ts))
+        while ts.match(","):
+            params.append(_type(ts))
+    ts.expect(")", "fn type")
+    ts.expect("->", "fn type")
+    return G.TFn(tuple(params), _type(ts))
+
+
+def _type_atom(ts: TokenStream) -> G.FGType:
+    token = ts.peek()
+    if token.kind == "int":
+        ts.advance()
+        return G.INT
+    if token.kind == "bool":
+        ts.advance()
+        return G.BOOL
+    if token.kind == "unit":
+        ts.advance()
+        return G.TTuple(())
+    if token.kind == "fn":
+        return _fn_type(ts)
+    if token.kind == "list":
+        ts.advance()
+        return G.TList(_type_atom(ts))
+    if token.kind == "forall":
+        return _forall_type(ts)
+    if token.kind == "IDENT":
+        ts.advance()
+        if ts.at("<"):
+            args = _type_args(ts)
+            ts.expect(".", "associated type")
+            member = ts.expect("IDENT", "associated type").text
+            return G.TAssoc(token.text, args, member)
+        return G.TVar(token.text)
+    if token.kind == "(":
+        ts.advance()
+        first = _type(ts)
+        if ts.at("*"):
+            items = [first]
+            while ts.match("*"):
+                if ts.at(")"):  # trailing '*' marks a 1-tuple: (t *)
+                    break
+                items.append(_type(ts))
+            ts.expect(")", "tuple type")
+            return G.TTuple(tuple(items))
+        ts.expect(")", "parenthesized type")
+        return first
+    ts.error(f"expected a type, found {token.kind!r}")
+    raise AssertionError("unreachable")
+
+
+def _type_args(ts: TokenStream) -> Tuple[G.FGType, ...]:
+    ts.expect("<", "type arguments")
+    args = [_type(ts)]
+    while ts.match(","):
+        args.append(_type(ts))
+    ts.expect(">", "type arguments")
+    return tuple(args)
+
+
+def _tyvar_list(ts: TokenStream) -> Tuple[str, ...]:
+    names = [ts.expect("IDENT", "type parameter").text]
+    while ts.match(","):
+        names.append(ts.expect("IDENT", "type parameter").text)
+    return tuple(names)
+
+
+def _where_clauses(
+    ts: TokenStream,
+) -> Tuple[Tuple[G.ConceptReq, ...], Tuple[G.SameType, ...]]:
+    """Parse ``where C<t>, ...; tau == tau', ...`` (empty if absent)."""
+    reqs: List[G.ConceptReq] = []
+    sames: List[G.SameType] = []
+    if not ts.match("where"):
+        return (), ()
+    while True:
+        left = _requirement_or_type(ts)
+        if ts.match("=="):
+            right = _type(ts)
+            sames.append(G.SameType(_as_type(ts, left), right))
+        else:
+            if not isinstance(left, G.ConceptReq):
+                ts.error(
+                    "expected a concept requirement C<...> or a same-type "
+                    "constraint tau == tau in where clause"
+                )
+            reqs.append(left)
+        if not (ts.match(",") or ts.match(";")):
+            break
+    return tuple(reqs), tuple(sames)
+
+
+def _requirement_or_type(ts: TokenStream) -> G.FGType:
+    """A where-clause item: ``C<types>`` (maybe ``.member``) or any type.
+
+    A ``.`` after ``C<types>`` is ambiguous: it may select an associated
+    type (left side of a same-type constraint) or terminate the whole where
+    clause.  We take it as an associated type only when ``== `` follows —
+    terms can never begin with ``ident ==``, so this lookahead is safe.
+    """
+    if ts.at("IDENT") and ts.peek(1).kind == "<":
+        name = ts.advance().text
+        args = _type_args(ts)
+        if (
+            ts.at(".")
+            and ts.peek(1).kind == "IDENT"
+            and ts.peek(2).kind == "=="
+        ):
+            ts.advance()
+            member = ts.expect("IDENT", "associated type").text
+            return G.TAssoc(name, args, member)
+        return G.ConceptReq(name, args)
+    return _type(ts)
+
+
+def _as_type(ts: TokenStream, t: G.FGType) -> G.FGType:
+    if isinstance(t, G.ConceptReq):
+        ts.error(f"concept requirement {t} cannot appear in a same-type constraint")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+def _expr(ts: TokenStream) -> G.Term:
+    token = ts.peek()
+    if token.kind == "let":
+        return _let(ts)
+    if token.kind == "type":
+        return _type_alias(ts)
+    if token.kind == "concept":
+        return _concept(ts)
+    if token.kind == "model":
+        return _model(ts)
+    if token.kind == "use":
+        return _use_models(ts)
+    if token.kind == "overload":
+        return _overload(ts)
+    if token.kind == "\\":
+        return _lambda(ts)
+    if token.kind == "/\\":
+        return _tylambda(ts)
+    if token.kind == "if":
+        return _if(ts)
+    return _postfix(ts)
+
+
+def _let(ts: TokenStream) -> G.Term:
+    span = ts.expect("let").span
+    name = ts.expect("IDENT", "let binding").text
+    ts.expect("=", "let binding")
+    bound = _expr(ts)
+    ts.expect("in", "let binding")
+    body = _expr(ts)
+    return G.Let(span=span, name=name, bound=bound, body=body)
+
+
+def _type_alias(ts: TokenStream) -> G.Term:
+    span = ts.expect("type").span
+    name = ts.expect("IDENT", "type alias").text
+    ts.expect("=", "type alias")
+    aliased = _type(ts)
+    ts.expect("in", "type alias")
+    body = _expr(ts)
+    return G.TypeAlias(span=span, name=name, aliased=aliased, body=body)
+
+
+def _lambda(ts: TokenStream) -> G.Term:
+    span = ts.expect("\\").span
+    params: List[Tuple[str, G.FGType]] = []
+    while True:
+        name = ts.expect("IDENT", "lambda parameter").text
+        ts.expect(":", "lambda parameter")
+        params.append((name, _type(ts)))
+        if not ts.match(","):
+            break
+    ts.expect(".", "lambda")
+    return G.Lam(span=span, params=tuple(params), body=_expr(ts))
+
+
+def _tylambda(ts: TokenStream) -> G.Term:
+    span = ts.expect("/\\").span
+    vars_ = _tyvar_list(ts)
+    reqs, sames = _where_clauses(ts)
+    ts.expect(".", "type abstraction")
+    return G.TyLam(
+        span=span,
+        vars=vars_,
+        requirements=reqs,
+        same_types=sames,
+        body=_expr(ts),
+    )
+
+
+def _if(ts: TokenStream) -> G.Term:
+    span = ts.expect("if").span
+    cond = _expr(ts)
+    ts.expect("then", "if expression")
+    then = _expr(ts)
+    ts.expect("else", "if expression")
+    else_ = _expr(ts)
+    return G.If(span=span, cond=cond, then=then, else_=else_)
+
+
+def _postfix(ts: TokenStream) -> G.Term:
+    term = _atom(ts)
+    while True:
+        if ts.at("("):
+            span = ts.advance().span
+            args: List[G.Term] = []
+            if not ts.at(")"):
+                args.append(_expr(ts))
+                while ts.match(","):
+                    args.append(_expr(ts))
+            ts.expect(")", "application")
+            term = G.App(span=span, fn=term, args=tuple(args))
+        elif ts.at("["):
+            span = ts.advance().span
+            types = [_type(ts)]
+            while ts.match(","):
+                types.append(_type(ts))
+            ts.expect("]", "instantiation")
+            term = G.TyApp(span=span, fn=term, args=tuple(types))
+        else:
+            return term
+
+
+def _atom(ts: TokenStream) -> G.Term:
+    token = ts.peek()
+    if token.kind == "NUMBER":
+        ts.advance()
+        return G.IntLit(span=token.span, value=int(token.text))
+    if token.kind == "true":
+        ts.advance()
+        return G.BoolLit(span=token.span, value=True)
+    if token.kind == "false":
+        ts.advance()
+        return G.BoolLit(span=token.span, value=False)
+    if token.kind == "nth":
+        ts.advance()
+        tuple_ = _postfix(ts)
+        index = ts.expect("NUMBER", "nth")
+        return G.Nth(span=token.span, tuple_=tuple_, index=int(index.text))
+    if token.kind == "fix":
+        # `fix` binds tighter than application: fix (\f. ...)(x) applies
+        # the fixpoint to x.
+        ts.advance()
+        return G.Fix(span=token.span, fn=_atom(ts))
+    if token.kind == "IDENT":
+        ts.advance()
+        if ts.at("<"):
+            args = _type_args(ts)
+            ts.expect(".", "member access")
+            member = ts.expect("IDENT", "member access").text
+            return G.MemberAccess(
+                span=token.span, concept=token.text, args=args, member=member
+            )
+        return G.Var(span=token.span, name=token.text)
+    if token.kind == "(":
+        ts.advance()
+        first = _expr(ts)
+        if ts.at(","):
+            items = [first]
+            while ts.match(","):
+                if ts.at(")"):  # allow a trailing comma for 1-tuples
+                    break
+                items.append(_expr(ts))
+            ts.expect(")", "tuple")
+            return G.Tuple_(span=token.span, items=tuple(items))
+        ts.expect(")", "parenthesized expression")
+        return first
+    # Allow a lambda/type-abstraction/if directly in argument position.
+    if token.kind in ("\\", "/\\", "if", "let"):
+        return _expr(ts)
+    ts.error(f"expected an expression, found {token.kind!r}")
+    raise AssertionError("unreachable")
+
+
+# ---------------------------------------------------------------------------
+# Concept and model declarations
+# ---------------------------------------------------------------------------
+
+
+def _concept(ts: TokenStream) -> G.Term:
+    span = ts.expect("concept").span
+    name = ts.expect("IDENT", "concept declaration").text
+    ts.expect("<", "concept parameters")
+    params = _tyvar_list(ts)
+    ts.expect(">", "concept parameters")
+    ts.expect("{", "concept body")
+    assoc: List[str] = []
+    refines: List[G.ConceptReq] = []
+    members: List[Tuple[str, G.FGType]] = []
+    sames: List[G.SameType] = []
+    nested: List[G.ConceptReq] = []
+    defaults: List[Tuple[str, G.Term]] = []
+    while not ts.at("}"):
+        if ts.match("types"):
+            assoc.append(ts.expect("IDENT", "associated type").text)
+            while ts.match(","):
+                assoc.append(ts.expect("IDENT", "associated type").text)
+            ts.expect(";", "associated types")
+        elif ts.match("refines"):
+            rname = ts.expect("IDENT", "refinement").text
+            args = _type_args(ts)
+            refines.append(G.ConceptReq(rname, args))
+            ts.expect(";", "refinement")
+        elif ts.match("require"):
+            # `require C<taus>;` is a nested requirement (paper section 6);
+            # `require tau == tau;` is a same-type requirement.
+            if ts.at("IDENT") and ts.peek(1).kind == "<":
+                rname = ts.advance().text
+                rargs = _type_args(ts)
+                if ts.at(";"):
+                    nested.append(G.ConceptReq(rname, rargs))
+                else:
+                    ts.expect(".", "requirement")
+                    member = ts.expect("IDENT", "associated type").text
+                    left = G.TAssoc(rname, rargs, member)
+                    ts.expect("==", "same-type requirement")
+                    sames.append(G.SameType(left, _type(ts)))
+            else:
+                left = _type(ts)
+                ts.expect("==", "same-type requirement")
+                sames.append(G.SameType(left, _type(ts)))
+            ts.expect(";", "requirement")
+        else:
+            mname = ts.expect("IDENT", "concept member").text
+            ts.expect(":", "concept member")
+            members.append((mname, _type(ts)))
+            if ts.match("="):  # member default (section 6 extension)
+                defaults.append((mname, _expr(ts)))
+            ts.expect(";", "concept member")
+    ts.expect("}", "concept body")
+    ts.expect("in", "concept declaration")
+    body = _expr(ts)
+    cdef = G.ConceptDef(
+        name,
+        params,
+        tuple(assoc),
+        tuple(refines),
+        tuple(members),
+        tuple(sames),
+        tuple(nested),
+        tuple(defaults),
+    )
+    return G.ConceptExpr(span=span, concept=cdef, body=body)
+
+
+def _model(ts: TokenStream) -> G.Term:
+    span = ts.expect("model").span
+    # Extension forms (section 6):
+    #   model NAME = C<taus> { ... } in e     -- named model
+    #   model forall t... [where ...]. C<taus> { ... } in e
+    if ts.at("forall"):
+        return _param_model(ts, span)
+    if ts.at("IDENT") and ts.peek(1).kind == "=":
+        return _named_model(ts, span)
+    mdef = _model_def(ts)
+    ts.expect("in", "model declaration")
+    body = _expr(ts)
+    return G.ModelExpr(span=span, model=mdef, body=body)
+
+
+def _model_def(ts: TokenStream) -> G.ModelDef:
+    """Parse ``C<taus> { types s = t; member = e; ... }``."""
+    name = ts.expect("IDENT", "model declaration").text
+    args = _type_args(ts)
+    ts.expect("{", "model body")
+    type_assignments: List[Tuple[str, G.FGType]] = []
+    member_defs: List[Tuple[str, G.Term]] = []
+    while not ts.at("}"):
+        if ts.match("types"):
+            while True:
+                tname = ts.expect("IDENT", "type assignment").text
+                ts.expect("=", "type assignment")
+                type_assignments.append((tname, _type(ts)))
+                if not ts.match(","):
+                    break
+            ts.expect(";", "type assignment")
+        else:
+            mname = ts.expect("IDENT", "member definition").text
+            ts.expect("=", "member definition")
+            member_defs.append((mname, _expr(ts)))
+            ts.expect(";", "member definition")
+    ts.expect("}", "model body")
+    return G.ModelDef(name, args, tuple(type_assignments), tuple(member_defs))
+
+
+def _named_model(ts: TokenStream, span) -> G.Term:
+    from repro.extensions.ast import NamedModelExpr
+
+    name = ts.expect("IDENT", "named model").text
+    ts.expect("=", "named model")
+    mdef = _model_def(ts)
+    ts.expect("in", "named model")
+    return NamedModelExpr(span=span, name=name, model=mdef, body=_expr(ts))
+
+
+def _param_model(ts: TokenStream, span) -> G.Term:
+    from repro.extensions.ast import ParamModelExpr
+
+    ts.expect("forall", "parameterized model")
+    vars_ = _tyvar_list(ts)
+    reqs, sames = _where_clauses(ts)
+    ts.expect(".", "parameterized model")
+    mdef = _model_def(ts)
+    ts.expect("in", "parameterized model")
+    return ParamModelExpr(
+        span=span,
+        vars=vars_,
+        requirements=reqs,
+        same_types=sames,
+        model=mdef,
+        body=_expr(ts),
+    )
+
+
+def _overload(ts: TokenStream) -> G.Term:
+    from repro.extensions.ast import OverloadExpr
+
+    span = ts.expect("overload").span
+    name = ts.expect("IDENT", "overload").text
+    ts.expect("{", "overload")
+    alternatives: List[G.Term] = []
+    while not ts.at("}"):
+        alternatives.append(_expr(ts))
+        ts.expect(";", "overload alternative")
+    ts.expect("}", "overload")
+    ts.expect("in", "overload")
+    return OverloadExpr(
+        span=span,
+        name=name,
+        alternatives=tuple(alternatives),
+        body=_expr(ts),
+    )
+
+
+def _use_models(ts: TokenStream) -> G.Term:
+    from repro.extensions.ast import UseModelsExpr
+
+    span = ts.expect("use").span
+    names = [ts.expect("IDENT", "use").text]
+    while ts.match(","):
+        names.append(ts.expect("IDENT", "use").text)
+    ts.expect("in", "use")
+    return UseModelsExpr(span=span, names=tuple(names), body=_expr(ts))

@@ -1,0 +1,134 @@
+"""Primitive constants available to System F (and F_G) programs.
+
+The paper's examples freely use ``iadd``, ``imult``, ``cons[int]``,
+``car[t]``, ``null[t]`` and friends.  We bind them in the initial typing
+environment as (possibly polymorphic) constants and give them runtime
+implementations in the evaluator's initial value environment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.diagnostics.errors import EvalError
+from repro.systemf.ast import BOOL, INT, TFn, TForall, TList, TVar, Type
+
+
+def _binop_int() -> Type:
+    return TFn((INT, INT), INT)
+
+
+def _cmp_int() -> Type:
+    return TFn((INT, INT), BOOL)
+
+
+#: Types of every builtin constant, keyed by name.
+BUILTIN_TYPES: Dict[str, Type] = {
+    # Integer arithmetic.
+    "iadd": _binop_int(),
+    "isub": _binop_int(),
+    "imult": _binop_int(),
+    "idiv": _binop_int(),
+    "imod": _binop_int(),
+    "ineg": TFn((INT,), INT),
+    "imin": _binop_int(),
+    "imax": _binop_int(),
+    # Integer comparisons.
+    "ilt": _cmp_int(),
+    "ile": _cmp_int(),
+    "igt": _cmp_int(),
+    "ige": _cmp_int(),
+    "ieq": _cmp_int(),
+    "ineq": _cmp_int(),
+    # Booleans.
+    "band": TFn((BOOL, BOOL), BOOL),
+    "bor": TFn((BOOL, BOOL), BOOL),
+    "bnot": TFn((BOOL,), BOOL),
+    "beq": TFn((BOOL, BOOL), BOOL),
+    # Polymorphic list primitives.
+    "nil": TForall(("t",), TList(TVar("t"))),
+    "cons": TForall(("t",), TFn((TVar("t"), TList(TVar("t"))), TList(TVar("t")))),
+    "car": TForall(("t",), TFn((TList(TVar("t")),), TVar("t"))),
+    "cdr": TForall(("t",), TFn((TList(TVar("t")),), TList(TVar("t")))),
+    "null": TForall(("t",), TFn((TList(TVar("t")),), BOOL)),
+}
+
+
+class PrimValue:
+    """A runtime builtin: a Python callable plus its arity.
+
+    ``arity == 0`` marks constants such as the (type-applied) ``nil``.
+    """
+
+    __slots__ = ("name", "arity", "fn")
+
+    def __init__(self, name: str, arity: int, fn: Callable):
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"<prim {self.name}>"
+
+
+def _car(ls: List) -> object:
+    if not ls:
+        raise EvalError("car of empty list")
+    return ls[0]
+
+
+def _cdr(ls: List) -> List:
+    if not ls:
+        raise EvalError("cdr of empty list")
+    return ls[1:]
+
+
+def _idiv(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("integer division by zero")
+    return int(a / b) if (a < 0) != (b < 0) and a % b != 0 else a // b
+
+
+def _imod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("integer modulo by zero")
+    return a - b * (_idiv(a, b))
+
+
+#: Runtime implementations, keyed by name; arity mirrors the type above.
+BUILTIN_IMPLS: Dict[str, Tuple[int, Callable]] = {
+    "iadd": (2, lambda a, b: a + b),
+    "isub": (2, lambda a, b: a - b),
+    "imult": (2, lambda a, b: a * b),
+    "idiv": (2, _idiv),
+    "imod": (2, _imod),
+    "ineg": (1, lambda a: -a),
+    "imin": (2, min),
+    "imax": (2, max),
+    "ilt": (2, lambda a, b: a < b),
+    "ile": (2, lambda a, b: a <= b),
+    "igt": (2, lambda a, b: a > b),
+    "ige": (2, lambda a, b: a >= b),
+    "ieq": (2, lambda a, b: a == b),
+    "ineq": (2, lambda a, b: a != b),
+    "band": (2, lambda a, b: a and b),
+    "bor": (2, lambda a, b: a or b),
+    "bnot": (1, lambda a: not a),
+    "beq": (2, lambda a, b: a == b),
+    "nil": (0, lambda: []),
+    "cons": (2, lambda x, ls: [x] + ls),
+    "car": (1, _car),
+    "cdr": (1, _cdr),
+    "null": (1, lambda ls: len(ls) == 0),
+}
+
+
+def make_prim_values() -> Dict[str, PrimValue]:
+    """A fresh map from builtin name to :class:`PrimValue`."""
+    return {
+        name: PrimValue(name, arity, fn)
+        for name, (arity, fn) in BUILTIN_IMPLS.items()
+    }
+
+
+assert set(BUILTIN_TYPES) == set(BUILTIN_IMPLS), "builtin tables out of sync"

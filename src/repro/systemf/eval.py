@@ -1,0 +1,200 @@
+"""Call-by-value big-step evaluator for System F.
+
+Types are erased at runtime except that type abstractions are values
+(``TyLam`` suspends evaluation of its body, matching System F's CBV
+semantics).  Dictionaries are plain tuples, so running a translated F_G
+program exercises the dictionary-passing representation of Figure 7 directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.diagnostics.errors import EvalError
+from repro.systemf import ast as F
+from repro.systemf.builtins import PrimValue, make_prim_values
+
+
+class Closure:
+    """A lambda value: parameters, body, and captured environment."""
+
+    __slots__ = ("params", "body", "env")
+
+    def __init__(self, params, body, env):
+        self.params = params
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:
+        names = ", ".join(name for name, _ in self.params)
+        return f"<closure ({names})>"
+
+
+class TyClosure:
+    """A type-abstraction value; the body is evaluated on type application."""
+
+    __slots__ = ("vars", "body", "env")
+
+    def __init__(self, vars_, body, env):
+        self.vars = vars_
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:
+        return f"<tyclosure [{', '.join(self.vars)}]>"
+
+
+class FixThunk:
+    """The value of ``fix g``: unrolls one step each time it is applied."""
+
+    __slots__ = ("fn_value",)
+
+    def __init__(self, fn_value):
+        self.fn_value = fn_value
+
+    def __repr__(self) -> str:
+        return "<fix>"
+
+
+Value = Union[int, bool, List, tuple, Closure, TyClosure, FixThunk, PrimValue]
+
+
+class Env:
+    """A persistent runtime environment (linked frames)."""
+
+    __slots__ = ("_frame", "_parent")
+
+    def __init__(self, frame: Dict[str, Value], parent: Optional["Env"] = None):
+        self._frame = frame
+        self._parent = parent
+
+    @classmethod
+    def initial(cls) -> "Env":
+        return cls(dict(make_prim_values()))
+
+    def lookup(self, name: str) -> Value:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env._frame:
+                return env._frame[name]
+            env = env._parent
+        raise EvalError(f"unbound variable at runtime: '{name}'")
+
+    def bind(self, name: str, value: Value) -> "Env":
+        return Env({name: value}, self)
+
+    def bind_many(self, pairs) -> "Env":
+        return Env(dict(pairs), self)
+
+
+def evaluate(term: F.Term, env: Optional[Env] = None) -> Value:
+    """Evaluate ``term`` to a value in ``env`` (defaults to builtins).
+
+    The evaluator is a straightforward recursive interpreter; each level of
+    object-language recursion costs several Python frames, so we raise the
+    interpreter recursion limit to accommodate realistically deep programs.
+    """
+    import sys
+
+    if sys.getrecursionlimit() < 50_000:
+        sys.setrecursionlimit(50_000)
+    if env is None:
+        env = Env.initial()
+    return _eval(term, env)
+
+
+def apply_value(fn_value: Value, args: List[Value], span=None) -> Value:
+    """Apply a function value to already-evaluated arguments."""
+    while isinstance(fn_value, FixThunk):
+        fn_value = _apply_once(fn_value.fn_value, [fn_value], span)
+    return _apply_once(fn_value, args, span)
+
+
+def _apply_once(fn_value: Value, args: List[Value], span=None) -> Value:
+    if isinstance(fn_value, Closure):
+        if len(fn_value.params) != len(args):
+            raise EvalError(
+                f"runtime arity mismatch: expected {len(fn_value.params)} "
+                f"argument(s), got {len(args)}",
+                span,
+            )
+        pairs = [
+            (name, value)
+            for (name, _), value in zip(fn_value.params, args)
+        ]
+        return _eval(fn_value.body, fn_value.env.bind_many(pairs))
+    if isinstance(fn_value, PrimValue):
+        if fn_value.arity != len(args):
+            raise EvalError(
+                f"primitive '{fn_value.name}' expects {fn_value.arity} "
+                f"argument(s), got {len(args)}",
+                span,
+            )
+        return fn_value.fn(*args)
+    raise EvalError(f"cannot apply non-function value {fn_value!r}", span)
+
+
+def _eval(term: F.Term, env: Env) -> Value:
+    if isinstance(term, F.Var):
+        return env.lookup(term.name)
+
+    if isinstance(term, F.IntLit):
+        return term.value
+
+    if isinstance(term, F.BoolLit):
+        return term.value
+
+    if isinstance(term, F.Lam):
+        return Closure(term.params, term.body, env)
+
+    if isinstance(term, F.App):
+        fn_value = _eval(term.fn, env)
+        args = [_eval(arg, env) for arg in term.args]
+        return apply_value(fn_value, args, term.span)
+
+    if isinstance(term, F.TyLam):
+        return TyClosure(term.vars, term.body, env)
+
+    if isinstance(term, F.TyApp):
+        fn_value = _eval(term.fn, env)
+        if isinstance(fn_value, TyClosure):
+            return _eval(fn_value.body, fn_value.env)
+        if isinstance(fn_value, PrimValue) and fn_value.arity == 0:
+            # A fully type-applied polymorphic constant such as nil[int].
+            return fn_value.fn()
+        if isinstance(fn_value, PrimValue):
+            # Polymorphic primitives like cons[t] erase to themselves.
+            return fn_value
+        raise EvalError(
+            f"cannot type-apply non-polymorphic value {fn_value!r}", term.span
+        )
+
+    if isinstance(term, F.Let):
+        bound = _eval(term.bound, env)
+        return _eval(term.body, env.bind(term.name, bound))
+
+    if isinstance(term, F.Tuple_):
+        return tuple(_eval(item, env) for item in term.items)
+
+    if isinstance(term, F.Nth):
+        tuple_value = _eval(term.tuple_, env)
+        if not isinstance(tuple_value, tuple):
+            raise EvalError(
+                f"nth applied to non-tuple {tuple_value!r}", term.span
+            )
+        if not 0 <= term.index < len(tuple_value):
+            raise EvalError(
+                f"tuple index {term.index} out of range", term.span
+            )
+        return tuple_value[term.index]
+
+    if isinstance(term, F.If):
+        cond = _eval(term.cond, env)
+        if not isinstance(cond, bool):
+            raise EvalError(f"if condition is not a boolean: {cond!r}", term.span)
+        return _eval(term.then if cond else term.else_, env)
+
+    if isinstance(term, F.Fix):
+        return FixThunk(_eval(term.fn, env))
+
+    raise AssertionError(f"unknown term node: {term!r}")

@@ -1,0 +1,92 @@
+"""Pretty printer for System F types and terms.
+
+Output is designed to be readable in test failures and to round-trip through
+:mod:`repro.syntax.parser_f` (the System F concrete-syntax parser).
+"""
+
+from __future__ import annotations
+
+from repro.systemf import ast as F
+
+
+def pretty_type(t: F.Type) -> str:
+    """Render a System F type as concrete syntax."""
+    return _ptype(t)
+
+
+def _ptype(t: F.Type) -> str:
+    if isinstance(t, (F.TVar, F.TBase)):
+        return t.name
+    if isinstance(t, F.TList):
+        return f"list {_ptype_atom(t.elem)}"
+    if isinstance(t, F.TFn):
+        params = ", ".join(_ptype(p) for p in t.params)
+        return f"fn({params}) -> {_ptype(t.result)}"
+    if isinstance(t, F.TTuple):
+        if not t.items:
+            return "unit"
+        if len(t.items) == 1:
+            return f"({_ptype_atom(t.items[0])} *)"
+        return "(" + " * ".join(_ptype_atom(i) for i in t.items) + ")"
+    if isinstance(t, F.TForall):
+        return f"forall {', '.join(t.vars)}. {_ptype(t.body)}"
+    raise AssertionError(f"unknown type node: {t!r}")
+
+
+def _ptype_atom(t: F.Type) -> str:
+    if isinstance(t, (F.TVar, F.TBase, F.TTuple, F.TList)):
+        return _ptype(t)
+    return f"({_ptype(t)})"
+
+
+def pretty_term(term: F.Term, indent: int = 0) -> str:
+    """Render a System F term as concrete syntax."""
+    return _pterm(term, indent)
+
+
+def _pterm(term: F.Term, ind: int) -> str:
+    pad = "  " * ind
+    if isinstance(term, F.Var):
+        return term.name
+    if isinstance(term, F.IntLit):
+        return str(term.value)
+    if isinstance(term, F.BoolLit):
+        return "true" if term.value else "false"
+    if isinstance(term, F.Lam):
+        params = ", ".join(f"{n} : {_ptype(t)}" for n, t in term.params)
+        return f"(\\{params}. {_pterm(term.body, ind)})"
+    if isinstance(term, F.App):
+        args = ", ".join(_pterm(a, ind) for a in term.args)
+        return f"{_pterm_atom(term.fn, ind)}({args})"
+    if isinstance(term, F.TyLam):
+        return f"(/\\{', '.join(term.vars)}. {_pterm(term.body, ind)})"
+    if isinstance(term, F.TyApp):
+        args = ", ".join(_ptype(a) for a in term.args)
+        return f"{_pterm_atom(term.fn, ind)}[{args}]"
+    if isinstance(term, F.Let):
+        return (
+            f"let {term.name} = {_pterm(term.bound, ind + 1)} in\n"
+            f"{pad}{_pterm(term.body, ind)}"
+        )
+    if isinstance(term, F.Tuple_):
+        items = ", ".join(_pterm(i, ind) for i in term.items)
+        return f"({items},)" if len(term.items) == 1 else f"({items})"
+    if isinstance(term, F.Nth):
+        return f"(nth {_pterm_atom(term.tuple_, ind)} {term.index})"
+    if isinstance(term, F.If):
+        return (
+            f"if {_pterm(term.cond, ind)} "
+            f"then {_pterm(term.then, ind)} "
+            f"else {_pterm(term.else_, ind)}"
+        )
+    if isinstance(term, F.Fix):
+        return f"fix {_pterm_atom(term.fn, ind)}"
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def _pterm_atom(term: F.Term, ind: int) -> str:
+    if isinstance(term, (F.Var, F.IntLit, F.BoolLit, F.Tuple_, F.Nth)):
+        return _pterm(term, ind)
+    if isinstance(term, (F.App, F.TyApp)):
+        return _pterm(term, ind)
+    return f"({_pterm(term, ind)})"

@@ -1,0 +1,192 @@
+"""Typechecker for System F.
+
+Standard rules (the paper omits them as such), including the LET rule the
+paper spells out, plus rules for the literal/If/Fix extensions.  This checker
+doubles as the verifier for Theorems 1 and 2: every translated F_G program is
+re-checked here, independently of the F_G checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.diagnostics.errors import TypeError_
+from repro.systemf import ast as F
+from repro.systemf.builtins import BUILTIN_TYPES
+
+
+class TypeEnv:
+    """An immutable System F typing environment.
+
+    Tracks term-variable types and the set of type variables in scope.
+    Extension returns a new environment; sharing makes this cheap.
+    """
+
+    __slots__ = ("_vars", "_tyvars")
+
+    def __init__(
+        self,
+        vars_: Optional[Dict[str, F.Type]] = None,
+        tyvars: FrozenSet[str] = frozenset(),
+    ):
+        self._vars = dict(BUILTIN_TYPES) if vars_ is None else vars_
+        self._tyvars = tyvars
+
+    @classmethod
+    def initial(cls) -> "TypeEnv":
+        """The initial environment: builtins in scope, no type variables."""
+        return cls()
+
+    def lookup(self, name: str) -> Optional[F.Type]:
+        return self._vars.get(name)
+
+    def bind(self, name: str, type_: F.Type) -> "TypeEnv":
+        new_vars = dict(self._vars)
+        new_vars[name] = type_
+        return TypeEnv(new_vars, self._tyvars)
+
+    def bind_tyvars(self, names) -> "TypeEnv":
+        return TypeEnv(self._vars, self._tyvars | frozenset(names))
+
+    def has_tyvar(self, name: str) -> bool:
+        return name in self._tyvars
+
+    @property
+    def tyvars(self) -> FrozenSet[str]:
+        return self._tyvars
+
+
+def check_type_wf(t: F.Type, env: TypeEnv, span=None) -> None:
+    """Raise :class:`TypeError_` unless every free type variable is in scope."""
+    unbound = F.free_type_vars(t) - env.tyvars
+    if unbound:
+        names = ", ".join(sorted(unbound))
+        raise TypeError_(f"unbound type variable(s): {names}", span)
+
+
+def type_of(term: F.Term, env: Optional[TypeEnv] = None) -> F.Type:
+    """The type of ``term`` in ``env`` (defaults to the builtin environment)."""
+    if env is None:
+        env = TypeEnv.initial()
+    return _check(term, env)
+
+
+def _check(term: F.Term, env: TypeEnv) -> F.Type:
+    if isinstance(term, F.Var):
+        t = env.lookup(term.name)
+        if t is None:
+            raise TypeError_(f"unbound variable '{term.name}'", term.span)
+        return t
+
+    if isinstance(term, F.IntLit):
+        return F.INT
+
+    if isinstance(term, F.BoolLit):
+        return F.BOOL
+
+    if isinstance(term, F.Lam):
+        inner = env
+        for name, ptype in term.params:
+            check_type_wf(ptype, env, term.span)
+            inner = inner.bind(name, ptype)
+        result = _check(term.body, inner)
+        return F.TFn(tuple(pt for _, pt in term.params), result)
+
+    if isinstance(term, F.App):
+        fn_type = _check(term.fn, env)
+        if not isinstance(fn_type, F.TFn):
+            raise TypeError_(
+                f"cannot apply non-function of type {fn_type}", term.span
+            )
+        if len(fn_type.params) != len(term.args):
+            raise TypeError_(
+                f"arity mismatch: function expects {len(fn_type.params)} "
+                f"argument(s), got {len(term.args)}",
+                term.span,
+            )
+        for i, (arg, expected) in enumerate(zip(term.args, fn_type.params)):
+            actual = _check(arg, env)
+            if not F.types_equal(actual, expected):
+                raise TypeError_(
+                    f"argument {i + 1} has type {actual}, expected {expected}",
+                    arg.span or term.span,
+                )
+        return fn_type.result
+
+    if isinstance(term, F.TyLam):
+        if len(set(term.vars)) != len(term.vars):
+            raise TypeError_("duplicate type parameter", term.span)
+        body_type = _check(term.body, env.bind_tyvars(term.vars))
+        return F.TForall(term.vars, body_type)
+
+    if isinstance(term, F.TyApp):
+        fn_type = _check(term.fn, env)
+        if not isinstance(fn_type, F.TForall):
+            raise TypeError_(
+                f"cannot type-apply non-polymorphic term of type {fn_type}",
+                term.span,
+            )
+        if len(fn_type.vars) != len(term.args):
+            raise TypeError_(
+                f"type-arity mismatch: expected {len(fn_type.vars)} type "
+                f"argument(s), got {len(term.args)}",
+                term.span,
+            )
+        for arg in term.args:
+            check_type_wf(arg, env, term.span)
+        subst = dict(zip(fn_type.vars, term.args))
+        return F.substitute(fn_type.body, subst)
+
+    if isinstance(term, F.Let):
+        bound_type = _check(term.bound, env)
+        return _check(term.body, env.bind(term.name, bound_type))
+
+    if isinstance(term, F.Tuple_):
+        return F.TTuple(tuple(_check(item, env) for item in term.items))
+
+    if isinstance(term, F.Nth):
+        tuple_type = _check(term.tuple_, env)
+        if not isinstance(tuple_type, F.TTuple):
+            raise TypeError_(
+                f"nth applied to non-tuple of type {tuple_type}", term.span
+            )
+        if not 0 <= term.index < len(tuple_type.items):
+            raise TypeError_(
+                f"tuple index {term.index} out of range for {tuple_type}",
+                term.span,
+            )
+        return tuple_type.items[term.index]
+
+    if isinstance(term, F.If):
+        cond_type = _check(term.cond, env)
+        if not F.types_equal(cond_type, F.BOOL):
+            raise TypeError_(
+                f"if condition has type {cond_type}, expected bool", term.span
+            )
+        then_type = _check(term.then, env)
+        else_type = _check(term.else_, env)
+        if not F.types_equal(then_type, else_type):
+            raise TypeError_(
+                f"if branches disagree: {then_type} vs {else_type}", term.span
+            )
+        return then_type
+
+    if isinstance(term, F.Fix):
+        fn_type = _check(term.fn, env)
+        if (
+            not isinstance(fn_type, F.TFn)
+            or len(fn_type.params) != 1
+            or not F.types_equal(fn_type.params[0], fn_type.result)
+        ):
+            raise TypeError_(
+                f"fix expects fn(A) -> A, got {fn_type}", term.span
+            )
+        if not isinstance(fn_type.result, F.TFn):
+            raise TypeError_(
+                "fix is restricted to function-typed fixpoints "
+                f"(got {fn_type.result})",
+                term.span,
+            )
+        return fn_type.result
+
+    raise AssertionError(f"unknown term node: {term!r}")

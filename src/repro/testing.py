@@ -1,0 +1,41 @@
+"""Helpers for testing F_G programs (used by the test suite; public API).
+
+These wrap the parse/typecheck/translate/evaluate pipeline with the calls a
+test (or a downstream user's test) makes constantly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.diagnostics.errors import TypeError_
+from repro.fg import ast as G
+from repro.fg import evaluate as _fg_evaluate
+from repro.fg import typecheck as _fg_typecheck
+from repro.fg import verify_translation as _verify
+from repro.syntax import parse_fg
+from repro.systemf import ast as F
+
+
+def run_src(source: str):
+    """Parse, typecheck, translate, and evaluate F_G source."""
+    return _fg_evaluate(parse_fg(source))
+
+
+def check_src(source: str) -> Tuple[G.FGType, F.Term]:
+    """Parse and typecheck F_G source; returns (fg_type, sf_term)."""
+    return _fg_typecheck(parse_fg(source))
+
+
+def verify_src(source: str):
+    """Theorem 1/2 check on F_G source; returns (fg_type, sf_type)."""
+    return _verify(parse_fg(source))
+
+
+def reject_src(source: str) -> TypeError_:
+    """Assert the F_G source is ill-typed; returns the error for inspection."""
+    try:
+        check_src(source)
+    except TypeError_ as err:
+        return err
+    raise AssertionError(f"expected a type error, but program checked:\n{source}")

@@ -1,0 +1,135 @@
+"""The ``fg`` command-line driver.
+
+Subcommands::
+
+    fg run FILE          typecheck, translate, and evaluate an F_G program
+    fg check FILE        typecheck only; print the program's type
+    fg translate FILE    print the System F translation
+    fg verify FILE       run the executable Theorem 1/2 check
+    fg runf FILE         typecheck and evaluate a *System F* program
+
+``--prelude`` wraps the program with the standard concept library and ``-e``
+takes the program from the command line instead of a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.diagnostics.errors import Diagnostic
+from repro.fg import evaluate as fg_evaluate
+from repro.fg import pretty_type as fg_pretty_type
+from repro.fg import typecheck as fg_typecheck
+from repro.fg import verify_translation
+from repro.syntax import parse_f, parse_fg
+from repro.systemf import evaluate as f_evaluate
+from repro.systemf import pretty_term as f_pretty_term
+from repro.systemf import pretty_type as f_pretty_type
+from repro.systemf import type_of as f_type_of
+
+
+def _read_program(args: argparse.Namespace) -> str:
+    if args.expr is not None:
+        return args.expr
+    if args.file == "-":
+        return sys.stdin.read()
+    with open(args.file) as handle:
+        return handle.read()
+
+
+def _fg_term(args: argparse.Namespace):
+    text = _read_program(args)
+    if args.prelude:
+        from repro.prelude import wrap
+
+        text = wrap(text)
+    return parse_fg(text, args.file or "<cmdline>")
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, list):
+        return "[" + ", ".join(_render(v) for v in value) + "]"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_render(v) for v in value) + ")"
+    return str(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fg",
+        description="System F_G: concepts for generic programming "
+        "(Siek & Lumsdaine, PLDI 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("repl", help="start an interactive F_G session")
+    for name, help_ in [
+        ("run", "typecheck, translate, and evaluate an F_G program"),
+        ("check", "typecheck an F_G program and print its type"),
+        ("translate", "print an F_G program's System F translation"),
+        ("verify", "check that translation preserves typing (Theorems 1/2)"),
+        ("runf", "typecheck and evaluate a System F program"),
+    ]:
+        cmd = sub.add_parser(name, help=help_)
+        cmd.add_argument("file", nargs="?", help="program file ('-' = stdin)")
+        cmd.add_argument(
+            "-e", "--expr", help="program text given on the command line"
+        )
+        cmd.add_argument(
+            "--prelude",
+            action="store_true",
+            help="wrap the program with the standard concept library",
+        )
+        cmd.add_argument(
+            "--ext",
+            action="store_true",
+            help="enable the section 6 extensions (named/parameterized "
+            "models, member defaults)",
+        )
+    args = parser.parse_args(argv)
+    if args.command == "repl":
+        from repro.tools.repl import main as repl_main
+
+        return repl_main()
+    if args.file is None and args.expr is None:
+        parser.error("a FILE or -e EXPR is required")
+    try:
+        if args.command == "runf":
+            term = parse_f(_read_program(args), args.file or "<cmdline>")
+            f_type_of(term)
+            print(_render(f_evaluate(term)))
+            return 0
+        term = _fg_term(args)
+        if args.ext:
+            from repro import extensions as ext
+
+            check_fn, eval_fn, verify_fn = (
+                ext.typecheck, ext.evaluate, ext.verify_translation
+            )
+        else:
+            check_fn, eval_fn, verify_fn = (
+                fg_typecheck, fg_evaluate, verify_translation
+            )
+        if args.command == "check":
+            fg_type, _ = check_fn(term)
+            print(fg_pretty_type(fg_type))
+        elif args.command == "translate":
+            _, sf_term = check_fn(term)
+            print(f_pretty_term(sf_term))
+        elif args.command == "verify":
+            fg_type, sf_type = verify_fn(term)
+            print(f"F_G type:      {fg_pretty_type(fg_type)}")
+            print(f"System F type: {f_pretty_type(sf_type)}")
+            print("translation preserves typing: OK")
+        else:  # run
+            print(_render(eval_fn(term)))
+        return 0
+    except Diagnostic as err:
+        print(err, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,210 @@
+r"""An interactive REPL for F_G.
+
+F_G is expression-oriented — concepts, models, and lets scope over a body —
+so the REPL accumulates declarations as an ever-growing prefix and evaluates
+each expression against it:
+
+.. code-block:: text
+
+    fg> concept Magma<t> { op : fn(t, t) -> t; }
+    fg> model Magma<int> { op = iadd; }
+    fg> let twice = /\t where Magma<t>. \x : t. Magma<t>.op(x, x)
+    fg> twice[int](21)
+    42 : int
+
+Commands: ``:type e``, ``:translate e``, ``:decls``, ``:clear``,
+``:prelude``, ``:ext``, ``:quit``.  Incomplete input (unexpected end of
+file) continues on the next line.
+
+The core logic lives in :class:`Repl`, which is side-effect free and
+drivable from tests; :func:`main` wraps it in a stdin loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.diagnostics.errors import Diagnostic, ParseError
+from repro.fg import pretty_type
+from repro.syntax import parse_fg
+from repro.systemf import evaluate as f_evaluate
+from repro.systemf import pretty_term as f_pretty_term
+
+#: Keywords that begin a declaration the REPL should accumulate.
+_DECL_KEYWORDS = ("concept", "model", "let", "type", "use", "overload")
+
+
+def _render(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, list):
+        return "[" + ", ".join(_render(v) for v in value) + "]"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_render(v) for v in value) + ")"
+    return str(value)
+
+
+@dataclass
+class Repl:
+    """REPL state: accumulated declarations plus mode flags."""
+
+    use_ext: bool = False
+    decls: List[str] = field(default_factory=list)
+    _pending: str = ""
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _checker_module(self):
+        if self.use_ext:
+            from repro import extensions
+
+            return extensions
+        import repro.fg as core
+
+        return core
+
+    def _program(self, expr: str) -> str:
+        return "\n".join(self.decls + [expr])
+
+    def _check(self, expr: str):
+        term = parse_fg(self._program(expr), "<repl>")
+        return self._checker_module().typecheck(term)
+
+    # -- the interface ---------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True when the REPL is waiting for a continuation line."""
+        return bool(self._pending)
+
+    def feed(self, line: str) -> Optional[str]:
+        """Process one input line; returns the text to display (or None).
+
+        Raises ``SystemExit`` on ``:quit``.
+        """
+        text = (self._pending + "\n" + line) if self._pending else line
+        self._pending = ""
+        stripped = text.strip()
+        if not stripped:
+            return None
+        if stripped.startswith(":"):
+            return self._command(stripped)
+        if self._brackets_open(stripped):
+            self._pending = text
+            return None
+        try:
+            return self._evaluate_or_declare(stripped)
+        except ParseError as err:
+            if self._looks_incomplete(err):
+                self._pending = text
+                return None
+            return str(err)
+        except Diagnostic as err:
+            return str(err)
+
+    @staticmethod
+    def _looks_incomplete(err: ParseError) -> bool:
+        return "'EOF'" in err.message
+
+    @staticmethod
+    def _brackets_open(text: str) -> bool:
+        """True when {, (, or [ are unbalanced (input clearly continues)."""
+        from repro.diagnostics.source import SourceText
+        from repro.syntax.lexer import tokenize
+
+        try:
+            tokens = tokenize(SourceText(text))
+        except Diagnostic:
+            return False  # let the parser report it
+        depth = 0
+        for token in tokens:
+            if token.kind in ("{", "(", "["):
+                depth += 1
+            elif token.kind in ("}", ")", "]"):
+                depth -= 1
+        return depth > 0
+
+    def _evaluate_or_declare(self, text: str) -> str:
+        first_word = text.split(None, 1)[0] if text.split() else ""
+        first_word = first_word.split("(")[0]
+        if first_word in _DECL_KEYWORDS:
+            import re
+
+            ends_with_in = re.search(r"\bin\s*$", text) is not None
+            candidate = text if ends_with_in else text + " in"
+            # Validate by checking a trivial body under the new prefix.
+            probe = "\n".join(self.decls + [candidate, "0"])
+            term = parse_fg(probe, "<repl>")
+            self._checker_module().typecheck(term)
+            self.decls.append(candidate)
+            return f"-- declared ({first_word})"
+        fg_type, sf = self._check(text)
+        value = f_evaluate(sf)
+        return f"{_render(value)} : {pretty_type(fg_type)}"
+
+    def _command(self, text: str) -> str:
+        parts = text.split(None, 1)
+        command = parts[0]
+        arg = parts[1] if len(parts) > 1 else ""
+        if command in (":q", ":quit"):
+            raise SystemExit(0)
+        if command == ":type":
+            if not arg:
+                return "usage: :type <expr>"
+            fg_type, _ = self._check(arg)
+            return pretty_type(fg_type)
+        if command == ":translate":
+            if not arg:
+                return "usage: :translate <expr>"
+            _, sf = self._check(arg)
+            return f_pretty_term(sf)
+        if command == ":decls":
+            if not self.decls:
+                return "-- no declarations"
+            return "\n".join(self.decls)
+        if command == ":clear":
+            self.decls = []
+            return "-- cleared"
+        if command == ":prelude":
+            from repro.prelude import PRELUDE
+
+            self.decls.insert(0, PRELUDE)
+            return "-- prelude loaded"
+        if command == ":ext":
+            self.use_ext = not self.use_ext
+            state = "on" if self.use_ext else "off"
+            return f"-- extensions {state}"
+        if command == ":help":
+            return (
+                "declarations (concept/model/let/type/use/overload) "
+                "accumulate; expressions evaluate.\n"
+                "commands: :type e, :translate e, :decls, :clear, "
+                ":prelude, :ext, :quit"
+            )
+        return f"unknown command {command} (try :help)"
+
+
+def main() -> int:
+    repl = Repl()
+    print("F_G repl — Siek & Lumsdaine, PLDI 2005 (:help for help)")
+    while True:
+        prompt = "... " if repl.pending else "fg> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        except KeyboardInterrupt:
+            print()
+            continue
+        try:
+            output = repl.feed(line)
+        except SystemExit:
+            return 0
+        if output is not None:
+            print(output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Unit tests for the Cforall-like by-name-lookup mini-language (Figure 1d)."""
+
+import pytest
+
+from repro.approaches import byname as D
+from repro.approaches.figure1 import byname_program
+from repro.diagnostics.errors import TypeError_
+
+
+class TestFigure1d:
+    def test_square_int(self):
+        assert D.run(byname_program()) == 16
+
+    def test_type_is_int(self):
+        assert D.check(byname_program()) == D.INT
+
+
+class TestByNameLookup:
+    def test_lookup_finds_exact_signature(self):
+        checker = D.Checker(byname_program())
+        sig = D.FnSig("mult", (D.INT, D.INT), D.INT)
+        assert checker.find_function(sig).name == "mult"
+
+    def test_lookup_fails_without_function(self):
+        base = byname_program()
+        program = D.Program(
+            specs=base.specs, functions=(), foralls=base.foralls,
+            main=base.main,
+        )
+        with pytest.raises(TypeError_) as err:
+            D.check(program)
+        assert "by-name lookup failed" in str(err.value)
+
+    def test_retroactive_by_declaration(self):
+        """Declaring the operation anywhere makes the type usable."""
+        assert D.run(byname_program()) == 16
+
+    def test_wrong_signature_not_found(self):
+        base = byname_program()
+        # A unary `mult` exists, but the spec needs binary.
+        unary = D.FuncDecl("mult", (("x", D.INT),), D.INT, body=D.Var("x"))
+        program = D.Program(
+            specs=base.specs, functions=(unary,), foralls=base.foralls,
+            main=base.main,
+        )
+        with pytest.raises(TypeError_):
+            D.check(program)
+
+
+class TestOverloading:
+    def test_overloads_coexist(self):
+        f_int = D.FuncDecl(
+            "describe", (("x", D.INT),), D.INT, body=D.Var("x")
+        )
+        f_bool = D.FuncDecl(
+            "describe", (("x", D.BOOL),), D.INT, body=D.IntLit(99)
+        )
+        program = D.Program(
+            functions=(f_int, f_bool),
+            main=D.Call("describe", (D.BoolLit(True),)),
+        )
+        assert D.run(program) == 99
+
+    def test_duplicate_overload_rejected(self):
+        f1 = D.FuncDecl("f", (("x", D.INT),), D.INT, body=D.Var("x"))
+        f2 = D.FuncDecl("f", (("y", D.INT),), D.INT, body=D.IntLit(0))
+        with pytest.raises(TypeError_) as err:
+            D.check(D.Program(functions=(f1, f2)))
+        assert "duplicate overload" in str(err.value)
+
+    def test_no_matching_overload(self):
+        f_int = D.FuncDecl("g", (("x", D.INT),), D.INT, body=D.Var("x"))
+        program = D.Program(
+            functions=(f_int,), main=D.Call("g", (D.BoolLit(True),))
+        )
+        with pytest.raises(TypeError_) as err:
+            D.check(program)
+        assert "no function 'g'" in str(err.value)
+
+
+class TestImplicitInstantiation:
+    def test_inferred_from_argument(self):
+        assert D.run(byname_program()) == 16
+
+    def test_selected_operation_travels_with_call(self):
+        """Two instantiations of square at different operation sets."""
+        number = D.Spec(
+            "number", "U",
+            (D.FnSig("mult", (D.TVar("U"), D.TVar("U")), D.TVar("U")),),
+        )
+        mult_int = D.FuncDecl(
+            "mult", (("x", D.INT), ("y", D.INT)), D.INT, builtin="mul"
+        )
+        mult_bool = D.FuncDecl(
+            "mult", (("x", D.BOOL), ("y", D.BOOL)), D.BOOL,
+            body=D.Call("band_impl", (D.Var("x"), D.Var("y"))),
+        )
+        band_impl = D.FuncDecl(
+            "band_impl", (("a", D.BOOL), ("b", D.BOOL)), D.BOOL,
+            body=D.If(D.Var("a"), D.Var("b"), D.BoolLit(False)),
+        )
+        square = D.ForallFunc(
+            "square", ("T",), (D.Assertion("number", "T"),),
+            (("x", D.TVar("T")),), D.TVar("T"),
+            D.Call("mult", (D.Var("x"), D.Var("x"))),
+        )
+        program = D.Program(
+            specs=(number,),
+            functions=(mult_int, mult_bool, band_impl),
+            foralls=(square,),
+            main=D.Let(
+                "a", D.Call("square", (D.IntLit(5),)),
+                D.Var("a"),
+            ),
+        )
+        assert D.run(program) == 25
+
+    def test_forall_calling_forall(self):
+        number = D.Spec(
+            "number", "U",
+            (D.FnSig("mult", (D.TVar("U"), D.TVar("U")), D.TVar("U")),),
+        )
+        mult_int = D.FuncDecl(
+            "mult", (("x", D.INT), ("y", D.INT)), D.INT, builtin="mul"
+        )
+        square = D.ForallFunc(
+            "square", ("T",), (D.Assertion("number", "T"),),
+            (("x", D.TVar("T")),), D.TVar("T"),
+            D.Call("mult", (D.Var("x"), D.Var("x"))),
+        )
+        fourth = D.ForallFunc(
+            "fourth", ("T",), (D.Assertion("number", "T"),),
+            (("x", D.TVar("T")),), D.TVar("T"),
+            D.Call("square", (D.Call("square", (D.Var("x"),)),)),
+        )
+        program = D.Program(
+            specs=(number,), functions=(mult_int,),
+            foralls=(square, fourth),
+            main=D.Call("fourth", (D.IntLit(2),)),
+        )
+        assert D.run(program) == 16
+
+    def test_assertion_unsatisfied_inside_forall(self):
+        number = D.Spec(
+            "number", "U",
+            (D.FnSig("mult", (D.TVar("U"), D.TVar("U")), D.TVar("U")),),
+        )
+        square = D.ForallFunc(
+            "square", ("T",), (D.Assertion("number", "T"),),
+            (("x", D.TVar("T")),), D.TVar("T"),
+            D.Call("mult", (D.Var("x"), D.Var("x"))),
+        )
+        # naked has no assertion, so square(x) inside it must fail.
+        naked = D.ForallFunc(
+            "naked", ("T",), (),
+            (("x", D.TVar("T")),), D.TVar("T"),
+            D.Call("square", (D.Var("x"),)),
+        )
+        program = D.Program(
+            specs=(number,), foralls=(square, naked), main=D.IntLit(0)
+        )
+        with pytest.raises(TypeError_) as err:
+            D.check(program)
+        assert "not satisfiable" in str(err.value) or "not in scope" in str(err.value)

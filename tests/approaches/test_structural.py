@@ -1,0 +1,170 @@
+"""Unit tests for the CLU-like structural-matching mini-language (Figure 1c)."""
+
+import pytest
+
+from repro.approaches import structural as C
+from repro.approaches.figure1 import structural_program
+from repro.diagnostics.errors import TypeError_
+
+
+class TestFigure1c:
+    def test_square_int(self):
+        assert C.run(structural_program()) == 16
+
+    def test_type_is_int(self):
+        assert C.check(structural_program()) == C.INT
+
+
+class TestStructuralMembership:
+    def test_int_in_number(self):
+        checker = C.Checker(structural_program())
+        checker.check_membership(C.INT, "number")  # must not raise
+
+    def test_bool_not_in_number(self):
+        checker = C.Checker(structural_program())
+        with pytest.raises(TypeError_) as err:
+            checker.check_membership(C.BOOL, "number")
+        assert "no operation 'mul'" in str(err.value)
+
+    def test_wrong_signature_not_member(self):
+        # A cluster with a `mul` of the wrong shape is not in `number`.
+        base = structural_program()
+        bad = C.Cluster(
+            "weird",
+            (
+                C.ClusterOp(
+                    "mul",
+                    (("a", C.TCluster("weird")),),  # unary!
+                    C.TCluster("weird"),
+                    body=C.Var("a"),
+                ),
+            ),
+        )
+        program = C.Program(
+            type_sets=base.type_sets, clusters=(bad,), procs=base.procs,
+            main=base.main,
+        )
+        checker = C.Checker(program)
+        with pytest.raises(TypeError_) as err:
+            checker.check_membership(C.TCluster("weird"), "number")
+        assert "signature" in str(err.value)
+
+    def test_accidental_structural_match_admitted(self):
+        """The structural pitfall: any same-shaped `mul` is admitted."""
+        base = structural_program()
+        accidental = C.Cluster(
+            "dim",
+            (
+                C.ClusterOp(
+                    "mul",
+                    (("a", C.TCluster("dim")), ("b", C.TCluster("dim"))),
+                    C.TCluster("dim"),
+                    body=C.Var("a"),
+                ),
+            ),
+        )
+        program = C.Program(
+            type_sets=base.type_sets, clusters=(accidental,),
+            procs=base.procs, main=base.main,
+        )
+        C.Checker(program).check_membership(C.TCluster("dim"), "number")
+
+
+class TestExplicitInstantiation:
+    def test_missing_type_args_rejected(self):
+        base = structural_program()
+        program = C.Program(
+            type_sets=base.type_sets, procs=base.procs,
+            main=C.ProcCall("square", (), (C.IntLit(4),)),
+        )
+        with pytest.raises(TypeError_) as err:
+            C.check(program)
+        assert "type argument" in str(err.value)
+
+    def test_membership_checked_at_instantiation(self):
+        base = structural_program()
+        program = C.Program(
+            type_sets=base.type_sets, procs=base.procs,
+            main=C.ProcCall("square", (C.BOOL,), (C.BoolLit(True),)),
+        )
+        with pytest.raises(TypeError_):
+            C.check(program)
+
+    def test_nested_generic_propagates_where(self):
+        # fourth = proc[t] where t in number: calls square[t] — legal
+        # because t carries the same clause.
+        base = structural_program()
+        fourth = C.Proc(
+            "fourth",
+            type_params=("t",),
+            where=(C.WhereClause("t", "number"),),
+            params=(("a", C.TVar("t")),),
+            ret=C.TVar("t"),
+            body=C.ProcCall(
+                "square", (C.TVar("t"),),
+                (C.ProcCall("square", (C.TVar("t"),), (C.Var("a"),)),),
+            ),
+        )
+        program = C.Program(
+            type_sets=base.type_sets,
+            procs=base.procs + (fourth,),
+            main=C.ProcCall("fourth", (C.INT,), (C.IntLit(2),)),
+        )
+        assert C.run(program) == 16
+
+    def test_nested_generic_without_where_rejected(self):
+        base = structural_program()
+        bad = C.Proc(
+            "bad",
+            type_params=("t",),
+            where=(),  # no clause: t not known to be in number
+            params=(("a", C.TVar("t")),),
+            ret=C.TVar("t"),
+            body=C.ProcCall("square", (C.TVar("t"),), (C.Var("a"),)),
+        )
+        program = C.Program(
+            type_sets=base.type_sets, procs=base.procs + (bad,),
+            main=C.IntLit(0),
+        )
+        with pytest.raises(TypeError_) as err:
+            C.check(program)
+        assert "not known to be in type set" in str(err.value)
+
+
+class TestOpCalls:
+    def test_dollar_call_on_concrete_type(self):
+        program = C.Program(
+            main=C.OpCall(C.INT, "add", (C.IntLit(40), C.IntLit(2)))
+        )
+        assert C.run(program) == 42
+
+    def test_dollar_call_unknown_op(self):
+        program = C.Program(
+            main=C.OpCall(C.INT, "frobnicate", (C.IntLit(1),))
+        )
+        with pytest.raises(TypeError_):
+            C.check(program)
+
+    def test_user_cluster_op_body(self):
+        counter = C.Cluster(
+            "ctr",
+            (
+                C.ClusterOp(
+                    "bump2",
+                    (("a", C.INT),),
+                    C.INT,
+                    body=C.OpCall(C.INT, "add", (C.Var("a"), C.IntLit(2))),
+                ),
+            ),
+        )
+        program = C.Program(
+            clusters=(counter,),
+            main=C.OpCall(C.TCluster("ctr"), "bump2", (C.IntLit(40),)),
+        )
+        assert C.run(program) == 42
+
+    def test_duplicate_cluster_rejected(self):
+        with pytest.raises(TypeError_):
+            C.Checker(
+                C.Program(clusters=(C.INT_CLUSTER,))
+            )

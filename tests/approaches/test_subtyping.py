@@ -1,0 +1,191 @@
+"""Unit tests for the subtype-bounds mini-language (Figure 1a)."""
+
+import pytest
+
+from repro.approaches import subtyping as S
+from repro.approaches.figure1 import subtyping_program
+from repro.diagnostics.errors import TypeError_
+
+
+def number_interface():
+    return S.Interface(
+        "Number", ("U",), (S.MethodSig("mult", (S.TVar("U"),), S.TVar("U")),)
+    )
+
+
+class TestFigure1a:
+    def test_square_bigint(self):
+        assert S.run(subtyping_program()) == 16
+
+    def test_type_is_int(self):
+        assert S.check(subtyping_program()) == S.INT
+
+
+class TestSubtyping:
+    def test_class_subtype_of_implemented_interface(self):
+        checker = S.Checker(subtyping_program())
+        assert checker.is_subtype(
+            S.TName("BigInt"), S.TName("Number", (S.TName("BigInt"),))
+        )
+
+    def test_not_subtype_of_unrelated(self):
+        checker = S.Checker(subtyping_program())
+        assert not checker.is_subtype(
+            S.TName("BigInt"), S.TName("Number", (S.INT,))
+        )
+
+    def test_reflexive(self):
+        checker = S.Checker(subtyping_program())
+        assert checker.is_subtype(S.INT, S.INT)
+
+
+class TestConformanceChecking:
+    def test_missing_method_rejected(self):
+        cls = S.ClassDecl(
+            "Bad",
+            implements=(S.TName("Number", (S.TName("Bad"),)),),
+            fields=(("value", S.INT),),
+            methods=(),
+        )
+        program = S.Program(
+            interfaces=(number_interface(),), classes=(cls,), main=S.IntLit(0)
+        )
+        with pytest.raises(TypeError_) as err:
+            S.check(program)
+        assert "does not implement" in str(err.value)
+
+    def test_wrong_signature_rejected(self):
+        cls = S.ClassDecl(
+            "Bad",
+            implements=(S.TName("Number", (S.TName("Bad"),)),),
+            fields=(("value", S.INT),),
+            methods=(
+                S.Method("mult", (("x", S.INT),), S.INT, S.Var("x")),
+            ),
+        )
+        program = S.Program(
+            interfaces=(number_interface(),), classes=(cls,), main=S.IntLit(0)
+        )
+        with pytest.raises(TypeError_) as err:
+            S.check(program)
+        assert "wrong signature" in str(err.value)
+
+
+class TestBounds:
+    def test_unbounded_param_cannot_call_methods(self):
+        func = S.GenericFunc(
+            "f",
+            type_params=(S.TypeParam("T"),),
+            params=(("x", S.TVar("T")),),
+            ret=S.TVar("T"),
+            body=S.MethodCall(S.Var("x"), "mult", (S.Var("x"),)),
+        )
+        program = S.Program(functions=(func,), main=S.IntLit(0))
+        with pytest.raises(TypeError_) as err:
+            S.check(program)
+        assert "no bound" in str(err.value)
+
+    def test_bound_not_satisfied(self):
+        base = subtyping_program()
+        # int is not a subtype of Number<int>.
+        program = S.Program(
+            interfaces=base.interfaces,
+            classes=base.classes,
+            functions=base.functions,
+            main=S.Call("square", (S.IntLit(4),)),
+        )
+        with pytest.raises(TypeError_):
+            S.check(program)
+
+    def test_explicit_type_args_accepted(self):
+        base = subtyping_program()
+        program = S.Program(
+            interfaces=base.interfaces,
+            classes=base.classes,
+            functions=base.functions,
+            main=S.FieldAccess(
+                S.Call(
+                    "square",
+                    (S.New("BigInt", (S.IntLit(3),)),),
+                    type_args=(S.TName("BigInt"),),
+                ),
+                "value",
+            ),
+        )
+        assert S.run(program) == 9
+
+
+class TestInference:
+    def test_inferred_from_argument(self):
+        base = subtyping_program()
+        assert S.run(base) == 16  # no explicit type args in figure1
+
+    def test_uninferable_rejected(self):
+        func = S.GenericFunc(
+            "weird",
+            type_params=(S.TypeParam("T"),),
+            params=(("x", S.INT),),
+            ret=S.INT,
+            body=S.Var("x"),
+        )
+        program = S.Program(
+            functions=(func,), main=S.Call("weird", (S.IntLit(1),))
+        )
+        with pytest.raises(TypeError_) as err:
+            S.check(program)
+        assert "cannot infer" in str(err.value)
+
+
+class TestEvaluation:
+    def test_vtable_dispatch(self):
+        # Two classes implementing the same interface dispatch differently.
+        iface = number_interface()
+        doubler = S.ClassDecl(
+            "Doubler",
+            implements=(S.TName("Number", (S.TName("Doubler"),)),),
+            fields=(("value", S.INT),),
+            methods=(
+                S.Method(
+                    "mult",
+                    (("x", S.TName("Doubler")),),
+                    S.TName("Doubler"),
+                    S.New(
+                        "Doubler",
+                        (S.PrimOp("add", (
+                            S.FieldAccess(S.Var("this"), "value"),
+                            S.FieldAccess(S.Var("x"), "value"),
+                        )),),
+                    ),
+                ),
+            ),
+        )
+        square = S.GenericFunc(
+            "square",
+            type_params=(S.TypeParam("T", S.TName("Number", (S.TVar("T"),))),),
+            params=(("x", S.TVar("T")),),
+            ret=S.TVar("T"),
+            body=S.MethodCall(S.Var("x"), "mult", (S.Var("x"),)),
+        )
+        program = S.Program(
+            interfaces=(iface,),
+            classes=(doubler,),
+            functions=(square,),
+            main=S.FieldAccess(
+                S.Call("square", (S.New("Doubler", (S.IntLit(4),)),)), "value"
+            ),
+        )
+        assert S.run(program) == 8
+
+    def test_let_and_if(self):
+        program = S.Program(
+            main=S.Let(
+                "x",
+                S.IntLit(5),
+                S.If(
+                    S.PrimOp("lt", (S.Var("x"), S.IntLit(10))),
+                    S.PrimOp("mul", (S.Var("x"), S.Var("x"))),
+                    S.IntLit(0),
+                ),
+            )
+        )
+        assert S.run(program) == 25

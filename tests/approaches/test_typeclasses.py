@@ -1,0 +1,173 @@
+"""Unit tests for the type-class mini-language (Figure 1b)."""
+
+import pytest
+
+from repro.approaches import typeclasses as B
+from repro.approaches.figure1 import typeclasses_program
+from repro.diagnostics.errors import TypeError_
+
+
+class TestFigure1b:
+    def test_square_int(self):
+        assert B.run(typeclasses_program()) == 16
+
+    def test_type_is_int(self):
+        assert B.check(typeclasses_program()) == B.INT
+
+
+class TestGlobalInstances:
+    def test_overlapping_instances_rejected(self):
+        base = typeclasses_program()
+        dup = B.InstanceDecl("Number", B.INT, (("mult", B.Var("primMulInt")),))
+        program = B.Program(
+            classes=base.classes,
+            instances=base.instances + (dup,),
+            functions=base.functions,
+            main=base.main,
+        )
+        with pytest.raises(TypeError_) as err:
+            B.check(program)
+        assert "overlapping" in str(err.value)
+
+    def test_missing_instance_at_use(self):
+        base = typeclasses_program()
+        program = B.Program(
+            classes=base.classes,
+            instances=(),  # no Number Int
+            functions=base.functions,
+            main=base.main,
+        )
+        with pytest.raises(TypeError_) as err:
+            B.check(program)
+        assert "no instance" in str(err.value)
+
+    def test_instance_of_unknown_class(self):
+        with pytest.raises(TypeError_):
+            B.check(
+                B.Program(
+                    instances=(B.InstanceDecl("Nope", B.INT, ()),),
+                )
+            )
+
+    def test_instance_wrong_methods(self):
+        cls = B.ClassDecl("C", "u", (("op", B.TVar("u")),))
+        inst = B.InstanceDecl("C", B.INT, ())
+        with pytest.raises(TypeError_) as err:
+            B.check(B.Program(classes=(cls,), instances=(inst,)))
+        assert "must define" in str(err.value)
+
+    def test_instance_method_wrong_type(self):
+        cls = B.ClassDecl("C", "u", (("op", B.TVar("u")),))
+        inst = B.InstanceDecl("C", B.INT, (("op", B.BoolLit(True)),))
+        with pytest.raises(TypeError_) as err:
+            B.check(B.Program(classes=(cls,), instances=(inst,)))
+        assert "expected Int" in str(err.value)
+
+
+class TestMethodNamespace:
+    def test_shared_method_name_rejected(self):
+        """Section 2: in Haskell two classes in one module may not share a
+        member name (unlike F_G concepts)."""
+        c1 = B.ClassDecl("A", "u", (("op", B.TVar("u")),))
+        c2 = B.ClassDecl("B", "u", (("op", B.TVar("u")),))
+        with pytest.raises(TypeError_) as err:
+            B.check(B.Program(classes=(c1, c2)))
+        assert "global namespace" in str(err.value)
+
+
+class TestConstraints:
+    def test_constraint_resolved_at_instantiation(self):
+        assert B.run(typeclasses_program()) == 16
+
+    def test_unconstrained_tyvar_method_call_rejected(self):
+        number = B.ClassDecl(
+            "Number", "u",
+            (("mult", B.TFn((B.TVar("u"), B.TVar("u")), B.TVar("u"))),),
+        )
+        bad = B.FuncDecl(
+            "bad",
+            type_params=("t",),
+            constraints=(),  # forgot Number t
+            params=(("x", B.TVar("t")),),
+            ret=B.TVar("t"),
+            body=B.Call(B.MethodRef("mult"), (B.Var("x"), B.Var("x"))),
+        )
+        with pytest.raises(TypeError_) as err:
+            B.check(B.Program(classes=(number,), functions=(bad,)))
+        assert "no constraint" in str(err.value)
+
+    def test_constrained_generic_calls_generic(self):
+        """A constrained function calling another, passing its dictionary."""
+        number = B.ClassDecl(
+            "Number", "u",
+            (("mult", B.TFn((B.TVar("u"), B.TVar("u")), B.TVar("u"))),),
+        )
+        prim = B.FuncDecl(
+            "primMulInt", (), (), (("a", B.INT), ("b", B.INT)), B.INT,
+            B.PrimOp("mul", (B.Var("a"), B.Var("b"))),
+        )
+        inst = B.InstanceDecl("Number", B.INT, (("mult", B.Var("primMulInt")),))
+        square = B.FuncDecl(
+            "square", ("t",), (B.Constraint("Number", "t"),),
+            (("x", B.TVar("t")),), B.TVar("t"),
+            B.Call(B.MethodRef("mult"), (B.Var("x"), B.Var("x"))),
+        )
+        fourth = B.FuncDecl(
+            "fourth", ("t",), (B.Constraint("Number", "t"),),
+            (("x", B.TVar("t")),), B.TVar("t"),
+            B.Call(B.Var("square"), (B.Call(B.Var("square"), (B.Var("x"),)),)),
+        )
+        program = B.Program(
+            classes=(number,),
+            instances=(inst,),
+            functions=(prim, square, fourth),
+            main=B.Call(B.Var("fourth"), (B.IntLit(2),)),
+        )
+        assert B.run(program) == 16
+
+    def test_recursive_generic_function(self):
+        number = B.ClassDecl(
+            "Number", "u",
+            (("mult", B.TFn((B.TVar("u"), B.TVar("u")), B.TVar("u"))),),
+        )
+        prim = B.FuncDecl(
+            "primMulInt", (), (), (("a", B.INT), ("b", B.INT)), B.INT,
+            B.PrimOp("mul", (B.Var("a"), B.Var("b"))),
+        )
+        inst = B.InstanceDecl("Number", B.INT, (("mult", B.Var("primMulInt")),))
+        # power-of-two by repeated squaring of 2 (structure test only).
+        square = B.FuncDecl(
+            "square", ("t",), (B.Constraint("Number", "t"),),
+            (("x", B.TVar("t")),), B.TVar("t"),
+            B.Call(B.MethodRef("mult"), (B.Var("x"), B.Var("x"))),
+        )
+        program = B.Program(
+            classes=(number,), instances=(inst,),
+            functions=(prim, square),
+            main=B.Call(B.Var("square"), (B.Call(B.Var("square"), (B.IntLit(2),)),)),
+        )
+        assert B.run(program) == 16
+
+
+class TestListInstances:
+    def test_list_head_instance(self):
+        eq = B.ClassDecl(
+            "MyEq", "u", (("eqq", B.TFn((B.TVar("u"), B.TVar("u")), B.BOOL)),)
+        )
+        prim = B.FuncDecl(
+            "eqIntList", (), (),
+            (("a", B.TList(B.INT)), ("b", B.TList(B.INT))), B.BOOL,
+            B.BoolLit(True),
+        )
+        inst = B.InstanceDecl("MyEq", B.TList(B.INT), (("eqq", B.Var("eqIntList")),))
+        program = B.Program(
+            classes=(eq,), instances=(inst,), functions=(prim,),
+            main=B.Call(
+                B.MethodRef("eqq"),
+                (
+                    B.ListLit((B.IntLit(1),), B.INT),
+                    B.ListLit((B.IntLit(2),), B.INT),
+                ),
+            ),
+        )
+        assert B.run(program) is True

@@ -1,0 +1,51 @@
+"""Shared helpers for the test suite."""
+
+import sys
+
+import pytest
+
+# The evaluator raises the recursion limit on first use; doing it up front
+# keeps hypothesis from warning about a mid-test change.
+sys.setrecursionlimit(50_000)
+
+from repro.diagnostics.errors import TypeError_
+from repro.fg import evaluate as fg_evaluate
+from repro.fg import typecheck as fg_typecheck
+from repro.fg import verify_translation
+from repro.syntax import parse_fg
+
+
+def run_src(source: str):
+    """Parse, typecheck, translate, and evaluate F_G source."""
+    return fg_evaluate(parse_fg(source))
+
+
+def check_src(source: str):
+    """Parse and typecheck F_G source; returns (fg_type, sf_term)."""
+    return fg_typecheck(parse_fg(source))
+
+
+def verify_src(source: str):
+    """Theorem 1/2 check on F_G source; returns (fg_type, sf_type)."""
+    return verify_translation(parse_fg(source))
+
+
+def reject_src(source: str) -> TypeError_:
+    """Assert the F_G source is ill-typed; returns the error."""
+    with pytest.raises(TypeError_) as excinfo:
+        check_src(source)
+    return excinfo.value
+
+
+@pytest.fixture
+def prelude_run():
+    from repro.prelude import run
+
+    return run
+
+
+@pytest.fixture
+def prelude_check():
+    from repro.prelude import typecheck
+
+    return typecheck

@@ -1,0 +1,133 @@
+"""Concept-member defaults (section 6: 'defaults for concept members')."""
+
+import pytest
+
+from repro import extensions as ext
+from repro.diagnostics.errors import TypeError_
+
+EQ = r"""
+concept Eq<t> {
+  eq : fn(t, t) -> bool;
+  neq : fn(t, t) -> bool = \x : t, y : t. bnot(Eq<t>.eq(x, y));
+} in
+"""
+
+
+def reject(src: str) -> TypeError_:
+    with pytest.raises(TypeError_) as err:
+        ext.check(src)
+    return err.value
+
+
+class TestDefaults:
+    def test_default_fills_missing_member(self):
+        result = ext.run(EQ + r"""
+        model Eq<int> { eq = ieq; } in
+        (Eq<int>.neq(1, 2), Eq<int>.neq(3, 3))
+        """)
+        assert result == (True, False)
+
+    def test_explicit_override_wins(self):
+        result = ext.run(EQ + r"""
+        model Eq<int> {
+          eq = ieq;
+          neq = \x : int, y : int. false;
+        } in
+        Eq<int>.neq(1, 2)
+        """)
+        assert result is False
+
+    def test_default_per_model(self):
+        # The default is instantiated per model: bool's neq uses bool's eq.
+        result = ext.run(EQ + r"""
+        model Eq<int> { eq = ieq; } in
+        model Eq<bool> { eq = beq; } in
+        (Eq<int>.neq(1, 1), Eq<bool>.neq(true, false))
+        """)
+        assert result == (False, True)
+
+    def test_missing_member_without_default_still_fails(self):
+        err = reject(EQ + "model Eq<int> { } in 0")
+        assert "eq" in err.message
+
+    def test_default_used_in_generic_function(self):
+        result = ext.run(EQ + r"""
+        let distinct3 = /\t where Eq<t>. \a : t, b : t, c : t.
+          band(Eq<t>.neq(a, b), band(Eq<t>.neq(b, c), Eq<t>.neq(a, c))) in
+        model Eq<int> { eq = ieq; } in
+        (distinct3[int](1, 2, 3), distinct3[int](1, 2, 1))
+        """)
+        assert result == (True, False)
+
+    def test_chained_defaults_use_earlier_members(self):
+        result = ext.run(r"""
+        concept Ord<t> {
+          lt : fn(t, t) -> bool;
+          gt : fn(t, t) -> bool = \x : t, y : t. Ord<t>.lt(y, x);
+          lte : fn(t, t) -> bool = \x : t, y : t. bnot(Ord<t>.gt(x, y));
+        } in
+        model Ord<int> { lt = ilt; } in
+        (Ord<int>.gt(3, 2), Ord<int>.lte(2, 2), Ord<int>.lte(3, 2))
+        """)
+        assert result == (True, True, False)
+
+    def test_default_referencing_later_member_rejected(self):
+        err = reject(r"""
+        concept Bad<t> {
+          first : fn(t) -> t = \x : t. Bad<t>.second(x);
+          second : fn(t) -> t;
+        } in
+        model Bad<int> { second = \x : int. x; } in
+        0
+        """)
+        assert "not yet defined" in err.message or "earlier members" in err.message
+
+    def test_default_wrong_type_rejected(self):
+        err = reject(r"""
+        concept C<t> {
+          op : fn(t) -> t = \x : t. true;
+        } in
+        model C<int> { } in 0
+        """)
+        assert "has type" in err.message
+
+    def test_default_for_unknown_member_rejected(self):
+        from repro.fg import ast as G
+
+        cdef = G.ConceptDef(
+            "C", ("t",),
+            members=(("op", G.TFn((G.TVar("t"),), G.TVar("t"))),),
+            defaults=(("nope", G.IntLit(value=1)),),
+        )
+        with pytest.raises(TypeError_) as err:
+            ext.typecheck(G.ConceptExpr(concept=cdef, body=G.IntLit(value=0)))
+        assert "unknown member" in err.value.message
+
+    def test_core_checker_rejects_defaults(self):
+        from repro import fg_check
+
+        with pytest.raises(TypeError_) as err:
+            fg_check(EQ + "0")
+        assert "extensions" in err.value.message
+
+    def test_defaults_with_assoc_types(self):
+        result = ext.run(r"""
+        concept Pointed<c> {
+          types value;
+          get : fn(c) -> value;
+          get_twice : fn(c) -> (value * value)
+            = \x : c. (Pointed<c>.get(x), Pointed<c>.get(x));
+        } in
+        model Pointed<list int> {
+          types value = int;
+          get = \ls : list int. car[int](ls);
+        } in
+        Pointed<list int>.get_twice(cons[int](7, nil[int]))
+        """)
+        assert result == (7, 7)
+
+    def test_verify_translation_with_defaults(self):
+        ext.verify(EQ + r"""
+        model Eq<int> { eq = ieq; } in
+        Eq<int>.neq(1, 2)
+        """)

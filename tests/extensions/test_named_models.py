@@ -1,0 +1,102 @@
+"""Named models and scoped adoption (section 6: 'named models')."""
+
+import pytest
+
+from repro import extensions as ext
+from repro.diagnostics.errors import TypeError_
+
+HEADER = r"""
+concept Monoid<t> { op : fn(t, t) -> t; id : t; } in
+let fold3 = /\t where Monoid<t>. \a : t, b : t, c : t.
+  Monoid<t>.op(a, Monoid<t>.op(b, c)) in
+"""
+
+
+def reject(src: str) -> TypeError_:
+    with pytest.raises(TypeError_) as err:
+        ext.check(src)
+    return err.value
+
+
+class TestNamedModels:
+    def test_use_selects_model(self):
+        result = ext.run(HEADER + r"""
+        model add = Monoid<int> { op = iadd; id = 0; } in
+        model mul = Monoid<int> { op = imult; id = 1; } in
+        (use add in fold3[int](1, 2, 3), use mul in fold3[int](2, 3, 4))
+        """)
+        assert result == (6, 24)
+
+    def test_named_model_not_implicit(self):
+        err = reject(HEADER + r"""
+        model add = Monoid<int> { op = iadd; id = 0; } in
+        fold3[int](1, 2, 3)
+        """)
+        assert "no model of Monoid<int>" in err.message
+
+    def test_use_unknown_name(self):
+        err = reject(HEADER + "use nothing in 0")
+        assert "unknown named model" in err.message
+
+    def test_duplicate_name_rejected(self):
+        err = reject(HEADER + r"""
+        model m = Monoid<int> { op = iadd; id = 0; } in
+        model m = Monoid<int> { op = imult; id = 1; } in
+        0
+        """)
+        assert "already defined" in err.message
+
+    def test_named_model_checked_at_declaration(self):
+        err = reject(HEADER + r"""
+        model bad = Monoid<int> { op = ilt; id = 0; } in
+        0
+        """)
+        assert "has type" in err.message
+
+    def test_inner_use_shadows_outer(self):
+        result = ext.run(HEADER + r"""
+        model add = Monoid<int> { op = iadd; id = 0; } in
+        model mul = Monoid<int> { op = imult; id = 1; } in
+        use add in
+        (fold3[int](1, 2, 3), use mul in fold3[int](1, 2, 3))
+        """)
+        assert result == (6, 6)
+
+    def test_use_multiple_names(self):
+        result = ext.run(r"""
+        concept A<t> { fa : fn(t) -> t; } in
+        concept B<t> { fb : fn(t) -> t; } in
+        model ma = A<int> { fa = \x : int. iadd(x, 1); } in
+        model mb = B<int> { fb = \x : int. imult(x, 2); } in
+        use ma, mb in A<int>.fa(B<int>.fb(10))
+        """)
+        assert result == 21
+
+    def test_named_model_with_assoc_types(self):
+        result = ext.run(r"""
+        concept Iterator<I> {
+          types elt;
+          curr : fn(I) -> elt;
+        } in
+        model li = Iterator<list int> {
+          types elt = int;
+          curr = \ls : list int. car[int](ls);
+        } in
+        use li in iadd(Iterator<list int>.curr(cons[int](41, nil[int])), 1)
+        """)
+        assert result == 42
+
+    def test_verify_translation(self):
+        ext.verify(HEADER + r"""
+        model add = Monoid<int> { op = iadd; id = 0; } in
+        use add in fold3[int](1, 2, 3)
+        """)
+
+    def test_core_checker_rejects_extension_nodes(self):
+        from repro import fg_check
+
+        with pytest.raises(TypeError_) as err:
+            fg_check(
+                "concept C<t> { } in model m = C<int> { } in 0"
+            )
+        assert "extensions" in err.value.message

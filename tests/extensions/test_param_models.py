@@ -1,0 +1,171 @@
+"""Parameterized models (section 6: Haskell's parameterized instances)."""
+
+import pytest
+
+from repro import extensions as ext
+from repro.diagnostics.errors import TypeError_
+
+MONOID = r"""
+concept Monoid<t> { op : fn(t, t) -> t; id : t; } in
+let mconcat = /\t where Monoid<t>.
+  fix (\mc : fn(list t) -> t. \ls : list t.
+    if null[t](ls) then Monoid<t>.id
+    else Monoid<t>.op(car[t](ls), mc(cdr[t](ls)))) in
+"""
+
+LIST_MONOID = r"""
+model forall t. Monoid<list t> {
+  op = fix (\app : fn(list t, list t) -> list t.
+    \a : list t, b : list t.
+      if null[t](a) then b
+      else cons[t](car[t](a), app(cdr[t](a), b)));
+  id = nil[t];
+} in
+"""
+
+
+def reject(src: str) -> TypeError_:
+    with pytest.raises(TypeError_) as err:
+        ext.check(src)
+    return err.value
+
+
+class TestParamModels:
+    def test_list_monoid_concat(self):
+        result = ext.run(MONOID + LIST_MONOID + r"""
+        mconcat[list int](
+          cons[list int](cons[int](1, nil[int]),
+            cons[list int](cons[int](2, cons[int](3, nil[int])),
+              nil[list int])))
+        """)
+        assert result == [1, 2, 3]
+
+    def test_instantiates_at_any_element_type(self):
+        result = ext.run(MONOID + LIST_MONOID + r"""
+        mconcat[list bool](
+          cons[list bool](cons[bool](true, nil[bool]),
+            cons[list bool](cons[bool](false, nil[bool]), nil[list bool])))
+        """)
+        assert result == [True, False]
+
+    def test_nested_instantiation(self):
+        # Monoid<list (list int)> resolves through the same family.
+        result = ext.run(MONOID + LIST_MONOID + r"""
+        mconcat[list list int](
+          cons[list list int](
+            cons[list int](cons[int](7, nil[int]), nil[list int]),
+            nil[list list int]))
+        """)
+        assert result == [[7]]
+
+    def test_member_access_through_family(self):
+        result = ext.run(MONOID + LIST_MONOID + r"""
+        Monoid<list int>.op(cons[int](1, nil[int]), cons[int](2, nil[int]))
+        """)
+        assert result == [1, 2]
+
+    def test_plain_model_preferred_when_present(self):
+        # An inner plain model shadows the family.
+        result = ext.run(MONOID + LIST_MONOID + r"""
+        model Monoid<list int> {
+          op = \a : list int, b : list int. a;
+          id = nil[int];
+        } in
+        Monoid<list int>.op(cons[int](1, nil[int]), cons[int](2, nil[int]))
+        """)
+        assert result == [1]
+
+    def test_no_match_for_other_types(self):
+        err = reject(MONOID + LIST_MONOID + "mconcat[int](nil[int])")
+        assert "no model of Monoid<int>" in err.message
+
+    def test_param_must_appear_in_head(self):
+        err = reject(r"""
+        concept C<t> { pick : t; } in
+        model forall a. C<int> { pick = 0; } in
+        0
+        """)
+        assert "do not appear" in err.message
+
+
+class TestConstrainedFamilies:
+    SETUP = r"""
+    concept Semigroup<t> { op : fn(t, t) -> t; } in
+    let twice = /\t where Semigroup<t>. \x : t. Semigroup<t>.op(x, x) in
+    model Semigroup<int> { op = iadd; } in
+    model forall t where Semigroup<t>. Semigroup<list t> {
+      op = fix (\z : fn(list t, list t) -> list t.
+        \a : list t, b : list t.
+          if null[t](a) then nil[t]
+          else if null[t](b) then nil[t]
+          else cons[t](Semigroup<t>.op(car[t](a), car[t](b)),
+                       z(cdr[t](a), cdr[t](b))));
+    } in
+    """
+
+    def test_elementwise_semigroup(self):
+        result = ext.run(
+            self.SETUP + "twice[list int](cons[int](1, cons[int](2, nil[int])))"
+        )
+        assert result == [2, 4]
+
+    def test_recursive_constraint_resolution(self):
+        # list (list int) requires Semigroup<list int> requires Semigroup<int>.
+        result = ext.run(
+            self.SETUP
+            + "twice[list list int](cons[list int](cons[int](3, nil[int]), "
+            "nil[list int]))"
+        )
+        assert result == [[6]]
+
+    def test_unsatisfied_inner_constraint(self):
+        err = reject(r"""
+        concept Semigroup<t> { op : fn(t, t) -> t; } in
+        model forall t where Semigroup<t>. Semigroup<list t> {
+          op = \a : list t, b : list t. a;
+        } in
+        Semigroup<list bool>.op(nil[bool], nil[bool])
+        """)
+        # No Semigroup<bool> anywhere, so the family cannot fire.
+        assert "no model of Semigroup<list bool>" in err.message
+
+    def test_verify_translation(self):
+        ext.verify(
+            self.SETUP + "twice[list int](cons[int](5, nil[int]))"
+        )
+
+
+class TestParamModelsWithAssocTypes:
+    def test_iterator_family_for_lists(self):
+        src = r"""
+        concept Iterator<I> {
+          types elt;
+          next : fn(I) -> I;
+          curr : fn(I) -> elt;
+          at_end : fn(I) -> bool;
+        } in
+        model forall t. Iterator<list t> {
+          types elt = t;
+          next = \ls : list t. cdr[t](ls);
+          curr = \ls : list t. car[t](ls);
+          at_end = \ls : list t. null[t](ls);
+        } in
+        iadd(Iterator<list int>.curr(cons[int](41, nil[int])), 1)
+        """
+        assert ext.run(src) == 42
+
+    def test_family_assoc_in_generic_context(self):
+        src = r"""
+        concept Iterator<I> {
+          types elt;
+          curr : fn(I) -> elt;
+        } in
+        concept Show<t> { show : fn(t) -> int; } in
+        model forall t. Iterator<list t> {
+          types elt = t;
+          curr = \ls : list t. car[t](ls);
+        } in
+        model Show<int> { show = \x : int. x; } in
+        Show<Iterator<list int>.elt>.show(7)
+        """
+        assert ext.run(src) == 7

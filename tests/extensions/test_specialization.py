@@ -1,0 +1,117 @@
+"""Algorithm specialization (section 6: dispatch on where clauses)."""
+
+import pytest
+
+from repro import extensions as ext
+from repro.diagnostics.errors import TypeError_
+
+HEADER = r"""
+concept Iterator<I> {
+  next : fn(I) -> I;
+} in
+concept RandomAccessIterator<I> {
+  refines Iterator<I>;
+  advance_by : fn(I, int) -> I;
+} in
+overload advance {
+  /\I where Iterator<I>. \it : I, n : int.
+    (fix (\go : fn(I, int) -> I. \j : I, k : int.
+      if ile(k, 0) then j else go(Iterator<I>.next(j), isub(k, 1))))(it, n);
+  /\I where RandomAccessIterator<I>. \it : I, n : int.
+    RandomAccessIterator<I>.advance_by(it, n);
+} in
+model Iterator<list int> { next = \l : list int. cdr[int](l); } in
+model Iterator<int> { next = \p : int. iadd(p, 1); } in
+model RandomAccessIterator<int> { advance_by = \p : int, n : int. iadd(p, n); } in
+"""
+
+
+def reject(src: str) -> TypeError_:
+    with pytest.raises(TypeError_) as err:
+        ext.check(src)
+    return err.value
+
+
+class TestSpecialization:
+    def test_most_specific_wins(self):
+        # int has the RandomAccess model, so the O(1) alternative fires.
+        assert ext.run(HEADER + "advance[int](100, 7)") == 107
+
+    def test_general_version_for_forward_iterators(self):
+        result = ext.run(
+            HEADER + "car[int](advance[list int]"
+            "(cons[int](1, cons[int](2, cons[int](3, nil[int]))), 2))"
+        )
+        assert result == 3
+
+    def test_both_dispatches_in_one_program(self):
+        result = ext.run(HEADER + r"""
+        ( advance[int](0, 5),
+          car[int](advance[list int](cons[int](9, nil[int]), 0)) )
+        """)
+        assert result == (5, 9)
+
+    def test_no_applicable_alternative(self):
+        err = reject(HEADER + "advance[bool](true, 1)")
+        assert "no alternative" in err.message
+
+    def test_ambiguous_alternatives_rejected(self):
+        src = r"""
+        concept A<t> { fa : fn(t) -> t; } in
+        concept B<t> { fb : fn(t) -> t; } in
+        overload f {
+          /\t where A<t>. \x : t. A<t>.fa(x);
+          /\t where B<t>. \x : t. B<t>.fb(x);
+        } in
+        model A<int> { fa = \x : int. x; } in
+        model B<int> { fb = \x : int. x; } in
+        f[int](1)
+        """
+        err = reject(src)
+        assert "ambiguous" in err.message
+
+    def test_disjoint_alternatives_disambiguated_by_models(self):
+        # Same alternatives, but only one concept is modeled at int.
+        src = r"""
+        concept A<t> { fa : fn(t) -> t; } in
+        concept B<t> { fb : fn(t) -> t; } in
+        overload f {
+          /\t where A<t>. \x : t. A<t>.fa(x);
+          /\t where B<t>. \x : t. B<t>.fb(x);
+        } in
+        model A<int> { fa = \x : int. iadd(x, 1); } in
+        f[int](1)
+        """
+        assert ext.run(src) == 2
+
+    def test_overload_name_not_a_value(self):
+        err = reject(HEADER + "advance")
+        assert "unbound" in err.message
+
+    def test_scoped_models_shift_dispatch(self):
+        # Adding the RandomAccess model in an inner scope changes which
+        # alternative an identical instantiation selects.
+        src = r"""
+        concept Iterator<I> { next : fn(I) -> I; } in
+        concept RA<I> { refines Iterator<I>; jump : fn(I, int) -> I; } in
+        overload adv {
+          /\I where Iterator<I>. \it : I, n : int. 0;
+          /\I where RA<I>. \it : I, n : int. 1;
+        } in
+        model Iterator<int> { next = \p : int. iadd(p, 1); } in
+        ( adv[int](0, 0),
+          model RA<int> { jump = \p : int, n : int. iadd(p, n); } in
+          adv[int](0, 0) )
+        """
+        assert ext.run(src) == (0, 1)
+
+    def test_verify_translation(self):
+        ext.verify(HEADER + "advance[int](3, 4)")
+
+    def test_empty_overload_rejected(self):
+        err = reject("overload f { } in 0")
+        assert "at least one" in err.message
+
+    def test_non_generic_alternative_rejected(self):
+        err = reject(r"overload f { \x : int. x; } in 0")
+        assert "not a generic function" in err.message

@@ -1,0 +1,301 @@
+"""Associated types and same-type constraints (paper section 5)."""
+
+from repro.fg import pretty_type
+from repro.testing import check_src, reject_src, run_src, verify_src
+
+ITER = r"""
+concept Iterator<Iter> {
+  types elt;
+  next : fn(Iter) -> Iter;
+  curr : fn(Iter) -> elt;
+  at_end : fn(Iter) -> bool;
+} in
+"""
+
+LIST_INT_ITER = r"""
+model Iterator<list int> {
+  types elt = int;
+  next = \ls : list int. cdr[int](ls);
+  curr = \ls : list int. car[int](ls);
+  at_end = \ls : list int. null[int](ls);
+} in
+"""
+
+MONOID = r"""
+concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+"""
+
+INT_MONOID = r"""
+model Semigroup<int> { binary_op = iadd; } in
+model Monoid<int> { identity_elt = 0; } in
+"""
+
+
+class TestAssociatedTypeBasics:
+    def test_model_must_assign_assoc(self):
+        err = reject_src(ITER + r"""
+        model Iterator<list int> {
+          next = \ls : list int. cdr[int](ls);
+          curr = \ls : list int. car[int](ls);
+          at_end = \ls : list int. null[int](ls);
+        } in 0
+        """)
+        assert "missing: elt" in err.message
+
+    def test_model_rejects_unknown_assoc(self):
+        err = reject_src(r"""
+        concept C<t> { } in
+        model C<int> { types s = int; } in 0
+        """)
+        assert "unexpected: s" in err.message
+
+    def test_assoc_resolves_through_model(self):
+        # Iterator<list int>.elt is int, so curr's result feeds iadd.
+        src = ITER + LIST_INT_ITER + r"""
+        iadd(Iterator<list int>.curr(cons[int](41, nil[int])), 1)
+        """
+        assert run_src(src) == 42
+
+    def test_assoc_type_in_annotation(self):
+        src = ITER + LIST_INT_ITER + r"""
+        (\x : Iterator<list int>.elt. iadd(x, 1))(41)
+        """
+        assert run_src(src) == 42
+
+    def test_assoc_type_without_model_rejected(self):
+        err = reject_src(ITER + r"(\x : Iterator<bool>.elt. x)")
+        assert "no model of" in err.message
+
+    def test_assoc_unknown_member(self):
+        err = reject_src(ITER + LIST_INT_ITER + r"(\x : Iterator<list int>.nope. x)(1)")
+        assert "no associated type" in err.message
+
+    def test_member_type_mentions_assoc(self):
+        # The checker substitutes the assignment when checking members.
+        err = reject_src(ITER + r"""
+        model Iterator<list int> {
+          types elt = bool;
+          next = \ls : list int. cdr[int](ls);
+          curr = \ls : list int. car[int](ls);
+          at_end = \ls : list int. null[int](ls);
+        } in 0
+        """)
+        # curr returns int but elt was assigned bool.
+        assert "curr" in err.message
+
+
+class TestGenericOverIterators:
+    ACCUM = ITER + MONOID + r"""
+    let accumulate = /\Iter where Iterator<Iter>, Monoid<Iterator<Iter>.elt>.
+      fix (\accum : fn(Iter) -> Iterator<Iter>.elt.
+        \it : Iter.
+          if Iterator<Iter>.at_end(it)
+          then Monoid<Iterator<Iter>.elt>.identity_elt
+          else Monoid<Iterator<Iter>.elt>.binary_op(
+                 Iterator<Iter>.curr(it),
+                 accum(Iterator<Iter>.next(it)))) in
+    """ + LIST_INT_ITER + INT_MONOID
+
+    def test_accumulate_over_iterator(self):
+        src = self.ACCUM + "accumulate[list int](cons[int](40, cons[int](2, nil[int])))"
+        assert run_src(src) == 42
+        verify_src(src)
+
+    def test_result_type_resolves_to_int(self):
+        fg_type, _ = check_src(
+            self.ACCUM + "accumulate[list int](cons[int](1, nil[int]))"
+        )
+        assert pretty_type(fg_type) == "int"
+
+    def test_extra_type_param_in_translation(self):
+        """Section 5.2: the translation adds a type parameter per associated
+        type — accumulate[list int] becomes accumulate[list int, int]."""
+        from repro.systemf import ast as F
+
+        _, sf = check_src(
+            self.ACCUM + "accumulate[list int](cons[int](1, nil[int]))"
+        )
+        tyapps = []
+
+        def walk(t):
+            if isinstance(t, F.TyApp):
+                tyapps.append(t)
+            for field in ("fn", "bound", "body", "then", "else_", "cond", "tuple_"):
+                child = getattr(t, field, None)
+                if isinstance(child, F.Term):
+                    walk(child)
+            for field in ("args", "items"):
+                for child in getattr(t, field, ()) or ():
+                    if isinstance(child, F.Term):
+                        walk(child)
+            if isinstance(t, F.Lam):
+                walk(t.body)
+            if isinstance(t, F.TyLam):
+                walk(t.body)
+            if isinstance(t, F.Fix):
+                walk(t.fn)
+
+        walk(sf)
+        accum_apps = [
+            t for t in tyapps
+            if isinstance(t.fn, F.Var) and t.fn.name == "accumulate"
+        ]
+        assert accum_apps, "no instantiation of accumulate found"
+        # One explicit type argument (list int) plus one for elt (int).
+        assert len(accum_apps[0].args) == 2
+        assert accum_apps[0].args == (F.TList(F.INT), F.INT)
+
+
+class TestSameTypeConstraints:
+    MERGE_HEADER = ITER + r"""
+    concept OutputIterator<Out, t> { put : fn(Out, t) -> Out; } in
+    concept LessThanComparable<t> { less : fn(t, t) -> bool; } in
+    """
+
+    def test_merge_program(self):
+        src = self.MERGE_HEADER + r"""
+        let merge2 = /\Iter1, Iter2
+            where Iterator<Iter1>, Iterator<Iter2>;
+                  Iterator<Iter1>.elt == Iterator<Iter2>.elt.
+          \i1 : Iter1, i2 : Iter2.
+            if Iterator<Iter1>.at_end(i1) then Iterator<Iter2>.curr(i2)
+            else Iterator<Iter1>.curr(i1) in
+        """ + LIST_INT_ITER + r"""
+        merge2[list int, list int](nil[int], cons[int](9, nil[int]))
+        """
+        assert run_src(src) == 9
+        verify_src(src)
+
+    def test_same_type_constraint_checked_at_instantiation(self):
+        src = self.MERGE_HEADER + r"""
+        model Iterator<list int> {
+          types elt = int;
+          next = \ls : list int. cdr[int](ls);
+          curr = \ls : list int. car[int](ls);
+          at_end = \ls : list int. null[int](ls);
+        } in
+        model Iterator<list bool> {
+          types elt = bool;
+          next = \ls : list bool. cdr[bool](ls);
+          curr = \ls : list bool. car[bool](ls);
+          at_end = \ls : list bool. null[bool](ls);
+        } in
+        let first_of = /\Iter1, Iter2
+            where Iterator<Iter1>, Iterator<Iter2>;
+                  Iterator<Iter1>.elt == Iterator<Iter2>.elt.
+          \i1 : Iter1. Iterator<Iter1>.curr(i1) in
+        first_of[list int, list bool](cons[int](1, nil[int]))
+        """
+        err = reject_src(src)
+        assert "same-type constraint violated" in err.message
+
+    def test_same_type_makes_elements_interchangeable(self):
+        # Inside the body, elt(Iter1) and elt(Iter2) are one type.
+        src = self.MERGE_HEADER + r"""
+        let pick = /\I1, I2
+            where Iterator<I1>, Iterator<I2>;
+                  Iterator<I1>.elt == Iterator<I2>.elt.
+          \a : I1, b : I2, flag : bool.
+            if flag then Iterator<I1>.curr(a) else Iterator<I2>.curr(b) in
+        """ + LIST_INT_ITER + r"""
+        (pick[list int, list int](cons[int](1, nil[int]), cons[int](2, nil[int]), true),
+         pick[list int, list int](cons[int](1, nil[int]), cons[int](2, nil[int]), false))
+        """
+        assert run_src(src) == (1, 2)
+        verify_src(src)
+
+    def test_without_same_type_constraint_rejected(self):
+        # Same body, but no constraint: the branches have different types.
+        src = self.MERGE_HEADER + r"""
+        let pick = /\I1, I2 where Iterator<I1>, Iterator<I2>.
+          \a : I1, b : I2, flag : bool.
+            if flag then Iterator<I1>.curr(a) else Iterator<I2>.curr(b) in
+        0
+        """
+        err = reject_src(src)
+        assert "disagree" in err.message
+
+    def test_full_merge_from_paper(self):
+        src = self.MERGE_HEADER + r"""
+        let copy = /\Iter, Out where Iterator<Iter>, OutputIterator<Out, Iterator<Iter>.elt>.
+          fix (\cp : fn(Iter, Out) -> Out.
+            \it : Iter, out : Out.
+              if Iterator<Iter>.at_end(it) then out
+              else cp(Iterator<Iter>.next(it),
+                      OutputIterator<Out, Iterator<Iter>.elt>.put(out, Iterator<Iter>.curr(it)))) in
+        let merge = /\Iter1, Iter2, Out
+            where Iterator<Iter1>, Iterator<Iter2>,
+                  OutputIterator<Out, Iterator<Iter1>.elt>,
+                  LessThanComparable<Iterator<Iter1>.elt>;
+                  Iterator<Iter1>.elt == Iterator<Iter2>.elt.
+          fix (\m : fn(Iter1, Iter2, Out) -> Out.
+            \i1 : Iter1, i2 : Iter2, out : Out.
+              if Iterator<Iter1>.at_end(i1) then copy[Iter2, Out](i2, out)
+              else if Iterator<Iter2>.at_end(i2) then copy[Iter1, Out](i1, out)
+              else if LessThanComparable<Iterator<Iter1>.elt>.less(
+                        Iterator<Iter1>.curr(i1), Iterator<Iter2>.curr(i2))
+              then m(Iterator<Iter1>.next(i1), i2,
+                     OutputIterator<Out, Iterator<Iter1>.elt>.put(out, Iterator<Iter1>.curr(i1)))
+              else m(i1, Iterator<Iter2>.next(i2),
+                     OutputIterator<Out, Iterator<Iter1>.elt>.put(out, Iterator<Iter2>.curr(i2)))) in
+        """ + LIST_INT_ITER + r"""
+        model OutputIterator<list int, int> {
+          put = \out : list int, x : int. cons[int](x, out);
+        } in
+        model LessThanComparable<int> { less = ilt; } in
+        let rev = fix (\r : fn(list int, list int) -> list int.
+          \ls : list int, acc : list int.
+            if null[int](ls) then acc
+            else r(cdr[int](ls), cons[int](car[int](ls), acc))) in
+        rev(merge[list int, list int, list int](
+              cons[int](1, cons[int](4, nil[int])),
+              cons[int](2, cons[int](3, nil[int])),
+              nil[int]), nil[int])
+        """
+        assert run_src(src) == [1, 2, 3, 4]
+        verify_src(src)
+
+
+class TestTwoIteratorsShareFreshVar:
+    def test_translation_uses_one_representative(self):
+        """Section 5.2: after the same-type constraint both dictionaries
+        mention the first fresh element variable (elt1), so the inner
+        TyLam binds exactly vars + 2 assoc slots."""
+        from repro.systemf import ast as F
+
+        src = ITER + r"""
+        let both = /\I1, I2
+            where Iterator<I1>, Iterator<I2>;
+                  Iterator<I1>.elt == Iterator<I2>.elt.
+          \a : I1. a in
+        0
+        """
+        _, sf = check_src(src)
+
+        found = []
+
+        def walk(t):
+            if isinstance(t, F.TyLam):
+                found.append(t)
+            for attr in ("fn", "bound", "body", "then", "else_", "cond", "tuple_"):
+                child = getattr(t, attr, None)
+                if isinstance(child, F.Term):
+                    walk(child)
+            for attr in ("args", "items"):
+                for child in getattr(t, attr, ()) or ():
+                    if isinstance(child, F.Term):
+                        walk(child)
+
+        walk(sf)
+        inner = [t for t in found if len(t.vars) == 4]
+        assert inner, "expected a TyLam binding I1, I2 and two elt slots"
+        lam = inner[0].body
+        assert isinstance(lam, F.Lam)
+        # Both dictionary types use the same (first) fresh variable.
+        elt1 = inner[0].vars[2]
+        d1, d2 = lam.params[0][1], lam.params[1][1]
+        assert isinstance(d1, F.TTuple) and isinstance(d2, F.TTuple)
+        # curr : fn(I) -> elt1 in both dictionaries.
+        assert d1.items[1].result == F.TVar(elt1)
+        assert d2.items[1].result == F.TVar(elt1)

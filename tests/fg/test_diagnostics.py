@@ -1,0 +1,103 @@
+"""Error quality: positions, excerpts, and actionable messages."""
+
+import pytest
+
+from repro.diagnostics.errors import Diagnostic, ParseError, TypeError_
+from repro.diagnostics.source import Position, SourceText, Span
+from repro.syntax import parse_fg
+from repro.fg import typecheck
+
+
+def error_for(src: str) -> TypeError_:
+    with pytest.raises(TypeError_) as excinfo:
+        typecheck(parse_fg(src))
+    return excinfo.value
+
+
+class TestSourceText:
+    def test_position_at(self):
+        src = SourceText("ab\ncd\nef")
+        assert src.position_at(0) == Position(1, 1, 0)
+        assert src.position_at(3) == Position(2, 1, 3)
+        assert src.position_at(7) == Position(3, 2, 7)
+
+    def test_line(self):
+        src = SourceText("ab\ncd")
+        assert src.line(1) == "ab"
+        assert src.line(2) == "cd"
+        assert src.line(3) == ""
+
+    def test_excerpt_caret_width(self):
+        src = SourceText("let oops = 1 in x")
+        span = src.span(4, 8)
+        excerpt = src.excerpt(span)
+        assert "oops" in excerpt
+        assert excerpt.count("^") == 4
+
+    def test_span_merge(self):
+        src = SourceText("abcdef")
+        a = src.span(0, 2)
+        b = src.span(4, 6)
+        merged = a.merge(b)
+        assert merged.start.offset == 0
+        assert merged.end.offset == 6
+
+
+class TestErrorPositions:
+    def test_type_error_carries_position(self):
+        err = error_for("let x = 1 in\niadd(x, true)")
+        assert err.span is not None
+        assert err.span.start.line == 2
+
+    def test_unbound_variable_points_at_use(self):
+        err = error_for("let x = 1 in\n  missing_thing")
+        assert err.span.start.line == 2
+
+    def test_model_error_points_at_model(self):
+        err = error_for(
+            "concept C<t> { op : t; } in\n\nmodel C<int> { } in 0"
+        )
+        assert err.span.start.line == 3
+
+    def test_str_includes_kind(self):
+        err = error_for("nope")
+        assert "type error" in str(err)
+
+    def test_parse_error_excerpt(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_fg("let x =\n  in x")
+        rendered = str(excinfo.value)
+        assert "in x" in rendered  # the excerpt line
+        assert "^" in rendered
+
+
+class TestMessageQuality:
+    def test_missing_model_names_concept_and_args(self):
+        err = error_for(
+            "concept Ord<t> { lt : fn(t, t) -> bool; } in Ord<int>.lt"
+        )
+        assert "Ord<int>" in err.message
+
+    def test_model_member_mismatch_names_both_types(self):
+        err = error_for(
+            "concept C<t> { op : fn(t, t) -> t; } in"
+            " model C<int> { op = ilt; } in 0"
+        )
+        assert "fn(int, int) -> bool" in err.message
+        assert "fn(int, int) -> int" in err.message
+
+    def test_same_type_violation_shows_representatives(self):
+        src = r"""
+        concept It<I> { types elt; curr : fn(I) -> elt; } in
+        model It<list int> { types elt = int; curr = \l : list int. car[int](l); } in
+        model It<list bool> { types elt = bool; curr = \l : list bool. car[bool](l); } in
+        let f = /\a, b where It<a>, It<b>; It<a>.elt == It<b>.elt. 0 in
+        f[list int, list bool]
+        """
+        err = error_for(src)
+        assert "left is int" in err.message
+        assert "right is bool" in err.message
+
+    def test_diagnostic_is_exception(self):
+        assert issubclass(TypeError_, Diagnostic)
+        assert issubclass(Diagnostic, Exception)

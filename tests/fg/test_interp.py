@@ -1,0 +1,131 @@
+"""Unit tests for the direct F_G interpreter."""
+
+import pytest
+
+from repro.diagnostics.errors import EvalError
+from repro.fg import interpret, type_of
+from repro.syntax import parse_fg
+
+
+def run(src: str):
+    term = parse_fg(src)
+    type_of(term)  # the interpreter assumes well-typed input
+    return interpret(term)
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run("iadd(40, 2)") == 42
+
+    def test_lambda(self):
+        assert run(r"(\x : int. imult(x, x))(7)") == 49
+
+    def test_let_if_fix(self):
+        src = r"""
+        let fact = fix (\f : fn(int) -> int.
+          \n : int. if ile(n, 1) then 1 else imult(n, f(isub(n, 1)))) in
+        fact(5)
+        """
+        assert run(src) == 120
+
+    def test_tuples(self):
+        assert run("(nth (1, true) 1)") is True
+
+    def test_polymorphism(self):
+        assert run(r"(/\t. \x : t. x)[int](3)") == 3
+
+    def test_lists(self):
+        assert run("car[int](cons[int](9, nil[int]))") == 9
+
+
+class TestModelsAtRuntime:
+    def test_member_access(self):
+        src = r"""
+        concept C<t> { op : fn(t, t) -> t; } in
+        model C<int> { op = iadd; } in
+        C<int>.op(40, 2)
+        """
+        assert run(src) == 42
+
+    def test_scoped_models(self):
+        src = r"""
+        concept C<t> { pick : t; } in
+        model C<int> { pick = 1; } in
+        (C<int>.pick, model C<int> { pick = 2; } in C<int>.pick)
+        """
+        assert run(src) == (1, 2)
+
+    def test_instantiation_site_lookup(self):
+        # Figure 6 semantics: the dictionary is chosen where [int] occurs.
+        src = r"""
+        concept C<t> { op : fn(t, t) -> t; } in
+        let twice = /\t where C<t>. \x : t. C<t>.op(x, x) in
+        let f = model C<int> { op = iadd; } in twice[int] in
+        let g = model C<int> { op = imult; } in twice[int] in
+        (f(5), g(5))
+        """
+        assert run(src) == (10, 25)
+
+    def test_refined_member_through_derived(self):
+        src = r"""
+        concept A<t> { base : t; } in
+        concept B<t> { refines A<t>; } in
+        model A<int> { base = 7; } in
+        model B<int> { } in
+        B<int>.base
+        """
+        assert run(src) == 7
+
+    def test_assoc_type_resolution(self):
+        src = r"""
+        concept It<I> { types elt; curr : fn(I) -> elt; } in
+        model It<list int> { types elt = int; curr = \l : list int. car[int](l); } in
+        iadd(It<list int>.curr(cons[int](41, nil[int])), 1)
+        """
+        assert run(src) == 42
+
+    def test_generic_with_assoc_requirement(self):
+        src = r"""
+        concept It<I> { types elt; curr : fn(I) -> elt; } in
+        concept M<t> { op : fn(t, t) -> t; } in
+        let f = /\I where It<I>, M<It<I>.elt>.
+          \x : I. M<It<I>.elt>.op(It<I>.curr(x), It<I>.curr(x)) in
+        model It<list int> { types elt = int; curr = \l : list int. car[int](l); } in
+        model M<int> { op = imult; } in
+        f[list int](cons[int](6, nil[int]))
+        """
+        assert run(src) == 36
+
+    def test_missing_model_is_dynamic_error(self):
+        # Skipping the typecheck: the interpreter reports its own error.
+        src = r"""
+        concept C<t> { pick : t; } in
+        C<int>.pick
+        """
+        with pytest.raises(EvalError):
+            interpret(parse_fg(src))
+
+    def test_type_alias(self):
+        src = r"""
+        concept C<t> { pick : t; } in
+        model C<int> { pick = 5; } in
+        type n = int in
+        C<n>.pick
+        """
+        assert run(src) == 5
+
+    def test_defaults_at_runtime(self):
+        # The interpreter honors concept-member defaults directly.
+        from repro import extensions as ext
+
+        src = r"""
+        concept Eq<t> {
+          eq : fn(t, t) -> bool;
+          neq : fn(t, t) -> bool = \x : t, y : t. bnot(Eq<t>.eq(x, y));
+        } in
+        model Eq<int> { eq = ieq; } in
+        Eq<int>.neq(1, 2)
+        """
+        term = parse_fg(src)
+        ext.type_of(term)
+        assert interpret(term) is True

@@ -1,0 +1,107 @@
+"""Assorted typing interactions: aliases of polymorphic types, higher-order
+generic values, and member types that mention other concepts."""
+
+from repro.testing import reject_src, run_src, verify_src
+
+
+class TestAliasOfForall:
+    def test_instantiate_through_alias(self):
+        src = r"""
+        type idt = forall t. fn(t) -> t in
+        (\f : idt. f[int](42))(/\t. \x : t. x)
+        """
+        assert run_src(src) == 42
+        verify_src(src)
+
+    def test_alias_of_constrained_forall(self):
+        src = r"""
+        concept C<t> { op : fn(t, t) -> t; } in
+        model C<int> { op = iadd; } in
+        type doubler = forall t where C<t>. fn(t) -> t in
+        (\f : doubler. f[int](21))(/\t where C<t>. \x : t. C<t>.op(x, x))
+        """
+        assert run_src(src) == 42
+        verify_src(src)
+
+
+class TestHigherOrderGenerics:
+    def test_generic_value_in_tuple(self):
+        src = r"""
+        let pair = (/\t. \x : t. x, 5) in
+        ((nth pair 0)[int]((nth pair 1)))
+        """
+        assert run_src(src) == 5
+        verify_src(src)
+
+    def test_generic_returned_from_function(self):
+        src = r"""
+        let make = \unused : int. /\t. \x : t. x in
+        make(0)[bool](true)
+        """
+        assert run_src(src) is True
+        verify_src(src)
+
+    def test_constrained_generic_as_argument(self):
+        src = r"""
+        concept C<t> { op : fn(t, t) -> t; } in
+        model C<int> { op = imult; } in
+        let apply_twice =
+          \f : forall t where C<t>. fn(t) -> t.
+            f[int](f[int](2)) in
+        apply_twice(/\t where C<t>. \x : t. C<t>.op(x, x))
+        """
+        assert run_src(src) == 16  # square(square(2))
+        verify_src(src)
+
+
+class TestCrossConceptMemberTypes:
+    def test_member_type_mentions_other_concepts_assoc(self):
+        # B's member type references A's associated type explicitly.
+        src = r"""
+        concept A<t> { types out; get : fn(t) -> out; } in
+        concept B<t> { pipe : fn(t) -> A<t>.out; } in
+        model A<int> { types out = bool; get = \x : int. igt(x, 0); } in
+        model B<int> { pipe = \x : int. A<int>.get(x); } in
+        B<int>.pipe(5)
+        """
+        assert run_src(src) is True
+        verify_src(src)
+
+    def test_member_type_mismatch_through_assoc(self):
+        src = r"""
+        concept A<t> { types out; get : fn(t) -> out; } in
+        concept B<t> { pipe : fn(t) -> A<t>.out; } in
+        model A<int> { types out = bool; get = \x : int. igt(x, 0); } in
+        model B<int> { pipe = \x : int. x; } in
+        0
+        """
+        err = reject_src(src)
+        assert "pipe" in err.message
+
+
+class TestShadowingInteractions:
+    def test_inner_model_with_same_assignment_ok(self):
+        # Consistent shadowing (Figure 6 pattern) remains legal even with
+        # associated types, as long as assignments agree.
+        src = r"""
+        concept It<I> { types elt; curr : fn(I) -> elt; } in
+        model It<list int> { types elt = int; curr = \l : list int. car[int](l); } in
+        let inner =
+          model It<list int> { types elt = int; curr = \l : list int. car[int](cdr[int](l)); } in
+          It<list int>.curr(cons[int](1, cons[int](2, nil[int]))) in
+        (It<list int>.curr(cons[int](1, nil[int])), inner)
+        """
+        assert run_src(src) == (1, 2)
+
+    def test_reassigning_assoc_in_shadow_rejected(self):
+        src = r"""
+        concept It<I> { types elt; curr : fn(I) -> elt; } in
+        model It<list int> { types elt = int; curr = \l : list int. car[int](l); } in
+        model It<list int> { types elt = bool; curr = \l : list int. null[int](l); } in
+        0
+        """
+        err = reject_src(src)
+        assert "different assignment" in err.message
+
+    def test_term_variable_shadowing(self):
+        assert run_src("let x = 1 in let x = true in x") is True

@@ -1,0 +1,91 @@
+"""Nested requirements (paper section 6): ``require C<assoc>;`` in concepts."""
+
+from repro.testing import reject_src, run_src, verify_src
+
+HEADER = r"""
+concept Iterator<Iter> {
+  types elt;
+  next : fn(Iter) -> Iter;
+  curr : fn(Iter) -> elt;
+  at_end : fn(Iter) -> bool;
+} in
+concept Container<X> {
+  types iterator;
+  require Iterator<iterator>;
+  begin : fn(X) -> iterator;
+} in
+"""
+
+LIST_MODELS = r"""
+model Iterator<list int> {
+  types elt = int;
+  next = \ls : list int. cdr[int](ls);
+  curr = \ls : list int. car[int](ls);
+  at_end = \ls : list int. null[int](ls);
+} in
+model Container<list int> {
+  types iterator = list int;
+  begin = \c : list int. c;
+} in
+"""
+
+
+class TestNestedRequirements:
+    def test_model_requires_nested_model(self):
+        # Without a model of Iterator<list int>, Container<list int> fails.
+        err = reject_src(HEADER + r"""
+        model Container<list int> {
+          types iterator = list int;
+          begin = \c : list int. c;
+        } in 0
+        """)
+        assert "no model of Iterator<list int>" in err.message
+
+    def test_model_with_nested_ok(self):
+        src = HEADER + LIST_MODELS + r"""
+        Iterator<Container<list int>.iterator>.curr(
+          Container<list int>.begin(cons[int](5, nil[int])))
+        """
+        assert run_src(src) == 5
+        verify_src(src)
+
+    def test_generic_function_gets_nested_proxy(self):
+        # Inside a generic function over Container<C>, the nested
+        # requirement provides Iterator<Container<C>.iterator> implicitly.
+        src = HEADER + r"""
+        let first = /\C where Container<C>.
+          \c : C.
+            Iterator<Container<C>.iterator>.curr(Container<C>.begin(c)) in
+        """ + LIST_MODELS + r"""
+        first[list int](cons[int](42, nil[int]))
+        """
+        assert run_src(src) == 42
+        verify_src(src)
+
+    def test_nested_assoc_chain(self):
+        # Iterator<Container<C>.iterator>.elt is reachable and usable.
+        src = HEADER + r"""
+        concept Monoid<t> { op : fn(t, t) -> t; id : t; } in
+        let total = /\C where Container<C>,
+                       Monoid<Iterator<Container<C>.iterator>.elt>.
+          \c : C.
+            fix (\go : fn(Container<C>.iterator) -> Iterator<Container<C>.iterator>.elt.
+              \it : Container<C>.iterator.
+                if Iterator<Container<C>.iterator>.at_end(it)
+                then Monoid<Iterator<Container<C>.iterator>.elt>.id
+                else Monoid<Iterator<Container<C>.iterator>.elt>.op(
+                       Iterator<Container<C>.iterator>.curr(it),
+                       go(Iterator<Container<C>.iterator>.next(it))))
+            (Container<C>.begin(c)) in
+        """ + LIST_MODELS + r"""
+        model Monoid<int> { op = iadd; id = 0; } in
+        total[list int](cons[int](20, cons[int](22, nil[int])))
+        """
+        assert run_src(src) == 42
+        verify_src(src)
+
+    def test_nested_requirement_on_unknown_concept(self):
+        err = reject_src(r"""
+        concept C<t> { types s; require Nope<s>; } in 0
+        """)
+        assert "unknown concept" in err.message

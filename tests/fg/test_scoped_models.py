@@ -1,0 +1,118 @@
+"""Lexically scoped and overlapping models (paper section 3.2, Figure 6)."""
+
+from repro.testing import reject_src, run_src, verify_src
+
+PRELUDE = r"""
+concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+let accumulate = /\t where Monoid<t>.
+  fix (\accum : fn(list t) -> t.
+    \ls : list t.
+      if null[t](ls) then Monoid<t>.identity_elt
+      else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))) in
+let ls = cons[int](1, cons[int](2, cons[int](3, nil[int]))) in
+"""
+
+
+class TestFigure6:
+    def test_sum_and_product_coexist(self):
+        """The paper's Figure 6: intentionally overlapping models."""
+        src = PRELUDE + r"""
+        let sum =
+          model Semigroup<int> { binary_op = iadd; } in
+          model Monoid<int> { identity_elt = 0; } in
+          accumulate[int] in
+        let product =
+          model Semigroup<int> { binary_op = imult; } in
+          model Monoid<int> { identity_elt = 1; } in
+          accumulate[int] in
+        (sum(ls), product(ls))
+        """
+        assert run_src(src) == (6, 6)
+        verify_src(src)
+
+    def test_three_way_overlap(self):
+        src = PRELUDE + r"""
+        let sum =
+          model Semigroup<int> { binary_op = iadd; } in
+          model Monoid<int> { identity_elt = 0; } in
+          accumulate[int] in
+        let product =
+          model Semigroup<int> { binary_op = imult; } in
+          model Monoid<int> { identity_elt = 1; } in
+          accumulate[int] in
+        let maximum =
+          model Semigroup<int> { binary_op = imax; } in
+          model Monoid<int> { identity_elt = -1000000; } in
+          accumulate[int] in
+        (sum(ls), product(ls), maximum(ls))
+        """
+        assert run_src(src) == (6, 6, 3)
+
+    def test_instantiation_captures_declaration_site_model(self):
+        # The model is selected where accumulate[int] occurs, and the
+        # resulting function keeps that dictionary ever after.
+        src = PRELUDE + r"""
+        let with_mult =
+          model Semigroup<int> { binary_op = imult; } in
+          model Monoid<int> { identity_elt = 1; } in
+          accumulate[int] in
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        (with_mult(ls), accumulate[int](ls))
+        """
+        assert run_src(src) == (6, 6)
+
+    def test_inner_model_shadows_outer(self):
+        src = r"""
+        concept C<t> { pick : t; } in
+        model C<int> { pick = 1; } in
+        let outer = C<int>.pick in
+        let inner = (model C<int> { pick = 2; } in C<int>.pick) in
+        (outer, inner, C<int>.pick)
+        """
+        assert run_src(src) == (1, 2, 1)
+
+    def test_model_not_visible_outside_scope(self):
+        src = r"""
+        concept C<t> { pick : t; } in
+        let unused = (model C<int> { pick = 2; } in C<int>.pick) in
+        C<int>.pick
+        """
+        err = reject_src(src)
+        assert "no model of C<int>" in err.message
+
+
+class TestScopedVsHaskell:
+    def test_fg_accepts_what_typeclasses_reject(self):
+        """The same overlap that raises 'overlapping instances' in the
+        type-class mini-language typechecks in F_G."""
+        from repro.approaches import typeclasses as B
+        from repro.approaches.figure1 import typeclasses_program
+        from repro.diagnostics.errors import TypeError_
+
+        base = typeclasses_program()
+        second = B.InstanceDecl(
+            "Number", B.INT, (("mult", B.Var("primMulInt")),)
+        )
+        overlapping = B.Program(
+            classes=base.classes,
+            instances=base.instances + (second,),
+            functions=base.functions,
+            main=base.main,
+        )
+        try:
+            B.check(overlapping)
+            raised = False
+        except TypeError_ as err:
+            raised = "overlapping" in err.message
+        assert raised
+        # ... while F_G happily scopes the same two models:
+        src = r"""
+        concept Number<u> { mult : fn(u, u) -> u; } in
+        let square = /\t where Number<t>. \x : t. Number<t>.mult(x, x) in
+        let a = model Number<int> { mult = imult; } in square[int](4) in
+        let b = model Number<int> { mult = iadd; } in square[int](4) in
+        (a, b)
+        """
+        assert run_src(src) == (16, 8)

@@ -1,0 +1,126 @@
+"""The dictionary-passing translation's observable shape (Figure 7 and
+section 4's worked example)."""
+
+from repro.fg import typecheck
+from repro.syntax import parse_fg
+from repro.systemf import ast as F
+from repro.systemf import evaluate, pretty_term, type_of
+
+
+def translate(src: str) -> F.Term:
+    _, sf = typecheck(parse_fg(src))
+    return sf
+
+
+MONOID = r"""
+concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+"""
+
+
+class TestFigure7DictionaryLayout:
+    def test_model_translates_to_let_bound_tuple(self):
+        sf = translate(MONOID + r"""
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        0
+        """)
+        # let Semigroup_d = (iadd,) in let Monoid_d = (Semigroup_d, 0) in 0
+        assert isinstance(sf, F.Let)
+        sg = sf.bound
+        assert isinstance(sg, F.Tuple_)
+        assert sg.items == (F.Var(name="iadd"),)
+        inner = sf.body
+        assert isinstance(inner, F.Let)
+        monoid = inner.bound
+        assert isinstance(monoid, F.Tuple_)
+        # First component: the Semigroup dictionary (by reference);
+        # second: the identity element — exactly Figure 7.
+        assert monoid.items[0] == F.Var(name=sf.name)
+        assert monoid.items[1] == F.IntLit(value=0)
+
+    def test_member_access_translates_to_nth(self):
+        sf = translate(MONOID + r"""
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        Monoid<int>.binary_op(20, 22)
+        """)
+        text = pretty_term(sf)
+        # binary_op is reached through the nested tuple: nth (nth d 0) 0.
+        assert "(nth (nth" in text
+        assert evaluate(sf) == 42
+
+    def test_where_clause_becomes_dict_parameter(self):
+        sf = translate(MONOID + r"""
+        let f = /\t where Monoid<t>. \x : t. Monoid<t>.identity_elt in
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 7; } in
+        f[int](1)
+        """)
+        assert isinstance(sf, F.Let)
+        tylam = sf.bound
+        assert isinstance(tylam, F.TyLam)
+        assert tylam.vars == ("t",)
+        dict_lam = tylam.body
+        assert isinstance(dict_lam, F.Lam)
+        assert len(dict_lam.params) == 1
+        dict_type = dict_lam.params[0][1]
+        # ((fn(t,t) -> t) *) * t — the Monoid dictionary type.
+        assert isinstance(dict_type, F.TTuple)
+        assert len(dict_type.items) == 2
+        assert isinstance(dict_type.items[0], F.TTuple)
+
+    def test_instantiation_is_curried_dict_application(self):
+        sf = translate(MONOID + r"""
+        let f = /\t where Monoid<t>. \x : t. x in
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        f[int](9)
+        """)
+        text = pretty_term(sf)
+        # ((f[int])(Monoid_dict))(9) — paper section 4.
+        assert "f[int](" in text
+        assert evaluate(sf) == 9
+
+    def test_no_requirements_no_dict_lambda(self):
+        sf = translate(r"let f = /\t. \x : t. x in f[int](5)")
+        assert isinstance(sf, F.Let)
+        assert isinstance(sf.bound, F.TyLam)
+        assert isinstance(sf.bound.body, F.Lam)
+        # The single Lam is the term lambda (one param of type t), not a
+        # dictionary wrapper.
+        assert sf.bound.body.params[0][0] == "x"
+
+    def test_translation_is_well_typed_systemf(self):
+        sf = translate(MONOID + r"""
+        let f = /\t where Monoid<t>. \x : t. Monoid<t>.binary_op(x, x) in
+        model Semigroup<int> { binary_op = imult; } in
+        model Monoid<int> { identity_elt = 1; } in
+        f[int](6)
+        """)
+        assert str(type_of(sf)) == "int"
+        assert evaluate(sf) == 36
+
+
+class TestOverlapTranslation:
+    def test_figure6_produces_distinct_dictionaries(self):
+        sf = translate(MONOID + r"""
+        let accumulate = /\t where Monoid<t>.
+          fix (\a : fn(list t) -> t. \ls : list t.
+            if null[t](ls) then Monoid<t>.identity_elt
+            else Monoid<t>.binary_op(car[t](ls), a(cdr[t](ls)))) in
+        let sum =
+          model Semigroup<int> { binary_op = iadd; } in
+          model Monoid<int> { identity_elt = 0; } in
+          accumulate[int] in
+        let product =
+          model Semigroup<int> { binary_op = imult; } in
+          model Monoid<int> { identity_elt = 1; } in
+          accumulate[int] in
+        let ls = cons[int](2, cons[int](3, nil[int])) in
+        (sum(ls), product(ls))
+        """)
+        assert evaluate(sf) == (5, 6)
+        text = pretty_term(sf)
+        assert text.count("(iadd,)") == 1
+        assert text.count("(imult,)") == 1

@@ -1,0 +1,128 @@
+"""F_G typechecker: the System F fragment (VAR/ABS/APP/LET/IF/FIX/tuples)."""
+
+import pytest
+
+from repro.diagnostics.errors import TypeError_
+from repro.fg import pretty_type
+from repro.testing import check_src, reject_src, run_src, verify_src
+
+
+def type_str(src: str) -> str:
+    fg_type, _ = check_src(src)
+    return pretty_type(fg_type)
+
+
+class TestBasics:
+    def test_literals(self):
+        assert type_str("42") == "int"
+        assert type_str("true") == "bool"
+
+    def test_lambda(self):
+        assert type_str(r"\x : int. x") == "fn(int) -> int"
+
+    def test_application(self):
+        assert run_src(r"(\x : int, y : int. imult(x, y))(6, 7)") == 42
+
+    def test_let(self):
+        assert run_src("let x = 40 in iadd(x, 2)") == 42
+
+    def test_if(self):
+        assert run_src("if ilt(2, 1) then 0 else 42") == 42
+
+    def test_fix_factorial(self):
+        src = r"""
+        let fact = fix (\f : fn(int) -> int.
+          \n : int. if ile(n, 1) then 1 else imult(n, f(isub(n, 1)))) in
+        fact(5)
+        """
+        assert run_src(src) == 120
+
+    def test_tuples(self):
+        assert run_src("(nth (1, true, 3) 2)") == 3
+
+    def test_plain_polymorphism(self):
+        assert run_src(r"(/\t. \x : t. x)[int](42)") == 42
+
+    def test_unbound_var(self):
+        err = reject_src("mystery")
+        assert "unbound variable" in err.message
+
+    def test_app_arity(self):
+        err = reject_src("iadd(1, 2, 3)")
+        assert "arity" in err.message
+
+    def test_app_type_mismatch(self):
+        err = reject_src("iadd(1, true)")
+        assert "argument 2" in err.message
+
+    def test_if_branches(self):
+        err = reject_src("if true then 1 else false")
+        assert "disagree" in err.message
+
+    def test_annotation_unbound_tyvar(self):
+        err = reject_src(r"\x : t. x")
+        assert "unbound type variable" in err.message
+
+    def test_verify_plain_program(self):
+        verify_src(
+            r"let compose = (/\a. \f : fn(a) -> a, g : fn(a) -> a."
+            r" \x : a. f(g(x))) in"
+            r" compose[int](\x : int. iadd(x, 1), \x : int. imult(x, 2))(20)"
+        )
+
+
+class TestTypeAbstraction:
+    def test_shadowing_tyvar_rejected(self):
+        err = reject_src(r"/\t. (/\t. \x : t. x)")
+        assert "shadow" in err.message
+
+    def test_duplicate_tyvars_rejected(self):
+        err = reject_src(r"/\t, t. 1")
+        assert "duplicate" in err.message
+
+    def test_tyapp_arity(self):
+        err = reject_src(r"(/\a, b. 1)[int]")
+        assert "type argument" in err.message
+
+    def test_instantiate_non_generic(self):
+        err = reject_src("5[int]")
+        assert "non-generic" in err.message
+
+    def test_empty_type_params_rejected(self):
+        from repro.fg import ast as G
+        from repro.fg import typecheck
+
+        with pytest.raises(TypeError_):
+            typecheck(G.TyLam(vars=(), body=G.IntLit(value=1)))
+
+
+class TestTypeAlias:
+    def test_alias_usable(self):
+        src = r"type pair = (int * int) in (\p : pair. (nth p 0))((1, 2))"
+        assert run_src(src) == 1
+
+    def test_alias_equality_with_definition(self):
+        src = r"""
+        type myint = int in
+        (\x : myint. iadd(x, 1))(41)
+        """
+        assert run_src(src) == 42
+
+    def test_alias_resolves_in_result(self):
+        fg_type, _ = check_src(r"type t = int in (\x : t. x)")
+        assert pretty_type(fg_type) == "fn(int) -> int"
+
+    def test_alias_shadowing_tyvar_rejected(self):
+        err = reject_src(r"/\t. type t = int in 1")
+        assert "shadow" in err.message
+
+    def test_nested_aliases(self):
+        src = r"""
+        type a = int in
+        type b = list a in
+        (\ls : b. car[a](ls))(cons[int](9, nil[int]))
+        """
+        assert run_src(src) == 9
+
+    def test_alias_verifies(self):
+        verify_src(r"type pair = (int * bool) in (\p : pair. (nth p 1))((1, true))")

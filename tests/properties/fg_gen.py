@@ -1,0 +1,260 @@
+"""Hypothesis generators for *well-typed-by-construction* F_G programs.
+
+The generator builds programs bottom-up from typed templates:
+
+- a random set of concepts over one parameter ``t``, each with members drawn
+  from the shapes ``t``, ``fn(t,t)->t``, ``fn(t)->t``, ``fn(t)->bool``,
+  optional refinement of an earlier concept, and optionally one associated
+  type with an accessor member;
+- int models for every concept (assignments pick ``int`` or ``bool`` for
+  associated types);
+- one generic function per concept whose body uses the concept's members
+  (and refined members through the derived concept);
+- a main expression instantiating the generic functions at ``int``,
+  optionally under locally shadowing (overlapping) models.
+
+Every generated program should typecheck, translate to well-typed System F
+(Theorems 1 and 2), and evaluate without error — that's the property the
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import hypothesis.strategies as st
+
+# Member shapes: (shape tag, concept-level type syntax over param/assoc).
+SHAPE_CONST = "const"        # : t
+SHAPE_BINOP = "binop"        # : fn(t, t) -> t
+SHAPE_UNOP = "unop"          # : fn(t) -> t
+SHAPE_PRED = "pred"          # : fn(t) -> bool
+SHAPE_ASSOC_GET = "assoc"    # : fn(t) -> s   (s the associated type)
+
+#: Implementations at int for each shape; associated getters per assignment.
+_INT_IMPLS = {
+    SHAPE_CONST: ["0", "1", "7", "-3"],
+    SHAPE_BINOP: ["iadd", "imult", "imax", "imin",
+                  r"\a : int, b : int. isub(a, b)"],
+    SHAPE_UNOP: [r"\a : int. iadd(a, 1)", "ineg", r"\a : int. imult(a, 2)"],
+    SHAPE_PRED: [r"\a : int. ilt(a, 0)", r"\a : int. ieq(a, 0)",
+                 r"\a : int. igt(a, 10)"],
+}
+_ASSOC_IMPLS = {
+    "int": [r"\a : int. iadd(a, 5)", r"\a : int. imult(a, a)"],
+    "bool": [r"\a : int. ige(a, 0)", r"\a : int. ieq(a, 1)"],
+}
+
+
+@dataclass
+class MemberSpec:
+    name: str
+    shape: str
+    impl: str
+
+
+@dataclass
+class ConceptSpec:
+    name: str
+    members: List[MemberSpec]
+    refines: Optional[str] = None
+    assoc: Optional[str] = None          # associated-type name, if any
+    assoc_assignment: str = "int"        # its assignment in the int model
+    assoc_member: Optional[MemberSpec] = None
+
+    def decl(self) -> str:
+        lines = [f"concept {self.name}<t> {{"]
+        if self.assoc:
+            lines.append(f"  types {self.assoc};")
+        if self.refines:
+            lines.append(f"  refines {self.refines}<t>;")
+        for m in self.members:
+            lines.append(f"  {m.name} : {_member_type(m.shape)};")
+        if self.assoc_member:
+            lines.append(f"  {self.assoc_member.name} : fn(t) -> {self.assoc};")
+        lines.append("} in")
+        return "\n".join(lines)
+
+    def model(self) -> str:
+        lines = [f"model {self.name}<int> {{"]
+        if self.assoc:
+            lines.append(f"  types {self.assoc} = {self.assoc_assignment};")
+        for m in self.members:
+            lines.append(f"  {m.name} = {m.impl};")
+        if self.assoc_member:
+            lines.append(f"  {self.assoc_member.name} = {self.assoc_member.impl};")
+        lines.append("} in")
+        return "\n".join(lines)
+
+
+def _member_type(shape: str) -> str:
+    return {
+        SHAPE_CONST: "t",
+        SHAPE_BINOP: "fn(t, t) -> t",
+        SHAPE_UNOP: "fn(t) -> t",
+        SHAPE_PRED: "fn(t) -> bool",
+    }[shape]
+
+
+@dataclass
+class ProgramSpec:
+    concepts: List[ConceptSpec]
+    bodies: List[str] = field(default_factory=list)  # per-concept fn body
+    overlap: bool = False
+    source: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_shapes = st.sampled_from([SHAPE_CONST, SHAPE_BINOP, SHAPE_UNOP, SHAPE_PRED])
+
+
+@st.composite
+def member_specs(draw, name: str) -> MemberSpec:
+    shape = draw(_shapes)
+    impl = draw(st.sampled_from(_INT_IMPLS[shape]))
+    return MemberSpec(name, shape, impl)
+
+
+@st.composite
+def concept_specs(draw, index: int, prior: Tuple[str, ...]) -> ConceptSpec:
+    n_members = draw(st.integers(min_value=1, max_value=3))
+    # Member names are unique across concepts so that refinement never
+    # shadows (shadowing is legal F_G but defeats the generator's typing).
+    members = [
+        draw(member_specs(f"m{index}_{i}")) for i in range(n_members)
+    ]
+    refines = None
+    if prior and draw(st.booleans()):
+        refines = draw(st.sampled_from(list(prior)))
+    spec = ConceptSpec(f"C{index}", members, refines)
+    if draw(st.booleans()):
+        spec.assoc = "s"
+        spec.assoc_assignment = draw(st.sampled_from(["int", "bool"]))
+        impl = draw(st.sampled_from(_ASSOC_IMPLS[spec.assoc_assignment]))
+        spec.assoc_member = MemberSpec("get", SHAPE_ASSOC_GET, impl)
+    return spec
+
+
+def _body_exprs(spec: ConceptSpec, all_concepts) -> List[str]:
+    """Candidate bodies (typed ``t``) for a generic fn over ``spec``."""
+    c = spec.name
+    usable = list(spec.members)
+    if spec.refines:
+        parent = next(x for x in all_concepts if x.name == spec.refines)
+        usable = usable + parent.members
+    consts = [m for m in usable if m.shape == SHAPE_CONST]
+    binops = [m for m in usable if m.shape == SHAPE_BINOP]
+    unops = [m for m in usable if m.shape == SHAPE_UNOP]
+    preds = [m for m in usable if m.shape == SHAPE_PRED]
+    bodies = ["x"]
+    if binops:
+        bodies.append(f"{c}<t>.{binops[0].name}(x, x)")
+    if unops:
+        bodies.append(f"{c}<t>.{unops[0].name}(x)")
+    if consts:
+        bodies.append(f"{c}<t>.{consts[0].name}")
+    if preds and consts:
+        bodies.append(
+            f"if {c}<t>.{preds[0].name}(x) then x else {c}<t>.{consts[0].name}"
+        )
+    if binops and unops:
+        bodies.append(
+            f"{c}<t>.{binops[0].name}({c}<t>.{unops[0].name}(x), x)"
+        )
+    return bodies
+
+
+@st.composite
+def same_type_specs(draw) -> ProgramSpec:
+    """Programs exercising same-type constraints (Theorem 2 territory).
+
+    Builds k iterator-like parameters constrained pairwise equal on their
+    associated element types, with bodies that mix elements across the
+    parameters — ill-typed without the constraints, well-typed with them.
+    """
+    k = draw(st.integers(min_value=2, max_value=4))
+    assignment = draw(st.sampled_from(["int", "bool"]))
+    impl = draw(st.sampled_from(_ASSOC_IMPLS[assignment]))
+    vars_ = ", ".join(f"I{i}" for i in range(k))
+    reqs = ", ".join(f"It<I{i}>" for i in range(k))
+    sames = ", ".join(
+        f"It<I0>.elt == It<I{i}>.elt" for i in range(1, k)
+    )
+    params = ", ".join(f"x{i} : I{i}" for i in range(k))
+    # Element-type-agnostic mixing: cons every parameter's element onto one
+    # list at It<I0>.elt — exactly the use that *needs* the constraints.
+    body = "nil[It<I0>.elt]"
+    for i in reversed(range(k)):
+        body = f"cons[It<I0>.elt](It<I{i}>.get(x{i}), {body})"
+    tyargs = ", ".join("int" for _ in range(k))
+    args = ", ".join(str(draw(st.integers(min_value=-9, max_value=9)))
+                     for _ in range(k))
+    source = "\n".join(
+        [
+            "concept It<I> { types elt; get : fn(I) -> elt; } in",
+            f"let f = /\\{vars_} where {reqs}; {sames}.",
+            f"  \\{params}. {body} in",
+            f"model It<int> {{ types elt = {assignment}; get = {impl}; }} in",
+            f"f[{tyargs}]({args})",
+        ]
+    )
+    spec = ProgramSpec([], source=source)
+    return spec
+
+
+@st.composite
+def program_specs(draw) -> ProgramSpec:
+    n = draw(st.integers(min_value=1, max_value=3))
+    concepts: List[ConceptSpec] = []
+    for i in range(n):
+        prior = tuple(c.name for c in concepts)
+        concepts.append(draw(concept_specs(i, prior)))
+    spec = ProgramSpec(concepts)
+    spec.overlap = draw(st.booleans())
+
+    parts: List[str] = []
+    for c in concepts:
+        parts.append(c.decl())
+    for i, c in enumerate(concepts):
+        body = draw(st.sampled_from(_body_exprs(c, concepts)))
+        spec.bodies.append(body)
+        parts.append(
+            f"let f{i} = /\\t where {c.name}<t>. \\x : t. {body} in"
+        )
+    # Models must respect refinement order: declare in definition order.
+    for c in concepts:
+        parts.append(c.model())
+    calls = [f"f{i}[int]({draw(st.integers(min_value=-20, max_value=20))})"
+             for i in range(n)]
+    # Optionally shadow the last concept's model locally and call again.
+    if spec.overlap:
+        last = concepts[-1]
+        shadow = ConceptSpec(
+            last.name,
+            [
+                MemberSpec(
+                    m.name, m.shape,
+                    draw(st.sampled_from(_INT_IMPLS[m.shape])),
+                )
+                for m in last.members
+            ],
+            last.refines,
+            last.assoc,
+            last.assoc_assignment,
+            last.assoc_member,
+        )
+        calls.append(
+            "(" + shadow.model().removesuffix(" in")
+            + f" in f{n - 1}[int](3))"
+        )
+    # Use assoc accessors where present (exercises representatives).
+    for i, c in enumerate(concepts):
+        if c.assoc_member:
+            calls.append(f"{c.name}<int>.{c.assoc_member.name}(4)")
+    parts.append("(" + ", ".join(calls) + ")" if len(calls) > 1 else calls[0])
+    spec.source = "\n".join(parts)
+    return spec

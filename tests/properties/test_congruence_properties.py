@@ -1,0 +1,168 @@
+"""Property-based tests for the congruence-closure solver (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fg import ast as G
+from repro.fg.congruence import CongruenceSolver
+
+# -- type term strategies ----------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d", "e"])
+_concepts = st.sampled_from(["C", "D"])
+_members = st.sampled_from(["s", "u"])
+
+
+def _types(max_depth=3):
+    base = st.one_of(
+        _names.map(G.TVar),
+        st.just(G.INT),
+        st.just(G.BOOL),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(G.TList),
+            st.tuples(children, children).map(
+                lambda pair: G.TFn((pair[0],), pair[1])
+            ),
+            st.tuples(_concepts, children, _members).map(
+                lambda t: G.TAssoc(t[0], (t[1],), t[2])
+            ),
+            st.tuples(children, children).map(
+                lambda pair: G.TTuple(pair)
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+_equations = st.lists(st.tuples(_types(), _types()), min_size=0, max_size=6)
+
+
+def _solver(equations):
+    s = CongruenceSolver()
+    for left, right in equations:
+        s.merge(left, right)
+    return s
+
+
+# -- equivalence-relation laws ------------------------------------------------
+
+
+@given(_equations, _types())
+@settings(max_examples=200, deadline=None)
+def test_reflexive(eqs, t):
+    assert _solver(eqs).equal(t, t)
+
+
+@given(_equations, _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_symmetric(eqs, a, b):
+    s = _solver(eqs)
+    assert s.equal(a, b) == s.equal(b, a)
+
+
+@given(_equations, _types(), _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_transitive(eqs, a, b, c):
+    s = _solver(eqs)
+    if s.equal(a, b) and s.equal(b, c):
+        assert s.equal(a, c)
+
+
+@given(_equations, _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_merge_establishes_equality(eqs, a, b):
+    s = _solver(eqs)
+    s.merge(a, b)
+    assert s.equal(a, b)
+
+
+@given(_equations, _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_congruence_under_list(eqs, a, b):
+    s = _solver(eqs)
+    if s.equal(a, b):
+        assert s.equal(G.TList(a), G.TList(b))
+
+
+@given(_equations, _types(), _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_congruence_under_fn(eqs, a, b, c):
+    s = _solver(eqs)
+    if s.equal(a, b):
+        assert s.equal(G.TFn((a,), c), G.TFn((b,), c))
+        assert s.equal(G.TFn((c,), a), G.TFn((c,), b))
+
+
+@given(_equations, _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_congruence_under_assoc(eqs, a, b):
+    s = _solver(eqs)
+    if s.equal(a, b):
+        assert s.equal(
+            G.TAssoc("It", (a,), "elt"), G.TAssoc("It", (b,), "elt")
+        )
+
+
+@given(_equations)
+@settings(max_examples=200, deadline=None)
+def test_asserted_equations_hold(eqs):
+    s = _solver(eqs)
+    for left, right in eqs:
+        assert s.equal(left, right)
+
+
+@given(_equations)
+@settings(max_examples=100, deadline=None)
+def test_merge_order_irrelevant(eqs):
+    forward = _solver(eqs)
+    backward = _solver(list(reversed(eqs)))
+    for left, right in eqs:
+        assert forward.equal(left, right)
+        assert backward.equal(left, right)
+    # Compare the relation on all mentioned subterms.
+    mentioned = [t for pair in eqs for t in pair]
+    for x in mentioned:
+        for y in mentioned:
+            assert forward.equal(x, y) == backward.equal(x, y)
+
+
+# -- representative laws -----------------------------------------------------
+
+
+@given(_equations, _types())
+@settings(max_examples=200, deadline=None)
+def test_representative_in_class(eqs, t):
+    s = _solver(eqs)
+    rep = s.representative(t)
+    assert s.equal(rep, t)
+
+
+@given(_equations, _types())
+@settings(max_examples=200, deadline=None)
+def test_representative_idempotent(eqs, t):
+    s = _solver(eqs)
+    rep = s.representative(t)
+    assert s.representative(rep) == rep
+
+
+@given(_equations, _types(), _types())
+@settings(max_examples=200, deadline=None)
+def test_equal_terms_same_representative(eqs, a, b):
+    s = _solver(eqs)
+    if s.equal(a, b):
+        assert s.representative(a) == s.representative(b)
+
+
+@given(_equations, _types())
+@settings(max_examples=100, deadline=None)
+def test_no_interleaved_state_leak(eqs, t):
+    # Querying must not change the relation.
+    s = _solver(eqs)
+    before = [s.equal(left, right) for left, right in eqs]
+    s.representative(t)
+    s.equal(t, G.INT)
+    after = [s.equal(left, right) for left, right in eqs]
+    assert before == after

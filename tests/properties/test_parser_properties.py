@@ -1,0 +1,82 @@
+"""Property-based round trips: pretty-print then parse is the identity."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fg import ast as G
+from repro.fg.pretty import pretty_type as fg_pretty
+from repro.syntax import parse_f_type, parse_fg_type
+from repro.systemf import ast as F
+from repro.systemf.pretty import pretty_type as f_pretty
+
+_names = st.sampled_from(["a", "b", "c", "elt", "t1"])
+_concepts = st.sampled_from(["Iterator", "Monoid", "C"])
+_members = st.sampled_from(["elt", "value"])
+
+
+def fg_types():
+    base = st.one_of(
+        _names.map(G.TVar),
+        st.just(G.INT),
+        st.just(G.BOOL),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(G.TList),
+            st.lists(children, min_size=0, max_size=3).flatmap(
+                lambda ps: children.map(
+                    lambda r: G.TFn(tuple(ps), r)
+                )
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda items: G.TTuple(tuple(items))
+            ),
+            st.tuples(_concepts, children, _members).map(
+                lambda t: G.TAssoc(t[0], (t[1],), t[2])
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=10)
+
+
+def f_types():
+    base = st.one_of(
+        _names.map(F.TVar),
+        st.just(F.INT),
+        st.just(F.BOOL),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(F.TList),
+            st.lists(children, min_size=0, max_size=3).flatmap(
+                lambda ps: children.map(lambda r: F.TFn(tuple(ps), r))
+            ),
+            st.lists(children, min_size=1, max_size=3).map(
+                lambda items: F.TTuple(tuple(items))
+            ),
+            children.map(lambda b: F.TForall(("q",), b)),
+        )
+
+    return st.recursive(base, extend, max_leaves=10)
+
+
+@given(fg_types())
+@settings(max_examples=300, deadline=None)
+def test_fg_type_roundtrip(t):
+    assert parse_fg_type(fg_pretty(t)) == t
+
+
+@given(f_types())
+@settings(max_examples=300, deadline=None)
+def test_f_type_roundtrip(t):
+    assert parse_f_type(f_pretty(t)) == t
+
+
+@given(f_types())
+@settings(max_examples=200, deadline=None)
+def test_f_pretty_stable(t):
+    # pretty . parse . pretty == pretty
+    once = f_pretty(t)
+    assert f_pretty(parse_f_type(once)) == once

@@ -1,0 +1,50 @@
+"""Pretty/parse round trips for the extension syntax (section 6 forms)."""
+
+import pytest
+
+from repro.fg.pretty import pretty_term
+from repro.syntax import parse_fg
+
+EXT_TERMS = [
+    # Named model + use.
+    "model m = C<int> { op = iadd; } in use m in C<int>.op(1, 2)",
+    # Parameterized model, plain and constrained.
+    "model forall t. C<list t> { op = f; } in 0",
+    "model forall t where D<t>. C<list t> { op = f; } in 0",
+    # Concept-member default.
+    r"concept Eq<t> { eq : fn(t, t) -> bool; "
+    r"neq : fn(t, t) -> bool = \x : t, y : t. bnot(Eq<t>.eq(x, y)); } in 0",
+    # Overload with two alternatives.
+    r"overload f { /\t where A<t>. \x : t. x; "
+    r"/\t where B<t>. \x : t. x; } in f[int](1)",
+    # Nested requirement in a concept.
+    "concept Container<X> { types iterator; require Iterator<iterator>; "
+    "begin : fn(X) -> iterator; } in 0",
+]
+
+
+@pytest.mark.parametrize("text", EXT_TERMS)
+def test_extension_roundtrip(text):
+    parsed = parse_fg(text)
+    printed = pretty_term(parsed)
+    assert parse_fg(printed) == parsed
+
+
+def test_named_model_renders_name():
+    printed = pretty_term(parse_fg("model m = C<int> { op = iadd; } in 0"))
+    assert "model m = C<int>" in printed
+
+
+def test_overload_renders_alternatives():
+    printed = pretty_term(
+        parse_fg(r"overload f { /\t where A<t>. \x : t. x; } in 0")
+    )
+    assert printed.startswith("overload f {")
+    assert "where A<t>" in printed
+
+
+def test_default_renders_inline():
+    printed = pretty_term(
+        parse_fg(r"concept C<t> { op : fn(t) -> t = \x : t. x; } in 0")
+    )
+    assert "op : fn(t) -> t = " in printed

@@ -1,0 +1,217 @@
+"""Unit tests for the F_G parser: AST shapes and error reporting."""
+
+import pytest
+
+from repro.diagnostics.errors import ParseError
+from repro.fg import ast as G
+from repro.syntax import parse_fg, parse_fg_type
+
+
+class TestTypes:
+    def test_base_types(self):
+        assert parse_fg_type("int") == G.INT
+        assert parse_fg_type("bool") == G.BOOL
+        assert parse_fg_type("unit") == G.TTuple(())
+
+    def test_type_variable(self):
+        assert parse_fg_type("t") == G.TVar("t")
+
+    def test_list(self):
+        assert parse_fg_type("list int") == G.TList(G.INT)
+        assert parse_fg_type("list list t") == G.TList(G.TList(G.TVar("t")))
+
+    def test_fn(self):
+        assert parse_fg_type("fn(int, bool) -> int") == G.TFn(
+            (G.INT, G.BOOL), G.INT
+        )
+
+    def test_fn_zero_params(self):
+        assert parse_fg_type("fn() -> int") == G.TFn((), G.INT)
+
+    def test_tuple(self):
+        assert parse_fg_type("(int * bool)") == G.TTuple((G.INT, G.BOOL))
+
+    def test_parens_group(self):
+        assert parse_fg_type("(int)") == G.INT
+
+    def test_assoc_type(self):
+        t = parse_fg_type("Iterator<Iter>.elt")
+        assert t == G.TAssoc("Iterator", (G.TVar("Iter"),), "elt")
+
+    def test_nested_assoc_type(self):
+        # A bare C<...> is requirement syntax (where clauses only); in type
+        # position an associated type needs its member, so probe the nested
+        # form through a fn type.
+        t = parse_fg_type("fn(Iterator<I>.elt) -> Iterator<I>.elt")
+        assert isinstance(t, G.TFn)
+        assert t.params[0] == G.TAssoc("Iterator", (G.TVar("I"),), "elt")
+
+    def test_forall_plain(self):
+        t = parse_fg_type("forall t. fn(t) -> t")
+        assert t == G.TForall(
+            ("t",), (), (), G.TFn((G.TVar("t"),), G.TVar("t"))
+        )
+
+    def test_forall_with_requirements(self):
+        t = parse_fg_type("forall t where Monoid<t>. fn(t) -> t")
+        assert t.requirements == (G.ConceptReq("Monoid", (G.TVar("t"),)),)
+
+    def test_forall_with_same_type(self):
+        t = parse_fg_type(
+            "forall a, b where Iterator<a>, Iterator<b>; "
+            "Iterator<a>.elt == Iterator<b>.elt. fn(a) -> b"
+        )
+        assert len(t.requirements) == 2
+        assert len(t.same_types) == 1
+        same = t.same_types[0]
+        assert same.left == G.TAssoc("Iterator", (G.TVar("a"),), "elt")
+
+
+class TestTerms:
+    def test_literals(self):
+        assert parse_fg("42") == G.IntLit(value=42)
+        assert parse_fg("true") == G.BoolLit(value=True)
+
+    def test_lambda(self):
+        t = parse_fg(r"\x : int. x")
+        assert isinstance(t, G.Lam)
+        assert t.params == (("x", G.INT),)
+
+    def test_multi_param_lambda(self):
+        t = parse_fg(r"\x : int, y : bool. x")
+        assert len(t.params) == 2
+
+    def test_application_chain(self):
+        t = parse_fg("f(1)(2)")
+        assert isinstance(t, G.App)
+        assert isinstance(t.fn, G.App)
+
+    def test_instantiation(self):
+        t = parse_fg("f[int, bool]")
+        assert isinstance(t, G.TyApp)
+        assert t.args == (G.INT, G.BOOL)
+
+    def test_member_access(self):
+        t = parse_fg("Monoid<int>.binary_op")
+        assert t == G.MemberAccess(concept="Monoid", args=(G.INT,), member="binary_op")
+
+    def test_member_access_called(self):
+        t = parse_fg("Monoid<int>.binary_op(1, 2)")
+        assert isinstance(t, G.App)
+        assert isinstance(t.fn, G.MemberAccess)
+
+    def test_tylam_where_dot_boundary(self):
+        # The '.' ends the where clause; the body begins with an identifier.
+        t = parse_fg(r"/\t where Monoid<t>. x")
+        assert isinstance(t, G.TyLam)
+        assert isinstance(t.body, G.Var)
+
+    def test_tuple_and_nth(self):
+        t = parse_fg("(nth (1, 2) 0)")
+        assert isinstance(t, G.Nth)
+
+    def test_one_tuple_trailing_comma(self):
+        t = parse_fg("(1,)")
+        assert isinstance(t, G.Tuple_)
+        assert len(t.items) == 1
+
+    def test_type_alias(self):
+        t = parse_fg("type pair = (int * int) in x")
+        assert isinstance(t, G.TypeAlias)
+        assert t.aliased == G.TTuple((G.INT, G.INT))
+
+    def test_if_fix_let(self):
+        t = parse_fg(r"let f = fix (\g : fn(int) -> int. g) in if true then f(1) else 2")
+        assert isinstance(t, G.Let)
+
+
+class TestDeclarations:
+    def test_concept_full(self):
+        t = parse_fg(
+            """
+            concept C<a, b> {
+              types s, u;
+              refines D<a>;
+              require E<s>;
+              op : fn(a, b) -> s;
+              require s == u;
+            } in 0
+            """
+        )
+        cdef = t.concept
+        assert cdef.params == ("a", "b")
+        assert cdef.assoc_types == ("s", "u")
+        assert cdef.refines == (G.ConceptReq("D", (G.TVar("a"),)),)
+        assert cdef.nested == (G.ConceptReq("E", (G.TVar("s"),)),)
+        assert cdef.members[0][0] == "op"
+        assert cdef.same_types == (G.SameType(G.TVar("s"), G.TVar("u")),)
+
+    def test_concept_member_default(self):
+        t = parse_fg(
+            r"concept C<t> { op : fn(t) -> t = \x : t. x; } in 0"
+        )
+        assert t.concept.defaults[0][0] == "op"
+
+    def test_model_full(self):
+        t = parse_fg(
+            r"""
+            model Iterator<list int> {
+              types elt = int;
+              next = \ls : list int. cdr[int](ls);
+              curr = \ls : list int. car[int](ls);
+              at_end = \ls : list int. null[int](ls);
+            } in 0
+            """
+        )
+        mdef = t.model
+        assert mdef.concept == "Iterator"
+        assert mdef.type_assignments == (("elt", G.INT),)
+        assert len(mdef.member_defs) == 3
+
+    def test_named_model(self):
+        from repro.extensions.ast import NamedModelExpr
+
+        t = parse_fg("model m = C<int> { op = iadd; } in 0")
+        assert isinstance(t, NamedModelExpr)
+        assert t.name == "m"
+
+    def test_use(self):
+        from repro.extensions.ast import UseModelsExpr
+
+        t = parse_fg("use m1, m2 in 0")
+        assert isinstance(t, UseModelsExpr)
+        assert t.names == ("m1", "m2")
+
+    def test_parameterized_model(self):
+        from repro.extensions.ast import ParamModelExpr
+
+        t = parse_fg(
+            "model forall t where C<t>. C<list t> { op = iadd; } in 0"
+        )
+        assert isinstance(t, ParamModelExpr)
+        assert t.vars == ("t",)
+        assert t.requirements == (G.ConceptReq("C", (G.TVar("t"),)),)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let x = in x",
+            r"\x. x",  # missing annotation
+            "concept C<> { } in 0",
+            "model C<int> { op = ; } in 0",
+            "f(1",
+            "if true then 1",
+            "1 2",  # trailing garbage
+            "Monoid<int>.",
+        ],
+    )
+    def test_rejected(self, src):
+        with pytest.raises(ParseError):
+            parse_fg(src)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_fg("let x =\n  in x")
+        assert "2:" in str(excinfo.value)

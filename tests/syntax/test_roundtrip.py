@@ -1,0 +1,94 @@
+"""Pretty-printer / parser round trips for both languages."""
+
+import pytest
+
+from repro.fg import pretty_term as fg_pretty_term
+from repro.fg import pretty_type as fg_pretty_type
+from repro.syntax import parse_f, parse_fg, parse_fg_type
+from repro.systemf import pretty_term as f_pretty_term
+
+FG_TYPES = [
+    "int",
+    "bool",
+    "list int",
+    "fn(int, bool) -> list int",
+    "(int * bool)",
+    "Iterator<t>.elt",
+    "fn(Iterator<a>.elt) -> Iterator<b>.elt",
+    "forall t. fn(t) -> t",
+    "forall t where Monoid<t>. fn(list t) -> t",
+    "forall a, b where Iterator<a>, Iterator<b>; "
+    "Iterator<a>.elt == Iterator<b>.elt. fn(a, b) -> bool",
+]
+
+
+@pytest.mark.parametrize("text", FG_TYPES)
+def test_fg_type_roundtrip(text):
+    parsed = parse_fg_type(text)
+    assert parse_fg_type(fg_pretty_type(parsed)) == parsed
+
+
+FG_TERMS = [
+    "42",
+    "true",
+    r"\x : int. x",
+    r"/\t where Monoid<t>. \x : t. Monoid<t>.binary_op(x, x)",
+    "let x = 1 in iadd(x, 2)",
+    "f[int](1, 2)",
+    "(1, true, nil[int])",
+    "(nth (1, 2) 1)",
+    "if ilt(1, 2) then 1 else 2",
+    r"fix (\f : fn(int) -> int. f)",
+    "type pair = (int * int) in 0",
+    "concept C<t> { types s; refines D<t>; op : fn(t) -> s; } in 0",
+    "model C<int> { types s = bool; op = f; } in 0",
+    r"concept C<a, b> { op : fn(a) -> b; } in "
+    r"model C<int, bool> { op = \x : int. ilt(x, 0); } in "
+    r"C<int, bool>.op(3)",
+]
+
+
+@pytest.mark.parametrize("text", FG_TERMS)
+def test_fg_term_roundtrip(text):
+    parsed = parse_fg(text)
+    printed = fg_pretty_term(parsed)
+    assert parse_fg(printed) == parsed
+
+
+F_TERMS = [
+    "42",
+    r"\x : int. x",
+    r"/\a, b. \x : a, y : b. (x, y)",
+    "let d = (iadd, 0) in (nth d 1)",
+    "cons[int](1, nil[int])",
+    "if true then 1 else 2",
+    r"fix (\f : fn(int) -> int. f)",
+]
+
+
+@pytest.mark.parametrize("text", F_TERMS)
+def test_f_term_roundtrip(text):
+    parsed = parse_f(text)
+    printed = f_pretty_term(parsed)
+    assert parse_f(printed) == parsed
+
+
+def test_translated_program_reparses():
+    """The System F image of an F_G program is printable and reparsable
+    when dictionary names are sanitized (the default names contain '%')."""
+    from repro.fg import typecheck
+
+    src = r"""
+    concept Magma<t> { op : fn(t, t) -> t; } in
+    let twice = /\t where Magma<t>. \x : t. Magma<t>.op(x, x) in
+    model Magma<int> { op = iadd; } in
+    twice[int](21)
+    """
+    _, sf = typecheck(parse_fg(src))
+    printed = f_pretty_term(sf)
+    sanitized = printed.replace("%", "_")
+    reparsed = parse_f(sanitized)
+    from repro.systemf import evaluate, type_of
+
+    type_of(reparsed)
+    assert evaluate(reparsed) == 42

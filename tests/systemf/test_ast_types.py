@@ -1,0 +1,116 @@
+"""Unit tests for System F type operations: free vars, substitution, alpha."""
+
+from repro.systemf.ast import (
+    BOOL,
+    INT,
+    TFn,
+    TForall,
+    TList,
+    TTuple,
+    TVar,
+    free_type_vars,
+    substitute,
+    types_equal,
+)
+
+
+class TestFreeTypeVars:
+    def test_var_is_free(self):
+        assert free_type_vars(TVar("a")) == {"a"}
+
+    def test_base_has_none(self):
+        assert free_type_vars(INT) == frozenset()
+
+    def test_fn_collects_params_and_result(self):
+        t = TFn((TVar("a"), TVar("b")), TVar("c"))
+        assert free_type_vars(t) == {"a", "b", "c"}
+
+    def test_forall_binds(self):
+        t = TForall(("a",), TFn((TVar("a"),), TVar("b")))
+        assert free_type_vars(t) == {"b"}
+
+    def test_nested_forall(self):
+        t = TForall(("a",), TForall(("b",), TFn((TVar("a"),), TVar("b"))))
+        assert free_type_vars(t) == frozenset()
+
+    def test_tuple_and_list(self):
+        t = TTuple((TList(TVar("x")), TVar("y")))
+        assert free_type_vars(t) == {"x", "y"}
+
+
+class TestSubstitute:
+    def test_hit(self):
+        assert substitute(TVar("a"), {"a": INT}) == INT
+
+    def test_miss(self):
+        assert substitute(TVar("a"), {"b": INT}) == TVar("a")
+
+    def test_under_fn(self):
+        t = TFn((TVar("a"),), TVar("a"))
+        assert substitute(t, {"a": BOOL}) == TFn((BOOL,), BOOL)
+
+    def test_shadowed_not_substituted(self):
+        t = TForall(("a",), TVar("a"))
+        assert substitute(t, {"a": INT}) == t
+
+    def test_capture_avoided(self):
+        # [b -> a] (forall a. fn(a) -> b) must NOT capture the free a.
+        t = TForall(("a",), TFn((TVar("a"),), TVar("b")))
+        result = substitute(t, {"b": TVar("a")})
+        assert isinstance(result, TForall)
+        bound = result.vars[0]
+        assert bound != "a"
+        assert result.body == TFn((TVar(bound),), TVar("a"))
+
+    def test_simultaneous(self):
+        t = TFn((TVar("a"),), TVar("b"))
+        out = substitute(t, {"a": TVar("b"), "b": TVar("a")})
+        assert out == TFn((TVar("b"),), TVar("a"))
+
+    def test_empty_subst_is_identity(self):
+        t = TForall(("a",), TList(TVar("a")))
+        assert substitute(t, {}) is t
+
+
+class TestAlphaEquality:
+    def test_reflexive(self):
+        t = TForall(("a",), TFn((TVar("a"),), TVar("a")))
+        assert types_equal(t, t)
+
+    def test_renamed_binders_equal(self):
+        t1 = TForall(("a",), TFn((TVar("a"),), TVar("a")))
+        t2 = TForall(("b",), TFn((TVar("b"),), TVar("b")))
+        assert types_equal(t1, t2)
+
+    def test_different_structure_unequal(self):
+        t1 = TForall(("a",), TVar("a"))
+        t2 = TForall(("a",), TList(TVar("a")))
+        assert not types_equal(t1, t2)
+
+    def test_free_vars_compared_by_name(self):
+        assert types_equal(TVar("x"), TVar("x"))
+        assert not types_equal(TVar("x"), TVar("y"))
+
+    def test_bound_vs_free_not_confused(self):
+        # forall a. a  vs  forall a. b — different.
+        t1 = TForall(("a",), TVar("a"))
+        t2 = TForall(("a",), TVar("b"))
+        assert not types_equal(t1, t2)
+
+    def test_binder_count_matters(self):
+        t1 = TForall(("a", "b"), TVar("a"))
+        t2 = TForall(("a",), TVar("a"))
+        assert not types_equal(t1, t2)
+
+    def test_swapped_binders_unequal(self):
+        t1 = TForall(("a", "b"), TFn((TVar("a"),), TVar("b")))
+        t2 = TForall(("a", "b"), TFn((TVar("b"),), TVar("a")))
+        assert not types_equal(t1, t2)
+
+    def test_mixed_depth_binding(self):
+        t1 = TForall(("a",), TForall(("b",), TFn((TVar("a"),), TVar("b"))))
+        t2 = TForall(("b",), TForall(("a",), TFn((TVar("b"),), TVar("a"))))
+        assert types_equal(t1, t2)
+
+    def test_tuple_arity(self):
+        assert not types_equal(TTuple((INT,)), TTuple((INT, INT)))

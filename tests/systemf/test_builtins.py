@@ -1,0 +1,62 @@
+"""Consistency of the builtin tables (types vs. implementations)."""
+
+import pytest
+
+from repro.systemf import ast as F
+from repro.systemf.builtins import (
+    BUILTIN_IMPLS,
+    BUILTIN_TYPES,
+    make_prim_values,
+)
+
+
+class TestTableConsistency:
+    def test_same_names(self):
+        assert set(BUILTIN_TYPES) == set(BUILTIN_IMPLS)
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_TYPES))
+    def test_arity_matches_type(self, name):
+        t = BUILTIN_TYPES[name]
+        arity, _ = BUILTIN_IMPLS[name]
+        if isinstance(t, F.TForall):
+            t = t.body
+        if isinstance(t, F.TFn):
+            assert arity == len(t.params), name
+        else:
+            assert arity == 0, name
+
+    def test_prim_values_fresh(self):
+        a = make_prim_values()
+        b = make_prim_values()
+        assert a is not b
+        assert set(a) == set(BUILTIN_TYPES)
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_IMPLS))
+    def test_impl_callable_at_arity(self, name):
+        arity, fn = BUILTIN_IMPLS[name]
+        samples = {0: [], 1: [1], 2: [1, 2]}[arity]
+        if name in ("car", "cdr"):
+            samples = [[1, 2]]
+        elif name == "cons":
+            samples = [0, [1]]
+        elif name == "null":
+            samples = [[]]
+        fn(*samples)  # must not raise
+
+
+class TestPolymorphicBuiltins:
+    def test_nil_type(self):
+        t = BUILTIN_TYPES["nil"]
+        assert isinstance(t, F.TForall)
+        assert t.body == F.TList(F.TVar(t.vars[0]))
+
+    def test_cons_type(self):
+        t = BUILTIN_TYPES["cons"]
+        assert isinstance(t, F.TForall)
+        v = F.TVar(t.vars[0])
+        assert t.body == F.TFn((v, F.TList(v)), F.TList(v))
+
+    def test_fg_builtin_mirror(self):
+        from repro.fg.env import FG_BUILTIN_TYPES
+
+        assert set(FG_BUILTIN_TYPES) == set(BUILTIN_TYPES)

@@ -1,0 +1,141 @@
+"""Unit tests for the System F call-by-value evaluator."""
+
+import pytest
+
+from repro.diagnostics.errors import EvalError
+from repro.syntax import parse_f
+from repro.systemf import evaluate, type_of
+
+
+def run(src: str):
+    term = parse_f(src)
+    type_of(term)  # evaluation is only defined for well-typed terms
+    return evaluate(term)
+
+
+class TestBasics:
+    def test_literal(self):
+        assert run("42") == 42
+
+    def test_arithmetic(self):
+        assert run("iadd(40, 2)") == 42
+        assert run("isub(50, 8)") == 42
+        assert run("imult(6, 7)") == 42
+        assert run("idiv(85, 2)") == 42
+        assert run("imod(142, 100)") == 42
+        assert run("ineg(-42)") == 42
+        assert run("imin(42, 50)") == 42
+        assert run("imax(42, 7)") == 42
+
+    def test_comparisons(self):
+        assert run("ilt(1, 2)") is True
+        assert run("ile(2, 2)") is True
+        assert run("igt(1, 2)") is False
+        assert run("ige(2, 3)") is False
+        assert run("ieq(5, 5)") is True
+        assert run("ineq(5, 5)") is False
+
+    def test_booleans(self):
+        assert run("band(true, false)") is False
+        assert run("bor(true, false)") is True
+        assert run("bnot(false)") is True
+        assert run("beq(true, true)") is True
+
+    def test_lambda_application(self):
+        assert run(r"(\x : int, y : int. isub(x, y))(50, 8)") == 42
+
+    def test_closure_captures(self):
+        assert run(r"let y = 40 in (\x : int. iadd(x, y))(2)") == 42
+
+    def test_let(self):
+        assert run("let x = 21 in iadd(x, x)") == 42
+
+    def test_if(self):
+        assert run("if ilt(1, 2) then 42 else 0") == 42
+
+    def test_if_lazy_branches(self):
+        # The untaken branch must not run: car of nil would raise.
+        assert run("if true then 1 else car[int](nil[int])") == 1
+
+
+class TestLists:
+    def test_nil_and_cons(self):
+        assert run("nil[int]") == []
+        assert run("cons[int](1, cons[int](2, nil[int]))") == [1, 2]
+
+    def test_car_cdr_null(self):
+        assert run("car[int](cons[int](7, nil[int]))") == 7
+        assert run("cdr[int](cons[int](7, nil[int]))") == []
+        assert run("null[int](nil[int])") is True
+        assert run("null[int](cons[int](1, nil[int]))") is False
+
+    def test_car_of_nil_raises(self):
+        with pytest.raises(EvalError):
+            run("car[int](nil[int])")
+
+    def test_cdr_of_nil_raises(self):
+        with pytest.raises(EvalError):
+            run("cdr[int](nil[int])")
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            run("idiv(1, 0)")
+
+
+class TestPolymorphism:
+    def test_identity(self):
+        assert run(r"(/\t. \x : t. x)[int](42)") == 42
+
+    def test_type_application_erases(self):
+        assert run(r"(/\t. 42)[bool]") == 42
+
+    def test_polymorphic_constant(self):
+        assert run(r"let empty = /\t. nil[t] in empty[int]") == []
+
+
+class TestFixAndRecursion:
+    def test_factorial(self):
+        src = r"""
+        let fact = fix (\f : fn(int) -> int.
+          \n : int. if ile(n, 1) then 1 else imult(n, f(isub(n, 1)))) in
+        fact(6)
+        """
+        assert run(src) == 720
+
+    def test_mutualish_recursion_via_tuple_of_args(self):
+        src = r"""
+        let even = fix (\e : fn(int) -> bool.
+          \n : int. if ieq(n, 0) then true else bnot(e(isub(n, 1)))) in
+        (even(10), even(7))
+        """
+        assert run(src) == (True, False)
+
+    def test_figure3_sum(self):
+        src = r"""
+        let sum = /\t. fix (\s : fn(list t, fn(t, t) -> t, t) -> t.
+          \ls : list t, add : fn(t, t) -> t, zero : t.
+            if null[t](ls) then zero
+            else add(car[t](ls), s(cdr[t](ls), add, zero))) in
+        sum[int](cons[int](1, cons[int](2, nil[int])), iadd, 0)
+        """
+        assert run(src) == 3
+
+    def test_deep_recursion_ok(self):
+        src = r"""
+        let count = fix (\c : fn(int) -> int.
+          \n : int. if ieq(n, 0) then 0 else iadd(1, c(isub(n, 1)))) in
+        count(400)
+        """
+        assert run(src) == 400
+
+
+class TestTuples:
+    def test_tuple_value(self):
+        assert run("(1, true, nil[int])") == (1, True, [])
+
+    def test_nth(self):
+        assert run("(nth (10, 20, 30) 2)") == 30
+
+    def test_dictionary_projection(self):
+        src = "let sg = (iadd,) in let m = (sg, 0) in (nth (nth m 0) 0)(40, 2)"
+        assert run(src) == 42

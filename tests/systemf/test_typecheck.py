@@ -1,0 +1,191 @@
+"""Unit tests for the System F typechecker (one class per rule group)."""
+
+import pytest
+
+from repro.diagnostics.errors import TypeError_
+from repro.syntax import parse_f, parse_f_type
+from repro.systemf import pretty_type, type_of
+from repro.systemf.ast import BOOL, INT, TFn, TForall, TList, TVar
+
+
+def check(src: str) -> str:
+    return pretty_type(type_of(parse_f(src)))
+
+
+def reject(src: str) -> TypeError_:
+    with pytest.raises(TypeError_) as excinfo:
+        type_of(parse_f(src))
+    return excinfo.value
+
+
+class TestLiteralsAndVars:
+    def test_int_literal(self):
+        assert check("42") == "int"
+
+    def test_negative_literal(self):
+        assert check("-7") == "int"
+
+    def test_bool_literals(self):
+        assert check("true") == "bool"
+        assert check("false") == "bool"
+
+    def test_builtin_constant(self):
+        assert check("iadd") == "fn(int, int) -> int"
+
+    def test_unbound_variable(self):
+        err = reject("no_such_thing")
+        assert "unbound variable" in err.message
+
+
+class TestLambdaAndApplication:
+    def test_identity(self):
+        assert check(r"\x : int. x") == "fn(int) -> int"
+
+    def test_multi_param(self):
+        assert check(r"\x : int, y : bool. y") == "fn(int, bool) -> bool"
+
+    def test_application(self):
+        assert check(r"(\x : int. x)(5)") == "int"
+
+    def test_builtin_application(self):
+        assert check("iadd(1, 2)") == "int"
+
+    def test_arity_mismatch(self):
+        err = reject("iadd(1)")
+        assert "arity" in err.message
+
+    def test_argument_type_mismatch(self):
+        err = reject("iadd(1, true)")
+        assert "expected int" in err.message
+
+    def test_apply_non_function(self):
+        err = reject("5(1)")
+        assert "non-function" in err.message
+
+    def test_unbound_type_in_annotation(self):
+        err = reject(r"\x : t. x")
+        assert "unbound type variable" in err.message
+
+    def test_shadowing(self):
+        assert check(r"\x : int. (\x : bool. x)(true)") == "fn(int) -> bool"
+
+
+class TestPolymorphism:
+    def test_tylam(self):
+        assert check(r"/\t. \x : t. x") == "forall t. fn(t) -> t"
+
+    def test_tyapp(self):
+        assert check(r"(/\t. \x : t. x)[int]") == "fn(int) -> int"
+
+    def test_tyapp_substitutes(self):
+        assert check(r"(/\t. \x : list t. x)[bool]") == "fn(list bool) -> list bool"
+
+    def test_multi_tyvars(self):
+        src = r"(/\a, b. \x : a, y : b. x)[int, bool]"
+        assert check(src) == "fn(int, bool) -> int"
+
+    def test_tyapp_arity_mismatch(self):
+        err = reject(r"(/\a, b. \x : a. x)[int]")
+        assert "type-arity" in err.message
+
+    def test_tyapp_non_polymorphic(self):
+        err = reject("5[int]")
+        assert "non-polymorphic" in err.message
+
+    def test_duplicate_type_param(self):
+        with pytest.raises(TypeError_):
+            from repro.systemf.ast import IntLit, TyLam
+
+            type_of(TyLam(vars=("t", "t"), body=IntLit(value=1)))
+
+    def test_polymorphic_builtin(self):
+        assert check("cons[int]") == "fn(int, list int) -> list int"
+        assert check("nil[bool]") == "list bool"
+
+    def test_inner_polymorphism(self):
+        src = r"\f : forall t. fn(t) -> t. f[int](3)"
+        assert check(src) == "fn(forall t. fn(t) -> t) -> int"
+
+
+class TestLetTuplesControl:
+    def test_let(self):
+        assert check("let x = 41 in iadd(x, 1)") == "int"
+
+    def test_let_shadows(self):
+        assert check("let x = 1 in let x = true in x") == "bool"
+
+    def test_tuple(self):
+        assert check("(1, true)") == "(int * bool)"
+
+    def test_nth(self):
+        assert check("(nth (1, true) 1)") == "bool"
+
+    def test_nth_out_of_range(self):
+        err = reject("(nth (1, true) 2)")
+        assert "out of range" in err.message
+
+    def test_nth_non_tuple(self):
+        err = reject("(nth 5 0)")
+        assert "non-tuple" in err.message
+
+    def test_nested_tuple(self):
+        assert check("(nth (nth ((1, 2), true) 0) 1)") == "int"
+
+    def test_if(self):
+        assert check("if true then 1 else 2") == "int"
+
+    def test_if_non_bool_condition(self):
+        err = reject("if 1 then 1 else 2")
+        assert "condition" in err.message
+
+    def test_if_branch_mismatch(self):
+        err = reject("if true then 1 else false")
+        assert "disagree" in err.message
+
+
+class TestFix:
+    def test_fix_type(self):
+        src = r"fix (\f : fn(int) -> int. \n : int. n)"
+        assert check(src) == "fn(int) -> int"
+
+    def test_fix_requires_fn_to_fn(self):
+        err = reject(r"fix (\n : int. n)")
+        assert "fix" in err.message
+
+    def test_fix_requires_function_result(self):
+        err = reject(r"fix (\f : int. f)")
+        assert "fix" in err.message
+
+    def test_fix_mismatched_domain(self):
+        err = reject(r"fix (\f : fn(int) -> int. \b : bool. 1)")
+        assert "fix" in err.message
+
+
+class TestDictionaryShapes:
+    """Tuples-as-dictionaries (Figure 7) typecheck as expected."""
+
+    def test_nested_dictionary_type(self):
+        src = "let sg = (iadd,) in let m = (sg, 0) in m"
+        assert check(src) == "(((fn(int, int) -> int) *) * int)"
+
+    def test_member_projection(self):
+        src = "let sg = (iadd,) in let m = (sg, 0) in (nth (nth m 0) 0)(1, 2)"
+        assert check(src) == "int"
+
+
+class TestTypeParser:
+    def test_roundtrip_simple(self):
+        for text in [
+            "int",
+            "bool",
+            "list int",
+            "fn(int, bool) -> int",
+            "forall t. fn(t) -> t",
+            "(int * bool * list int)",
+        ]:
+            assert pretty_type(parse_f_type(text)) == text
+
+    def test_ast_shapes(self):
+        assert parse_f_type("list int") == TList(INT)
+        assert parse_f_type("fn(int) -> bool") == TFn((INT,), BOOL)
+        assert parse_f_type("forall a. a") == TForall(("a",), TVar("a"))

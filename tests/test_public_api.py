@@ -1,0 +1,91 @@
+"""The top-level `repro` package API surface."""
+
+import pytest
+
+import repro
+from repro.diagnostics.errors import TypeError_
+from repro.fg import ast as G
+
+
+SQUARE = r"""
+concept Number<u> { mult : fn(u, u) -> u; } in
+let square = /\t where Number<t>. \x : t. Number<t>.mult(x, x) in
+model Number<int> { mult = imult; } in
+square[int](6)
+"""
+
+
+class TestFgFunctions:
+    def test_fg_run(self):
+        assert repro.fg_run(SQUARE) == 36
+
+    def test_fg_check_returns_type(self):
+        t = repro.fg_check(SQUARE)
+        assert t == G.INT
+
+    def test_fg_translate_produces_systemf(self):
+        sf = repro.fg_translate(SQUARE)
+        assert repro.f_evaluate(sf) == 36
+        assert str(repro.f_type_of(sf)) == "int"
+
+    def test_fg_verify(self):
+        fg_type, sf_type = repro.fg_verify(SQUARE)
+        assert fg_type == G.INT
+
+    def test_use_prelude_flag(self):
+        assert repro.fg_run("square[int](9)", use_prelude=True) == 81
+
+    def test_type_errors_propagate(self):
+        with pytest.raises(TypeError_):
+            repro.fg_check("square[int](1)")  # no concept in scope
+
+
+class TestPrettyPrinters:
+    def test_fg_pretty_type(self):
+        t = repro.fg_check(SQUARE)
+        assert repro.fg_pretty_type(t) == "int"
+
+    def test_f_pretty_term_shows_dictionaries(self):
+        text = repro.f_pretty_term(repro.fg_translate(SQUARE))
+        assert "imult" in text
+        assert "nth" in text
+
+
+class TestParsers:
+    def test_parse_fg(self):
+        term = repro.parse_fg("iadd(1, 2)")
+        assert isinstance(term, G.App)
+
+    def test_parse_f(self):
+        from repro.systemf import ast as F
+
+        term = repro.parse_f("(1, 2)")
+        assert isinstance(term, F.Tuple_)
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestTestingHelpers:
+    def test_run_src(self):
+        from repro.testing import run_src
+
+        assert run_src("iadd(1, 2)") == 3
+
+    def test_reject_src_returns_error(self):
+        from repro.testing import reject_src
+
+        err = reject_src("iadd(1, true)")
+        assert isinstance(err, TypeError_)
+
+    def test_reject_src_raises_on_well_typed(self):
+        from repro.testing import reject_src
+
+        with pytest.raises(AssertionError):
+            reject_src("iadd(1, 2)")
+
+    def test_verify_src(self):
+        from repro.testing import verify_src
+
+        fg_type, sf_type = verify_src("(1, true)")
+        assert fg_type == G.TTuple((G.INT, G.BOOL))

@@ -1,0 +1,91 @@
+"""Tests for the ``fg`` command-line driver."""
+
+import pytest
+
+from repro.tools.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRun:
+    def test_run_expression(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "-e", "iadd(40, 2)")
+        assert code == 0
+        assert out.strip() == "42"
+
+    def test_run_with_prelude(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--prelude", "-e", "accumulate[int](range(1, 4))"
+        )
+        assert code == 0
+        assert out.strip() == "6"
+
+    def test_run_renders_values(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "-e", "(1, true, cons[int](1, nil[int]))"
+        )
+        assert code == 0
+        assert out.strip() == "(1, true, [1])"
+
+    def test_run_file(self, capsys, tmp_path):
+        path = tmp_path / "prog.fg"
+        path.write_text("imult(6, 7)")
+        code, out, _ = run_cli(capsys, "run", str(path))
+        assert code == 0
+        assert out.strip() == "42"
+
+
+class TestCheckTranslateVerify:
+    def test_check(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "-e", r"\x : int. x")
+        assert code == 0
+        assert out.strip() == "fn(int) -> int"
+
+    def test_translate_shows_dictionaries(self, capsys):
+        src = (
+            "concept C<t> { op : fn(t, t) -> t; } in "
+            "model C<int> { op = iadd; } in C<int>.op(1, 2)"
+        )
+        code, out, _ = run_cli(capsys, "translate", "-e", src)
+        assert code == 0
+        assert "(iadd,)" in out
+        assert "nth" in out
+
+    def test_verify(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "verify", "--prelude", "-e", "square[int](5)"
+        )
+        assert code == 0
+        assert "translation preserves typing: OK" in out
+
+    def test_runf(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "runf", "-e", r"(/\t. \x : t. x)[int](9)"
+        )
+        assert code == 0
+        assert out.strip() == "9"
+
+
+class TestErrors:
+    def test_type_error_reported(self, capsys):
+        code, _, err = run_cli(capsys, "run", "-e", "iadd(1, true)")
+        assert code == 1
+        assert "type error" in err
+
+    def test_parse_error_reported(self, capsys):
+        code, _, err = run_cli(capsys, "check", "-e", "let x = in 1")
+        assert code == 1
+        assert "parse error" in err
+
+    def test_error_has_position_and_excerpt(self, capsys):
+        code, _, err = run_cli(capsys, "check", "-e", "iadd(1, true)")
+        assert code == 1
+        assert "1:" in err
+
+    def test_missing_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
