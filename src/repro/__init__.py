@@ -69,6 +69,19 @@ def fg_verify(program: str, use_prelude: bool = False):
     return _fg_verify(_parse(program, use_prelude))
 
 
+def fg_check_all(program: str, use_prelude: bool = False, **options):
+    """Fault-tolerant check of F_G source; returns a :class:`CheckOutcome`.
+
+    Unlike :func:`fg_check` this never raises a diagnostic: syntax and type
+    errors are collected in ``outcome.report`` (parser resynchronization,
+    typechecker recovery).  Keyword options are those of
+    :func:`repro.pipeline.check_source`.
+    """
+    from repro.pipeline import check_source
+
+    return check_source(program, prelude=use_prelude, **options)
+
+
 def _parse(program: str, use_prelude: bool):
     if use_prelude:
         from repro import prelude
@@ -84,6 +97,7 @@ __all__ = [
     "f_pretty_type",
     "f_type_of",
     "fg_check",
+    "fg_check_all",
     "fg_pretty_term",
     "fg_pretty_type",
     "fg_run",

@@ -4,6 +4,13 @@ Every AST node in the System F and F_G packages carries an optional
 :class:`Span`.  Errors raised by the lexer, parsers, and typecheckers are
 subclasses of :class:`Diagnostic` and render with a source excerpt when the
 originating source text is available.
+
+Two sibling modules support the fault-tolerant pipeline:
+
+- :mod:`repro.diagnostics.reporter` — accumulating multi-error reporting
+  (:class:`DiagnosticReporter` / :class:`DiagnosticReport`);
+- :mod:`repro.diagnostics.limits` — configurable depth/fuel budgets and
+  scoped recursion guards (:class:`Limits`, :class:`ResourceLimitError`).
 """
 
 from repro.diagnostics.source import Position, Span, SourceText
@@ -14,6 +21,20 @@ from repro.diagnostics.errors import (
     TypeError_,
     TranslationError,
     EvalError,
+)
+from repro.diagnostics.limits import (
+    DEFAULT_LIMITS,
+    Budget,
+    Limits,
+    ResourceLimitError,
+    resource_scope,
+    scoped_recursion_limit,
+)
+from repro.diagnostics.reporter import (
+    DiagnosticReport,
+    DiagnosticReporter,
+    SEVERITIES,
+    diagnostic_to_dict,
 )
 
 __all__ = [
@@ -26,4 +47,14 @@ __all__ = [
     "TypeError_",
     "TranslationError",
     "EvalError",
+    "DEFAULT_LIMITS",
+    "Budget",
+    "Limits",
+    "ResourceLimitError",
+    "resource_scope",
+    "scoped_recursion_limit",
+    "DiagnosticReport",
+    "DiagnosticReporter",
+    "SEVERITIES",
+    "diagnostic_to_dict",
 ]

@@ -15,6 +15,8 @@ class Diagnostic(Exception):
     """
 
     kind = "error"
+    #: "error", "warning", or "note"; a DiagnosticReporter may reclassify.
+    severity = "error"
 
     def __init__(self, message: str, span: Optional[Span] = None):
         super().__init__(message)
@@ -29,10 +31,11 @@ class Diagnostic(Exception):
 
     def __str__(self) -> str:
         parts = []
+        label = self.kind if self.severity == "error" else self.severity
         if self.span is not None and self.span.filename != "<synthetic>":
-            parts.append(f"{self.span}: {self.kind}: {self.message}")
+            parts.append(f"{self.span}: {label}: {self.message}")
         else:
-            parts.append(f"{self.kind}: {self.message}")
+            parts.append(f"{label}: {self.message}")
         if self.source is not None and self.span is not None:
             excerpt = self.source.excerpt(self.span)
             if excerpt:

@@ -89,12 +89,17 @@ class SourceText:
 
     def excerpt(self, span: Span) -> str:
         """A caret-underlined excerpt of the line where ``span`` starts."""
-        line_text = self.line(span.start.line)
-        if not line_text:
+        raw = self.line(span.start.line)
+        if not raw:
             return ""
-        caret_col = span.start.column - 1
+        start_col = min(span.start.column - 1, len(raw))
+        # Expand tabs in both the displayed line and the caret padding so
+        # the underline stays aligned however the line is indented.
+        line_text = raw.expandtabs(4)
+        caret_col = len(raw[:start_col].expandtabs(4))
         if span.end.line == span.start.line:
-            width = max(1, span.end.column - span.start.column)
+            end_col = min(span.end.column - 1, len(raw))
+            width = max(1, len(raw[:end_col].expandtabs(4)) - caret_col)
         else:
             width = max(1, len(line_text) - caret_col)
         gutter = f"{span.start.line:>5} | "

@@ -21,6 +21,8 @@ Entry points mirror :mod:`repro.fg` but use :class:`ExtChecker`::
 
 from typing import Optional, Tuple
 
+from repro.diagnostics.limits import Limits, resource_scope
+from repro.diagnostics.reporter import DiagnosticReport, DiagnosticReporter
 from repro.extensions import ast
 from repro.extensions.checker import ExtChecker
 from repro.fg import ast as G
@@ -31,10 +33,31 @@ from repro.systemf import evaluate as _sf_evaluate
 from repro.systemf import type_of as _sf_type_of
 
 
-def typecheck(term: G.Term, env: Optional[Env] = None) -> Tuple[G.FGType, F.Term]:
+def typecheck(
+    term: G.Term, env: Optional[Env] = None, *, limits: Optional[Limits] = None
+) -> Tuple[G.FGType, F.Term]:
     """Typecheck an extended-F_G term; returns type and translation."""
-    checker = ExtChecker()
-    return checker.check(term, env if env is not None else Env.initial())
+    checker = ExtChecker(limits=limits)
+    with resource_scope(checker.limits, getattr(term, "span", None)):
+        return checker.check(term, env if env is not None else Env.initial())
+
+
+def typecheck_all(
+    term: G.Term,
+    env: Optional[Env] = None,
+    *,
+    max_errors: int = 20,
+    limits: Optional[Limits] = None,
+    reporter: Optional[DiagnosticReporter] = None,
+) -> Tuple[Optional[G.FGType], Optional[F.Term], DiagnosticReport]:
+    """Multi-error variant of :func:`typecheck` (see
+    :func:`repro.fg.typecheck.typecheck_all`)."""
+    from repro.fg.typecheck import _run_collecting
+
+    return _run_collecting(
+        ExtChecker, term, env, max_errors=max_errors, limits=limits,
+        reporter=reporter,
+    )
 
 
 def type_of(term: G.Term, env: Optional[Env] = None) -> G.FGType:
@@ -45,18 +68,19 @@ def translate(term: G.Term, env: Optional[Env] = None) -> F.Term:
     return typecheck(term, env)[1]
 
 
-def evaluate(term: G.Term, env: Optional[Env] = None):
+def evaluate(term: G.Term, env: Optional[Env] = None, *, limits=None):
     """Run an extended-F_G program via its System F translation."""
-    _, sf_term = typecheck(term, env)
-    return _sf_evaluate(sf_term)
+    _, sf_term = typecheck(term, env, limits=limits)
+    return _sf_evaluate(sf_term, limits=limits)
 
 
 def verify_translation(term: G.Term, env: Optional[Env] = None):
     """Theorem 1/2 check for the extended language: re-check the image."""
     checker = ExtChecker()
     base_env = env if env is not None else Env.initial()
-    fg_type, sf_term = checker.check(term, base_env)
-    sf_type = _sf_type_of(sf_term)
+    with resource_scope(checker.limits, getattr(term, "span", None)):
+        fg_type, sf_term = checker.check(term, base_env)
+        sf_type = _sf_type_of(sf_term)
     return fg_type, sf_type
 
 
@@ -92,6 +116,7 @@ __all__ = [
     "translate",
     "type_of",
     "typecheck",
+    "typecheck_all",
     "verify",
     "verify_translation",
 ]

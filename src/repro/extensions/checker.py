@@ -26,7 +26,7 @@ from repro.extensions import ast as X
 from repro.fg import ast as G
 from repro.fg.concepts import assoc_slots
 from repro.fg.env import Env, ModelInfo
-from repro.fg.typecheck import Checker
+from repro.fg.typecheck import Checker, _ErrorLimit
 from repro.systemf import ast as F
 
 _NAMED_KEY = "extensions.named_models"
@@ -71,8 +71,10 @@ class ExtChecker(Checker):
         }
     )
 
-    def __init__(self):
-        super().__init__()
+    def __init__(self, use_solver_cache: bool = True, reporter=None, limits=None):
+        super().__init__(
+            use_solver_cache=use_solver_cache, reporter=reporter, limits=limits
+        )
         self._resolution_depth = 0
         self._improving = False
 
@@ -263,9 +265,19 @@ class ExtChecker(Checker):
             raise TypeError_(
                 f"named model '{term.name}' is already defined", term.span
             )
-        info, equalities, bindings, dictionary = self._elaborate_model(
-            term.model, env, term.span
-        )
+        if self._reporter is None:
+            elaborated = self._elaborate_model(term.model, env, term.span)
+        else:
+            try:
+                elaborated = self._elaborate_model(term.model, env, term.span)
+            except TypeError_ as err:
+                self._reporter.error(err)
+                if self._reporter.at_limit:
+                    raise _ErrorLimit() from None
+                elaborated = self._poison_model(term.model, env, term.span)
+                if elaborated is None:
+                    return self.check(term.body, env)
+        info, equalities, bindings, dictionary = elaborated
         named[term.name] = NamedModel(info, equalities)
         inner = env.with_extra(_NAMED_KEY, named)
         body_type, body_sf = self.check(term.body, inner)

@@ -25,11 +25,12 @@ from repro.fg.typecheck import (
     translate,
     type_of,
     typecheck,
+    typecheck_all,
     verify_translation,
 )
 
 
-def evaluate(term: ast.Term, env: Optional[Env] = None):
+def evaluate(term: ast.Term, env: Optional[Env] = None, *, limits=None):
     """Run an F_G program: translate to System F and evaluate the image.
 
     This *is* the paper's semantics for F_G — meaning is assigned by the
@@ -37,8 +38,8 @@ def evaluate(term: ast.Term, env: Optional[Env] = None):
     """
     from repro.systemf import evaluate as sf_evaluate
 
-    _, sf_term = typecheck(term, env)
-    return sf_evaluate(sf_term)
+    _, sf_term = typecheck(term, env, limits=limits)
+    return sf_evaluate(sf_term, limits=limits)
 
 
 __all__ = [
@@ -55,5 +56,6 @@ __all__ = [
     "translate",
     "type_of",
     "typecheck",
+    "typecheck_all",
     "verify_translation",
 ]

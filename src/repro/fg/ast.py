@@ -61,6 +61,25 @@ BOOL = TBase("bool")
 
 
 @dataclass(frozen=True)
+class ErrorType(FGType):
+    """The poison type of an ill-typed definition (error recovery).
+
+    The multi-error checker assigns ``ERROR`` to bindings whose definitions
+    failed to check; every typing rule *absorbs* it (an ``ErrorType`` equals
+    any type, applying it yields ``ErrorType``, ...) so one bad definition
+    does not cascade into spurious follow-on errors.  ``ErrorType`` never
+    appears in fail-fast checking.
+    """
+
+    def __str__(self) -> str:
+        return "<error>"
+
+
+#: The singleton poison type.
+ERROR = ErrorType()
+
+
+@dataclass(frozen=True)
 class TList(FGType):
     """The list type constructor."""
 
@@ -151,7 +170,7 @@ def free_type_vars(t: FGType) -> frozenset:
     """Free type variables of an F_G type (where clauses included)."""
     if isinstance(t, TVar):
         return frozenset((t.name,))
-    if isinstance(t, TBase):
+    if isinstance(t, (TBase, ErrorType)):
         return frozenset()
     if isinstance(t, TList):
         return free_type_vars(t.elem)
@@ -187,7 +206,7 @@ def free_type_vars(t: FGType) -> frozenset:
 
 def concept_names(t: FGType) -> frozenset:
     """``CV(t)``: concept names occurring in where clauses / assoc types of ``t``."""
-    if isinstance(t, (TVar, TBase)):
+    if isinstance(t, (TVar, TBase, ErrorType)):
         return frozenset()
     if isinstance(t, TList):
         return concept_names(t.elem)
@@ -230,7 +249,7 @@ def substitute(t: FGType, subst) -> FGType:
         return t
     if isinstance(t, TVar):
         return subst.get(t.name, t)
-    if isinstance(t, TBase):
+    if isinstance(t, (TBase, ErrorType)):
         return t
     if isinstance(t, TList):
         return TList(substitute(t.elem, subst))

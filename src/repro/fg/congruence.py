@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.diagnostics.errors import TypeError_
+from repro.diagnostics.limits import ResourceLimitError
 from repro.fg import ast as G
 
 # Externalization label costs: prefer ground structure, then variables,
@@ -49,7 +50,10 @@ class CongruenceSolver:
     against current class representatives, so congruence stays closed.
     """
 
-    def __init__(self):
+    def __init__(self, max_nodes: Optional[int] = None):
+        # ``max_nodes`` bounds the hash-consed node count: a runaway
+        # equality set becomes a ResourceLimitError, not a frozen process.
+        self._max_nodes = max_nodes
         self._labels: List[tuple] = []
         self._children: List[Tuple[int, ...]] = []
         self._uf_parent: List[int] = []
@@ -72,6 +76,13 @@ class CongruenceSolver:
 
     def _new_node(self, label: tuple, children: Tuple[int, ...]) -> int:
         i = len(self._labels)
+        if self._max_nodes is not None and i >= self._max_nodes:
+            raise ResourceLimitError(
+                f"type-equality solver exceeded its node budget "
+                f"({self._max_nodes}); the same-type constraints in scope "
+                "are too large for this run's limits",
+                limit="congruence",
+            )
         self._labels.append(label)
         self._children.append(children)
         self._uf_parent.append(i)
@@ -144,6 +155,16 @@ class CongruenceSolver:
     def equal(self, a: G.FGType, b: G.FGType) -> bool:
         """Decide ``Gamma |- a = b`` under the merged equalities."""
         return self._find(self.intern(a)) == self._find(self.intern(b))
+
+    def class_contains_error(self, t: G.FGType) -> bool:
+        """True when ``t``'s equivalence class holds a recovery poison.
+
+        Used by the checker so a type merged with :data:`~repro.fg.ast.ERROR`
+        (e.g. a recovered type alias) absorbs comparison exactly like a
+        syntactic poison would.
+        """
+        root = self._find(self.intern(t))
+        return any(self._labels[n] == ("error",) for n in self._members[root])
 
     # -- representative extraction ------------------------------------------
 
@@ -228,6 +249,11 @@ def _decompose(t: G.FGType):
         return (("forall", _canonical_forall(t)), (), t)
     if isinstance(t, G.ConceptReq):
         return (("req", t.concept, len(t.args)), tuple(t.args), None)
+    if isinstance(t, G.ErrorType):
+        # The recovery poison is an opaque constant to the solver; the
+        # checker's ``equal`` short-circuits before asking about it, this
+        # case only keeps stray poisons from crashing the closure.
+        return (("error",), (), None)
     raise AssertionError(f"unknown F_G type node: {t!r}")
 
 
@@ -250,6 +276,8 @@ def _recompose(label: tuple, children: List[G.FGType], opaque) -> G.FGType:
         return opaque
     if kind == "req":
         return G.ConceptReq(label[1], tuple(children))
+    if kind == "error":
+        return G.ERROR
     raise AssertionError(f"unknown label: {label!r}")
 
 
@@ -266,9 +294,11 @@ def _canonical_forall(t: G.TForall) -> str:
     return str(canon)
 
 
-def solver_for_equalities(equalities) -> CongruenceSolver:
+def solver_for_equalities(
+    equalities, max_nodes: Optional[int] = None
+) -> CongruenceSolver:
     """Build a solver containing every equality in ``equalities``."""
-    solver = CongruenceSolver()
+    solver = CongruenceSolver(max_nodes)
     for left, right in equalities:
         solver.merge(left, right)
     return solver

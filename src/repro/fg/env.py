@@ -210,13 +210,14 @@ class SolverCache:
     once per distinct set keeps checking near-linear in practice.
     """
 
-    def __init__(self):
+    def __init__(self, max_nodes: Optional[int] = None):
         self._cache: Dict[tuple, CongruenceSolver] = {}
+        self._max_nodes = max_nodes
 
     def solver(self, env: Env) -> CongruenceSolver:
         key = env.equalities
         solver = self._cache.get(key)
         if solver is None:
-            solver = solver_for_equalities(key)
+            solver = solver_for_equalities(key, self._max_nodes)
             self._cache[key] = solver
         return solver

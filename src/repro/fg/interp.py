@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.diagnostics.errors import EvalError
+from repro.diagnostics.limits import Budget, Limits, resource_scope
 from repro.fg import ast as G
 from repro.systemf.builtins import PrimValue, make_prim_values
 
@@ -191,14 +192,22 @@ class Env:
 
 
 class Interpreter:
-    """Direct evaluator for (checked) F_G terms."""
+    """Direct evaluator for (checked) F_G terms.
+
+    ``limits.max_eval_steps`` (when set) meters every evaluation step, so a
+    diverging program stops with a :class:`ResourceLimitError` instead of
+    spinning; :meth:`run` executes under a scoped (restored) recursion
+    limit, so deep programs don't crash and the process-wide limit is
+    untouched afterwards.
+    """
+
+    def __init__(self, limits: Optional[Limits] = None,
+                 budget: Optional[Budget] = None):
+        self._budget = budget if budget is not None else Budget(limits)
 
     def run(self, term: G.Term, env: Optional[Env] = None) -> Value:
-        import sys
-
-        if sys.getrecursionlimit() < 50_000:
-            sys.setrecursionlimit(50_000)
-        return self.eval(term, env if env is not None else Env.initial())
+        with resource_scope(self._budget.limits, getattr(term, "span", None)):
+            return self.eval(term, env if env is not None else Env.initial())
 
     # -- application helpers ----------------------------------------------
 
@@ -226,6 +235,7 @@ class Interpreter:
     # -- evaluation ----------------------------------------------------------
 
     def eval(self, term: G.Term, env: Env) -> Value:
+        self._budget.spend_fuel(term.span)
         method = self._DISPATCH.get(type(term).__name__)
         if method is None:
             raise EvalError(
@@ -453,6 +463,6 @@ class Interpreter:
     }
 
 
-def interpret(term: G.Term) -> Value:
+def interpret(term: G.Term, *, limits: Optional[Limits] = None) -> Value:
     """Directly evaluate a (well-typed) F_G term."""
-    return Interpreter().run(term)
+    return Interpreter(limits=limits).run(term)

@@ -19,7 +19,14 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.diagnostics.errors import TypeError_
+from repro.diagnostics.errors import Diagnostic, TypeError_
+from repro.diagnostics.limits import (
+    Budget,
+    Limits,
+    ResourceLimitError,
+    resource_scope,
+)
+from repro.diagnostics.reporter import DiagnosticReport, DiagnosticReporter
 from repro.fg import ast as G
 from repro.fg.concepts import (
     assoc_slots,
@@ -32,6 +39,41 @@ from repro.fg.concepts import (
 from repro.fg.env import Env, ModelInfo, SolverCache
 from repro.systemf import ast as F
 from repro.systemf import typecheck as sf_typecheck
+
+
+class _ErrorLimit(Exception):
+    """Internal control flow: the reporter's error cap was reached."""
+
+
+def _contains_error(t: G.FGType) -> bool:
+    """True when the recovery poison occurs anywhere inside ``t``."""
+    if isinstance(t, G.ErrorType):
+        return True
+    if isinstance(t, (G.TVar, G.TBase)):
+        return False
+    if isinstance(t, G.TList):
+        return _contains_error(t.elem)
+    if isinstance(t, G.TFn):
+        return any(map(_contains_error, t.params)) or _contains_error(t.result)
+    if isinstance(t, G.TTuple):
+        return any(map(_contains_error, t.items))
+    if isinstance(t, (G.TAssoc, G.ConceptReq)):
+        return any(map(_contains_error, t.args))
+    if isinstance(t, G.TForall):
+        return (
+            _contains_error(t.body)
+            or any(map(_contains_error, t.requirements))
+            or any(
+                _contains_error(s.left) or _contains_error(s.right)
+                for s in t.same_types
+            )
+        )
+    return False
+
+
+def _poison_term(span=None) -> F.Term:
+    """The System F placeholder standing in for an unchecked definition."""
+    return F.Tuple_(span=span, items=())
 
 
 @dataclass
@@ -55,11 +97,28 @@ class Checker:
     #: rejects them so that core programs stay within the paper's Figure 13.
     ALLOW_DEFAULTS = False
 
-    def __init__(self, use_solver_cache: bool = True):
+    def __init__(
+        self,
+        use_solver_cache: bool = True,
+        reporter: Optional[DiagnosticReporter] = None,
+        limits: Optional[Limits] = None,
+    ):
         # ``use_solver_cache=False`` rebuilds the congruence solver on every
         # query — only useful for the ablation benchmark quantifying what
         # the cache buys.
-        self._solvers = SolverCache() if use_solver_cache else None
+        #
+        # ``reporter`` switches on multi-error *recovery*: definition-level
+        # type errors are reported and replaced by the ErrorType poison
+        # instead of aborting.  ``limits`` configures the resource budgets;
+        # the defaults guard against pathologically deep programs.
+        self.limits = limits if limits is not None else Limits()
+        self._budget = Budget(self.limits)
+        self._reporter = reporter
+        self._solvers = (
+            SolverCache(self.limits.max_congruence_nodes)
+            if use_solver_cache
+            else None
+        )
         self._counter = itertools.count()
 
     # ------------------------------------------------------------------
@@ -70,16 +129,32 @@ class Checker:
         if self._solvers is None:
             from repro.fg.congruence import solver_for_equalities
 
-            return solver_for_equalities(env.equalities)
+            return solver_for_equalities(
+                env.equalities, self.limits.max_congruence_nodes
+            )
         return self._solvers.solver(env)
 
     def rep(self, t: G.FGType, env: Env) -> G.FGType:
         """The canonical representative of ``t`` under ``env``'s equalities."""
+        if isinstance(t, G.ErrorType):
+            return t
         return self.solver(env).representative(t)
 
     def equal(self, a: G.FGType, b: G.FGType, env: Env) -> bool:
-        """Decide ``env |- a = b`` (congruence of the equalities in scope)."""
-        return self.solver(env).equal(a, b)
+        """Decide ``env |- a = b`` (congruence of the equalities in scope).
+
+        The recovery poison absorbs comparison: a type containing
+        :class:`~repro.fg.ast.ErrorType` equals everything, so follow-on
+        checks of an already-reported failure stay silent.
+        """
+        if _contains_error(a) or _contains_error(b):
+            return True
+        solver = self.solver(env)
+        if solver.equal(a, b):
+            return True
+        # A poisoned equivalence class (e.g. a recovered type alias merged
+        # with ERROR) absorbs comparison like a syntactic poison.
+        return solver.class_contains_error(a) or solver.class_contains_error(b)
 
     def _fresh(self, base: str) -> str:
         return f"{base}%{next(self._counter)}"
@@ -100,6 +175,8 @@ class Checker:
         declarations, where member types may reference associated types of
         refined concepts before any model exists.
         """
+        if isinstance(t, G.ErrorType):
+            return  # poison: the failure was already reported
         if isinstance(t, G.TVar):
             if not env.has_tyvar(t.name):
                 raise TypeError_(f"unbound type variable '{t.name}'", span)
@@ -332,6 +409,10 @@ class Checker:
         return self._translate_rep(t, env, span)
 
     def _translate_rep(self, t: G.FGType, env: Env, span=None) -> F.Type:
+        if isinstance(t, G.ErrorType):
+            # Recovery only: the program already failed; translate the
+            # poison to unit so downstream structure stays well-formed.
+            return F.TTuple(())
         if isinstance(t, G.TVar):
             if not env.has_tyvar(t.name):
                 raise TypeError_(f"unbound type variable '{t.name}'", span)
@@ -378,7 +459,31 @@ class Checker:
                 "F_G (enable repro.extensions to use it)",
                 term.span,
             )
-        return getattr(self, method_name)(term, env)
+        self._budget.enter_depth(term.span)
+        try:
+            return getattr(self, method_name)(term, env)
+        finally:
+            self._budget.leave_depth()
+
+    def _check_recover(self, term: G.Term, env: Env) -> Tuple[G.FGType, F.Term]:
+        """Check a definition; in recovery mode, poison it on type error.
+
+        This is the checker's resynchronization point: with a reporter
+        installed, a :class:`TypeError_` inside a binding or declaration is
+        recorded and the definition's type becomes the absorbing
+        :class:`~repro.fg.ast.ErrorType`, so checking continues into the
+        rest of the program.  Resource exhaustion is *not* recovered — once
+        a budget trips, the run stops.
+        """
+        if self._reporter is None:
+            return self.check(term, env)
+        try:
+            return self.check(term, env)
+        except TypeError_ as err:
+            self._reporter.error(err)
+            if self._reporter.at_limit:
+                raise _ErrorLimit() from None
+            return G.ERROR, _poison_term(term.span)
 
     # -- VAR / literals ---------------------------------------------------
 
@@ -412,6 +517,12 @@ class Checker:
     def _check_app(self, term: G.App, env: Env):
         fn_type, fn_sf = self.check(term.fn, env)
         fn_type = self.rep(fn_type, env)
+        if isinstance(fn_type, G.ErrorType):
+            # Poisoned function: still check the arguments (they may hold
+            # independent errors) but absorb the application itself.
+            for arg in term.args:
+                self.check(arg, env)
+            return G.ERROR, _poison_term(term.span)
         if not isinstance(fn_type, G.TFn):
             raise TypeError_(
                 f"cannot apply non-function of type {fn_type}", term.span
@@ -470,6 +581,10 @@ class Checker:
     def _check_tyapp(self, term: G.TyApp, env: Env):
         fn_type, fn_sf = self.check(term.fn, env)
         fn_type = self.rep(fn_type, env)
+        if isinstance(fn_type, G.ErrorType):
+            for a in term.args:
+                self.check_type_wf(a, env, term.span)
+            return G.ERROR, _poison_term(term.span)
         if not isinstance(fn_type, G.TForall):
             raise TypeError_(
                 f"cannot instantiate non-generic term of type {fn_type}",
@@ -527,7 +642,10 @@ class Checker:
     # -- LET / tuples / control ---------------------------------------------
 
     def _check_let(self, term: G.Let, env: Env):
-        bound_type, bound_sf = self.check(term.bound, env)
+        # A ``let`` bound is a recovery boundary: in reporter mode a type
+        # error in the bound poisons the binding and checking continues
+        # with the body, so independent errors in later bindings surface.
+        bound_type, bound_sf = self._check_recover(term.bound, env)
         body_type, body_sf = self.check(
             term.body, env.bind_var(term.name, bound_type)
         )
@@ -549,6 +667,8 @@ class Checker:
     def _check_nth(self, term: G.Nth, env: Env):
         tuple_type, tuple_sf = self.check(term.tuple_, env)
         tuple_type = self.rep(tuple_type, env)
+        if isinstance(tuple_type, G.ErrorType):
+            return G.ERROR, _poison_term(term.span)
         if not isinstance(tuple_type, G.TTuple):
             raise TypeError_(
                 f"nth applied to non-tuple of type {tuple_type}", term.span
@@ -584,6 +704,8 @@ class Checker:
     def _check_fix(self, term: G.Fix, env: Env):
         fn_type, fn_sf = self.check(term.fn, env)
         fn_type = self.rep(fn_type, env)
+        if isinstance(fn_type, G.ErrorType):
+            return G.ERROR, _poison_term(term.span)
         if (
             not isinstance(fn_type, G.TFn)
             or len(fn_type.params) != 1
@@ -602,54 +724,21 @@ class Checker:
 
     def _check_concept(self, term: G.ConceptExpr, env: Env):
         cdef = term.concept
-        if env.lookup_concept(cdef.name) is not None:
-            # Lexical shadowing of concepts would make model lookups for the
-            # outer concept ambiguous; reject for clarity.
-            raise TypeError_(
-                f"concept '{cdef.name}' is already defined in this scope",
-                term.span,
-            )
-        if len(set(cdef.params)) != len(cdef.params):
-            raise TypeError_("duplicate concept parameter", term.span)
-        if len(set(cdef.assoc_types)) != len(cdef.assoc_types):
-            raise TypeError_("duplicate associated-type name", term.span)
-        if set(cdef.params) & set(cdef.assoc_types):
-            raise TypeError_(
-                "associated-type name clashes with concept parameter",
-                term.span,
-            )
-        names = cdef.member_names()
-        if len(set(names)) != len(names):
-            raise TypeError_("duplicate concept member name", term.span)
-        if cdef.defaults:
-            if not self.ALLOW_DEFAULTS:
-                raise TypeError_(
-                    "concept-member defaults require repro.extensions",
-                    term.span,
-                )
-            default_names = [n for n, _ in cdef.defaults]
-            if len(set(default_names)) != len(default_names):
-                raise TypeError_("duplicate member default", term.span)
-            unknown = set(default_names) - set(names)
-            if unknown:
-                raise TypeError_(
-                    f"default(s) for unknown member(s): "
-                    f"{', '.join(sorted(unknown))}",
-                    term.span,
-                )
-        decl_env = env.bind_tyvars(cdef.params + cdef.assoc_types)
-        for req in cdef.refines + cdef.nested:
-            refined = concept_def(env, req.concept, term.span)
-            check_concept_arity(refined, req.args, term.span)
-            for a in req.args:
-                self.check_type_wf(a, decl_env, term.span, in_decl=True)
-        for _, member_type in cdef.members:
-            self.check_type_wf(member_type, decl_env, term.span, in_decl=True)
-        for same in cdef.same_types:
-            self.check_type_wf(same.left, decl_env, term.span, in_decl=True)
-            self.check_type_wf(same.right, decl_env, term.span, in_decl=True)
-        body_type, body_sf = self.check(term.body, env.add_concept(cdef))
-        body_type = self.rep(body_type, env.add_concept(cdef))
+        if self._reporter is not None:
+            try:
+                self._validate_concept(cdef, env, term.span)
+            except TypeError_ as err:
+                self._reporter.error(err)
+                if self._reporter.at_limit:
+                    raise _ErrorLimit() from None
+                # Proceed with the (possibly ill-formed) declaration in
+                # scope so uses of the concept don't cascade into
+                # unknown-concept errors.
+        else:
+            self._validate_concept(cdef, env, term.span)
+        inner = env.add_concept(cdef)
+        body_type, body_sf = self.check(term.body, inner)
+        body_type = self.rep(body_type, inner)
         if cdef.name in G.concept_names(body_type):
             raise TypeError_(
                 f"concept '{cdef.name}' escapes its scope in the result "
@@ -658,10 +747,71 @@ class Checker:
             )
         return body_type, body_sf
 
+    def _validate_concept(self, cdef: G.ConceptDef, env: Env, span) -> None:
+        if env.lookup_concept(cdef.name) is not None:
+            # Lexical shadowing of concepts would make model lookups for the
+            # outer concept ambiguous; reject for clarity.
+            raise TypeError_(
+                f"concept '{cdef.name}' is already defined in this scope",
+                span,
+            )
+        if len(set(cdef.params)) != len(cdef.params):
+            raise TypeError_("duplicate concept parameter", span)
+        if len(set(cdef.assoc_types)) != len(cdef.assoc_types):
+            raise TypeError_("duplicate associated-type name", span)
+        if set(cdef.params) & set(cdef.assoc_types):
+            raise TypeError_(
+                "associated-type name clashes with concept parameter",
+                span,
+            )
+        names = cdef.member_names()
+        if len(set(names)) != len(names):
+            raise TypeError_("duplicate concept member name", span)
+        if cdef.defaults:
+            if not self.ALLOW_DEFAULTS:
+                raise TypeError_(
+                    "concept-member defaults require repro.extensions",
+                    span,
+                )
+            default_names = [n for n, _ in cdef.defaults]
+            if len(set(default_names)) != len(default_names):
+                raise TypeError_("duplicate member default", span)
+            unknown = set(default_names) - set(names)
+            if unknown:
+                raise TypeError_(
+                    f"default(s) for unknown member(s): "
+                    f"{', '.join(sorted(unknown))}",
+                    span,
+                )
+        decl_env = env.bind_tyvars(cdef.params + cdef.assoc_types)
+        for req in cdef.refines + cdef.nested:
+            refined = concept_def(env, req.concept, span)
+            check_concept_arity(refined, req.args, span)
+            for a in req.args:
+                self.check_type_wf(a, decl_env, span, in_decl=True)
+        for _, member_type in cdef.members:
+            self.check_type_wf(member_type, decl_env, span, in_decl=True)
+        for same in cdef.same_types:
+            self.check_type_wf(same.left, decl_env, span, in_decl=True)
+            self.check_type_wf(same.right, decl_env, span, in_decl=True)
+
     # -- MDL: model declaration (Figures 9 and 13) ------------------------------
 
     def _check_model(self, term: G.ModelExpr, env: Env):
-        elaborated = self._elaborate_model(term.model, env, term.span)
+        if self._reporter is None:
+            elaborated = self._elaborate_model(term.model, env, term.span)
+        else:
+            try:
+                elaborated = self._elaborate_model(term.model, env, term.span)
+            except TypeError_ as err:
+                self._reporter.error(err)
+                if self._reporter.at_limit:
+                    raise _ErrorLimit() from None
+                elaborated = self._poison_model(term.model, env, term.span)
+                if elaborated is None:
+                    # The concept itself is unknown; without its shape we
+                    # cannot fake a model, so check the body as-is.
+                    return self.check(term.body, env)
         info, equalities, bindings, dictionary = elaborated
         inner = env.add_model(info).add_equalities(equalities)
         body_type, body_sf = self.check(term.body, inner)
@@ -674,6 +824,27 @@ class Checker:
         for var, bound in reversed(bindings):
             out = F.Let(span=term.span, name=var, bound=bound, body=out)
         return result_type, out
+
+    def _poison_model(self, mdef: G.ModelDef, env: Env, span):
+        """A placeholder elaboration for a model that failed to check.
+
+        Registers the model under its declared concept and arguments with an
+        empty dictionary so member accesses in the body resolve (to garbage
+        the translation never runs) instead of cascading "no model in scope"
+        errors.  Contributes *no* equalities: a bogus associated-type merge
+        would corrupt the congruence closure for the whole scope.  Returns
+        ``None`` when the concept itself is unknown.
+        """
+        if env.lookup_concept(mdef.concept) is None:
+            return None
+        info = ModelInfo(
+            concept=mdef.concept,
+            args=tuple(mdef.args),
+            dict_var=self._fresh_dict(mdef.concept),
+            path=(),
+            assoc=dict(mdef.type_assignments),
+        )
+        return info, (), (), _poison_term(span)
 
     def _elaborate_model(self, mdef: G.ModelDef, env: Env, span):
         """Check a model declaration; build its dictionary.
@@ -844,15 +1015,33 @@ class Checker:
     # -- ALS: type alias (Figure 13) ----------------------------------------------
 
     def _check_alias(self, term: G.TypeAlias, env: Env):
-        if env.has_tyvar(term.name):
-            raise TypeError_(
-                f"type alias '{term.name}' shadows a type variable", term.span
-            )
-        self.check_type_wf(term.aliased, env, term.span)
+        aliased = term.aliased
+        if self._reporter is None:
+            if env.has_tyvar(term.name):
+                raise TypeError_(
+                    f"type alias '{term.name}' shadows a type variable",
+                    term.span,
+                )
+            self.check_type_wf(aliased, env, term.span)
+        else:
+            try:
+                if env.has_tyvar(term.name):
+                    raise TypeError_(
+                        f"type alias '{term.name}' shadows a type variable",
+                        term.span,
+                    )
+                self.check_type_wf(aliased, env, term.span)
+            except TypeError_ as err:
+                self._reporter.error(err)
+                if self._reporter.at_limit:
+                    raise _ErrorLimit() from None
+                # Alias the poison type instead so uses of the alias absorb
+                # rather than repeat the failure.
+                aliased = G.ERROR
         # Merge with the aliased type first so the alias variable never
         # becomes the class representative (it must not escape).
         inner = env.bind_tyvars((term.name,)).add_equality(
-            term.aliased, G.TVar(term.name)
+            aliased, G.TVar(term.name)
         )
         body_type, body_sf = self.check(term.body, inner)
         result_type = self.rep(body_type, inner)
@@ -889,10 +1078,66 @@ class Checker:
 # ---------------------------------------------------------------------------
 
 
-def typecheck(term: G.Term, env: Optional[Env] = None) -> Tuple[G.FGType, F.Term]:
-    """Typecheck an F_G term; returns its type and System F translation."""
-    checker = Checker()
-    return checker.check(term, env if env is not None else Env.initial())
+def typecheck(
+    term: G.Term, env: Optional[Env] = None, *, limits: Optional[Limits] = None
+) -> Tuple[G.FGType, F.Term]:
+    """Typecheck an F_G term; returns its type and System F translation.
+
+    Fail-fast: raises the *first* :class:`TypeError_` encountered.  Use
+    :func:`typecheck_all` to keep going and collect every diagnostic.
+    """
+    checker = Checker(limits=limits)
+    with resource_scope(checker.limits, getattr(term, "span", None)):
+        return checker.check(term, env if env is not None else Env.initial())
+
+
+def typecheck_all(
+    term: G.Term,
+    env: Optional[Env] = None,
+    *,
+    max_errors: int = 20,
+    limits: Optional[Limits] = None,
+    reporter: Optional[DiagnosticReporter] = None,
+) -> Tuple[Optional[G.FGType], Optional[F.Term], DiagnosticReport]:
+    """Typecheck ``term``, recovering at binding boundaries.
+
+    Unlike :func:`typecheck`, this does not stop at the first error: the
+    checker poisons failed ``let`` bounds, model/concept/alias declarations
+    with :data:`~repro.fg.ast.ERROR` and keeps going, so independent errors
+    all surface in one run.  Returns ``(type, translation, report)``; the
+    type and translation are ``None`` when the error unwound past every
+    recovery point, and are only trustworthy when ``report.ok``.
+    """
+    return _run_collecting(
+        Checker, term, env, max_errors=max_errors, limits=limits,
+        reporter=reporter,
+    )
+
+
+def _run_collecting(
+    checker_cls,
+    term: G.Term,
+    env: Optional[Env],
+    *,
+    max_errors: int,
+    limits: Optional[Limits],
+    reporter: Optional[DiagnosticReporter],
+) -> Tuple[Optional[G.FGType], Optional[F.Term], DiagnosticReport]:
+    """Shared engine behind :func:`typecheck_all` (core and extensions)."""
+    if reporter is None:
+        reporter = DiagnosticReporter(max_errors=max_errors)
+    checker = checker_cls(reporter=reporter, limits=limits)
+    base_env = env if env is not None else Env.initial()
+    result_type: Optional[G.FGType] = None
+    sf_term: Optional[F.Term] = None
+    try:
+        with resource_scope(checker.limits, getattr(term, "span", None)):
+            result_type, sf_term = checker.check(term, base_env)
+    except _ErrorLimit:
+        pass
+    except (TypeError_, ResourceLimitError) as err:
+        reporter.error(err)
+    return result_type, sf_term, reporter.finish()
 
 
 def type_of(term: G.Term, env: Optional[Env] = None) -> G.FGType:
@@ -918,9 +1163,10 @@ def verify_translation(
     """
     checker = Checker()
     base_env = env if env is not None else Env.initial()
-    fg_type, sf_term = checker.check(term, base_env)
-    sf_type = sf_typecheck.type_of(sf_term)
-    expected = checker.translate_type(fg_type, base_env)
+    with resource_scope(checker.limits, getattr(term, "span", None)):
+        fg_type, sf_term = checker.check(term, base_env)
+        sf_type = sf_typecheck.type_of(sf_term)
+        expected = checker.translate_type(fg_type, base_env)
     if not F.types_equal(sf_type, expected):
         raise TypeError_(
             "translation type mismatch (Theorem 1/2 violation — library "

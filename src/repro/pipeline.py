@@ -1,0 +1,186 @@
+"""The fault-tolerant checking pipeline: lex → parse → check → run.
+
+Library entry points (:func:`repro.fg_check` etc.) are fail-fast: they raise
+the first :class:`~repro.diagnostics.Diagnostic`.  Tools want the opposite —
+report *every* independent problem, never crash, and stay within resource
+budgets.  :func:`check_source` is that driver:
+
+- the resilient parser resynchronizes at statement boundaries, so several
+  syntax errors surface in one run;
+- :func:`~repro.fg.typecheck.typecheck_all` recovers at binding boundaries
+  with the :data:`~repro.fg.ast.ERROR` poison type;
+- everything runs under :func:`~repro.diagnostics.resource_scope`, so deep
+  or diverging input becomes a :class:`ResourceLimitError` diagnostic and
+  ``sys.getrecursionlimit()`` is untouched afterwards;
+- the only exceptions that escape are genuine bugs — the crash-resilience
+  suite (``tests/properties/test_crash_resilience.py``) fuzzes this contract.
+
+:func:`inject_fault` plants an artificial internal error at a named stage so
+the CLI's "internal error" path (exit code 3) is testable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.diagnostics.errors import Diagnostic
+from repro.diagnostics.limits import Limits, resource_scope
+from repro.diagnostics.reporter import DiagnosticReport, DiagnosticReporter
+from repro.fg import ast as G
+from repro.systemf import ast as F
+
+#: Pipeline stages, in order; :func:`inject_fault` targets one by name.
+STAGES = ("parse", "check", "evaluate", "verify")
+
+_FAULTS: Dict[str, BaseException] = {}
+
+
+@contextmanager
+def inject_fault(stage: str, exc: BaseException):
+    """Raise ``exc`` when the pipeline reaches ``stage`` (testing hook)."""
+    if stage not in STAGES:
+        raise ValueError(f"unknown pipeline stage: {stage!r}")
+    _FAULTS[stage] = exc
+    try:
+        yield
+    finally:
+        _FAULTS.pop(stage, None)
+
+
+def _maybe_fault(stage: str) -> None:
+    exc = _FAULTS.get(stage)
+    if exc is not None:
+        raise exc
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Everything one pipeline run produced.
+
+    ``term``/``type_``/``translation`` are best-effort partial results and
+    are only trustworthy when ``ok``; ``value`` is set when evaluation was
+    requested and succeeded, ``verified`` when the Theorem 1/2 re-check was
+    requested and passed.
+    """
+
+    report: DiagnosticReport
+    term: Optional[G.Term] = None
+    type_: Optional[G.FGType] = None
+    translation: Optional[F.Term] = None
+    value: object = None
+    evaluated: bool = False
+    verified: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def check_source(
+    text: str,
+    filename: str = "<input>",
+    *,
+    prelude: bool = False,
+    ext: bool = False,
+    max_errors: int = 20,
+    limits: Optional[Limits] = None,
+    evaluate: bool = False,
+    verify: bool = False,
+) -> CheckOutcome:
+    """Run F_G source through the fault-tolerant pipeline.
+
+    Never raises a :class:`Diagnostic`: all of them land in the returned
+    outcome's report.  Any other exception escaping this function is a bug.
+    """
+    from repro.syntax.parser_fg import parse_program_resilient
+
+    reporter = DiagnosticReporter(max_errors=max_errors)
+    if prelude:
+        from repro.prelude import wrap
+
+        text = wrap(text)
+    _maybe_fault("parse")
+    try:
+        # The parser recurses on nesting depth; the scope converts a stack
+        # overflow on pathological input into a ResourceLimitError.
+        with resource_scope(limits):
+            term, _ = parse_program_resilient(
+                text, filename, max_errors=max_errors, reporter=reporter
+            )
+    except Diagnostic as err:
+        # Lexer errors surface through the reporter; this is a backstop for
+        # diagnostics raised outside the resilient loop.
+        reporter.error(err)
+        term = None
+    if term is None or not reporter.finish().ok:
+        return CheckOutcome(report=reporter.finish(), term=term)
+
+    _maybe_fault("check")
+    if ext:
+        from repro.extensions import typecheck_all
+    else:
+        from repro.fg.typecheck import typecheck_all
+    type_, translation, _ = typecheck_all(
+        term, limits=limits, reporter=reporter
+    )
+    outcome = CheckOutcome(
+        report=reporter.finish(),
+        term=term,
+        type_=type_,
+        translation=translation,
+    )
+    if not outcome.ok or translation is None:
+        return outcome
+
+    verified = False
+    if verify:
+        _maybe_fault("verify")
+        try:
+            if ext:
+                from repro.extensions import verify_translation
+
+                verify_translation(term)
+            else:
+                from repro.fg.typecheck import verify_translation
+
+                verify_translation(term)
+            verified = True
+        except Diagnostic as err:
+            reporter.error(err)
+            return CheckOutcome(
+                report=reporter.finish(),
+                term=term,
+                type_=type_,
+                translation=translation,
+            )
+
+    value = None
+    evaluated = False
+    if evaluate:
+        _maybe_fault("evaluate")
+        from repro.systemf import evaluate as sf_evaluate
+
+        try:
+            value = sf_evaluate(translation, limits=limits)
+            evaluated = True
+        except Diagnostic as err:
+            reporter.error(err)
+            return CheckOutcome(
+                report=reporter.finish(),
+                term=term,
+                type_=type_,
+                translation=translation,
+                verified=verified,
+            )
+
+    return CheckOutcome(
+        report=reporter.finish(),
+        term=term,
+        type_=type_,
+        translation=translation,
+        value=value,
+        evaluated=evaluated,
+        verified=verified,
+    )

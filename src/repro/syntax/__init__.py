@@ -11,6 +11,7 @@ from repro.syntax.lexer import Token, TokenStream, stream, tokenize
 from repro.syntax.parser_f import parse_program as parse_f
 from repro.syntax.parser_f import parse_type as parse_f_type
 from repro.syntax.parser_fg import parse_program as parse_fg
+from repro.syntax.parser_fg import parse_program_resilient as parse_fg_resilient
 from repro.syntax.parser_fg import parse_type as parse_fg_type
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "parse_f",
     "parse_f_type",
     "parse_fg",
+    "parse_fg_resilient",
     "parse_fg_type",
     "stream",
     "tokenize",

@@ -95,8 +95,13 @@ def _is_ident_char(ch: str) -> bool:
     return ch.isalnum() or ch in ("_", "'")
 
 
-def tokenize(source: SourceText) -> List[Token]:
-    """Tokenize ``source``; raises :class:`LexError` on malformed input."""
+def tokenize(source: SourceText, reporter=None) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on malformed input.
+
+    With a :class:`repro.diagnostics.DiagnosticReporter`, lex errors are
+    recorded and the offending characters skipped, so one bad byte does not
+    hide every token after it (error *recovery* mode).
+    """
     text = source.text
     n = len(text)
     pos = 0
@@ -113,9 +118,14 @@ def tokenize(source: SourceText) -> List[Token]:
         if text.startswith("/*", pos):
             end = text.find("*/", pos + 2)
             if end == -1:
-                raise LexError(
+                err = LexError(
                     "unterminated block comment", source.span(pos, pos + 2)
                 ).attach_source(source)
+                if reporter is None:
+                    raise err
+                reporter.error(err)
+                pos = n
+                continue
             pos = end + 2
             continue
         if ch.isdigit() or (
@@ -145,9 +155,13 @@ def tokenize(source: SourceText) -> List[Token]:
                 pos += len(sym)
                 break
         else:
-            raise LexError(
+            err = LexError(
                 f"unexpected character {ch!r}", source.span(pos, pos + 1)
             ).attach_source(source)
+            if reporter is None:
+                raise err
+            reporter.error(err)
+            pos += 1
     tokens.append(Token("EOF", "", source.span(n, n)))
     return tokens
 
@@ -203,7 +217,10 @@ class TokenStream:
         self._pos = state
 
 
-def stream(text: str, filename: str = "<input>") -> TokenStream:
-    """Tokenize ``text`` into a :class:`TokenStream`."""
+def stream(text: str, filename: str = "<input>", reporter=None) -> TokenStream:
+    """Tokenize ``text`` into a :class:`TokenStream`.
+
+    ``reporter`` enables lexer error recovery (see :func:`tokenize`).
+    """
     source = SourceText(text, filename)
-    return TokenStream(tokenize(source), source)
+    return TokenStream(tokenize(source, reporter), source)

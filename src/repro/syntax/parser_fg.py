@@ -33,8 +33,10 @@ concept requirement ``C<types>`` or a same-type constraint ``type == type``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.diagnostics.errors import ParseError
+from repro.diagnostics.reporter import DiagnosticReport, DiagnosticReporter
 from repro.fg import ast as G
 from repro.syntax.lexer import TokenStream, stream
 
@@ -45,6 +47,63 @@ def parse_program(text: str, filename: str = "<input>") -> G.Term:
     term = _expr(ts)
     ts.expect("EOF", "end of program")
     return term
+
+
+#: Token kinds at which the resilient parser resynchronizes after an error:
+#: statement-ish separators and the keywords that begin a fresh declaration.
+SYNC_TOKENS = frozenset((";", "}", "in", "let", "model", "concept"))
+
+
+def parse_program_resilient(
+    text: str,
+    filename: str = "<input>",
+    max_errors: int = 20,
+    reporter: Optional[DiagnosticReporter] = None,
+) -> Tuple[Optional[G.Term], DiagnosticReport]:
+    """Parse with error recovery: report several parse errors in one run.
+
+    On a parse error the parser skips ahead to a synchronization token
+    (``;``, ``}``, ``in``, ``let``, ``model``, ``concept``) and resumes, so
+    one syntax error does not hide the rest of the program's problems.
+    Returns the last successfully parsed expression (``None`` when nothing
+    parsed) together with the collected :class:`DiagnosticReport`.  The
+    returned term is best-effort; callers must consult ``report.ok`` before
+    trusting it.
+    """
+    if reporter is None:
+        reporter = DiagnosticReporter(max_errors=max_errors)
+    ts = stream(text, filename, reporter)
+    term: Optional[G.Term] = None
+    while True:
+        try:
+            term = _expr(ts)
+            ts.expect("EOF", "end of program")
+            break
+        except ParseError as err:
+            reporter.error(err)
+            if reporter.at_limit or not _resynchronize(ts):
+                break
+    return term, reporter.finish()
+
+
+def _resynchronize(ts: TokenStream) -> bool:
+    """Skip to the next point a fresh expression can start; False at EOF.
+
+    Always consumes at least one token so a failed parse cannot loop
+    forever at the same position.  Separators (``;``, ``}``, ``in``) are
+    consumed; declaration keywords (``let``, ``model``, ``concept``) are
+    left in place — they begin the re-parsed expression.
+    """
+    ts.advance()
+    while not ts.at("EOF"):
+        kind = ts.peek().kind
+        if kind in (";", "}", "in"):
+            ts.advance()
+            return not ts.at("EOF")
+        if kind in ("let", "model", "concept"):
+            return True
+        ts.advance()
+    return False
 
 
 def parse_type(text: str, filename: str = "<type>") -> G.FGType:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from repro.diagnostics.errors import EvalError
+from repro.diagnostics.limits import Budget, Limits, resource_scope
 from repro.systemf import ast as F
 from repro.systemf.builtins import PrimValue, make_prim_values
 
@@ -87,30 +88,50 @@ class Env:
         return Env(dict(pairs), self)
 
 
-def evaluate(term: F.Term, env: Optional[Env] = None) -> Value:
+#: Shared no-op budget for callers that don't meter their evaluation.
+_UNMETERED = Budget(Limits(max_eval_steps=None))
+
+
+def evaluate(
+    term: F.Term,
+    env: Optional[Env] = None,
+    *,
+    limits: Optional[Limits] = None,
+    budget: Optional[Budget] = None,
+) -> Value:
     """Evaluate ``term`` to a value in ``env`` (defaults to builtins).
 
     The evaluator is a straightforward recursive interpreter; each level of
-    object-language recursion costs several Python frames, so we raise the
-    interpreter recursion limit to accommodate realistically deep programs.
+    object-language recursion costs several Python frames, so the call runs
+    under a *scoped* (restored on exit) raised recursion limit, and a stack
+    overflow surfaces as a :class:`ResourceLimitError` diagnostic.  With
+    ``limits.max_eval_steps`` set, every evaluation step spends fuel and a
+    runaway program stops with the same diagnostic instead of looping.
     """
-    import sys
-
-    if sys.getrecursionlimit() < 50_000:
-        sys.setrecursionlimit(50_000)
+    if budget is None:
+        budget = Budget(limits)
     if env is None:
         env = Env.initial()
-    return _eval(term, env)
+    with resource_scope(budget.limits, getattr(term, "span", None)):
+        return _eval(term, env, budget)
 
 
-def apply_value(fn_value: Value, args: List[Value], span=None) -> Value:
+def apply_value(
+    fn_value: Value, args: List[Value], span=None,
+    budget: Optional[Budget] = None,
+) -> Value:
     """Apply a function value to already-evaluated arguments."""
+    if budget is None:
+        budget = _UNMETERED
     while isinstance(fn_value, FixThunk):
-        fn_value = _apply_once(fn_value.fn_value, [fn_value], span)
-    return _apply_once(fn_value, args, span)
+        fn_value = _apply_once(fn_value.fn_value, [fn_value], span, budget)
+    return _apply_once(fn_value, args, span, budget)
 
 
-def _apply_once(fn_value: Value, args: List[Value], span=None) -> Value:
+def _apply_once(
+    fn_value: Value, args: List[Value], span=None,
+    budget: Budget = _UNMETERED,
+) -> Value:
     if isinstance(fn_value, Closure):
         if len(fn_value.params) != len(args):
             raise EvalError(
@@ -122,7 +143,7 @@ def _apply_once(fn_value: Value, args: List[Value], span=None) -> Value:
             (name, value)
             for (name, _), value in zip(fn_value.params, args)
         ]
-        return _eval(fn_value.body, fn_value.env.bind_many(pairs))
+        return _eval(fn_value.body, fn_value.env.bind_many(pairs), budget)
     if isinstance(fn_value, PrimValue):
         if fn_value.arity != len(args):
             raise EvalError(
@@ -134,7 +155,9 @@ def _apply_once(fn_value: Value, args: List[Value], span=None) -> Value:
     raise EvalError(f"cannot apply non-function value {fn_value!r}", span)
 
 
-def _eval(term: F.Term, env: Env) -> Value:
+def _eval(term: F.Term, env: Env, budget: Budget = _UNMETERED) -> Value:
+    budget.spend_fuel(term.span)
+
     if isinstance(term, F.Var):
         return env.lookup(term.name)
 
@@ -148,17 +171,17 @@ def _eval(term: F.Term, env: Env) -> Value:
         return Closure(term.params, term.body, env)
 
     if isinstance(term, F.App):
-        fn_value = _eval(term.fn, env)
-        args = [_eval(arg, env) for arg in term.args]
-        return apply_value(fn_value, args, term.span)
+        fn_value = _eval(term.fn, env, budget)
+        args = [_eval(arg, env, budget) for arg in term.args]
+        return apply_value(fn_value, args, term.span, budget)
 
     if isinstance(term, F.TyLam):
         return TyClosure(term.vars, term.body, env)
 
     if isinstance(term, F.TyApp):
-        fn_value = _eval(term.fn, env)
+        fn_value = _eval(term.fn, env, budget)
         if isinstance(fn_value, TyClosure):
-            return _eval(fn_value.body, fn_value.env)
+            return _eval(fn_value.body, fn_value.env, budget)
         if isinstance(fn_value, PrimValue) and fn_value.arity == 0:
             # A fully type-applied polymorphic constant such as nil[int].
             return fn_value.fn()
@@ -170,14 +193,14 @@ def _eval(term: F.Term, env: Env) -> Value:
         )
 
     if isinstance(term, F.Let):
-        bound = _eval(term.bound, env)
-        return _eval(term.body, env.bind(term.name, bound))
+        bound = _eval(term.bound, env, budget)
+        return _eval(term.body, env.bind(term.name, bound), budget)
 
     if isinstance(term, F.Tuple_):
-        return tuple(_eval(item, env) for item in term.items)
+        return tuple(_eval(item, env, budget) for item in term.items)
 
     if isinstance(term, F.Nth):
-        tuple_value = _eval(term.tuple_, env)
+        tuple_value = _eval(term.tuple_, env, budget)
         if not isinstance(tuple_value, tuple):
             raise EvalError(
                 f"nth applied to non-tuple {tuple_value!r}", term.span
@@ -189,12 +212,12 @@ def _eval(term: F.Term, env: Env) -> Value:
         return tuple_value[term.index]
 
     if isinstance(term, F.If):
-        cond = _eval(term.cond, env)
+        cond = _eval(term.cond, env, budget)
         if not isinstance(cond, bool):
             raise EvalError(f"if condition is not a boolean: {cond!r}", term.span)
-        return _eval(term.then if cond else term.else_, env)
+        return _eval(term.then if cond else term.else_, env, budget)
 
     if isinstance(term, F.Fix):
-        return FixThunk(_eval(term.fn, env))
+        return FixThunk(_eval(term.fn, env, budget))
 
     raise AssertionError(f"unknown term node: {term!r}")

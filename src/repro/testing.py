@@ -1,14 +1,21 @@
 """Helpers for testing F_G programs (used by the test suite; public API).
 
 These wrap the parse/typecheck/translate/evaluate pipeline with the calls a
-test (or a downstream user's test) makes constantly.
+test (or a downstream user's test) makes constantly, plus the deterministic
+mutation fuzzer behind the crash-resilience suite
+(``tests/properties/test_crash_resilience.py``): :func:`mutate_source`
+corrupts a known-good program at the token level and :func:`run_fuzz`
+asserts the fault-tolerant pipeline never lets anything but a
+:class:`~repro.diagnostics.Diagnostic` escape.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import random
+from typing import Dict, List, Optional, Tuple
 
-from repro.diagnostics.errors import TypeError_
+from repro.diagnostics.errors import Diagnostic, TypeError_
+from repro.diagnostics.limits import Limits
 from repro.fg import ast as G
 from repro.fg import evaluate as _fg_evaluate
 from repro.fg import typecheck as _fg_typecheck
@@ -39,3 +46,159 @@ def reject_src(source: str) -> TypeError_:
     except TypeError_ as err:
         return err
     raise AssertionError(f"expected a type error, but program checked:\n{source}")
+
+
+# ---------------------------------------------------------------------------
+# Crash-resilience fuzzing
+# ---------------------------------------------------------------------------
+
+#: Known-good seed programs the mutation fuzzer corrupts.  Each exercises a
+#: different slice of the language: concepts/models, where clauses,
+#: associated types, same-type constraints, scoped models, fix/recursion.
+FUZZ_SEEDS: Tuple[str, ...] = (
+    r"""
+concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+let accumulate = /\t where Monoid<t>.
+  fix (\accum : fn(list t) -> t.
+    \ls : list t.
+      if null[t](ls) then Monoid<t>.identity_elt
+      else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))) in
+model Semigroup<int> { binary_op = iadd; } in
+model Monoid<int> { identity_elt = 0; } in
+accumulate[int](cons[int](1, cons[int](2, nil[int])))
+""",
+    r"""
+concept Container<c> {
+  types elem;
+  empty : fn(c) -> bool;
+  front : fn(c) -> elem;
+} in
+model Container<list int> {
+  types elem = int;
+  empty = null[int];
+  front = car[int];
+} in
+let peek = /\c where Container<c>.
+  \xs : c. Container<c>.front(xs) in
+peek[list int](cons[int](7, nil[int]))
+""",
+    r"""
+concept Eq<t> { eq : fn(t, t) -> bool; } in
+model Eq<int> { eq = ieq; } in
+let both = /\t, u where Eq<t>, Eq<u>, t == u.
+  \x : t. \y : u. Eq<t>.eq(x, y) in
+both[int, int](3)(3)
+""",
+    r"""
+type pair = (int * bool) in
+let first = \p : pair. (nth p 0) in
+let swap = \p : pair. ((nth p 1), (nth p 0)) in
+first((41, true))
+""",
+    r"""
+let compose = /\a, b, c. \f : fn(b) -> c. \g : fn(a) -> b.
+  \x : a. f(g(x)) in
+let inc = \x : int. iadd(x, 1) in
+compose[int, int, int](inc)(inc)(40)
+""",
+)
+
+
+#: Replacement pool for token-swap mutations: keywords and symbols that
+#: steer the parser into every construct's error paths.
+_SWAP_POOL: Tuple[str, ...] = (
+    "let", "in", "concept", "model", "where", "refines", "types", "fix",
+    "if", "then", "else", "fn", "forall", "list", "nth", "use", "type",
+    "(", ")", "{", "}", "[", "]", "<", ">", ";", ",", ".", "=", "==",
+    "->", "/\\", "\\", ":", "*", "x", "t", "0", "999999999", "true",
+)
+
+
+def mutate_source(source: str, rng: random.Random) -> str:
+    """One deterministic token-level mutation of ``source``.
+
+    Operators (chosen by ``rng``): token deletion, token duplication,
+    swapping a token for another token of the program, replacing a token
+    with a random keyword/symbol, and span-preserving corruption (the token
+    is overwritten in place, keeping every later position stable, which
+    exercises diagnostics' position math on mangled input).
+    """
+    from repro.diagnostics.source import SourceText
+    from repro.syntax.lexer import tokenize
+
+    try:
+        tokens = [t for t in tokenize(SourceText(source)) if t.kind != "EOF"]
+    except Diagnostic:
+        tokens = []
+    if not tokens:
+        return source + rng.choice(("(", ")", "\x00", "let", "@"))
+    tok = tokens[rng.randrange(len(tokens))]
+    start, end = tok.span.start.offset, tok.span.end.offset
+    op = rng.randrange(5)
+    if op == 0:  # delete
+        return source[:start] + source[end:]
+    if op == 1:  # duplicate
+        return source[:end] + " " + source[start:end] + source[end:]
+    if op == 2:  # swap with another token from the same program
+        other = tokens[rng.randrange(len(tokens))]
+        return source[:start] + other.text + source[end:]
+    if op == 3:  # replace with a random keyword/symbol
+        return source[:start] + rng.choice(_SWAP_POOL) + source[end:]
+    # span-preserving corruption: same length, garbage content
+    width = max(1, end - start)
+    junk = "".join(rng.choice("~#$@!?%^&|") for _ in range(width))
+    return source[:start] + junk[: end - start] + source[end:]
+
+
+def run_fuzz(
+    mutants: int = 500,
+    seed: int = 0,
+    *,
+    verify: bool = True,
+    limits: Optional[Limits] = None,
+    max_errors: int = 20,
+) -> Dict[str, int]:
+    """Push ``mutants`` corrupted programs through the checking pipeline.
+
+    Deterministic for a given ``(mutants, seed)``.  Each mutant runs
+    lex → parse → typecheck → translate (→ verify); the contract under test
+    is that :func:`repro.pipeline.check_source` *never* raises — every
+    failure mode must surface as a diagnostic in the outcome's report.  On
+    violation, raises :class:`AssertionError` carrying the reproducing
+    mutant.  Returns counters: mutants run, still-well-typed, diagnosed.
+    """
+    from repro.pipeline import check_source
+
+    rng = random.Random(seed)
+    if limits is None:
+        # Tight budgets keep pathological mutants fast while still proving
+        # they surface as ResourceLimitError diagnostics.
+        limits = Limits(max_check_depth=500, max_eval_steps=200_000)
+    stats = {"mutants": 0, "ok": 0, "diagnosed": 0}
+    for k in range(mutants):
+        base = FUZZ_SEEDS[k % len(FUZZ_SEEDS)]
+        mutant = mutate_source(base, rng)
+        for _ in range(rng.randrange(3)):  # 0-2 extra stacked mutations
+            mutant = mutate_source(mutant, rng)
+        try:
+            outcome = check_source(
+                mutant,
+                "<fuzz>",
+                ext=bool(k % 2),
+                max_errors=max_errors,
+                limits=limits,
+                verify=verify,
+            )
+        except Exception as exc:  # noqa: BLE001 — the property under test
+            raise AssertionError(
+                f"non-Diagnostic exception escaped the pipeline "
+                f"(fuzz seed={seed}, iteration={k}, "
+                f"{type(exc).__name__}: {exc})\nmutant:\n{mutant}"
+            ) from exc
+        stats["mutants"] += 1
+        if outcome.ok:
+            stats["ok"] += 1
+        else:
+            stats["diagnosed"] += 1
+    return stats

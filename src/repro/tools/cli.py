@@ -10,23 +10,42 @@ Subcommands::
 
 ``--prelude`` wraps the program with the standard concept library and ``-e``
 takes the program from the command line instead of a file.
+
+The driver is fault-tolerant: parse and type errors are collected (up to
+``--max-errors``) instead of stopping at the first one, ``--fuel``/``--depth``
+bound runaway programs, and ``--json`` emits machine-readable diagnostics.
+
+Exit codes: **0** success, **1** the program has diagnostics, **2** usage
+error (bad flags, unreadable file), **3** internal error (a bug in this
+implementation — never the input program's fault).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.diagnostics.errors import Diagnostic
-from repro.fg import evaluate as fg_evaluate
+from repro.diagnostics.limits import DEFAULT_LIMITS, Limits
+from repro.diagnostics.reporter import DiagnosticReport, diagnostic_to_dict
 from repro.fg import pretty_type as fg_pretty_type
-from repro.fg import typecheck as fg_typecheck
-from repro.fg import verify_translation
-from repro.syntax import parse_f, parse_fg
+from repro.syntax import parse_f
 from repro.systemf import evaluate as f_evaluate
 from repro.systemf import pretty_term as f_pretty_term
 from repro.systemf import pretty_type as f_pretty_type
 from repro.systemf import type_of as f_type_of
+
+#: Exit codes of the ``fg`` driver (documented contract).
+EXIT_OK = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
+
+_INTERNAL_BANNER = (
+    "fg: internal error — this is a bug in the F_G implementation, "
+    "not in your program"
+)
 
 
 def _read_program(args: argparse.Namespace) -> str:
@@ -38,15 +57,6 @@ def _read_program(args: argparse.Namespace) -> str:
         return handle.read()
 
 
-def _fg_term(args: argparse.Namespace):
-    text = _read_program(args)
-    if args.prelude:
-        from repro.prelude import wrap
-
-        text = wrap(text)
-    return parse_fg(text, args.file or "<cmdline>")
-
-
 def _render(value) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
@@ -55,6 +65,73 @@ def _render(value) -> str:
     if isinstance(value, tuple):
         return "(" + ", ".join(_render(v) for v in value) + ")"
     return str(value)
+
+
+def _limits(args: argparse.Namespace) -> Limits:
+    return Limits(
+        max_check_depth=(
+            args.depth if args.depth is not None
+            else DEFAULT_LIMITS.max_check_depth
+        ),
+        max_eval_steps=args.fuel,
+    )
+
+
+def _emit_report(report: DiagnosticReport, args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps(
+            {"diagnostics": [diagnostic_to_dict(d) for d in report]},
+            indent=2,
+        ))
+    else:
+        rendered = report.render()
+        if rendered:
+            print(rendered, file=sys.stderr)
+
+
+def _run_fg_command(args: argparse.Namespace) -> int:
+    from repro.pipeline import check_source
+
+    text = _read_program(args)
+    outcome = check_source(
+        text,
+        args.file or "<cmdline>",
+        prelude=args.prelude,
+        ext=args.ext,
+        max_errors=args.max_errors,
+        limits=_limits(args),
+        evaluate=(args.command == "run"),
+        verify=(args.command == "verify"),
+    )
+    if not outcome.ok:
+        _emit_report(outcome.report, args)
+        return EXIT_DIAGNOSTICS
+    if args.command == "check":
+        if args.json:
+            print(json.dumps(
+                {
+                    "diagnostics": [],
+                    "type": fg_pretty_type(outcome.type_),
+                },
+                indent=2,
+            ))
+        else:
+            print(fg_pretty_type(outcome.type_))
+    elif args.command == "translate":
+        print(f_pretty_term(outcome.translation))
+    elif args.command == "verify":
+        print(f"F_G type:      {fg_pretty_type(outcome.type_)}")
+        print("translation preserves typing: OK")
+    else:  # run
+        print(_render(outcome.value))
+    return EXIT_OK
+
+
+def _run_runf(args: argparse.Namespace) -> int:
+    term = parse_f(_read_program(args), args.file or "<cmdline>")
+    f_type_of(term)
+    print(_render(f_evaluate(term, limits=_limits(args))))
+    return EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -88,6 +165,33 @@ def main(argv=None) -> int:
             help="enable the section 6 extensions (named/parameterized "
             "models, member defaults)",
         )
+        cmd.add_argument(
+            "--max-errors",
+            type=int,
+            default=20,
+            metavar="N",
+            help="stop after N collected errors (default 20)",
+        )
+        cmd.add_argument(
+            "--fuel",
+            type=int,
+            default=None,
+            metavar="N",
+            help="bound evaluation to N steps (default: unbounded)",
+        )
+        cmd.add_argument(
+            "--depth",
+            type=int,
+            default=None,
+            metavar="N",
+            help="bound typechecker nesting depth (default "
+            f"{DEFAULT_LIMITS.max_check_depth})",
+        )
+        cmd.add_argument(
+            "--json",
+            action="store_true",
+            help="emit diagnostics as JSON on stdout",
+        )
     args = parser.parse_args(argv)
     if args.command == "repl":
         from repro.tools.repl import main as repl_main
@@ -95,40 +199,33 @@ def main(argv=None) -> int:
         return repl_main()
     if args.file is None and args.expr is None:
         parser.error("a FILE or -e EXPR is required")
+    if args.max_errors < 1:
+        parser.error("--max-errors must be at least 1")
     try:
         if args.command == "runf":
-            term = parse_f(_read_program(args), args.file or "<cmdline>")
-            f_type_of(term)
-            print(_render(f_evaluate(term)))
-            return 0
-        term = _fg_term(args)
-        if args.ext:
-            from repro import extensions as ext
-
-            check_fn, eval_fn, verify_fn = (
-                ext.typecheck, ext.evaluate, ext.verify_translation
-            )
-        else:
-            check_fn, eval_fn, verify_fn = (
-                fg_typecheck, fg_evaluate, verify_translation
-            )
-        if args.command == "check":
-            fg_type, _ = check_fn(term)
-            print(fg_pretty_type(fg_type))
-        elif args.command == "translate":
-            _, sf_term = check_fn(term)
-            print(f_pretty_term(sf_term))
-        elif args.command == "verify":
-            fg_type, sf_type = verify_fn(term)
-            print(f"F_G type:      {fg_pretty_type(fg_type)}")
-            print(f"System F type: {f_pretty_type(sf_type)}")
-            print("translation preserves typing: OK")
-        else:  # run
-            print(_render(eval_fn(term)))
-        return 0
+            return _run_runf(args)
+        return _run_fg_command(args)
+    except OSError as err:
+        # A missing or unreadable input file is a usage error, reported as
+        # one clean line — no traceback.
+        name = getattr(err, "filename", None) or args.file or "<input>"
+        print(f"fg: cannot read {name}: {err.strerror or err}", file=sys.stderr)
+        return EXIT_USAGE
+    except UnicodeDecodeError as err:
+        # A file that is not valid UTF-8 is bad input, not an internal bug.
+        name = args.file or "<input>"
+        print(f"fg: cannot read {name}: not valid UTF-8 ({err})", file=sys.stderr)
+        return EXIT_USAGE
     except Diagnostic as err:
+        # Fail-fast paths (runf) still honor the exit-code contract.
         print(err, file=sys.stderr)
-        return 1
+        return EXIT_DIAGNOSTICS
+    except Exception:
+        import traceback
+
+        print(_INTERNAL_BANNER, file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

@@ -12,9 +12,10 @@ each expression against it:
     fg> twice[int](21)
     42 : int
 
-Commands: ``:type e``, ``:translate e``, ``:decls``, ``:clear``,
-``:prelude``, ``:ext``, ``:quit``.  Incomplete input (unexpected end of
-file) continues on the next line.
+Commands: ``:type e``, ``:translate e``, ``:errors e``, ``:decls``,
+``:clear``, ``:prelude``, ``:ext``, ``:fuel N``, ``:maxerrors N``,
+``:quit``.  Incomplete input (unexpected end of file) continues on the next
+line.
 
 The core logic lives in :class:`Repl`, which is side-effect free and
 drivable from tests; :func:`main` wraps it in a stdin loop.
@@ -51,6 +52,8 @@ class Repl:
 
     use_ext: bool = False
     decls: List[str] = field(default_factory=list)
+    fuel: Optional[int] = None
+    max_errors: int = 20
     _pending: str = ""
 
     # -- plumbing ---------------------------------------------------------
@@ -78,6 +81,10 @@ class Repl:
         """True when the REPL is waiting for a continuation line."""
         return bool(self._pending)
 
+    def interrupt(self) -> None:
+        """Discard any pending continuation input (Ctrl-C)."""
+        self._pending = ""
+
     def feed(self, line: str) -> Optional[str]:
         """Process one input line; returns the text to display (or None).
 
@@ -102,10 +109,23 @@ class Repl:
             return str(err)
         except Diagnostic as err:
             return str(err)
+        except SystemExit:
+            raise
+        except Exception:
+            # A non-Diagnostic exception is a bug in the implementation;
+            # report it without killing the session.
+            import traceback
+
+            return (
+                "-- internal error (a bug in the F_G implementation, not "
+                "your program):\n" + traceback.format_exc().rstrip()
+            )
 
     @staticmethod
     def _looks_incomplete(err: ParseError) -> bool:
-        return "'EOF'" in err.message
+        # Only input that *ran out* is a continuation — "expected 'EOF',
+        # found X" means the program is complete but wrong.
+        return "found 'EOF'" in err.message
 
     @staticmethod
     def _brackets_open(text: str) -> bool:
@@ -125,10 +145,22 @@ class Repl:
                 depth -= 1
         return depth > 0
 
+    def _complete_expression(self, text: str) -> bool:
+        """True when ``text`` already parses as a whole program on its own.
+
+        ``let x = 1 in iadd(x, 1)`` is a complete expression to evaluate;
+        a bare ``let x = 1`` is a declaration prefix to accumulate.
+        """
+        try:
+            parse_fg(self._program(text), "<repl>")
+        except Diagnostic:
+            return False
+        return True
+
     def _evaluate_or_declare(self, text: str) -> str:
         first_word = text.split(None, 1)[0] if text.split() else ""
         first_word = first_word.split("(")[0]
-        if first_word in _DECL_KEYWORDS:
+        if first_word in _DECL_KEYWORDS and not self._complete_expression(text):
             import re
 
             ends_with_in = re.search(r"\bin\s*$", text) is not None
@@ -140,7 +172,9 @@ class Repl:
             self.decls.append(candidate)
             return f"-- declared ({first_word})"
         fg_type, sf = self._check(text)
-        value = f_evaluate(sf)
+        from repro.diagnostics.limits import Limits
+
+        value = f_evaluate(sf, limits=Limits(max_eval_steps=self.fuel))
         return f"{_render(value)} : {pretty_type(fg_type)}"
 
     def _command(self, text: str) -> str:
@@ -159,6 +193,38 @@ class Repl:
                 return "usage: :translate <expr>"
             _, sf = self._check(arg)
             return f_pretty_term(sf)
+        if command == ":errors":
+            if not arg:
+                return "usage: :errors <expr>"
+            from repro.pipeline import check_source
+
+            outcome = check_source(
+                self._program(arg), "<repl>", ext=self.use_ext,
+                max_errors=self.max_errors,
+            )
+            if outcome.ok:
+                return "-- no errors"
+            return outcome.report.render()
+        if command == ":fuel":
+            if not arg:
+                current = "unbounded" if self.fuel is None else str(self.fuel)
+                return f"-- fuel: {current} (set with :fuel N, clear with :fuel off)"
+            if arg in ("off", "none"):
+                self.fuel = None
+                return "-- fuel: unbounded"
+            try:
+                self.fuel = max(1, int(arg))
+            except ValueError:
+                return "usage: :fuel N (or :fuel off)"
+            return f"-- fuel: {self.fuel}"
+        if command == ":maxerrors":
+            if not arg:
+                return f"-- max errors: {self.max_errors}"
+            try:
+                self.max_errors = max(1, int(arg))
+            except ValueError:
+                return "usage: :maxerrors N"
+            return f"-- max errors: {self.max_errors}"
         if command == ":decls":
             if not self.decls:
                 return "-- no declarations"
@@ -179,8 +245,8 @@ class Repl:
             return (
                 "declarations (concept/model/let/type/use/overload) "
                 "accumulate; expressions evaluate.\n"
-                "commands: :type e, :translate e, :decls, :clear, "
-                ":prelude, :ext, :quit"
+                "commands: :type e, :translate e, :errors e, :decls, "
+                ":clear, :prelude, :ext, :fuel N, :maxerrors N, :quit"
             )
         return f"unknown command {command} (try :help)"
 
@@ -196,6 +262,7 @@ def main() -> int:
             print()
             return 0
         except KeyboardInterrupt:
+            repl.interrupt()
             print()
             continue
         try:

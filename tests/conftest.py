@@ -1,12 +1,6 @@
 """Shared helpers for the test suite."""
 
-import sys
-
 import pytest
-
-# The evaluator raises the recursion limit on first use; doing it up front
-# keeps hypothesis from warning about a mid-test change.
-sys.setrecursionlimit(50_000)
 
 from repro.diagnostics.errors import TypeError_
 from repro.fg import evaluate as fg_evaluate

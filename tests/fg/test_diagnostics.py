@@ -101,3 +101,56 @@ class TestMessageQuality:
     def test_diagnostic_is_exception(self):
         assert issubclass(TypeError_, Diagnostic)
         assert issubclass(Diagnostic, Exception)
+
+
+class TestExcerptEdgeCases:
+    def test_end_of_file_span(self):
+        src = SourceText("let x = 1")
+        span = src.span(9, 9)  # one past the last character
+        excerpt = src.excerpt(span)
+        assert "let x = 1" in excerpt
+        assert "^" in excerpt
+
+    def test_span_past_end_is_clamped(self):
+        src = SourceText("ab")
+        span = src.span(50, 60)
+        assert span.end.offset == 2
+        assert src.excerpt(span)  # no IndexError, still renders
+
+    def test_multi_line_span_underlines_first_line(self):
+        src = SourceText("let x =\n  oops\nin x")
+        span = src.span(4, 14)  # from 'x' through 'oops'
+        excerpt = src.excerpt(span)
+        lines = excerpt.splitlines()
+        assert "let x =" in lines[0]
+        assert "oops" not in lines[0].replace("let x =", "")
+        # Underline runs from the caret to the end of the first line.
+        assert lines[1].count("^") >= 1
+
+    def test_tabs_before_caret_stay_aligned(self):
+        src = SourceText("\t\tbad")
+        span = src.span(2, 5)  # the word 'bad'
+        excerpt = src.excerpt(span)
+        display, underline = excerpt.splitlines()
+        assert "\t" not in display  # tabs expanded for display
+        assert underline.index("^") == display.index("bad")
+        assert underline.count("^") == 3
+
+    def test_empty_source(self):
+        src = SourceText("")
+        assert src.excerpt(src.span(0, 0)) == ""
+        assert src.line(1) == ""
+        assert src.position_at(0) == Position(1, 1, 0)
+
+    def test_synthetic_span_renders_empty(self):
+        from repro.diagnostics.source import SYNTHETIC
+
+        src = SourceText("anything")
+        assert src.excerpt(SYNTHETIC) == ""
+        assert SYNTHETIC.filename == "<synthetic>"
+
+    def test_excerpt_caret_width_single_line(self):
+        src = SourceText("iadd(1, true)")
+        span = src.span(8, 12)
+        excerpt = src.excerpt(span)
+        assert excerpt.count("^") == 4
