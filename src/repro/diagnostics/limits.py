@@ -77,17 +77,23 @@ class Budget:
     Both raise :class:`ResourceLimitError` when the budget is exhausted.
     """
 
-    __slots__ = ("limits", "_depth", "_fuel")
+    __slots__ = ("limits", "_depth", "_fuel", "steps_taken", "peak_depth")
 
     def __init__(self, limits: Optional[Limits] = None):
         self.limits = limits if limits is not None else DEFAULT_LIMITS
         self._depth = 0
         self._fuel = self.limits.max_eval_steps
+        #: Evaluation steps metered so far (observability reads this).
+        self.steps_taken = 0
+        #: Deepest checker nesting reached (observability reads this).
+        self.peak_depth = 0
 
     # -- typechecker depth ------------------------------------------------
 
     def enter_depth(self, span=None) -> None:
         self._depth += 1
+        if self._depth > self.peak_depth:
+            self.peak_depth = self._depth
         cap = self.limits.max_check_depth
         if cap is not None and self._depth > cap:
             # Leave the counter consistent for callers that recover.
@@ -106,6 +112,7 @@ class Budget:
     # -- evaluator fuel ---------------------------------------------------
 
     def spend_fuel(self, span=None) -> None:
+        self.steps_taken += 1
         if self._fuel is None:
             return
         if self._fuel <= 0:

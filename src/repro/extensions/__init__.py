@@ -34,10 +34,14 @@ from repro.systemf import type_of as _sf_type_of
 
 
 def typecheck(
-    term: G.Term, env: Optional[Env] = None, *, limits: Optional[Limits] = None
+    term: G.Term,
+    env: Optional[Env] = None,
+    *,
+    limits: Optional[Limits] = None,
+    instrumentation=None,
 ) -> Tuple[G.FGType, F.Term]:
     """Typecheck an extended-F_G term; returns type and translation."""
-    checker = ExtChecker(limits=limits)
+    checker = ExtChecker(limits=limits, instrumentation=instrumentation)
     with resource_scope(checker.limits, getattr(term, "span", None)):
         return checker.check(term, env if env is not None else Env.initial())
 
@@ -49,6 +53,7 @@ def typecheck_all(
     max_errors: int = 20,
     limits: Optional[Limits] = None,
     reporter: Optional[DiagnosticReporter] = None,
+    instrumentation=None,
 ) -> Tuple[Optional[G.FGType], Optional[F.Term], DiagnosticReport]:
     """Multi-error variant of :func:`typecheck` (see
     :func:`repro.fg.typecheck.typecheck_all`)."""
@@ -56,7 +61,7 @@ def typecheck_all(
 
     return _run_collecting(
         ExtChecker, term, env, max_errors=max_errors, limits=limits,
-        reporter=reporter,
+        reporter=reporter, instrumentation=instrumentation,
     )
 
 

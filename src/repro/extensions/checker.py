@@ -71,9 +71,11 @@ class ExtChecker(Checker):
         }
     )
 
-    def __init__(self, use_solver_cache: bool = True, reporter=None, limits=None):
+    def __init__(self, use_solver_cache: bool = True, reporter=None,
+                 limits=None, instrumentation=None):
         super().__init__(
-            use_solver_cache=use_solver_cache, reporter=reporter, limits=limits
+            use_solver_cache=use_solver_cache, reporter=reporter,
+            limits=limits, instrumentation=instrumentation,
         )
         self._resolution_depth = 0
         self._improving = False
@@ -139,9 +141,9 @@ class ExtChecker(Checker):
     # ------------------------------------------------------------------
 
     def find_model(
-        self, concept: str, args: Tuple[G.FGType, ...], env: Env
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env, span=None
     ) -> Optional[ModelInfo]:
-        info = super().find_model(concept, args, env)
+        info = super().find_model(concept, args, env, span)
         if info is not None:
             return info
         if self._resolution_depth > _MAX_RESOLUTION_DEPTH:
@@ -154,6 +156,14 @@ class ExtChecker(Checker):
             for pmodel in param_models.get(concept, ()):
                 instance = self._instantiate_param_model(pmodel, args, env)
                 if instance is not None:
+                    if self._explain is not None:
+                        self._explain.note(
+                            f"model lookup: {concept}<"
+                            f"{', '.join(map(str, args))}> resolved via "
+                            f"parameterized model forall "
+                            f"{', '.join(pmodel.vars)}. {pmodel.concept}<"
+                            f"{', '.join(map(str, pmodel.args))}>"
+                        )
                     return instance
         finally:
             self._resolution_depth -= 1

@@ -50,10 +50,16 @@ class CongruenceSolver:
     against current class representatives, so congruence stays closed.
     """
 
-    def __init__(self, max_nodes: Optional[int] = None):
+    def __init__(self, max_nodes: Optional[int] = None, *,
+                 metrics=None, tracer=None):
         # ``max_nodes`` bounds the hash-consed node count: a runaway
         # equality set becomes a ResourceLimitError, not a frozen process.
+        # ``metrics``/``tracer`` are optional observability hooks
+        # (``repro.observability``); every use is guarded so the disabled
+        # path costs one load-and-branch.
         self._max_nodes = max_nodes
+        self._metrics = metrics
+        self._tracer = tracer
         self._labels: List[tuple] = []
         self._children: List[Tuple[int, ...]] = []
         self._uf_parent: List[int] = []
@@ -67,6 +73,8 @@ class CongruenceSolver:
     # -- union-find ---------------------------------------------------------
 
     def _find(self, i: int) -> int:
+        if self._metrics is not None:
+            self._metrics.inc("congruence.finds")
         root = i
         while self._uf_parent[root] != root:
             root = self._uf_parent[root]
@@ -89,6 +97,8 @@ class CongruenceSolver:
         self._uf_rank.append(0)
         self._use[i] = []
         self._members[i] = [i]
+        if self._metrics is not None:
+            self._metrics.inc("congruence.nodes")
         return i
 
     # -- interning ----------------------------------------------------------
@@ -125,6 +135,15 @@ class CongruenceSolver:
 
     def merge(self, a: G.FGType, b: G.FGType) -> None:
         """Assert ``a == b`` and close under congruence."""
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("congruence.merge"):
+                self._merge(a, b)
+        else:
+            self._merge(a, b)
+
+    def _merge(self, a: G.FGType, b: G.FGType) -> None:
+        metrics = self._metrics
         self._equalities.append((a, b))
         worklist = [(self.intern(a), self.intern(b))]
         while worklist:
@@ -138,6 +157,11 @@ class CongruenceSolver:
                 self._uf_rank[ry] += 1
             self._uf_parent[rx] = ry
             self._members[ry].extend(self._members.pop(rx))
+            if metrics is not None:
+                metrics.inc("congruence.unions")
+                metrics.observe(
+                    "congruence.class_size", len(self._members[ry])
+                )
             # Re-signature every parent of the absorbed class; congruent
             # parents found in the signature table join the worklist.
             moved = self._use.pop(rx)
@@ -295,10 +319,18 @@ def _canonical_forall(t: G.TForall) -> str:
 
 
 def solver_for_equalities(
-    equalities, max_nodes: Optional[int] = None
+    equalities, max_nodes: Optional[int] = None, *,
+    metrics=None, tracer=None,
 ) -> CongruenceSolver:
     """Build a solver containing every equality in ``equalities``."""
-    solver = CongruenceSolver(max_nodes)
+    solver = CongruenceSolver(max_nodes, metrics=metrics, tracer=tracer)
+    if metrics is not None:
+        metrics.inc("congruence.solvers")
+    if tracer is not None and tracer.enabled:
+        with tracer.span("congruence.build", equalities=len(tuple(equalities))):
+            for left, right in equalities:
+                solver.merge(left, right)
+        return solver
     for left, right in equalities:
         solver.merge(left, right)
     return solver

@@ -210,14 +210,22 @@ class SolverCache:
     once per distinct set keeps checking near-linear in practice.
     """
 
-    def __init__(self, max_nodes: Optional[int] = None):
+    def __init__(self, max_nodes: Optional[int] = None, *,
+                 metrics=None, tracer=None):
         self._cache: Dict[tuple, CongruenceSolver] = {}
         self._max_nodes = max_nodes
+        self._metrics = metrics
+        self._tracer = tracer
 
     def solver(self, env: Env) -> CongruenceSolver:
         key = env.equalities
         solver = self._cache.get(key)
         if solver is None:
-            solver = solver_for_equalities(key, self._max_nodes)
+            solver = solver_for_equalities(
+                key, self._max_nodes,
+                metrics=self._metrics, tracer=self._tracer,
+            )
             self._cache[key] = solver
+        elif self._metrics is not None:
+            self._metrics.inc("congruence.cache_hits")
         return solver

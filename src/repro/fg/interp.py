@@ -190,6 +190,14 @@ class Env:
             env = env._parent
         return None
 
+    def iter_models(self, concept: str):
+        """All models of ``concept`` visible here, innermost-first."""
+        env: Optional[Env] = self
+        while env is not None:
+            for model in env._models.get(concept, ()):
+                yield model
+            env = env._parent
+
 
 class Interpreter:
     """Direct evaluator for (checked) F_G terms.
@@ -202,12 +210,58 @@ class Interpreter:
     """
 
     def __init__(self, limits: Optional[Limits] = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None, instrumentation=None):
         self._budget = budget if budget is not None else Budget(limits)
+        # Observability (repro.observability): the explain log records
+        # runtime model resolutions (phase="runtime"); metrics count
+        # lookups.  Both default to off and are guarded at every use.
+        self._explain = (
+            instrumentation.explain if instrumentation is not None else None
+        )
+        self._metrics = (
+            instrumentation.metrics if instrumentation is not None else None
+        )
 
     def run(self, term: G.Term, env: Optional[Env] = None) -> Value:
         with resource_scope(self._budget.limits, getattr(term, "span", None)):
             return self.eval(term, env if env is not None else Env.initial())
+
+    # -- model resolution (observable) -------------------------------------
+
+    def _find_model(
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env
+    ) -> Optional[ModelValue]:
+        """``env.find_model`` plus optional metrics/explain recording."""
+        if self._metrics is None and self._explain is None:
+            return env.find_model(concept, args)
+        if self._metrics is not None:
+            self._metrics.inc("interp.model_lookups")
+        if self._explain is None:
+            return env.find_model(concept, args)
+        candidates = list(env.iter_models(concept))
+        self._explain.begin(
+            concept,
+            ", ".join(map(str, args)),
+            scope_size=len(candidates),
+            equalities_in_scope=0,
+            phase="runtime",
+        )
+        from repro.observability.explain import ACCEPTED
+
+        found: Optional[ModelValue] = None
+        for index, model in enumerate(candidates):
+            if model.args != args:
+                status = "runtime type arguments are not identical"
+            elif found is None:
+                status = ACCEPTED
+                found = model
+            else:
+                status = "shadowed by an inner matching model"
+            self._explain.candidate(
+                index, ", ".join(map(str, model.args)), status
+            )
+        self._explain.finish(found is not None)
+        return found
 
     # -- application helpers ----------------------------------------------
 
@@ -293,7 +347,7 @@ class Interpreter:
         self, concept: str, args: Tuple[G.FGType, ...], use_site: Env,
         inner: Env,
     ) -> Env:
-        model = use_site.find_model(concept, args)
+        model = self._find_model(concept, args, use_site)
         if model is None:
             raise EvalError(
                 f"no model of {concept}<{', '.join(map(str, args))}> "
@@ -363,7 +417,7 @@ class Interpreter:
 
     def _eval_member(self, term: G.MemberAccess, env: Env) -> Value:
         args = tuple(env.resolve_type(a) for a in term.args)
-        model = env.find_model(term.concept, args)
+        model = self._find_model(term.concept, args, env)
         if model is None:
             raise EvalError(
                 f"no model of {term.concept}<"
@@ -463,6 +517,8 @@ class Interpreter:
     }
 
 
-def interpret(term: G.Term, *, limits: Optional[Limits] = None) -> Value:
+def interpret(
+    term: G.Term, *, limits: Optional[Limits] = None, instrumentation=None
+) -> Value:
     """Directly evaluate a (well-typed) F_G term."""
-    return Interpreter(limits=limits).run(term)
+    return Interpreter(limits=limits, instrumentation=instrumentation).run(term)

@@ -37,6 +37,12 @@ from repro.fg.concepts import (
     qualifying_subst,
 )
 from repro.fg.env import Env, ModelInfo, SolverCache
+from repro.observability import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    format_span,
+)
+from repro.observability.explain import ACCEPTED
 from repro.systemf import ast as F
 from repro.systemf import typecheck as sf_typecheck
 
@@ -102,6 +108,7 @@ class Checker:
         use_solver_cache: bool = True,
         reporter: Optional[DiagnosticReporter] = None,
         limits: Optional[Limits] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         # ``use_solver_cache=False`` rebuilds the congruence solver on every
         # query — only useful for the ablation benchmark quantifying what
@@ -111,11 +118,32 @@ class Checker:
         # type errors are reported and replaced by the ErrorType poison
         # instead of aborting.  ``limits`` configures the resource budgets;
         # the defaults guard against pathologically deep programs.
+        #
+        # ``instrumentation`` switches on observability (spans, metrics,
+        # the model-resolution explain log); the default is the shared
+        # null bundle and every hot site guards on ``_observing``, so the
+        # disabled checker does no extra work beyond a flag test.
         self.limits = limits if limits is not None else Limits()
         self._budget = Budget(self.limits)
         self._reporter = reporter
+        obs = (
+            instrumentation if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        self._tracer = obs.tracer
+        self._metrics = obs.metrics
+        self._explain = obs.explain
+        self._observing = (
+            obs.tracer.enabled
+            or obs.metrics is not None
+            or obs.explain is not None
+        )
         self._solvers = (
-            SolverCache(self.limits.max_congruence_nodes)
+            SolverCache(
+                self.limits.max_congruence_nodes,
+                metrics=self._metrics,
+                tracer=self._tracer if self._tracer.enabled else None,
+            )
             if use_solver_cache
             else None
         )
@@ -130,7 +158,9 @@ class Checker:
             from repro.fg.congruence import solver_for_equalities
 
             return solver_for_equalities(
-                env.equalities, self.limits.max_congruence_nodes
+                env.equalities, self.limits.max_congruence_nodes,
+                metrics=self._metrics,
+                tracer=self._tracer if self._tracer.enabled else None,
             )
         return self._solvers.solver(env)
 
@@ -208,7 +238,9 @@ class Checker:
                 )
             for a in t.args:
                 self.check_type_wf(a, env, span, in_decl)
-            if not in_decl and self.find_model(t.concept, t.args, env) is None:
+            if not in_decl and self.find_model(
+                t.concept, t.args, env, span
+            ) is None:
                 raise TypeError_(
                     f"no model of {t.concept}<"
                     f"{', '.join(map(str, t.args))}> in scope for associated "
@@ -241,9 +273,15 @@ class Checker:
     # ------------------------------------------------------------------
 
     def find_model(
-        self, concept: str, args: Tuple[G.FGType, ...], env: Env
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env, span=None
     ) -> Optional[ModelInfo]:
-        """The innermost model of ``concept<args>`` modulo type equality."""
+        """The innermost model of ``concept<args>`` modulo type equality.
+
+        ``span`` (optional) only feeds the explain log's source locations;
+        it never affects the result.
+        """
+        if self._observing:
+            return self._find_model_observed(concept, args, env, span)
         for info in env.models_of(concept):
             if len(info.args) != len(args):
                 continue
@@ -251,10 +289,86 @@ class Checker:
                 return info
         return None
 
+    def _find_model_observed(
+        self, concept: str, args: Tuple[G.FGType, ...], env: Env, span=None
+    ) -> Optional[ModelInfo]:
+        """The instrumented twin of :meth:`find_model` (same result, plus
+        spans, metrics, and the explain decision log)."""
+        tracer, metrics, explain = self._tracer, self._metrics, self._explain
+        candidates = env.models_of(concept)
+        handle = (
+            tracer.span(
+                "typecheck.model_lookup",
+                concept=concept, candidates=len(candidates),
+            )
+            if tracer.enabled else None
+        )
+        if metrics is not None:
+            metrics.inc("model_lookup.attempts")
+        if explain is not None:
+            explain.begin(
+                concept,
+                ", ".join(map(str, args)),
+                scope_size=len(candidates),
+                equalities_in_scope=len(env.equalities),
+                location=format_span(span),
+            )
+        found = None
+        scanned = 0
+        try:
+            for index, info in enumerate(candidates):
+                scanned += 1
+                if len(info.args) != len(args):
+                    if explain is not None:
+                        explain.candidate(
+                            index, ", ".join(map(str, info.args)),
+                            f"arity mismatch: candidate takes "
+                            f"{len(info.args)} type argument(s), lookup "
+                            f"supplies {len(args)}",
+                        )
+                    continue
+                rejection = None
+                for position, (have, want) in enumerate(
+                    zip(info.args, args)
+                ):
+                    if not self.equal(have, want, env):
+                        rejection = (
+                            f"argument {position + 1}: "
+                            f"{self.rep(want, env)} is not equal to "
+                            f"{self.rep(have, env)} under the equalities "
+                            "in scope"
+                        )
+                        break
+                if rejection is None:
+                    found = info
+                    if explain is not None:
+                        explain.candidate(
+                            index, ", ".join(map(str, info.args)), ACCEPTED
+                        )
+                    break
+                if explain is not None:
+                    explain.candidate(
+                        index, ", ".join(map(str, info.args)), rejection
+                    )
+        finally:
+            if metrics is not None:
+                metrics.inc("model_lookup.candidates", scanned)
+                metrics.inc(
+                    "model_lookup.hits" if found is not None
+                    else "model_lookup.misses"
+                )
+                if scanned:
+                    metrics.observe("model_lookup.scope_depth", scanned)
+            if explain is not None:
+                explain.finish(found is not None)
+            if handle is not None:
+                handle.__exit__(None, None, None)
+        return found
+
     def require_model(
         self, concept: str, args: Tuple[G.FGType, ...], env: Env, span=None
     ) -> ModelInfo:
-        info = self.find_model(concept, args, env)
+        info = self.find_model(concept, args, env, span)
         if info is None:
             raise TypeError_(
                 f"no model of {concept}<{', '.join(map(str, args))}> in scope",
@@ -322,6 +436,27 @@ class Checker:
         representatives already reflect them (the paper's ``merge`` example:
         both iterator dictionaries mention ``elt1``).
         """
+        if self._observing:
+            if self._metrics is not None:
+                self._metrics.inc("typecheck.where_clauses")
+            with self._tracer.span(
+                "typecheck.where_clause",
+                vars=", ".join(vars_), requirements=len(requirements),
+                same_types=len(same_types),
+            ):
+                return self._process_where(
+                    vars_, requirements, same_types, env, span
+                )
+        return self._process_where(vars_, requirements, same_types, env, span)
+
+    def _process_where(
+        self,
+        vars_: Tuple[str, ...],
+        requirements: Tuple[G.ConceptReq, ...],
+        same_types: Tuple[G.SameType, ...],
+        env: Env,
+        span=None,
+    ) -> WhereResult:
         if len(set(vars_)) != len(vars_):
             raise TypeError_("duplicate type parameter in where clause", span)
         clash = set(vars_) & env.tyvars
@@ -351,6 +486,15 @@ class Checker:
             if key in seen:
                 return
             seen.add(key)
+            if self._explain is not None:
+                what = (
+                    "requirement" if not path
+                    else f"refinement (dictionary path {path})"
+                )
+                self._explain.refinement(
+                    f"where-clause {what}: proxy model "
+                    f"{concept}<{', '.join(map(str, args))}> registered"
+                )
             cdef = concept_def(env, concept, span)
             check_concept_arity(cdef, args, span)
             assoc_map = {
@@ -598,6 +742,9 @@ class Checker:
             )
         for a in term.args:
             self.check_type_wf(a, env, term.span)
+        if self._metrics is not None:
+            self._metrics.inc("typecheck.instantiations")
+            self._metrics.inc("typecheck.substitutions", len(fn_type.vars))
         subst = dict(zip(fn_type.vars, term.args))
         sf_tyargs = [self.translate_type(a, env, term.span) for a in term.args]
         # One extra type argument per associated-type slot, in the exact
@@ -625,7 +772,14 @@ class Checker:
         for same in fn_type.same_types:
             left = G.substitute(same.left, subst)
             right = G.substitute(same.right, subst)
-            if not self.equal(left, right, env):
+            holds = self.equal(left, right, env)
+            if self._explain is not None:
+                self._explain.note(
+                    f"same-type constraint consulted at instantiation: "
+                    f"{left} == {right} — "
+                    f"{'holds' if holds else 'VIOLATED'}"
+                )
+            if not holds:
                 raise TypeError_(
                     f"same-type constraint violated at instantiation: "
                     f"{left} == {right} does not hold "
@@ -645,7 +799,18 @@ class Checker:
         # A ``let`` bound is a recovery boundary: in reporter mode a type
         # error in the bound poisons the binding and checking continues
         # with the body, so independent errors in later bindings surface.
-        bound_type, bound_sf = self._check_recover(term.bound, env)
+        if self._observing:
+            if self._metrics is not None:
+                self._metrics.inc("typecheck.bindings")
+            if self._tracer.enabled:
+                with self._tracer.span("check.binding", name=term.name):
+                    bound_type, bound_sf = self._check_recover(
+                        term.bound, env
+                    )
+            else:
+                bound_type, bound_sf = self._check_recover(term.bound, env)
+        else:
+            bound_type, bound_sf = self._check_recover(term.bound, env)
         body_type, body_sf = self.check(
             term.body, env.bind_var(term.name, bound_type)
         )
@@ -724,6 +889,13 @@ class Checker:
 
     def _check_concept(self, term: G.ConceptExpr, env: Env):
         cdef = term.concept
+        if self._tracer.enabled:
+            with self._tracer.span("check.concept", name=cdef.name):
+                return self._check_concept_inner(term, env)
+        return self._check_concept_inner(term, env)
+
+    def _check_concept_inner(self, term: G.ConceptExpr, env: Env):
+        cdef = term.concept
         if self._reporter is not None:
             try:
                 self._validate_concept(cdef, env, term.span)
@@ -798,6 +970,14 @@ class Checker:
     # -- MDL: model declaration (Figures 9 and 13) ------------------------------
 
     def _check_model(self, term: G.ModelExpr, env: Env):
+        if self._tracer.enabled:
+            with self._tracer.span(
+                "check.model", concept=term.model.concept
+            ):
+                return self._check_model_inner(term, env)
+        return self._check_model_inner(term, env)
+
+    def _check_model_inner(self, term: G.ModelExpr, env: Env):
         if self._reporter is None:
             elaborated = self._elaborate_model(term.model, env, term.span)
         else:
@@ -884,6 +1064,12 @@ class Checker:
         # type already fixed by a visible model — that would merge two
         # distinct types (e.g. int = bool) in the congruence.  (Overlapping
         # models that keep assignments consistent — Figure 6 — are fine.)
+        if self._explain is not None:
+            self._explain.note(
+                f"declaration probe: does model {cdef.name}<"
+                f"{', '.join(map(str, mdef.args))}> shadow a visible model? "
+                "(a failed lookup here is expected)"
+            )
         existing = self.find_model(cdef.name, mdef.args, env)
         if existing is not None:
             for s, new_assignment in assigned.items():
@@ -1079,14 +1265,20 @@ class Checker:
 
 
 def typecheck(
-    term: G.Term, env: Optional[Env] = None, *, limits: Optional[Limits] = None
+    term: G.Term,
+    env: Optional[Env] = None,
+    *,
+    limits: Optional[Limits] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Tuple[G.FGType, F.Term]:
     """Typecheck an F_G term; returns its type and System F translation.
 
     Fail-fast: raises the *first* :class:`TypeError_` encountered.  Use
     :func:`typecheck_all` to keep going and collect every diagnostic.
+    ``instrumentation`` (off by default) records spans/metrics/explain —
+    see :mod:`repro.observability`.
     """
-    checker = Checker(limits=limits)
+    checker = Checker(limits=limits, instrumentation=instrumentation)
     with resource_scope(checker.limits, getattr(term, "span", None)):
         return checker.check(term, env if env is not None else Env.initial())
 
@@ -1098,6 +1290,7 @@ def typecheck_all(
     max_errors: int = 20,
     limits: Optional[Limits] = None,
     reporter: Optional[DiagnosticReporter] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Tuple[Optional[G.FGType], Optional[F.Term], DiagnosticReport]:
     """Typecheck ``term``, recovering at binding boundaries.
 
@@ -1110,7 +1303,7 @@ def typecheck_all(
     """
     return _run_collecting(
         Checker, term, env, max_errors=max_errors, limits=limits,
-        reporter=reporter,
+        reporter=reporter, instrumentation=instrumentation,
     )
 
 
@@ -1122,11 +1315,14 @@ def _run_collecting(
     max_errors: int,
     limits: Optional[Limits],
     reporter: Optional[DiagnosticReporter],
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Tuple[Optional[G.FGType], Optional[F.Term], DiagnosticReport]:
     """Shared engine behind :func:`typecheck_all` (core and extensions)."""
     if reporter is None:
         reporter = DiagnosticReporter(max_errors=max_errors)
-    checker = checker_cls(reporter=reporter, limits=limits)
+    checker = checker_cls(
+        reporter=reporter, limits=limits, instrumentation=instrumentation
+    )
     base_env = env if env is not None else Env.initial()
     result_type: Optional[G.FGType] = None
     sf_term: Optional[F.Term] = None
@@ -1137,6 +1333,10 @@ def _run_collecting(
         pass
     except (TypeError_, ResourceLimitError) as err:
         reporter.error(err)
+    if instrumentation is not None and instrumentation.metrics is not None:
+        instrumentation.metrics.set_max(
+            "check.peak_depth", checker._budget.peak_depth
+        )
     return result_type, sf_term, reporter.finish()
 
 

@@ -1,0 +1,86 @@
+"""``repro.observability``: zero-dependency tracing, metrics, and explain.
+
+The black-box problem: lexically scoped model lookup, where-clause
+dictionary threading, and the congruence-closure equality procedure decide
+everything interesting about an F_G program, yet a failure surfaces as one
+diagnostic and a slow check surfaces as nothing at all.  This package makes
+the machinery observable without touching its semantics:
+
+- :class:`Tracer` / :class:`Span` — hierarchical, ``perf_counter_ns``-timed
+  spans over every pipeline stage and the checker's fine-grained work, with
+  :mod:`exporters <repro.observability.exporters>` to human text, Chrome
+  ``trace_event`` JSON, and JSONL;
+- :class:`MetricsRegistry` — deterministic counters/histograms (model-lookup
+  attempts, congruence union/find counts, fuel, diagnostics by severity)
+  snapshotted into ``CheckOutcome.stats`` and the CLI ``--json`` envelope;
+- :class:`ExplainLog` — a structured decision log of every model
+  resolution: candidates per scope, rejection reasons, same-type
+  constraints consulted (``fg check --explain``, REPL ``:explain``);
+- :class:`Instrumentation` — the bundle the pipeline threads through the
+  stack, with :data:`NULL_INSTRUMENTATION` as the near-free disabled
+  default (null-object pattern; see docs/OBSERVABILITY.md).
+
+Everything here is standard library only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.observability.explain import ExplainLog, format_span
+from repro.observability.exporters import (
+    chrome_trace,
+    chrome_trace_json,
+    render_tree,
+    to_jsonl,
+)
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """The observability bundle one pipeline run threads through the stack.
+
+    ``tracer`` is never ``None`` (use :data:`NULL_TRACER` when disabled) so
+    call sites can write ``with instr.tracer.span(...)`` unconditionally at
+    moderate frequency; ``metrics`` and ``explain`` are ``None`` when
+    disabled and every write site guards on that (the hot-path discipline).
+    """
+
+    tracer: object = NULL_TRACER
+    metrics: Optional[MetricsRegistry] = None
+    explain: Optional[ExplainLog] = None
+
+    @classmethod
+    def enabled(cls, *, trace: bool = False, metrics: bool = True,
+                explain: bool = False) -> "Instrumentation":
+        """A live bundle with the requested parts turned on."""
+        return cls(
+            tracer=Tracer() if trace else NULL_TRACER,
+            metrics=MetricsRegistry() if metrics else None,
+            explain=ExplainLog() if explain else None,
+        )
+
+
+#: The shared all-off bundle (the default everywhere).
+NULL_INSTRUMENTATION = Instrumentation()
+
+
+__all__ = [
+    "ExplainLog",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "format_span",
+    "render_tree",
+    "to_jsonl",
+]

@@ -1,0 +1,220 @@
+"""The model-resolution explain log (``fg check --explain``, REPL ``:explain``).
+
+Lexically scoped model lookup (paper §3) and the congruence-closure equality
+it runs modulo (§4–5) make "no model of C<t> in scope" genuinely hard to
+debug: the answer depends on which models are visible *here*, in what order,
+and on the same-type constraints currently merged.  An :class:`ExplainLog`
+records every resolution the checker (or the direct interpreter) performs as
+a structured :class:`Resolution` event:
+
+- the concept and arguments being resolved (with their representatives);
+- each candidate inspected, **per scope position** (0 = innermost), and the
+  precise reason it was rejected — arity mismatch, or the first argument
+  pair the congruence closure refused to equate;
+- how many same-type equalities were in scope (consulted by every equality
+  test), and refinement steps taken while registering where-clause proxies;
+- the outcome: the chosen candidate, or a failure the diagnostic will report.
+
+Rendering is failure-forward: :meth:`ExplainLog.render` shows failed
+resolutions in full (that is what the user is debugging) and successful ones
+in one line each; ``verbose=True`` expands everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Candidate statuses.
+ACCEPTED = "accepted"
+
+
+@dataclass
+class Candidate:
+    """One model inspected during a resolution, at ``scope_index`` in the
+    innermost-first scope chain.  ``status`` is :data:`ACCEPTED` or a
+    human-readable rejection reason."""
+
+    scope_index: int
+    args: str
+    status: str
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == ACCEPTED
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scope_index": self.scope_index,
+            "args": self.args,
+            "status": self.status,
+        }
+
+
+@dataclass
+class Resolution:
+    """One model-resolution event: ``concept<args>`` looked up in a scope
+    holding ``scope_size`` candidate models and ``equalities_in_scope``
+    same-type equalities."""
+
+    concept: str
+    args: str
+    scope_size: int
+    equalities_in_scope: int
+    phase: str = "typecheck"          # or "runtime" (direct interpreter)
+    location: Optional[str] = None    # "file:line:col" when a span is known
+    candidates: List[Candidate] = field(default_factory=list)
+    resolved: bool = False
+    refinements: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "concept": self.concept,
+            "args": self.args,
+            "phase": self.phase,
+            "location": self.location,
+            "scope_size": self.scope_size,
+            "equalities_in_scope": self.equalities_in_scope,
+            "resolved": self.resolved,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "refinements": list(self.refinements),
+        }
+
+    def render(self) -> str:
+        head = f"model lookup: {self.concept}<{self.args}>"
+        if self.location:
+            head += f" at {self.location}"
+        lines = [head]
+        lines.append(
+            f"  scope: {self.scope_size} candidate model(s) of "
+            f"{self.concept}; {self.equalities_in_scope} type equalit"
+            f"{'y' if self.equalities_in_scope == 1 else 'ies'} consulted"
+        )
+        for cand in self.candidates:
+            mark = "=> matched" if cand.accepted else f"rejected: {cand.status}"
+            lines.append(
+                f"  [scope {cand.scope_index}] model "
+                f"{self.concept}<{cand.args}> — {mark}"
+            )
+        for note in self.refinements:
+            lines.append(f"  refinement: {note}")
+        if not self.resolved:
+            lines.append(
+                f"  => FAILED: no model of {self.concept}<{self.args}> "
+                "satisfies the lookup"
+            )
+        return "\n".join(lines)
+
+
+class ExplainLog:
+    """An append-only, chronological log of resolution events and notes.
+
+    The checker records through :meth:`begin`/:meth:`candidate`/
+    :meth:`refinement`/:meth:`finish`/:meth:`note`; readers use
+    :attr:`resolutions`, :meth:`failures`, :meth:`render`, or
+    :meth:`to_json`.  A ``refinement`` outside any open resolution (e.g.
+    where-clause proxy registration) lands as a standalone note.
+    """
+
+    __slots__ = ("entries", "_open")
+
+    def __init__(self):
+        #: Chronological entries: :class:`Resolution` objects and note strings.
+        self.entries: List[object] = []
+        self._open: List[Resolution] = []
+
+    @property
+    def resolutions(self) -> List[Resolution]:
+        return [e for e in self.entries if isinstance(e, Resolution)]
+
+    # -- recording (checker side) ----------------------------------------
+
+    def begin(
+        self,
+        concept: str,
+        args: str,
+        *,
+        scope_size: int,
+        equalities_in_scope: int,
+        phase: str = "typecheck",
+        location: Optional[str] = None,
+    ) -> Resolution:
+        res = Resolution(
+            concept=concept,
+            args=args,
+            scope_size=scope_size,
+            equalities_in_scope=equalities_in_scope,
+            phase=phase,
+            location=location,
+        )
+        self.entries.append(res)
+        self._open.append(res)
+        return res
+
+    def candidate(self, scope_index: int, args: str, status: str) -> None:
+        if self._open:
+            self._open[-1].candidates.append(
+                Candidate(scope_index, args, status)
+            )
+
+    def refinement(self, note: str) -> None:
+        if self._open:
+            self._open[-1].refinements.append(note)
+        else:
+            self.entries.append(note)
+
+    def note(self, text: str) -> None:
+        self.entries.append(text)
+
+    def finish(self, resolved: bool) -> None:
+        if self._open:
+            self._open.pop().resolved = resolved
+
+    # -- reading ----------------------------------------------------------
+
+    def failures(self) -> Tuple[Resolution, ...]:
+        return tuple(r for r in self.resolutions if not r.resolved)
+
+    def to_json(self) -> List[Dict[str, object]]:
+        return [
+            e.to_dict() if isinstance(e, Resolution) else {"note": e}
+            for e in self.entries
+        ]
+
+    def render(self, verbose: bool = False) -> str:
+        """Failures in full; successes one line each (all full if verbose)."""
+        if not self.entries:
+            return "-- no model resolutions recorded"
+        lines: List[str] = []
+        for entry in self.entries:
+            if not isinstance(entry, Resolution):
+                lines.append(f"-- {entry}")
+            elif verbose or not entry.resolved:
+                lines.append(entry.render())
+            else:
+                chosen = next(
+                    (c for c in entry.candidates if c.accepted), None
+                )
+                where = (
+                    f" (scope {chosen.scope_index})" if chosen is not None
+                    else ""
+                )
+                lines.append(
+                    f"model lookup: {entry.concept}<{entry.args}> — "
+                    f"resolved{where}"
+                )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.resolutions)
+
+
+def format_span(span) -> Optional[str]:
+    """``file:line:col`` for a source span, or ``None``."""
+    if span is None:
+        return None
+    filename = getattr(span, "filename", None)
+    start = getattr(span, "start", None)
+    if filename is None or start is None or filename == "<synthetic>":
+        return None
+    return f"{filename}:{start.line}:{start.column}"

@@ -1,0 +1,88 @@
+"""Span-tree exporters: human text, Chrome ``trace_event`` JSON, JSONL.
+
+Three projections of one :class:`~repro.observability.tracer.Tracer`:
+
+- :func:`render_tree` — an indented, durations-annotated tree for humans
+  (``fg ... --trace`` with no file argument);
+- :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome
+  ``trace_event`` array format (complete ``"ph": "X"`` events), loadable in
+  ``chrome://tracing`` or Perfetto (``--trace=out.json``);
+- :func:`to_jsonl` — one compact JSON object per span, parent-linked, for
+  ad-hoc analysis with line-oriented tools (``--trace=out.jsonl``).
+
+All three are deterministic given a tracer with a deterministic clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.observability.tracer import Span, Tracer
+
+
+def _attrs_str(span: Span) -> str:
+    if not span.attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+    return f" [{inner}]"
+
+
+def render_tree(tracer: Tracer) -> str:
+    """The span forest as indented text with millisecond durations."""
+    lines: List[str] = []
+    for depth, span in tracer.walk():
+        dur_ms = span.duration_ns / 1e6
+        lines.append(
+            f"{'  ' * depth}{span.name}  {dur_ms:.3f}ms{_attrs_str(span)}"
+        )
+    return "\n".join(lines) if lines else "-- no spans recorded"
+
+
+def _span_args(span: Span) -> Dict[str, object]:
+    # Chrome's viewer requires JSON-safe args; stringify anything exotic.
+    out: Dict[str, object] = {}
+    for key, value in span.attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def chrome_trace(tracer: Tracer) -> List[Dict[str, object]]:
+    """The spans as a Chrome ``trace_event`` list (complete events)."""
+    events: List[Dict[str, object]] = []
+    for span in tracer.spans:
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_ns / 1_000,      # microseconds
+            "dur": span.duration_ns / 1_000,
+            "pid": 1,
+            "tid": 1,
+            "args": dict(_span_args(span), span_id=span.id,
+                         parent_id=span.parent_id),
+        })
+    return events
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """:func:`chrome_trace`, serialized (the ``--trace=FILE.json`` payload)."""
+    return json.dumps({"traceEvents": chrome_trace(tracer)}, indent=2)
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per span, newline-separated, in creation order."""
+    lines = []
+    for span in tracer.spans:
+        lines.append(json.dumps({
+            "id": span.id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "start_ns": span.start_ns,
+            "dur_ns": span.duration_ns,
+            "attrs": _span_args(span),
+        }, sort_keys=True))
+    return "\n".join(lines)

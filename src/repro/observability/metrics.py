@@ -1,0 +1,127 @@
+"""Process-local counters and histograms for the checking pipeline.
+
+A :class:`MetricsRegistry` is a plain dictionary of named counters plus
+named histograms (count/sum/min/max — enough for means without keeping
+samples).  The checker, congruence solver, and evaluators increment it at
+guarded call sites (``if metrics is not None``), so the disabled path costs
+one attribute load and branch.
+
+Snapshots are **deterministic**: keys are sorted and only structural
+quantities go in (lookup counts, scope depths, union/find counts, fuel),
+never wall-clock times — two identical runs produce identical snapshots
+(``tests/observability/test_metrics.py`` enforces this).  Stage *timings*
+live next to the snapshot in ``CheckOutcome.stats["timings_ms"]``, kept out
+of the registry precisely so the deterministic part stays comparable.
+
+Metric catalog (see docs/OBSERVABILITY.md for the full table):
+
+- ``model_lookup.attempts`` / ``.hits`` / ``.misses`` — calls to the
+  checker's ``find_model`` and how they ended;
+- ``model_lookup.candidates`` — candidate models inspected across lookups;
+- ``model_lookup.scope_depth`` (histogram) — how deep into the
+  innermost-first model scope each lookup reached;
+- ``congruence.solvers`` / ``.nodes`` / ``.unions`` / ``.finds`` — solver
+  constructions, hash-consed nodes, union and find operations;
+- ``congruence.class_size`` (histogram) — equivalence-class sizes at merge;
+- ``typecheck.bindings`` / ``.where_clauses`` / ``.instantiations`` /
+  ``.substitutions`` — checker progress counters;
+- ``check.peak_depth``, ``eval.steps`` — budget readings;
+- ``diagnostics.error`` / ``.warning`` / ``.note`` — report composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Histogram:
+    """A streaming histogram: count, sum, min, max (no samples kept)."""
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one run (or one REPL session)."""
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(self):
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- writing ----------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_max(self, name: str, value: int) -> None:
+        """Record a high-water mark (e.g. peak checker depth)."""
+        if value > self._counters.get(name, 0):
+            self._counters[name] = value
+
+    def observe(self, name: str, value) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deterministic, JSON-ready projection (sorted keys)."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "histograms": {
+                k: self._histograms[k].to_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-metric-per-line summary."""
+        lines = []
+        for name in sorted(self._counters):
+            lines.append(f"{name:<40} {self._counters[name]}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            lines.append(
+                f"{name:<40} n={h.count} mean={h.mean:.2f} "
+                f"min={h.min} max={h.max}"
+            )
+        return "\n".join(lines) if lines else "-- no metrics recorded"
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)

@@ -21,14 +21,16 @@ the CLI's "internal error" path (exit code 3) is testable.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.diagnostics.errors import Diagnostic
-from repro.diagnostics.limits import Limits, resource_scope
+from repro.diagnostics.limits import Budget, Limits, resource_scope
 from repro.diagnostics.reporter import DiagnosticReport, DiagnosticReporter
 from repro.fg import ast as G
+from repro.observability import Instrumentation, NULL_TRACER
 from repro.systemf import ast as F
 
 #: Pipeline stages, in order; :func:`inject_fault` targets one by name.
@@ -72,10 +74,30 @@ class CheckOutcome:
     value: object = None
     evaluated: bool = False
     verified: bool = False
+    #: Observability snapshot (``None`` unless instrumentation was passed):
+    #: ``{"timings_ms": {stage: ms, "total": ms}, "counters": {...},
+    #: "histograms": {...}}`` — see docs/OBSERVABILITY.md for the catalog.
+    stats: Optional[Dict[str, object]] = None
+    #: The :class:`~repro.observability.ExplainLog` used for this run, when
+    #: explain mode was on.
+    explain: Optional[object] = None
 
     @property
     def ok(self) -> bool:
         return self.report.ok
+
+
+@contextmanager
+def _stage(name: str, tracer, timings: Optional[Dict[str, float]]):
+    """Wrap one pipeline stage in a tracer span and (optionally) a timing."""
+    start = time.perf_counter_ns() if timings is not None else 0
+    with tracer.span(f"pipeline.{name}"):
+        try:
+            yield
+        finally:
+            if timings is not None:
+                elapsed = (time.perf_counter_ns() - start) / 1e6
+                timings[name] = round(timings.get(name, 0.0) + elapsed, 3)
 
 
 def check_source(
@@ -88,12 +110,59 @@ def check_source(
     limits: Optional[Limits] = None,
     evaluate: bool = False,
     verify: bool = False,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> CheckOutcome:
     """Run F_G source through the fault-tolerant pipeline.
 
     Never raises a :class:`Diagnostic`: all of them land in the returned
     outcome's report.  Any other exception escaping this function is a bug.
+
+    When ``instrumentation`` is passed (see :mod:`repro.observability`),
+    every stage runs under a tracer span, stage wall times and checker/
+    evaluator metrics are snapshotted into ``outcome.stats``, and — with
+    explain mode on — model resolutions land in ``outcome.explain``.
     """
+    if instrumentation is None:
+        return _run_stages(
+            text, filename, prelude=prelude, ext=ext, max_errors=max_errors,
+            limits=limits, evaluate=evaluate, verify=verify,
+            tracer=NULL_TRACER, timings=None, instrumentation=None,
+        )
+    timings: Dict[str, float] = {}
+    tracer = instrumentation.tracer
+    total_start = time.perf_counter_ns()
+    with tracer.span("pipeline.check_source", filename=filename):
+        outcome = _run_stages(
+            text, filename, prelude=prelude, ext=ext, max_errors=max_errors,
+            limits=limits, evaluate=evaluate, verify=verify,
+            tracer=tracer, timings=timings, instrumentation=instrumentation,
+        )
+    timings["total"] = round((time.perf_counter_ns() - total_start) / 1e6, 3)
+    metrics = instrumentation.metrics
+    stats: Dict[str, object] = {"timings_ms": timings}
+    if metrics is not None:
+        for diag in outcome.report.diagnostics:
+            metrics.inc(
+                f"diagnostics.{getattr(diag, 'severity', 'error')}"
+            )
+        stats.update(metrics.snapshot())
+    return replace(outcome, stats=stats, explain=instrumentation.explain)
+
+
+def _run_stages(
+    text: str,
+    filename: str,
+    *,
+    prelude: bool,
+    ext: bool,
+    max_errors: int,
+    limits: Optional[Limits],
+    evaluate: bool,
+    verify: bool,
+    tracer,
+    timings: Optional[Dict[str, float]],
+    instrumentation: Optional[Instrumentation],
+) -> CheckOutcome:
     from repro.syntax.parser_fg import parse_program_resilient
 
     reporter = DiagnosticReporter(max_errors=max_errors)
@@ -105,7 +174,7 @@ def check_source(
     try:
         # The parser recurses on nesting depth; the scope converts a stack
         # overflow on pathological input into a ResourceLimitError.
-        with resource_scope(limits):
+        with _stage("parse", tracer, timings), resource_scope(limits):
             term, _ = parse_program_resilient(
                 text, filename, max_errors=max_errors, reporter=reporter
             )
@@ -122,9 +191,11 @@ def check_source(
         from repro.extensions import typecheck_all
     else:
         from repro.fg.typecheck import typecheck_all
-    type_, translation, _ = typecheck_all(
-        term, limits=limits, reporter=reporter
-    )
+    with _stage("check", tracer, timings):
+        type_, translation, _ = typecheck_all(
+            term, limits=limits, reporter=reporter,
+            instrumentation=instrumentation,
+        )
     outcome = CheckOutcome(
         report=reporter.finish(),
         term=term,
@@ -138,14 +209,15 @@ def check_source(
     if verify:
         _maybe_fault("verify")
         try:
-            if ext:
-                from repro.extensions import verify_translation
+            with _stage("verify", tracer, timings):
+                if ext:
+                    from repro.extensions import verify_translation
 
-                verify_translation(term)
-            else:
-                from repro.fg.typecheck import verify_translation
+                    verify_translation(term)
+                else:
+                    from repro.fg.typecheck import verify_translation
 
-                verify_translation(term)
+                    verify_translation(term)
             verified = True
         except Diagnostic as err:
             reporter.error(err)
@@ -162,8 +234,13 @@ def check_source(
         _maybe_fault("evaluate")
         from repro.systemf import evaluate as sf_evaluate
 
+        budget = Budget(limits)
+        metrics = (
+            instrumentation.metrics if instrumentation is not None else None
+        )
         try:
-            value = sf_evaluate(translation, limits=limits)
+            with _stage("evaluate", tracer, timings):
+                value = sf_evaluate(translation, budget=budget)
             evaluated = True
         except Diagnostic as err:
             reporter.error(err)
@@ -174,6 +251,9 @@ def check_source(
                 translation=translation,
                 verified=verified,
             )
+        finally:
+            if metrics is not None:
+                metrics.inc("eval.steps", budget.steps_taken)
 
     return CheckOutcome(
         report=reporter.finish(),

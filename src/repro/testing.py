@@ -158,7 +158,8 @@ def run_fuzz(
     verify: bool = True,
     limits: Optional[Limits] = None,
     max_errors: int = 20,
-) -> Dict[str, int]:
+    trace: bool = False,
+) -> Dict[str, object]:
     """Push ``mutants`` corrupted programs through the checking pipeline.
 
     Deterministic for a given ``(mutants, seed)``.  Each mutant runs
@@ -166,8 +167,16 @@ def run_fuzz(
     is that :func:`repro.pipeline.check_source` *never* raises — every
     failure mode must surface as a diagnostic in the outcome's report.  On
     violation, raises :class:`AssertionError` carrying the reproducing
-    mutant.  Returns counters: mutants run, still-well-typed, diagnosed.
+    mutant.  Returns counters (mutants run, still-well-typed, diagnosed)
+    plus ``report_digest``, a SHA-256 over every mutant's rendered report.
+
+    With ``trace=True`` each mutant runs under full instrumentation (fresh
+    tracer, metrics, and explain log).  Instrumentation must be invisible
+    to the language: the digest with ``trace=True`` equals the digest with
+    ``trace=False`` (``tests/observability/test_fuzz_invariance.py``).
     """
+    import hashlib
+
     from repro.pipeline import check_source
 
     rng = random.Random(seed)
@@ -175,12 +184,23 @@ def run_fuzz(
         # Tight budgets keep pathological mutants fast while still proving
         # they surface as ResourceLimitError diagnostics.
         limits = Limits(max_check_depth=500, max_eval_steps=200_000)
-    stats = {"mutants": 0, "ok": 0, "diagnosed": 0}
+    stats: Dict[str, object] = {"mutants": 0, "ok": 0, "diagnosed": 0}
+    digest = hashlib.sha256()
     for k in range(mutants):
         base = FUZZ_SEEDS[k % len(FUZZ_SEEDS)]
         mutant = mutate_source(base, rng)
         for _ in range(rng.randrange(3)):  # 0-2 extra stacked mutations
             mutant = mutate_source(mutant, rng)
+        instrumentation = None
+        if trace:
+            from repro.observability import (
+                ExplainLog, Instrumentation, MetricsRegistry, Tracer,
+            )
+
+            instrumentation = Instrumentation(
+                tracer=Tracer(), metrics=MetricsRegistry(),
+                explain=ExplainLog(),
+            )
         try:
             outcome = check_source(
                 mutant,
@@ -189,11 +209,12 @@ def run_fuzz(
                 max_errors=max_errors,
                 limits=limits,
                 verify=verify,
+                instrumentation=instrumentation,
             )
         except Exception as exc:  # noqa: BLE001 — the property under test
             raise AssertionError(
                 f"non-Diagnostic exception escaped the pipeline "
-                f"(fuzz seed={seed}, iteration={k}, "
+                f"(fuzz seed={seed}, iteration={k}, trace={trace}, "
                 f"{type(exc).__name__}: {exc})\nmutant:\n{mutant}"
             ) from exc
         stats["mutants"] += 1
@@ -201,4 +222,7 @@ def run_fuzz(
             stats["ok"] += 1
         else:
             stats["diagnosed"] += 1
+        digest.update(outcome.report.render().encode("utf-8"))
+        digest.update(b"\x00")
+    stats["report_digest"] = digest.hexdigest()
     return stats

@@ -15,6 +15,14 @@ The driver is fault-tolerant: parse and type errors are collected (up to
 ``--max-errors``) instead of stopping at the first one, ``--fuel``/``--depth``
 bound runaway programs, and ``--json`` emits machine-readable diagnostics.
 
+Observability (see docs/OBSERVABILITY.md): ``--trace[=FILE]`` records a span
+tree for the run (printed as text, or written as Chrome ``trace_event`` JSON
+for ``.json`` files / compact JSONL for ``.jsonl``), ``--stats`` reports
+stage timings and checker/evaluator counters, and ``--explain`` prints the
+model-resolution log — every candidate model per scope and why it was
+rejected.  Under ``--json`` the envelope gains ``"stats"`` and ``"explain"``
+keys (schema in docs/DIAGNOSTICS.md).
+
 Exit codes: **0** success, **1** the program has diagnostics, **2** usage
 error (bad flags, unreadable file), **3** internal error (a bug in this
 implementation — never the input program's fault).
@@ -77,12 +85,92 @@ def _limits(args: argparse.Namespace) -> Limits:
     )
 
 
-def _emit_report(report: DiagnosticReport, args: argparse.Namespace) -> None:
+def _instrumentation(args: argparse.Namespace):
+    """Build an Instrumentation from --trace/--stats/--explain (or None)."""
+    if args.trace is None and not args.stats and not args.explain:
+        return None
+    from repro.observability import (
+        ExplainLog, Instrumentation, MetricsRegistry, NULL_TRACER, Tracer,
+    )
+
+    return Instrumentation(
+        tracer=Tracer() if args.trace is not None else NULL_TRACER,
+        metrics=MetricsRegistry() if args.stats else None,
+        explain=ExplainLog() if args.explain else None,
+    )
+
+
+def _write_trace(inst, args: argparse.Namespace) -> None:
+    if inst is None or args.trace is None:
+        return
+    from repro.observability.exporters import (
+        chrome_trace_json, render_tree, to_jsonl,
+    )
+
+    dest = args.trace
+    if dest == "-":
+        print(render_tree(inst.tracer), file=sys.stderr)
+        return
+    if dest.endswith(".jsonl"):
+        payload = to_jsonl(inst.tracer)
+    elif dest.endswith(".json"):
+        payload = chrome_trace_json(inst.tracer)
+    else:
+        payload = render_tree(inst.tracer)
+    with open(dest, "w") as handle:
+        handle.write(payload + "\n")
+
+
+def _render_stats(stats) -> str:
+    lines = []
+    timings = stats.get("timings_ms", {})
+    if timings:
+        lines.append("-- timings (ms):")
+        for stage, ms in timings.items():
+            lines.append(f"   {stage:<12} {ms}")
+    counters = stats.get("counters", {})
+    if counters:
+        lines.append("-- counters:")
+        for name, value in counters.items():
+            lines.append(f"   {name:<32} {value}")
+    histograms = stats.get("histograms", {})
+    if histograms:
+        lines.append("-- histograms:")
+        for name, h in histograms.items():
+            lines.append(
+                f"   {name:<32} count={h['count']} min={h['min']} "
+                f"max={h['max']} mean={h['mean']:.2f}"
+            )
+    return "\n".join(lines) if lines else "-- no stats recorded"
+
+
+def _json_extras(args: argparse.Namespace, stats, explain):
+    extras = {}
+    if args.stats and stats is not None:
+        extras["stats"] = stats
+    if args.explain and explain is not None:
+        extras["explain"] = explain.to_json()
+    return extras
+
+
+def _emit_observability(args: argparse.Namespace, stats, explain) -> None:
+    """Human-readable --stats/--explain output, on stderr."""
     if args.json:
-        print(json.dumps(
-            {"diagnostics": [diagnostic_to_dict(d) for d in report]},
-            indent=2,
-        ))
+        return
+    if args.explain and explain is not None:
+        print("-- model resolution log:", file=sys.stderr)
+        print(explain.render(), file=sys.stderr)
+    if args.stats and stats is not None:
+        print(_render_stats(stats), file=sys.stderr)
+
+
+def _emit_report(
+    report: DiagnosticReport, args: argparse.Namespace, extras=None
+) -> None:
+    if args.json:
+        envelope = {"diagnostics": [diagnostic_to_dict(d) for d in report]}
+        envelope.update(extras or {})
+        print(json.dumps(envelope, indent=2))
     else:
         rendered = report.render()
         if rendered:
@@ -92,6 +180,7 @@ def _emit_report(report: DiagnosticReport, args: argparse.Namespace) -> None:
 def _run_fg_command(args: argparse.Namespace) -> int:
     from repro.pipeline import check_source
 
+    inst = _instrumentation(args)
     text = _read_program(args)
     outcome = check_source(
         text,
@@ -102,19 +191,22 @@ def _run_fg_command(args: argparse.Namespace) -> int:
         limits=_limits(args),
         evaluate=(args.command == "run"),
         verify=(args.command == "verify"),
+        instrumentation=inst,
     )
+    _write_trace(inst, args)
+    extras = _json_extras(args, outcome.stats, outcome.explain)
     if not outcome.ok:
-        _emit_report(outcome.report, args)
+        _emit_report(outcome.report, args, extras)
+        _emit_observability(args, outcome.stats, outcome.explain)
         return EXIT_DIAGNOSTICS
     if args.command == "check":
         if args.json:
-            print(json.dumps(
-                {
-                    "diagnostics": [],
-                    "type": fg_pretty_type(outcome.type_),
-                },
-                indent=2,
-            ))
+            envelope = {
+                "diagnostics": [],
+                "type": fg_pretty_type(outcome.type_),
+            }
+            envelope.update(extras)
+            print(json.dumps(envelope, indent=2))
         else:
             print(fg_pretty_type(outcome.type_))
     elif args.command == "translate":
@@ -123,14 +215,60 @@ def _run_fg_command(args: argparse.Namespace) -> int:
         print(f"F_G type:      {fg_pretty_type(outcome.type_)}")
         print("translation preserves typing: OK")
     else:  # run
-        print(_render(outcome.value))
+        if args.json:
+            envelope = {"diagnostics": [], "value": _render(outcome.value)}
+            envelope.update(extras)
+            print(json.dumps(envelope, indent=2))
+        else:
+            print(_render(outcome.value))
+    _emit_observability(args, outcome.stats, outcome.explain)
     return EXIT_OK
 
 
 def _run_runf(args: argparse.Namespace) -> int:
-    term = parse_f(_read_program(args), args.file or "<cmdline>")
-    f_type_of(term)
-    print(_render(f_evaluate(term, limits=_limits(args))))
+    import time
+
+    from repro.diagnostics.limits import Budget
+
+    inst = _instrumentation(args)
+    text = _read_program(args)
+    if inst is None:
+        term = parse_f(text, args.file or "<cmdline>")
+        f_type_of(term)
+        print(_render(f_evaluate(term, limits=_limits(args))))
+        return EXIT_OK
+    # System F programs have no models, so --explain has nothing to record;
+    # stage spans, timings, and eval.steps still apply.
+    timings = {}
+    tracer = inst.tracer
+    budget = Budget(_limits(args))
+    total_start = time.perf_counter_ns()
+    with tracer.span("pipeline.runf", filename=args.file or "<cmdline>"):
+        for stage, work in [
+            ("parse", lambda: parse_f(text, args.file or "<cmdline>")),
+        ]:
+            start = time.perf_counter_ns()
+            with tracer.span(f"pipeline.{stage}"):
+                term = work()
+            timings[stage] = round((time.perf_counter_ns() - start) / 1e6, 3)
+        start = time.perf_counter_ns()
+        with tracer.span("pipeline.check"):
+            f_type_of(term)
+        timings["check"] = round((time.perf_counter_ns() - start) / 1e6, 3)
+        start = time.perf_counter_ns()
+        with tracer.span("pipeline.evaluate"):
+            value = f_evaluate(term, budget=budget)
+        timings["evaluate"] = round(
+            (time.perf_counter_ns() - start) / 1e6, 3
+        )
+    timings["total"] = round((time.perf_counter_ns() - total_start) / 1e6, 3)
+    stats = {"timings_ms": timings}
+    if inst.metrics is not None:
+        inst.metrics.inc("eval.steps", budget.steps_taken)
+        stats.update(inst.metrics.snapshot())
+    print(_render(value))
+    _write_trace(inst, args)
+    _emit_observability(args, stats, inst.explain)
     return EXIT_OK
 
 
@@ -191,6 +329,26 @@ def main(argv=None) -> int:
             "--json",
             action="store_true",
             help="emit diagnostics as JSON on stdout",
+        )
+        cmd.add_argument(
+            "--trace",
+            nargs="?",
+            const="-",
+            default=None,
+            metavar="FILE",
+            help="record a span trace; print it (no FILE) or write "
+            "Chrome trace JSON (*.json) / JSONL (*.jsonl) / text",
+        )
+        cmd.add_argument(
+            "--stats",
+            action="store_true",
+            help="report stage timings and checker/evaluator counters",
+        )
+        cmd.add_argument(
+            "--explain",
+            action="store_true",
+            help="log every model resolution: candidates per scope and "
+            "why each was rejected",
         )
     args = parser.parse_args(argv)
     if args.command == "repl":

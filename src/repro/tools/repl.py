@@ -12,10 +12,17 @@ each expression against it:
     fg> twice[int](21)
     42 : int
 
-Commands: ``:type e``, ``:translate e``, ``:errors e``, ``:decls``,
-``:clear``, ``:prelude``, ``:ext``, ``:fuel N``, ``:maxerrors N``,
-``:quit``.  Incomplete input (unexpected end of file) continues on the next
-line.
+Commands: ``:type e``, ``:translate e``, ``:errors e``, ``:explain e``,
+``:decls``, ``:clear``, ``:prelude``, ``:ext``, ``:fuel N``,
+``:maxerrors N``, ``:stats``, ``:trace on|off``, ``:quit``.  Incomplete
+input (unexpected end of file) continues on the next line.
+
+Observability: the session carries one
+:class:`~repro.observability.MetricsRegistry` that every check and
+evaluation writes into — ``:stats`` shows the running totals.  ``:trace
+on`` appends a span tree to each evaluation's output; ``:explain e`` runs
+the model-resolution explain log over an expression (see
+docs/OBSERVABILITY.md).
 
 The core logic lives in :class:`Repl`, which is side-effect free and
 drivable from tests; :func:`main` wraps it in a stdin loop.
@@ -28,6 +35,7 @@ from typing import List, Optional
 
 from repro.diagnostics.errors import Diagnostic, ParseError
 from repro.fg import pretty_type
+from repro.observability import Instrumentation, MetricsRegistry
 from repro.syntax import parse_fg
 from repro.systemf import evaluate as f_evaluate
 from repro.systemf import pretty_term as f_pretty_term
@@ -54,6 +62,8 @@ class Repl:
     decls: List[str] = field(default_factory=list)
     fuel: Optional[int] = None
     max_errors: int = 20
+    trace_on: bool = False
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     _pending: str = ""
 
     # -- plumbing ---------------------------------------------------------
@@ -70,9 +80,11 @@ class Repl:
     def _program(self, expr: str) -> str:
         return "\n".join(self.decls + [expr])
 
-    def _check(self, expr: str):
+    def _check(self, expr: str, tracer=None):
         term = parse_fg(self._program(expr), "<repl>")
-        return self._checker_module().typecheck(term)
+        inst = Instrumentation(metrics=self.metrics) if tracer is None else \
+            Instrumentation(tracer=tracer, metrics=self.metrics)
+        return self._checker_module().typecheck(term, instrumentation=inst)
 
     # -- the interface ---------------------------------------------------------
 
@@ -168,14 +180,28 @@ class Repl:
             # Validate by checking a trivial body under the new prefix.
             probe = "\n".join(self.decls + [candidate, "0"])
             term = parse_fg(probe, "<repl>")
-            self._checker_module().typecheck(term)
+            self._checker_module().typecheck(
+                term, instrumentation=Instrumentation(metrics=self.metrics)
+            )
             self.decls.append(candidate)
             return f"-- declared ({first_word})"
-        fg_type, sf = self._check(text)
-        from repro.diagnostics.limits import Limits
+        tracer = None
+        if self.trace_on:
+            from repro.observability import Tracer
 
-        value = f_evaluate(sf, limits=Limits(max_eval_steps=self.fuel))
-        return f"{_render(value)} : {pretty_type(fg_type)}"
+            tracer = Tracer()
+        fg_type, sf = self._check(text, tracer=tracer)
+        from repro.diagnostics.limits import Budget, Limits
+
+        budget = Budget(Limits(max_eval_steps=self.fuel))
+        value = f_evaluate(sf, budget=budget)
+        self.metrics.inc("eval.steps", budget.steps_taken)
+        out = f"{_render(value)} : {pretty_type(fg_type)}"
+        if tracer is not None:
+            from repro.observability.exporters import render_tree
+
+            out += "\n-- trace:\n" + render_tree(tracer)
+        return out
 
     def _command(self, text: str) -> str:
         parts = text.split(None, 1)
@@ -205,6 +231,37 @@ class Repl:
             if outcome.ok:
                 return "-- no errors"
             return outcome.report.render()
+        if command == ":explain":
+            if not arg:
+                return "usage: :explain <expr>"
+            from repro.observability import ExplainLog
+            from repro.pipeline import check_source
+
+            log = ExplainLog()
+            outcome = check_source(
+                self._program(arg), "<repl>", ext=self.use_ext,
+                max_errors=self.max_errors,
+                instrumentation=Instrumentation(
+                    metrics=self.metrics, explain=log
+                ),
+            )
+            parts = []
+            if not outcome.ok:
+                parts.append(outcome.report.render())
+            parts.append("-- model resolution log:")
+            parts.append(log.render())
+            return "\n".join(parts)
+        if command == ":stats":
+            return self.metrics.render()
+        if command == ":trace":
+            if arg == "on":
+                self.trace_on = True
+                return "-- trace on (span tree after each evaluation)"
+            if arg == "off":
+                self.trace_on = False
+                return "-- trace off"
+            state = "on" if self.trace_on else "off"
+            return f"-- trace: {state} (set with :trace on|off)"
         if command == ":fuel":
             if not arg:
                 current = "unbounded" if self.fuel is None else str(self.fuel)
@@ -245,8 +302,9 @@ class Repl:
             return (
                 "declarations (concept/model/let/type/use/overload) "
                 "accumulate; expressions evaluate.\n"
-                "commands: :type e, :translate e, :errors e, :decls, "
-                ":clear, :prelude, :ext, :fuel N, :maxerrors N, :quit"
+                "commands: :type e, :translate e, :errors e, :explain e, "
+                ":decls, :clear, :prelude, :ext, :fuel N, :maxerrors N, "
+                ":stats, :trace on|off, :quit"
             )
         return f"unknown command {command} (try :help)"
 

@@ -1,0 +1,142 @@
+"""CLI ``--trace/--stats/--explain`` flags and REPL ``:stats``/``:trace``."""
+
+import json
+
+from repro.tools.cli import EXIT_OK, main
+from repro.tools.repl import Repl
+
+PROGRAM = (
+    "concept C<t> { op : fn(t, t) -> t; } in "
+    "model C<int> { op = iadd; } in "
+    "let twice = /\\t where C<t>. \\x : t. C<t>.op(x, x) in "
+    "twice[int](21)"
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCliStats:
+    def test_stats_on_stderr(self, capsys):
+        code, out, err = run_cli(capsys, "run", "-e", PROGRAM, "--stats")
+        assert code == EXIT_OK
+        assert out.strip() == "42"
+        assert "-- counters:" in err
+        assert "model_lookup.attempts" in err
+        assert "eval.steps" in err
+        assert "-- timings (ms):" in err
+
+    def test_json_envelope_gains_stats(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "-e", PROGRAM, "--stats", "--json"
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out)
+        assert payload["diagnostics"] == []
+        assert payload["value"] == "42"
+        stats = payload["stats"]
+        assert set(stats) >= {"timings_ms", "counters", "histograms"}
+        assert stats["counters"]["model_lookup.attempts"] > 0
+        assert "total" in stats["timings_ms"]
+
+    def test_check_json_stats(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "check", "-e", PROGRAM, "--stats", "--json"
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out)
+        assert "type" in payload and "stats" in payload
+
+    def test_stats_on_failure_still_reported(self, capsys):
+        code, _, err = run_cli(capsys, "check", "-e", "iadd(1, true)",
+                               "--stats")
+        assert code != EXIT_OK
+        assert "diagnostics.error" in err
+
+
+class TestCliTrace:
+    def test_trace_tree_to_stderr(self, capsys):
+        code, _, err = run_cli(capsys, "check", "-e", PROGRAM, "--trace")
+        assert code == EXIT_OK
+        assert "pipeline.check_source" in err
+        assert "pipeline.parse" in err
+        assert "pipeline.check" in err
+
+    def test_trace_chrome_json_file(self, capsys, tmp_path):
+        dest = tmp_path / "trace.json"
+        code, _, _ = run_cli(
+            capsys, "run", "-e", PROGRAM, f"--trace={dest}"
+        )
+        assert code == EXIT_OK
+        payload = json.loads(dest.read_text())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "pipeline.check_source" in names
+        assert "pipeline.evaluate" in names
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_trace_jsonl_file(self, capsys, tmp_path):
+        dest = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            capsys, "check", "-e", PROGRAM, f"--trace={dest}"
+        )
+        assert code == EXIT_OK
+        rows = [json.loads(line)
+                for line in dest.read_text().strip().splitlines()]
+        assert any(r["name"] == "typecheck.model_lookup" for r in rows)
+
+    def test_runf_supports_observability_flags(self, capsys):
+        code, out, err = run_cli(
+            capsys, "runf", "-e", "iadd(40, 2)", "--stats", "--trace"
+        )
+        assert code == EXIT_OK
+        assert out.strip() == "42"
+        assert "pipeline.runf" in err
+        assert "eval.steps" in err
+
+
+class TestReplObservability:
+    def test_stats_accumulate_across_inputs(self):
+        repl = Repl()
+        assert repl.feed(":stats") == "-- no metrics recorded"
+        repl.feed("concept C<t> { op : fn(t, t) -> t; }")
+        repl.feed("model C<int> { op = iadd; }")
+        out = repl.feed("C<int>.op(40, 2)")
+        assert out.startswith("42")
+        stats = repl.feed(":stats")
+        assert "model_lookup.attempts" in stats
+        assert "eval.steps" in stats
+
+    def test_trace_toggle(self):
+        repl = Repl()
+        assert "off" in repl.feed(":trace")
+        assert "on" in repl.feed(":trace on")
+        out = repl.feed("iadd(40, 2)")
+        assert out.startswith("42")
+        assert "-- trace:" in out
+        assert "on" not in repl.feed(":trace off")
+        assert "-- trace:" not in repl.feed("iadd(1, 1)")
+
+    def test_explain_command(self):
+        repl = Repl()
+        repl.feed("concept C<t> { op : fn(t, t) -> t; }")
+        repl.feed("model C<int> { op = iadd; }")
+        out = repl.feed(":explain C<bool>.op(true, false)")
+        assert "model resolution log" in out
+        assert "rejected" in out
+        assert "no model of C<bool>" in out
+
+    def test_explain_success(self):
+        repl = Repl()
+        repl.feed("concept C<t> { op : fn(t, t) -> t; }")
+        repl.feed("model C<int> { op = iadd; }")
+        out = repl.feed(":explain C<int>.op(1, 2)")
+        assert "resolved (scope 0)" in out
+
+    def test_help_mentions_new_commands(self):
+        repl = Repl()
+        help_text = repl.feed(":help")
+        for command in (":stats", ":trace on|off", ":explain e"):
+            assert command in help_text

@@ -1,0 +1,178 @@
+"""The model-resolution explain log (``--explain`` / ``:explain``).
+
+Covers the structured log itself (candidates per scope with rejection
+reasons, refinement notes, runtime-phase resolutions), the Figure 6
+overlapping-models walkthrough, and the CLI surface.
+"""
+
+import json
+
+from repro.observability import ExplainLog, Instrumentation
+from repro.observability.explain import ACCEPTED
+from repro.pipeline import check_source
+from repro.tools.cli import EXIT_DIAGNOSTICS, EXIT_OK, main
+
+FIG6 = r"""
+concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+let accumulate = /\t where Monoid<t>.
+  fix (\accum : fn(list t) -> t.
+    \ls : list t.
+      if null[t](ls) then Monoid<t>.identity_elt
+      else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))) in
+let ls = cons[int](1, cons[int](2, cons[int](3, nil[int]))) in
+let sum =
+  model Semigroup<int> { binary_op = iadd; } in
+  model Monoid<int> { identity_elt = 0; } in
+  accumulate[int] in
+let product =
+  model Semigroup<int> { binary_op = imult; } in
+  model Monoid<int> { identity_elt = 1; } in
+  accumulate[int] in
+(sum(ls), product(ls))
+"""
+
+FAILING_WHERE = r"""
+concept Ordered<t> { less : fn(t, t) -> bool; } in
+model Ordered<int> { less = ilt; } in
+let minimum = /\t where Ordered<t>.
+  \x : t. \y : t. if Ordered<t>.less(x, y) then x else y in
+minimum[bool](true)(false)
+"""
+
+
+def _explain(source, **kwargs):
+    log = ExplainLog()
+    outcome = check_source(
+        source, instrumentation=Instrumentation(explain=log), **kwargs
+    )
+    return outcome, log
+
+
+class TestFailingWhereClause:
+    def test_failure_recorded_with_rejection_reasons(self):
+        outcome, log = _explain(FAILING_WHERE)
+        assert not outcome.ok
+        failures = log.failures()
+        assert failures, "the failed lookup must be in the log"
+        failed = failures[-1]
+        assert failed.concept == "Ordered" and failed.args == "bool"
+        assert failed.scope_size == 1
+        [candidate] = failed.candidates
+        assert candidate.scope_index == 0
+        assert not candidate.accepted
+        assert "bool is not equal to int" in candidate.status
+
+    def test_failure_location_recorded(self):
+        _, log = _explain(FAILING_WHERE)
+        failed = log.failures()[-1]
+        assert failed.location is not None
+        assert failed.location.startswith("<input>:")
+
+    def test_render_is_failure_forward(self):
+        _, log = _explain(FAILING_WHERE)
+        text = log.render()
+        assert "FAILED: no model of Ordered<bool>" in text
+        assert "rejected: argument 1" in text
+
+    def test_arity_mismatch_reason(self):
+        log = ExplainLog()
+        log.begin("C", "int", scope_size=1, equalities_in_scope=0)
+        log.candidate(0, "int, bool", "arity mismatch: candidate takes 2"
+                      " type argument(s), lookup supplies 1")
+        log.finish(False)
+        assert "arity mismatch" in log.render()
+
+
+class TestFigure6Walkthrough:
+    def test_overlapping_models_resolve_innermost(self):
+        outcome, log = _explain(FIG6, evaluate=True)
+        assert outcome.ok and outcome.value == (6, 6)
+        resolutions = [r for r in log.resolutions if r.resolved]
+        # Both accumulate[int] instantiations resolved Monoid<int>; each
+        # saw its own lexical scope and accepted the innermost candidate.
+        monoid_hits = [
+            r for r in resolutions
+            if r.concept == "Monoid" and r.args == "int"
+        ]
+        assert len(monoid_hits) >= 2
+        for hit in monoid_hits:
+            accepted = [c for c in hit.candidates if c.accepted]
+            assert len(accepted) == 1
+            assert accepted[0].scope_index == 0
+
+    def test_json_projection(self):
+        _, log = _explain(FIG6)
+        rows = log.to_json()
+        json.dumps(rows)  # must be serializable
+        resolution_rows = [r for r in rows if "concept" in r]
+        assert all(
+            set(r) >= {"concept", "args", "resolved", "candidates", "phase"}
+            for r in resolution_rows
+        )
+        note_rows = [r for r in rows if "note" in r]
+        assert note_rows, "where-clause refinements surface as notes"
+
+
+class TestRuntimePhase:
+    def test_interpreter_records_runtime_resolutions(self):
+        from repro.fg.interp import interpret
+        from repro.syntax import parse_fg
+
+        log = ExplainLog()
+        term = parse_fg(FIG6)
+        value = interpret(
+            term, instrumentation=Instrumentation(explain=log)
+        )
+        assert value == (6, 6)
+        runtime = [r for r in log.resolutions if r.phase == "runtime"]
+        assert runtime and all(r.resolved for r in runtime)
+
+
+class TestNesting:
+    def test_nested_resolutions_attribute_candidates_correctly(self):
+        log = ExplainLog()
+        log.begin("Outer", "int", scope_size=1, equalities_in_scope=0)
+        log.begin("Inner", "bool", scope_size=2, equalities_in_scope=0)
+        log.candidate(0, "bool", ACCEPTED)
+        log.finish(True)
+        log.candidate(0, "int", ACCEPTED)
+        log.finish(True)
+        outer = [r for r in log.resolutions if r.concept == "Outer"][0]
+        inner = [r for r in log.resolutions if r.concept == "Inner"][0]
+        assert [c.args for c in outer.candidates] == ["int"]
+        assert [c.args for c in inner.candidates] == ["bool"]
+
+
+class TestCliExplain:
+    def run_cli(self, capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_check_explain_failing_where(self, capsys):
+        code, _, err = self.run_cli(
+            capsys, "check", "-e", FAILING_WHERE, "--explain"
+        )
+        assert code == EXIT_DIAGNOSTICS
+        assert "model resolution log" in err
+        assert "[scope 0] model Ordered<int>" in err
+        assert "rejected: argument 1: bool is not equal to int" in err
+
+    def test_check_explain_success_one_liners(self, capsys):
+        code, _, err = self.run_cli(capsys, "check", "-e", FIG6, "--explain")
+        assert code == EXIT_OK
+        assert "resolved (scope 0)" in err
+
+    def test_json_envelope_gains_explain(self, capsys):
+        code, out, _ = self.run_cli(
+            capsys, "check", "-e", FAILING_WHERE, "--explain", "--json"
+        )
+        assert code == EXIT_DIAGNOSTICS
+        payload = json.loads(out)
+        assert "explain" in payload
+        failures = [
+            r for r in payload["explain"]
+            if "resolved" in r and not r["resolved"]
+        ]
+        assert failures

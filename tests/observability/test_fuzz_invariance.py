@@ -1,0 +1,32 @@
+"""Tracing must never change what the pipeline reports.
+
+:func:`repro.testing.run_fuzz` hashes every mutant's rendered report into
+one digest; running the same campaign with full instrumentation on and off
+must produce bit-identical digests — observability is read-only with
+respect to the language.
+"""
+
+import os
+
+from repro.testing import run_fuzz
+
+MUTANTS = int(os.environ.get("FG_FUZZ_MUTANTS_OBS", "120"))
+
+
+class TestTracingInvariance:
+    def test_instrumentation_does_not_change_diagnostics(self):
+        plain = run_fuzz(MUTANTS, seed=7, verify=False)
+        traced = run_fuzz(MUTANTS, seed=7, verify=False, trace=True)
+        assert plain["mutants"] == traced["mutants"] == MUTANTS
+        assert plain["ok"] == traced["ok"]
+        assert plain["diagnosed"] == traced["diagnosed"]
+        assert plain["report_digest"] == traced["report_digest"]
+
+    def test_digest_depends_on_the_campaign(self):
+        a = run_fuzz(30, seed=1, verify=False)
+        b = run_fuzz(30, seed=2, verify=False)
+        assert a["report_digest"] != b["report_digest"]
+
+    def test_traced_campaign_never_crashes_with_verify(self):
+        stats = run_fuzz(60, seed=3, verify=True, trace=True)
+        assert stats["mutants"] == 60

@@ -1,0 +1,120 @@
+"""Metrics registry semantics and cross-run determinism.
+
+The headline property: two identical pipeline runs produce *identical*
+metrics snapshots — wall-clock quantities live in ``stats["timings_ms"]``,
+never in the registry, so the structural part is reproducible.
+"""
+
+from repro.observability import (
+    ExplainLog,
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+)
+from repro.pipeline import check_source
+
+PROGRAM = r"""
+concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+let accumulate = /\t where Monoid<t>.
+  fix (\accum : fn(list t) -> t.
+    \ls : list t.
+      if null[t](ls) then Monoid<t>.identity_elt
+      else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))) in
+model Semigroup<int> { binary_op = iadd; } in
+model Monoid<int> { identity_elt = 0; } in
+accumulate[int](cons[int](1, cons[int](2, cons[int](3, nil[int]))))
+"""
+
+
+class TestRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("missing") == 0
+
+    def test_set_max_keeps_high_water_mark(self):
+        m = MetricsRegistry()
+        m.set_max("depth", 3)
+        m.set_max("depth", 9)
+        m.set_max("depth", 5)
+        assert m.counter("depth") == 9
+
+    def test_histogram(self):
+        m = MetricsRegistry()
+        for v in (1, 5, 3):
+            m.observe("h", v)
+        h = m.histogram("h")
+        assert (h.count, h.sum, h.min, h.max) == (3, 9, 1, 5)
+        assert h.mean == 3.0
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        m = MetricsRegistry()
+        m.inc("zeta")
+        m.inc("alpha")
+        m.observe("h", 2)
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        json.dumps(snap)  # must not raise
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "-- no metrics recorded"
+
+
+class TestDeterminism:
+    def _run(self):
+        inst = Instrumentation(
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            explain=ExplainLog(),
+        )
+        outcome = check_source(
+            PROGRAM, evaluate=True, verify=True, instrumentation=inst
+        )
+        assert outcome.ok and outcome.value == 6
+        return outcome
+
+    def test_identical_runs_identical_snapshots(self):
+        first, second = self._run(), self._run()
+        assert first.stats["counters"] == second.stats["counters"]
+        assert first.stats["histograms"] == second.stats["histograms"]
+
+    def test_timings_outside_the_registry(self):
+        outcome = self._run()
+        assert "timings_ms" in outcome.stats
+        for key in outcome.stats["counters"]:
+            assert "ms" not in key and "time" not in key
+        assert set(outcome.stats["timings_ms"]) == {
+            "parse", "check", "verify", "evaluate", "total",
+        }
+
+    def test_expected_counters_present(self):
+        counters = self._run().stats["counters"]
+        for name in (
+            "model_lookup.attempts",
+            "model_lookup.hits",
+            "congruence.solvers",
+            "congruence.finds",
+            "typecheck.bindings",
+            "typecheck.where_clauses",
+            "typecheck.instantiations",
+            "check.peak_depth",
+            "eval.steps",
+        ):
+            assert counters.get(name, 0) > 0, name
+
+    def test_diagnostics_counted_by_severity(self):
+        inst = Instrumentation(metrics=MetricsRegistry())
+        outcome = check_source("iadd(1, true)", instrumentation=inst)
+        assert not outcome.ok
+        assert outcome.stats["counters"]["diagnostics.error"] == len(
+            outcome.report.errors
+        )
+
+    def test_explain_determinism(self):
+        first, second = self._run(), self._run()
+        assert first.explain.to_json() == second.explain.to_json()

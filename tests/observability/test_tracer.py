@@ -1,0 +1,158 @@
+"""Tracer span trees and their exporters.
+
+A fake monotonic clock makes every duration deterministic, so the three
+exporters (tree text, Chrome ``trace_event``, JSONL) can be asserted
+byte-for-byte where it matters.
+"""
+
+import json
+
+from repro.observability import NULL_TRACER, NullTracer, Tracer
+from repro.observability.exporters import (
+    chrome_trace,
+    chrome_trace_json,
+    render_tree,
+    to_jsonl,
+)
+
+
+class FakeClock:
+    """Monotonic ns clock advancing 1ms per reading."""
+
+    def __init__(self, step_ns=1_000_000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_and_parent_links(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b", detail=7):
+                pass
+        assert len(tracer) == 3
+        outer, a, b = tracer.spans
+        assert outer.parent_id is None
+        assert a.parent_id == outer.id and b.parent_id == outer.id
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert b.attrs == {"detail": 7}
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        # Clock readings: outer open=1ms, inner open=2ms, inner close=3ms,
+        # outer close=4ms.
+        assert inner.duration_ns == 1_000_000
+        assert outer.duration_ns == 3_000_000
+
+    def test_sibling_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_walk_preorder_with_depths(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        walked = [(depth, s.name) for depth, s in tracer.walk()]
+        assert walked == [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+
+    def test_exception_closes_span(self):
+        tracer = Tracer(clock=FakeClock())
+        try:
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = tracer.spans
+        assert span.end_ns is not None
+
+    def test_nonlocal_exit_closes_abandoned_spans(self):
+        # An exception unwinding past open inner spans (the checker's error
+        # recovery) must still leave a closed, consistent tree.
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            inner = tracer.span("abandoned")
+            inner.__enter__()
+            # outer's handle closes without inner ever exiting
+        for span in tracer.spans:
+            assert span.end_ns is not None
+
+
+class TestNullTracer:
+    def test_disabled_flag_and_no_recording(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", key="value") as span:
+            assert span is None
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.roots == [] and NULL_TRACER.spans == []
+
+    def test_null_handle_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert NullTracer().span("c") is NULL_TRACER.span("d")
+
+
+class TestExporters:
+    def _sample(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("pipeline.check", filename="x.fg"):
+            with tracer.span("typecheck.model_lookup", concept="Eq"):
+                pass
+        return tracer
+
+    def test_render_tree(self):
+        text = render_tree(self._sample())
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline.check")
+        assert "[filename=x.fg]" in lines[0]
+        assert lines[1].startswith("  typecheck.model_lookup")
+
+    def test_render_tree_empty(self):
+        assert render_tree(Tracer(clock=FakeClock())) == "-- no spans recorded"
+
+    def test_chrome_trace_events(self):
+        events = chrome_trace(self._sample())
+        assert [e["name"] for e in events] == [
+            "pipeline.check", "typecheck.model_lookup",
+        ]
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+        outer, inner = events
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_chrome_trace_json_roundtrip(self):
+        payload = json.loads(chrome_trace_json(self._sample()))
+        assert set(payload) == {"traceEvents"}
+        assert len(payload["traceEvents"]) == 2
+
+    def test_jsonl_one_object_per_span(self):
+        lines = to_jsonl(self._sample()).splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [r["name"] for r in rows] == [
+            "pipeline.check", "typecheck.model_lookup",
+        ]
+        assert rows[1]["parent"] == rows[0]["id"]
+        assert rows[0]["attrs"] == {"filename": "x.fg"}
+
+    def test_exporters_deterministic(self):
+        a, b = self._sample(), self._sample()
+        assert to_jsonl(a) == to_jsonl(b)
+        assert chrome_trace_json(a) == chrome_trace_json(b)
+        assert render_tree(a) == render_tree(b)
