@@ -1,22 +1,43 @@
 """Benchmark fixtures: pre-parsed programs shared across benchmark files.
 
-After a benchmark session, :func:`pytest_sessionfinish` writes
-``BENCH_pr3.json`` at the repo root: per-benchmark wall-time statistics
-(from pytest-benchmark, when it ran) plus one instrumented
-``check_source`` run of the Figure 5 program, whose metrics snapshot
-records what the pipeline *did* (model lookups, congruence work, eval
-steps) alongside how long it took.
+After a benchmark session, :func:`pytest_sessionfinish` writes a versioned
+bench record (``BENCH_<tag>.json``, tag from ``$BENCH_TAG`` or today's
+date) at the repo root via :mod:`repro.observability.regress` — the same
+writer ``fg bench`` uses, so the two artifacts cannot drift.  The record
+holds per-benchmark wall-time statistics (from pytest-benchmark, when it
+ran) plus one instrumented ``check_source`` run of the Figure 5 program:
+its metrics snapshot records what the pipeline *did* (model lookups,
+congruence work, eval steps), the profiler records where the time went,
+and the memory accountant records peak bytes per stage.  ``fg bench
+--compare`` turns two such records into a regression verdict (the CI perf
+gate).
+
+Recursion headroom is scoped (``resource_scope``), never a module-level
+``sys.setrecursionlimit`` — PR 1 removed every permanent limit bump.
 """
 
-import json
+import os
 import sys
+import time
 from pathlib import Path
 
 import pytest
 
-sys.setrecursionlimit(50_000)
+_ROOT = Path(__file__).resolve().parent.parent
 
-_BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+
+def _bench_tag() -> str:
+    return os.environ.get("BENCH_TAG") or time.strftime("%Y%m%d")
+
+
+@pytest.fixture(autouse=True)
+def _recursion_headroom():
+    """Scoped stack headroom for deep-input benchmarks (512-element cons
+    chains recurse through the parser); restored after every test."""
+    from repro.diagnostics.limits import scoped_recursion_limit
+
+    with scoped_recursion_limit(50_000):
+        yield
 
 
 @pytest.fixture(scope="session")
@@ -49,37 +70,62 @@ def _benchmark_rows(session):
 
 
 def _instrumented_snapshot():
-    """One observed Figure 5 pipeline run: timings + metrics snapshot."""
+    """One fully observed Figure 5 run: metrics + profile + peak memory."""
+    from repro.diagnostics.limits import resource_scope
     from repro.observability import (
-        ExplainLog, Instrumentation, MetricsRegistry, Tracer,
+        ExplainLog, Instrumentation, MemoryAccountant, MetricsRegistry,
+        Tracer, profile_tracer,
     )
     from repro.pipeline import check_source
 
     from bench_fig5_accumulate import figure5
 
     inst = Instrumentation(
-        tracer=Tracer(), metrics=MetricsRegistry(), explain=ExplainLog()
+        tracer=Tracer(), metrics=MetricsRegistry(), explain=ExplainLog(),
+        memory=MemoryAccountant(),
     )
-    outcome = check_source(
-        figure5(64), evaluate=True, verify=True, instrumentation=inst
-    )
+    # Scoped recursion headroom for the deep cons chain (no process-wide
+    # setrecursionlimit side effect).
+    with resource_scope():
+        outcome = check_source(
+            figure5(64), evaluate=True, verify=True, instrumentation=inst
+        )
     return {
-        "program": "figure5(n=64)",
         "ok": outcome.ok,
-        "stats": outcome.stats,
+        "metrics": outcome.stats,
+        "profile": profile_tracer(inst.tracer).to_json(),
+        "memory_peak_kb": inst.memory.peaks_kb(),
         "spans": len(inst.tracer),
         "model_resolutions": len(outcome.explain),
     }
 
 
 def pytest_sessionfinish(session, exitstatus):
+    from repro.observability.regress import (
+        build_record, record_path, write_record,
+    )
+
+    tag = _bench_tag()
     try:
-        payload = {
-            "pr": 3,
-            "benchmarks": _benchmark_rows(session),
-            "instrumented_run": _instrumented_snapshot(),
-        }
-        _BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n")
+        snapshot = _instrumented_snapshot()
+        record = build_record(
+            tag,
+            _benchmark_rows(session),
+            metrics=snapshot["metrics"],
+            profile=snapshot["profile"],
+            memory_peak_kb=snapshot["memory_peak_kb"],
+            extra={
+                "instrumented_run": {
+                    "program": "figure5(n=64)",
+                    "ok": snapshot["ok"],
+                    "spans": snapshot["spans"],
+                    "model_resolutions": snapshot["model_resolutions"],
+                },
+            },
+        )
+        write_record(record, record_path(tag, _ROOT))
     except Exception as err:  # noqa: BLE001 — never fail the session
-        print(f"benchmarks/conftest: could not write {_BENCH_OUT}: {err}",
-              file=sys.stderr)
+        print(
+            f"benchmarks/conftest: could not write BENCH_{tag}.json: {err}",
+            file=sys.stderr,
+        )

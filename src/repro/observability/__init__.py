@@ -16,6 +16,15 @@ the machinery observable without touching its semantics:
 - :class:`ExplainLog` — a structured decision log of every model
   resolution: candidates per scope, rejection reasons, same-type
   constraints consulted (``fg check --explain``, REPL ``:explain``);
+- :func:`profile_tracer` / :class:`Profile` — the deterministic hot-path
+  profiler: the (unsampled) span stream folded into an inclusive/exclusive
+  time-per-callsite table with call counts (``fg profile``, ``--profile``,
+  REPL ``:profile``);
+- :class:`MemoryAccountant` — per-pipeline-stage peak-memory accounting
+  via ``tracemalloc``;
+- :mod:`regress <repro.observability.regress>` — the versioned
+  ``BenchRecord`` run-record schema and the ``fg bench --compare``
+  trajectory gate;
 - :class:`Instrumentation` — the bundle the pipeline threads through the
   stack, with :data:`NULL_INSTRUMENTATION` as the near-free disabled
   default (null-object pattern; see docs/OBSERVABILITY.md).
@@ -33,9 +42,17 @@ from repro.observability.exporters import (
     chrome_trace,
     chrome_trace_json,
     render_tree,
+    spans_from_jsonl,
     to_jsonl,
 )
 from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.profiler import (
+    HotSpot,
+    MemoryAccountant,
+    Profile,
+    format_profile,
+    profile_tracer,
+)
 from repro.observability.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 
@@ -52,15 +69,20 @@ class Instrumentation:
     tracer: object = NULL_TRACER
     metrics: Optional[MetricsRegistry] = None
     explain: Optional[ExplainLog] = None
+    #: Per-stage peak-memory accounting; ``None`` (the default) never
+    #: touches ``tracemalloc``.
+    memory: Optional[MemoryAccountant] = None
 
     @classmethod
     def enabled(cls, *, trace: bool = False, metrics: bool = True,
-                explain: bool = False) -> "Instrumentation":
+                explain: bool = False,
+                memory: bool = False) -> "Instrumentation":
         """A live bundle with the requested parts turned on."""
         return cls(
             tracer=Tracer() if trace else NULL_TRACER,
             metrics=MetricsRegistry() if metrics else None,
             explain=ExplainLog() if explain else None,
+            memory=MemoryAccountant() if memory else None,
         )
 
 
@@ -71,16 +93,22 @@ NULL_INSTRUMENTATION = Instrumentation()
 __all__ = [
     "ExplainLog",
     "Histogram",
+    "HotSpot",
     "Instrumentation",
+    "MemoryAccountant",
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
     "NULL_TRACER",
     "NullTracer",
+    "Profile",
     "Span",
     "Tracer",
     "chrome_trace",
     "chrome_trace_json",
+    "format_profile",
     "format_span",
+    "profile_tracer",
     "render_tree",
+    "spans_from_jsonl",
     "to_jsonl",
 ]

@@ -86,3 +86,17 @@ def to_jsonl(tracer: Tracer) -> str:
             "attrs": _span_args(span),
         }, sort_keys=True))
     return "\n".join(lines)
+
+
+def spans_from_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse :func:`to_jsonl` output back into span dicts, in file order.
+
+    The inverse projection for round-trip checks and offline analysis:
+    each dict carries the exported ``id``/``parent``/``name``/``start_ns``/
+    ``dur_ns``/``attrs`` fields, so the original parent/child tree can be
+    reassembled from the ``parent`` links
+    (``tests/observability/test_exporters_roundtrip.py``).
+    """
+    return [
+        json.loads(line) for line in text.splitlines() if line.strip()
+    ]

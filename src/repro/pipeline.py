@@ -22,7 +22,7 @@ the CLI's "internal error" path (exit code 3) is testable.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
@@ -76,7 +76,9 @@ class CheckOutcome:
     verified: bool = False
     #: Observability snapshot (``None`` unless instrumentation was passed):
     #: ``{"timings_ms": {stage: ms, "total": ms}, "counters": {...},
-    #: "histograms": {...}}`` — see docs/OBSERVABILITY.md for the catalog.
+    #: "histograms": {...}}`` plus ``"memory_peak_kb"`` per stage when a
+    #: :class:`~repro.observability.MemoryAccountant` was threaded through —
+    #: see docs/OBSERVABILITY.md for the catalog.
     stats: Optional[Dict[str, object]] = None
     #: The :class:`~repro.observability.ExplainLog` used for this run, when
     #: explain mode was on.
@@ -88,10 +90,14 @@ class CheckOutcome:
 
 
 @contextmanager
-def _stage(name: str, tracer, timings: Optional[Dict[str, float]]):
-    """Wrap one pipeline stage in a tracer span and (optionally) a timing."""
+def _stage(name: str, tracer, timings: Optional[Dict[str, float]],
+           memory=None):
+    """Wrap one pipeline stage in a tracer span, optional timing, and
+    (when a :class:`~repro.observability.MemoryAccountant` is threaded
+    through) per-stage peak-memory accounting."""
     start = time.perf_counter_ns() if timings is not None else 0
-    with tracer.span(f"pipeline.{name}"):
+    accounting = memory.stage(name) if memory is not None else nullcontext()
+    with tracer.span(f"pipeline.{name}"), accounting:
         try:
             yield
         finally:
@@ -140,6 +146,8 @@ def check_source(
     timings["total"] = round((time.perf_counter_ns() - total_start) / 1e6, 3)
     metrics = instrumentation.metrics
     stats: Dict[str, object] = {"timings_ms": timings}
+    if instrumentation.memory is not None:
+        stats["memory_peak_kb"] = instrumentation.memory.peaks_kb()
     if metrics is not None:
         for diag in outcome.report.diagnostics:
             metrics.inc(
@@ -165,6 +173,7 @@ def _run_stages(
 ) -> CheckOutcome:
     from repro.syntax.parser_fg import parse_program_resilient
 
+    memory = instrumentation.memory if instrumentation is not None else None
     reporter = DiagnosticReporter(max_errors=max_errors)
     if prelude:
         from repro.prelude import wrap
@@ -174,7 +183,8 @@ def _run_stages(
     try:
         # The parser recurses on nesting depth; the scope converts a stack
         # overflow on pathological input into a ResourceLimitError.
-        with _stage("parse", tracer, timings), resource_scope(limits):
+        with _stage("parse", tracer, timings, memory), \
+                resource_scope(limits):
             term, _ = parse_program_resilient(
                 text, filename, max_errors=max_errors, reporter=reporter
             )
@@ -191,7 +201,7 @@ def _run_stages(
         from repro.extensions import typecheck_all
     else:
         from repro.fg.typecheck import typecheck_all
-    with _stage("check", tracer, timings):
+    with _stage("check", tracer, timings, memory):
         type_, translation, _ = typecheck_all(
             term, limits=limits, reporter=reporter,
             instrumentation=instrumentation,
@@ -209,7 +219,7 @@ def _run_stages(
     if verify:
         _maybe_fault("verify")
         try:
-            with _stage("verify", tracer, timings):
+            with _stage("verify", tracer, timings, memory):
                 if ext:
                     from repro.extensions import verify_translation
 
@@ -239,7 +249,7 @@ def _run_stages(
             instrumentation.metrics if instrumentation is not None else None
         )
         try:
-            with _stage("evaluate", tracer, timings):
+            with _stage("evaluate", tracer, timings, memory):
                 value = sf_evaluate(translation, budget=budget)
             evaluated = True
         except Diagnostic as err:

@@ -7,6 +7,9 @@ Subcommands::
     fg translate FILE    print the System F translation
     fg verify FILE       run the executable Theorem 1/2 check
     fg runf FILE         typecheck and evaluate a *System F* program
+    fg profile FILE      hot-path profile + per-stage peak memory for a run
+    fg bench             run the built-in benchmark suite; write/compare
+                         versioned BENCH_<tag>.json records
 
 ``--prelude`` wraps the program with the standard concept library and ``-e``
 takes the program from the command line instead of a file.
@@ -20,8 +23,16 @@ tree for the run (printed as text, or written as Chrome ``trace_event`` JSON
 for ``.json`` files / compact JSONL for ``.jsonl``), ``--stats`` reports
 stage timings and checker/evaluator counters, and ``--explain`` prints the
 model-resolution log — every candidate model per scope and why it was
-rejected.  Under ``--json`` the envelope gains ``"stats"`` and ``"explain"``
-keys (schema in docs/DIAGNOSTICS.md).
+rejected.  ``--profile`` (or the ``fg profile`` subcommand) aggregates the
+span stream into a deterministic time-per-callsite table and accounts peak
+memory per pipeline stage.  Under ``--json`` the envelope gains
+``"stats"``, ``"explain"``, and ``"profile"`` keys (schema in
+docs/DIAGNOSTICS.md).
+
+``fg bench`` writes a versioned run record (benchmark medians, metrics,
+profile, memory — ``BENCH_<tag>.json``) and ``fg bench --compare OLD.json
+[NEW.json]`` renders a verdict table (ok/regressed/improved/new/missing),
+exiting 1 on regression — the CI perf gate.
 
 Exit codes: **0** success, **1** the program has diagnostics, **2** usage
 error (bad flags, unreadable file), **3** internal error (a bug in this
@@ -85,18 +96,32 @@ def _limits(args: argparse.Namespace) -> Limits:
     )
 
 
+def _wants_profile(args: argparse.Namespace) -> bool:
+    return getattr(args, "profile", False) or args.command == "profile"
+
+
 def _instrumentation(args: argparse.Namespace):
-    """Build an Instrumentation from --trace/--stats/--explain (or None)."""
-    if args.trace is None and not args.stats and not args.explain:
+    """Build an Instrumentation from the observability flags (or None).
+
+    ``--profile`` (and the ``profile`` subcommand) needs the full span
+    stream plus the memory accountant; ``--trace``/``--stats``/``--explain``
+    each switch on exactly their own instrument.
+    """
+    profiling = _wants_profile(args)
+    if (args.trace is None and not args.stats and not args.explain
+            and not profiling):
         return None
     from repro.observability import (
-        ExplainLog, Instrumentation, MetricsRegistry, NULL_TRACER, Tracer,
+        ExplainLog, Instrumentation, MemoryAccountant, MetricsRegistry,
+        NULL_TRACER, Tracer,
     )
 
     return Instrumentation(
-        tracer=Tracer() if args.trace is not None else NULL_TRACER,
-        metrics=MetricsRegistry() if args.stats else None,
+        tracer=(Tracer() if args.trace is not None or profiling
+                else NULL_TRACER),
+        metrics=MetricsRegistry() if args.stats or profiling else None,
         explain=ExplainLog() if args.explain else None,
+        memory=MemoryAccountant() if profiling else None,
     )
 
 
@@ -144,17 +169,30 @@ def _render_stats(stats) -> str:
     return "\n".join(lines) if lines else "-- no stats recorded"
 
 
-def _json_extras(args: argparse.Namespace, stats, explain):
+def _profile_payload(inst) -> dict:
+    """The ``"profile"`` envelope value: hotspot table + per-stage memory."""
+    from repro.observability import profile_tracer
+
+    payload = profile_tracer(inst.tracer).to_json()
+    if inst.memory is not None:
+        payload["memory_peak_kb"] = inst.memory.peaks_kb()
+    return payload
+
+
+def _json_extras(args: argparse.Namespace, stats, explain, inst=None):
     extras = {}
     if args.stats and stats is not None:
         extras["stats"] = stats
     if args.explain and explain is not None:
         extras["explain"] = explain.to_json()
+    if inst is not None and _wants_profile(args):
+        extras["profile"] = _profile_payload(inst)
     return extras
 
 
-def _emit_observability(args: argparse.Namespace, stats, explain) -> None:
-    """Human-readable --stats/--explain output, on stderr."""
+def _emit_observability(args: argparse.Namespace, stats, explain,
+                        inst=None) -> None:
+    """Human-readable --stats/--explain/--profile output, on stderr."""
     if args.json:
         return
     if args.explain and explain is not None:
@@ -162,6 +200,11 @@ def _emit_observability(args: argparse.Namespace, stats, explain) -> None:
         print(explain.render(), file=sys.stderr)
     if args.stats and stats is not None:
         print(_render_stats(stats), file=sys.stderr)
+    if inst is not None and _wants_profile(args) and args.command != "profile":
+        from repro.observability import format_profile, profile_tracer
+
+        print(format_profile(profile_tracer(inst.tracer), inst.memory),
+              file=sys.stderr)
 
 
 def _emit_report(
@@ -189,16 +232,32 @@ def _run_fg_command(args: argparse.Namespace) -> int:
         ext=args.ext,
         max_errors=args.max_errors,
         limits=_limits(args),
-        evaluate=(args.command == "run"),
+        evaluate=(args.command in ("run", "profile")),
         verify=(args.command == "verify"),
         instrumentation=inst,
     )
     _write_trace(inst, args)
-    extras = _json_extras(args, outcome.stats, outcome.explain)
+    extras = _json_extras(args, outcome.stats, outcome.explain, inst)
     if not outcome.ok:
         _emit_report(outcome.report, args, extras)
-        _emit_observability(args, outcome.stats, outcome.explain)
+        _emit_observability(args, outcome.stats, outcome.explain, inst)
         return EXIT_DIAGNOSTICS
+    if args.command == "profile":
+        from repro.observability import format_profile, profile_tracer
+
+        if args.json:
+            envelope = {"diagnostics": []}
+            envelope.update(extras)
+            print(json.dumps(envelope, indent=2))
+        else:
+            print(format_profile(profile_tracer(inst.tracer), inst.memory))
+            if outcome.stats is not None:
+                timings = outcome.stats.get("timings_ms", {})
+                if timings:
+                    print("-- timings (ms):")
+                    for stage, ms in timings.items():
+                        print(f"   {stage:<12} {ms}")
+        return EXIT_OK
     if args.command == "check":
         if args.json:
             envelope = {
@@ -221,7 +280,7 @@ def _run_fg_command(args: argparse.Namespace) -> int:
             print(json.dumps(envelope, indent=2))
         else:
             print(_render(outcome.value))
-    _emit_observability(args, outcome.stats, outcome.explain)
+    _emit_observability(args, outcome.stats, outcome.explain, inst)
     return EXIT_OK
 
 
@@ -268,8 +327,75 @@ def _run_runf(args: argparse.Namespace) -> int:
         stats.update(inst.metrics.snapshot())
     print(_render(value))
     _write_trace(inst, args)
-    _emit_observability(args, stats, inst.explain)
+    _emit_observability(args, stats, inst.explain, inst)
     return EXIT_OK
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``fg bench``: run/record the built-in suite and gate on trajectory."""
+    from pathlib import Path
+
+    from repro.observability import regress
+
+    compare = args.compare or []
+    if len(compare) > 2:
+        print("fg bench: --compare takes at most two records "
+              "(OLD.json [NEW.json])", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        old = regress.load_record(compare[0]) if compare else None
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"fg bench: cannot load {compare[0]}: {err}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if len(compare) == 2:
+        # Pure file-vs-file comparison: no benchmarks run.
+        try:
+            new = regress.load_record(compare[1])
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"fg bench: cannot load {compare[1]}: {err}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        comparison = regress.compare_records(
+            old, new, threshold=args.threshold
+        )
+        if args.json:
+            print(json.dumps(comparison.to_json(), indent=2))
+        else:
+            print(comparison.render())
+        return comparison.exit_code
+
+    tag = args.tag or regress.default_tag()
+    progress = None if args.json else (
+        lambda msg: print(f"-- {msg}", file=sys.stderr)
+    )
+    rows, instrumented = regress.run_bench_suite(
+        rounds=args.rounds, fuzz_mutants=args.fuzz_mutants,
+        progress=progress,
+    )
+    record = regress.build_record(tag, rows, **instrumented)
+    out_path = Path(args.out) if args.out else \
+        regress.record_path(tag, Path.cwd())
+    regress.write_record(record, out_path)
+
+    payload = {"record": str(out_path), "tag": tag, "benchmarks": rows}
+    comparison = None
+    if old is not None:
+        comparison = regress.compare_records(
+            old, record, threshold=args.threshold
+        )
+        payload["comparison"] = comparison.to_json()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"-- wrote {out_path}")
+        for row in rows:
+            median = row.get("median_s")
+            rendered = f"{median * 1e3:.3f}ms" if median else "-"
+            print(f"   {row['name']:<42} median {rendered}")
+        if comparison is not None:
+            print(comparison.render())
+    return comparison.exit_code if comparison is not None else EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -280,12 +406,55 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("repl", help="start an interactive F_G session")
+    bench = sub.add_parser(
+        "bench",
+        help="run the built-in benchmark suite, write a versioned "
+        "BENCH_<tag>.json record, and/or compare records (perf gate)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs="+",
+        metavar="RECORD",
+        help="compare against RECORD (runs the suite first), or compare "
+        "two records OLD.json NEW.json without running; exits 1 on "
+        "regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="regression threshold as a median ratio (default 1.5)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=5, metavar="N",
+        help="timing rounds per benchmark (default 5)",
+    )
+    bench.add_argument(
+        "--fuzz-mutants", type=int, default=25, metavar="N",
+        help="mutants for the fuzz-throughput benchmark (default 25; "
+        "0 disables it)",
+    )
+    bench.add_argument(
+        "--tag", default=None,
+        help="record tag (default: $BENCH_TAG, else today's date)",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="record output path (default BENCH_<tag>.json in the cwd)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit the record summary and verdict table as JSON",
+    )
     for name, help_ in [
         ("run", "typecheck, translate, and evaluate an F_G program"),
         ("check", "typecheck an F_G program and print its type"),
         ("translate", "print an F_G program's System F translation"),
         ("verify", "check that translation preserves typing (Theorems 1/2)"),
         ("runf", "typecheck and evaluate a System F program"),
+        ("profile", "run an F_G program under the deterministic profiler: "
+         "hot-path table + per-stage peak memory"),
     ]:
         cmd = sub.add_parser(name, help=help_)
         cmd.add_argument("file", nargs="?", help="program file ('-' = stdin)")
@@ -350,11 +519,31 @@ def main(argv=None) -> int:
             help="log every model resolution: candidates per scope and "
             "why each was rejected",
         )
+        cmd.add_argument(
+            "--profile",
+            action="store_true",
+            help="aggregate the span stream into a per-callsite "
+            "inclusive/exclusive time table and account peak memory "
+            "per pipeline stage",
+        )
     args = parser.parse_args(argv)
     if args.command == "repl":
         from repro.tools.repl import main as repl_main
 
         return repl_main()
+    if args.command == "bench":
+        if args.threshold is None:
+            from repro.observability.regress import DEFAULT_THRESHOLD
+
+            args.threshold = DEFAULT_THRESHOLD
+        try:
+            return _run_bench(args)
+        except Exception:
+            import traceback
+
+            print(_INTERNAL_BANNER, file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
     if args.file is None and args.expr is None:
         parser.error("a FILE or -e EXPR is required")
     if args.max_errors < 1:

@@ -13,15 +13,17 @@ each expression against it:
     42 : int
 
 Commands: ``:type e``, ``:translate e``, ``:errors e``, ``:explain e``,
-``:decls``, ``:clear``, ``:prelude``, ``:ext``, ``:fuel N``,
-``:maxerrors N``, ``:stats``, ``:trace on|off``, ``:quit``.  Incomplete
-input (unexpected end of file) continues on the next line.
+``:profile e``, ``:decls``, ``:clear``, ``:prelude``, ``:ext``,
+``:fuel N``, ``:maxerrors N``, ``:stats``, ``:trace on|off``, ``:quit``.
+Incomplete input (unexpected end of file) continues on the next line.
 
 Observability: the session carries one
 :class:`~repro.observability.MetricsRegistry` that every check and
 evaluation writes into — ``:stats`` shows the running totals.  ``:trace
 on`` appends a span tree to each evaluation's output; ``:explain e`` runs
-the model-resolution explain log over an expression (see
+the model-resolution explain log over an expression; ``:profile e`` runs
+``e`` through the full pipeline under the deterministic profiler and
+prints the hot-path table plus per-stage peak memory (see
 docs/OBSERVABILITY.md).
 
 The core logic lives in :class:`Repl`, which is side-effect free and
@@ -251,6 +253,27 @@ class Repl:
             parts.append("-- model resolution log:")
             parts.append(log.render())
             return "\n".join(parts)
+        if command == ":profile":
+            if not arg:
+                return "usage: :profile <expr>"
+            from repro.observability import (
+                MemoryAccountant, Tracer, format_profile, profile_tracer,
+            )
+            from repro.pipeline import check_source
+
+            tracer, memory = Tracer(), MemoryAccountant()
+            outcome = check_source(
+                self._program(arg), "<repl>", ext=self.use_ext,
+                max_errors=self.max_errors, evaluate=True,
+                instrumentation=Instrumentation(
+                    tracer=tracer, metrics=self.metrics, memory=memory,
+                ),
+            )
+            parts = []
+            if not outcome.ok:
+                parts.append(outcome.report.render())
+            parts.append(format_profile(profile_tracer(tracer), memory))
+            return "\n".join(parts)
         if command == ":stats":
             return self.metrics.render()
         if command == ":trace":
@@ -303,8 +326,8 @@ class Repl:
                 "declarations (concept/model/let/type/use/overload) "
                 "accumulate; expressions evaluate.\n"
                 "commands: :type e, :translate e, :errors e, :explain e, "
-                ":decls, :clear, :prelude, :ext, :fuel N, :maxerrors N, "
-                ":stats, :trace on|off, :quit"
+                ":profile e, :decls, :clear, :prelude, :ext, :fuel N, "
+                ":maxerrors N, :stats, :trace on|off, :quit"
             )
         return f"unknown command {command} (try :help)"
 

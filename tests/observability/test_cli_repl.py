@@ -97,6 +97,51 @@ class TestCliTrace:
         assert "eval.steps" in err
 
 
+class TestCliProfile:
+    def test_profile_flag_renders_on_stderr(self, capsys):
+        code, out, err = run_cli(capsys, "run", "-e", PROGRAM, "--profile")
+        assert code == EXIT_OK
+        assert out.strip() == "42"
+        assert "-- hot paths" in err
+        assert "pipeline.check_source" in err
+        assert "-- peak memory by stage:" in err
+
+    def test_profile_subcommand_human_output(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "-e", PROGRAM)
+        assert code == EXIT_OK
+        assert "-- hot paths" in out
+        assert "typecheck.model_lookup" in out
+        assert "-- peak memory by stage:" in out
+        assert "-- timings (ms):" in out
+
+    def test_profile_json_envelope(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "check", "-e", PROGRAM, "--profile", "--stats", "--json"
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out)
+        profile = payload["profile"]
+        assert set(profile) >= {"hotspots", "span_count",
+                                "total_exclusive_ms", "memory_peak_kb"}
+        assert profile["hotspots"]
+        assert {"parse", "check"} <= set(profile["memory_peak_kb"])
+        stats = payload["stats"]
+        assert "memory_peak_kb" in stats
+
+    def test_profile_subcommand_json_matches_flag_schema(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "-e", PROGRAM, "--json")
+        assert code == EXIT_OK
+        payload = json.loads(out)
+        assert payload["diagnostics"] == []
+        names = [h["name"] for h in payload["profile"]["hotspots"]]
+        assert "pipeline.check_source" in names
+
+    def test_profile_on_broken_program_reports_diagnostics(self, capsys):
+        code, _, err = run_cli(capsys, "profile", "-e", "iadd(1, true)")
+        assert code != EXIT_OK
+        assert "error" in err
+
+
 class TestReplObservability:
     def test_stats_accumulate_across_inputs(self):
         repl = Repl()
@@ -135,8 +180,25 @@ class TestReplObservability:
         out = repl.feed(":explain C<int>.op(1, 2)")
         assert "resolved (scope 0)" in out
 
+    def test_profile_command(self):
+        repl = Repl()
+        repl.feed("concept C<t> { op : fn(t, t) -> t; }")
+        repl.feed("model C<int> { op = iadd; }")
+        out = repl.feed(":profile C<int>.op(40, 2)")
+        assert "-- hot paths" in out
+        assert "pipeline.check_source" in out
+        assert "-- peak memory by stage:" in out
+
+    def test_profile_usage_and_errors(self):
+        repl = Repl()
+        assert repl.feed(":profile") == "usage: :profile <expr>"
+        out = repl.feed(":profile iadd(1, true)")
+        # A broken expression still profiles — diagnostics first, table after.
+        assert "error" in out and "-- hot paths" in out
+
     def test_help_mentions_new_commands(self):
         repl = Repl()
         help_text = repl.feed(":help")
-        for command in (":stats", ":trace on|off", ":explain e"):
+        for command in (":stats", ":trace on|off", ":explain e",
+                        ":profile e"):
             assert command in help_text

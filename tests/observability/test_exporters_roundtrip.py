@@ -1,0 +1,131 @@
+"""Exporter round-trips: Chrome trace_event typing, JSONL tree fidelity."""
+
+import json
+
+from repro.observability import Tracer
+from repro.observability.exporters import (
+    chrome_trace_json,
+    spans_from_jsonl,
+    to_jsonl,
+)
+
+
+def _fake_clock(step=7):
+    state = {"now": 0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def _sample_tracer():
+    """A small two-root forest with nesting, repeats, and attrs."""
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("pipeline.check_source", file="<test>"):
+        with tracer.span("pipeline.parse", tokens=12):
+            pass
+        with tracer.span("pipeline.check"):
+            with tracer.span("model.lookup", concept="Monoid"):
+                pass
+            with tracer.span("model.lookup", concept="Semigroup"):
+                pass
+    with tracer.span("pipeline.evaluate", weird=object()):
+        pass
+    return tracer
+
+
+def _tree_shape(spans, ids_to_name):
+    """(name, parent_name) pairs — the span tree minus ids and times."""
+    return [
+        (s["name"],
+         ids_to_name[s["parent"]] if s["parent"] is not None else None)
+        for s in spans
+    ]
+
+
+class TestChromeTrace:
+    def test_loads_back_via_plain_json(self):
+        payload = json.loads(chrome_trace_json(_sample_tracer()))
+        assert set(payload) == {"traceEvents"}
+        assert len(payload["traceEvents"]) == 6
+
+    def test_events_are_well_typed(self):
+        events = json.loads(chrome_trace_json(_sample_tracer()))[
+            "traceEvents"]
+        for event in events:
+            assert isinstance(event["name"], str) and event["name"]
+            assert event["ph"] == "X"
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["args"], dict)
+
+    def test_parent_links_survive_in_args(self):
+        events = json.loads(chrome_trace_json(_sample_tracer()))[
+            "traceEvents"]
+        by_id = {e["args"]["span_id"]: e for e in events}
+        lookups = [e for e in events if e["name"] == "model.lookup"]
+        assert len(lookups) == 2
+        for event in lookups:
+            parent = by_id[event["args"]["parent_id"]]
+            assert parent["name"] == "pipeline.check"
+
+    def test_exotic_attrs_are_stringified(self):
+        events = json.loads(chrome_trace_json(_sample_tracer()))[
+            "traceEvents"]
+        (evaluate,) = [e for e in events if e["name"] == "pipeline.evaluate"]
+        assert isinstance(evaluate["args"]["weird"], str)
+
+
+class TestJsonlRoundTrip:
+    def test_parses_back_into_same_span_tree_shape(self):
+        tracer = _sample_tracer()
+        spans = spans_from_jsonl(to_jsonl(tracer))
+        assert len(spans) == len(tracer.spans)
+
+        exported_names = {s["id"]: s["name"] for s in spans}
+        original_names = {s.id: s.name for s in tracer.spans}
+        assert exported_names == original_names
+        assert _tree_shape(spans, exported_names) == [
+            (s.name,
+             original_names[s.parent_id] if s.parent_id is not None
+             else None)
+            for s in tracer.spans
+        ]
+
+    def test_fields_round_trip_exactly(self):
+        tracer = _sample_tracer()
+        for span, row in zip(tracer.spans, spans_from_jsonl(to_jsonl(tracer))):
+            assert row["id"] == span.id
+            assert row["parent"] == span.parent_id
+            assert row["name"] == span.name
+            assert row["start_ns"] == span.start_ns
+            assert row["dur_ns"] == span.duration_ns
+
+    def test_blank_lines_are_ignored(self):
+        text = to_jsonl(_sample_tracer())
+        padded = "\n\n" + text.replace("\n", "\n\n") + "\n\n"
+        assert spans_from_jsonl(padded) == spans_from_jsonl(text)
+
+    def test_empty_tracer_round_trips_to_nothing(self):
+        assert spans_from_jsonl(to_jsonl(Tracer())) == []
+
+    def test_pipeline_trace_reassembles(self):
+        from repro.observability import Instrumentation, MetricsRegistry
+        from repro.pipeline import check_source
+
+        inst = Instrumentation(tracer=Tracer(), metrics=MetricsRegistry())
+        outcome = check_source(
+            "let x = iadd(1, 2) in x", evaluate=True, instrumentation=inst
+        )
+        assert outcome.ok
+        spans = spans_from_jsonl(to_jsonl(inst.tracer))
+        names = {s["name"] for s in spans}
+        assert {"pipeline.check_source", "pipeline.parse",
+                "pipeline.check"} <= names
+        roots = [s for s in spans if s["parent"] is None]
+        assert [r["name"] for r in roots] == ["pipeline.check_source"]

@@ -67,6 +67,24 @@ class TestDisabledPathStructure:
             instrumentation=Instrumentation(tracer=Tracer())
         )._observing is True
 
+    def test_memory_accounting_is_off_by_default(self):
+        from repro.observability import NULL_INSTRUMENTATION
+
+        assert NULL_INSTRUMENTATION.memory is None
+        assert Instrumentation().memory is None
+        assert Instrumentation.enabled().memory is None
+
+    def test_uninstrumented_run_never_starts_tracemalloc(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        outcome = check_source(PROGRAM, evaluate=True, verify=True)
+        assert outcome.ok
+        assert not tracemalloc.is_tracing()
+        # And the uninstrumented stats stay absent — no memory_peak_kb
+        # sneaking into an otherwise disabled run.
+        assert outcome.stats is None
+
 
 def _median_seconds(fn, rounds=5):
     samples = []
