@@ -25,6 +25,7 @@ from repro.diagnostics.errors import (
 from repro.diagnostics.limits import (
     DEFAULT_LIMITS,
     Budget,
+    DeadlineExceededError,
     Limits,
     ResourceLimitError,
     resource_scope,
@@ -49,6 +50,7 @@ __all__ = [
     "EvalError",
     "DEFAULT_LIMITS",
     "Budget",
+    "DeadlineExceededError",
     "Limits",
     "ResourceLimitError",
     "resource_scope",

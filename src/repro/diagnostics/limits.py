@@ -24,6 +24,7 @@ surfaces as a positioned diagnostic, never a Python traceback.
 from __future__ import annotations
 
 import sys
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
@@ -46,6 +47,23 @@ class ResourceLimitError(Diagnostic):
         self.limit = limit
 
 
+class DeadlineExceededError(ResourceLimitError):
+    """Raised when a run's wall-clock deadline expires mid-check.
+
+    The cooperative half of deadline enforcement: :class:`Budget` polls the
+    clock at its metered call sites (checker depth, evaluator fuel) and
+    raises this the moment the deadline is behind us, so a slow-but-metered
+    run cancels in-band with a positioned diagnostic.  The batch service's
+    watchdog (:mod:`repro.service.worker`) is the preemptive backstop for
+    code that never reaches a metered call site.
+    """
+
+    kind = "deadline exceeded"
+
+    def __init__(self, message: str, span=None):
+        super().__init__(message, span, limit="deadline")
+
+
 @dataclass(frozen=True)
 class Limits:
     """Configurable resource budgets for one checking/evaluation run.
@@ -63,6 +81,10 @@ class Limits:
     max_eval_steps: Optional[int] = None
     #: Scoped Python recursion limit used while a guarded call runs.
     python_stack_limit: int = 50_000
+    #: Wall-clock deadline for one metered run, in milliseconds; ``None``
+    #: disables cooperative deadline checks.  The clock starts when a
+    #: :class:`Budget` is constructed from these limits.
+    deadline_ms: Optional[float] = None
 
 
 #: The default budgets used when a caller passes ``limits=None``.
@@ -77,7 +99,8 @@ class Budget:
     Both raise :class:`ResourceLimitError` when the budget is exhausted.
     """
 
-    __slots__ = ("limits", "_depth", "_fuel", "steps_taken", "peak_depth")
+    __slots__ = ("limits", "_depth", "_fuel", "steps_taken", "peak_depth",
+                 "_deadline_at", "_deadline_poll", "_deadline_hit")
 
     def __init__(self, limits: Optional[Limits] = None):
         self.limits = limits if limits is not None else DEFAULT_LIMITS
@@ -87,10 +110,43 @@ class Budget:
         self.steps_taken = 0
         #: Deepest checker nesting reached (observability reads this).
         self.peak_depth = 0
+        deadline_ms = self.limits.deadline_ms
+        self._deadline_at = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None else None
+        )
+        self._deadline_poll = 0
+        self._deadline_hit = False
+
+    # -- wall-clock deadline ----------------------------------------------
+
+    def check_deadline(self, span=None) -> None:
+        """Raise :class:`DeadlineExceededError` once the deadline passed.
+
+        Polls the clock every 16th metered call (cheap on the hot path);
+        after the first trip, every call raises immediately so error
+        recovery can't limp on past a dead deadline.
+        """
+        if self._deadline_at is None:
+            return
+        if not self._deadline_hit:
+            self._deadline_poll += 1
+            if self._deadline_poll & 0xF:
+                return
+            if time.monotonic() <= self._deadline_at:
+                return
+            self._deadline_hit = True
+        raise DeadlineExceededError(
+            f"run exceeded its {self.limits.deadline_ms}ms deadline; "
+            "re-run with a larger --deadline-ms budget if this program "
+            "genuinely needs more time",
+            span,
+        )
 
     # -- typechecker depth ------------------------------------------------
 
     def enter_depth(self, span=None) -> None:
+        self.check_deadline(span)
         self._depth += 1
         if self._depth > self.peak_depth:
             self.peak_depth = self._depth
@@ -112,6 +168,7 @@ class Budget:
     # -- evaluator fuel ---------------------------------------------------
 
     def spend_fuel(self, span=None) -> None:
+        self.check_deadline(span)
         self.steps_taken += 1
         if self._fuel is None:
             return
@@ -131,15 +188,21 @@ def scoped_recursion_limit(limit: int):
     """Raise the Python recursion limit to ``limit``; restore it on exit.
 
     Never *lowers* the limit (a caller may already have raised it), and
-    restores the previous value even when the body raises.
+    restores the previous value even when the body raises.  The restore is
+    guarded: an abandoned worker thread finishing long after its watchdog
+    gave up on it only restores the limit if nobody else has changed it in
+    the meantime, so a timed-out check can never clobber the budget of the
+    check now running (``tests/service/test_limits_hygiene.py``).
     """
     prior = sys.getrecursionlimit()
-    if limit > prior:
+    raised = limit > prior
+    if raised:
         sys.setrecursionlimit(limit)
     try:
         yield
     finally:
-        sys.setrecursionlimit(prior)
+        if raised and sys.getrecursionlimit() == limit:
+            sys.setrecursionlimit(prior)
 
 
 @contextmanager

@@ -1,0 +1,65 @@
+"""``repro.service``: the fault-isolated batch checking service.
+
+PR 1 made one ``check_source`` call fault-tolerant; this package protects a
+*batch* of them from each other.  ``check_batch(sources, policy)`` runs
+many checks under a worker pool with per-task deadlines (watchdog +
+cooperative cancellation), optional subprocess isolation for
+interpreter-killing failures, crash containment (worker death becomes a
+structured ``CrashReport`` on that file's outcome while the rest of the
+batch completes), a deterministic retry policy driven by a fault taxonomy
+(deadline misses and crashes are transient and retryable; type errors are
+results, never retried), and a circuit breaker that quarantines an input
+after N consecutive failures.  Results aggregate into a ``BatchReport``
+that is byte-identical across runs modulo timing fields.
+
+Surfaces: the ``fg batch`` subcommand (``repro.tools.cli``) with the
+extended exit-code contract (4 = deadline exhaustion, 5 = partial failure),
+and the chaos harness :func:`repro.testing.run_chaos`, which replays
+deterministic :class:`FaultSchedule` plans and asserts the batch always
+terminates, never loses a result, and reports every injected fault exactly
+once.  Schemas and exit codes are documented in docs/DIAGNOSTICS.md.
+"""
+
+from repro.service.batch import check_batch
+from repro.service.faults import (
+    CHAOS_KINDS,
+    ChaosCrash,
+    FAULT_CRASH,
+    FAULT_DEADLINE,
+    FaultSchedule,
+    FaultSpec,
+    is_retryable,
+)
+from repro.service.policy import ISOLATION_MODES, BatchPolicy, RetryPolicy
+from repro.service.report import (
+    EXIT_DEADLINE,
+    EXIT_PARTIAL,
+    AttemptRecord,
+    BatchReport,
+    CrashReport,
+    FileOutcome,
+    TIMING_FIELDS,
+)
+from repro.service.worker import run_with_deadline
+
+__all__ = [
+    "AttemptRecord",
+    "BatchPolicy",
+    "BatchReport",
+    "CHAOS_KINDS",
+    "ChaosCrash",
+    "CrashReport",
+    "EXIT_DEADLINE",
+    "EXIT_PARTIAL",
+    "FAULT_CRASH",
+    "FAULT_DEADLINE",
+    "FaultSchedule",
+    "FaultSpec",
+    "FileOutcome",
+    "ISOLATION_MODES",
+    "RetryPolicy",
+    "TIMING_FIELDS",
+    "check_batch",
+    "is_retryable",
+    "run_with_deadline",
+]

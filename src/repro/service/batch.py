@@ -1,0 +1,215 @@
+"""``check_batch``: fault-isolated batch checking with graceful degradation.
+
+The coordinator fans a batch of sources out over a worker pool and folds
+every result — clean, diagnosed, timed out, crashed, quarantined — into one
+deterministic :class:`~repro.service.report.BatchReport`.  Per file, the
+retry loop runs isolated attempts (:mod:`repro.service.worker`) under the
+policy's deadline, classifies failures with the fault taxonomy
+(:mod:`repro.service.faults`), sleeps the deterministic backoff schedule
+between retries, and opens the circuit breaker after
+``policy.quarantine_after`` consecutive failures so one pathological input
+can't starve the batch.
+
+Containment invariants (enforced by ``tests/service/`` and the chaos
+harness): the batch always terminates, every input yields exactly one
+outcome, a worker death becomes that file's ``CrashReport`` while the rest
+of the batch completes, and an exception escaping *this coordinator* is by
+definition a bug (the CLI maps it to exit 3 — total failure).
+
+Observability: the coordinator — never the workers, the tracer is
+single-threaded — wraps the run in a ``service.check_batch`` span, records
+one ``service.file`` span per outcome in input order, and counts
+``batch.*`` metrics (files/ok/diagnostics/timeouts/crashes/retries/
+quarantined, plus the ``batch.attempts`` histogram).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.observability import Instrumentation, NULL_TRACER
+from repro.service.faults import (
+    FAULT_CRASH,
+    FAULT_DEADLINE,
+    FaultSchedule,
+    is_retryable,
+    serialize_exception_faults,
+)
+from repro.service.policy import BatchPolicy
+from repro.service.report import AttemptRecord, BatchReport, FileOutcome
+from repro.service.worker import (
+    AttemptResult,
+    run_attempt_subprocess,
+    run_attempt_thread,
+)
+
+_FAULT_KIND = {"timeout": FAULT_DEADLINE, "crash": FAULT_CRASH}
+
+
+def check_batch(
+    sources: Sequence[Tuple[str, str]],
+    policy: Optional[BatchPolicy] = None,
+    *,
+    instrumentation: Optional[Instrumentation] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+) -> BatchReport:
+    """Check every ``(filename, text)`` pair under the batch policy.
+
+    Never raises for anything the *inputs* do; see the module docstring for
+    the containment contract.  ``fault_schedule`` is the chaos hook —
+    declarative injected faults replayed deterministically (and shipped to
+    subprocess workers as JSON).  Ambient :func:`~repro.pipeline.inject_fault`
+    state from the calling thread is propagated into every worker attempt.
+    """
+    from repro.pipeline import current_faults
+
+    policy = policy if policy is not None else BatchPolicy()
+    items = list(sources)
+    ambient = current_faults()
+    # Callable ambient faults can't cross a process boundary; fail loudly
+    # up front rather than silently dropping an injected fault.
+    serialized_ambient = (
+        serialize_exception_faults(ambient)
+        if policy.isolate == "subprocess" else None
+    )
+    tracer = (
+        instrumentation.tracer if instrumentation is not None else NULL_TRACER
+    )
+    metrics = (
+        instrumentation.metrics if instrumentation is not None else None
+    )
+    outcomes: List[Optional[FileOutcome]] = [None] * len(items)
+    start = time.perf_counter()
+    with tracer.span(
+        "service.check_batch",
+        files=len(items), jobs=policy.jobs, isolate=policy.isolate,
+    ):
+        if policy.jobs == 1 or len(items) <= 1:
+            for index, (filename, text) in enumerate(items):
+                outcomes[index] = _check_one(
+                    index, filename, text, policy, ambient,
+                    serialized_ambient, fault_schedule,
+                )
+        else:
+            with ThreadPoolExecutor(
+                max_workers=policy.jobs, thread_name_prefix="fg-batch"
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _check_one, index, filename, text, policy, ambient,
+                        serialized_ambient, fault_schedule,
+                    ): index
+                    for index, (filename, text) in enumerate(items)
+                }
+                for future in as_completed(futures):
+                    outcomes[futures[future]] = future.result()
+        # Coordinator-side observability, in input order (deterministic).
+        for outcome in outcomes:
+            with tracer.span(
+                "service.file",
+                file=outcome.file, status=outcome.status,
+                attempts=len(outcome.attempts),
+            ):
+                pass
+            if metrics is not None:
+                metrics.inc("batch.files")
+                metrics.inc(f"batch.{outcome.status}")
+                metrics.inc("batch.retries", outcome.retries)
+                if outcome.quarantined:
+                    metrics.inc("batch.quarantined")
+                metrics.observe("batch.attempts", len(outcome.attempts))
+    elapsed_ms = round((time.perf_counter() - start) * 1e3, 3)
+    return BatchReport(
+        files=tuple(outcomes),
+        policy=policy.to_json(),
+        elapsed_ms=elapsed_ms,
+    )
+
+
+def _check_one(
+    index: int,
+    filename: str,
+    text: str,
+    policy: BatchPolicy,
+    ambient: Dict[str, object],
+    serialized_ambient,
+    schedule: Optional[FaultSchedule],
+) -> FileOutcome:
+    """The per-file retry loop: attempts → taxonomy → backoff → breaker."""
+    check_kwargs = {
+        "prelude": policy.prelude,
+        "ext": policy.ext,
+        "max_errors": policy.max_errors,
+        "limits": policy.effective_limits(),
+        "verify": policy.verify,
+        "evaluate": policy.evaluate,
+    }
+    attempts: List[AttemptRecord] = []
+    final: Optional[AttemptResult] = None
+    quarantined = False
+    consecutive = 0
+    attempt = 0
+    while True:
+        specs = (
+            schedule.for_attempt(index, attempt)
+            if schedule is not None else ()
+        )
+        if policy.isolate == "subprocess":
+            result = run_attempt_subprocess(
+                text, filename, check_kwargs, serialized_ambient, specs,
+                schedule.hang_s if schedule is not None else 0.5,
+                policy.deadline_ms,
+            )
+        else:
+            faults = dict(ambient)
+            for spec in specs:
+                faults[spec.stage] = spec.materialize(
+                    schedule.hang_s if schedule is not None else 0.5
+                )
+            result = run_attempt_thread(
+                text, filename, check_kwargs, faults, policy.deadline_ms,
+            )
+        final = result
+        injected = tuple(spec.tag for spec in specs)
+        fault_kind = _FAULT_KIND.get(result.status)
+        if fault_kind is None:
+            attempts.append(AttemptRecord(
+                attempt=attempt, status=result.status, injected=injected,
+                duration_ms=result.duration_ms,
+            ))
+            break
+        consecutive += 1
+        retryable = is_retryable(fault_kind)
+        breaker_open = consecutive >= policy.quarantine_after
+        out_of_retries = attempt >= policy.retry.max_retries
+        will_retry = retryable and not breaker_open and not out_of_retries
+        backoff_ms = (
+            policy.retry.backoff_ms(consecutive - 1) if will_retry else 0.0
+        )
+        attempts.append(AttemptRecord(
+            attempt=attempt, status=result.status, fault=fault_kind,
+            retryable=retryable, backoff_ms=backoff_ms, injected=injected,
+            duration_ms=result.duration_ms,
+        ))
+        if breaker_open:
+            quarantined = True
+            break
+        if not will_retry:
+            break
+        if backoff_ms > 0:
+            time.sleep(backoff_ms / 1000.0)
+        attempt += 1
+    return FileOutcome(
+        file=filename,
+        index=index,
+        status=final.status,
+        ok=final.status == "ok",
+        quarantined=quarantined,
+        attempts=tuple(attempts),
+        diagnostics=tuple(final.diagnostics),
+        severities=dict(final.severities),
+        rendered=final.rendered,
+        crash=final.crash,
+    )

@@ -1,0 +1,124 @@
+"""Batch execution policy: concurrency, deadlines, retries, quarantine.
+
+Everything here is declarative and JSON-projectable, so the policy echo in
+a :class:`~repro.service.report.BatchReport` pins exactly what the run was
+configured to do — part of the report's determinism surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.diagnostics.limits import DEFAULT_LIMITS, Limits
+
+#: Worker isolation modes: ``"none"`` runs attempts on watchdogged daemon
+#: threads in-process; ``"subprocess"`` gives each attempt its own
+#: interpreter so even C-level faults and OOM kills are contained.
+ISOLATION_MODES = ("none", "subprocess")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry schedule for transient faults.
+
+    The backoff before retry *k* (0-based) is
+    ``backoff_base_ms * backoff_factor**k`` capped at ``backoff_cap_ms`` —
+    a pure function of the policy, so retry records in a batch report are
+    byte-identical across runs.
+    """
+
+    max_retries: int = 0
+    backoff_base_ms: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_cap_ms: float = 10_000.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be non-negative")
+
+    def backoff_ms(self, failure_index: int) -> float:
+        """Scheduled delay after the ``failure_index``-th failed attempt."""
+        if self.backoff_base_ms <= 0:
+            return 0.0
+        return min(
+            self.backoff_base_ms * self.backoff_factor ** failure_index,
+            self.backoff_cap_ms,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base_ms": self.backoff_base_ms,
+            "backoff_factor": self.backoff_factor,
+            "backoff_cap_ms": self.backoff_cap_ms,
+        }
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How :func:`repro.service.check_batch` runs a batch.
+
+    ``quarantine_after`` is the circuit breaker: after that many
+    *consecutive* failed attempts on one input, the breaker opens and the
+    input is quarantined even if retry budget remains — one pathological
+    file can delay the batch by at most ``quarantine_after`` deadlines.
+    """
+
+    jobs: int = 1
+    deadline_ms: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    quarantine_after: int = 3
+    isolate: str = "none"
+    # Per-file check_source configuration.
+    prelude: bool = False
+    ext: bool = False
+    max_errors: int = 20
+    limits: Optional[Limits] = None
+    verify: bool = False
+    evaluate: bool = False
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1")
+        if self.isolate not in ISOLATION_MODES:
+            raise ValueError(
+                f"isolate must be one of {ISOLATION_MODES}, "
+                f"not {self.isolate!r}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+
+    def effective_limits(self) -> Limits:
+        """The per-attempt limits, with the cooperative deadline folded in."""
+        from dataclasses import replace
+
+        base = self.limits if self.limits is not None else DEFAULT_LIMITS
+        if self.deadline_ms is None:
+            return base
+        return replace(base, deadline_ms=self.deadline_ms)
+
+    def to_json(self) -> Dict[str, object]:
+        limits = self.limits if self.limits is not None else DEFAULT_LIMITS
+        return {
+            "jobs": self.jobs,
+            "deadline_ms": self.deadline_ms,
+            "retry": self.retry.to_json(),
+            "quarantine_after": self.quarantine_after,
+            "isolate": self.isolate,
+            "prelude": self.prelude,
+            "ext": self.ext,
+            "max_errors": self.max_errors,
+            "limits": {
+                "max_check_depth": limits.max_check_depth,
+                "max_congruence_nodes": limits.max_congruence_nodes,
+                "max_eval_steps": limits.max_eval_steps,
+                "python_stack_limit": limits.python_stack_limit,
+            },
+            "verify": self.verify,
+            "evaluate": self.evaluate,
+        }

@@ -1,0 +1,253 @@
+"""Structured results for the batch checking service.
+
+A batch run never loses a file's result: every input ends as exactly one
+:class:`FileOutcome`, whatever happened to it — checked clean, diagnosed,
+timed out, crashed, or quarantined by the circuit breaker.  Worker death is
+*contained*: it becomes a :class:`CrashReport` attached to that file's
+outcome while the rest of the batch completes.
+
+The aggregate :class:`BatchReport` is **deterministic**: the same inputs,
+policy, and fault schedule produce the same report, byte-for-byte, modulo
+the timing fields listed in :data:`TIMING_FIELDS` —
+:meth:`BatchReport.canonical_json` strips them, and the chaos harness
+(:func:`repro.testing.run_chaos`) diffs the canonical bytes across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Report schema version (bump on breaking shape changes).
+SCHEMA = "repro/batch-report v1"
+
+#: Per-file outcome statuses, in "worst wins" order for the rollup.
+STATUSES = ("ok", "diagnostics", "timeout", "crash")
+
+#: JSON keys holding measured wall-clock quantities; everything else in a
+#: batch report is required to be run-to-run stable.
+TIMING_FIELDS = frozenset({"duration_ms", "elapsed_ms"})
+
+#: Extended exit codes for ``fg batch`` (0–3 shared with the single-file
+#: contract; see docs/DIAGNOSTICS.md).
+EXIT_OK = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_DEADLINE = 4
+EXIT_PARTIAL = 5
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """A contained worker death, attached to the file that caused it.
+
+    ``where`` says which containment wall caught it: ``"worker"`` (the
+    in-process worker thread) or ``"subprocess"`` (an isolated child died —
+    ``returncode`` carries its wait status, negative for a signal kill).
+    """
+
+    exc_type: str
+    message: str
+    where: str = "worker"
+    traceback: Tuple[str, ...] = ()
+    returncode: Optional[int] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "where": self.where,
+            "traceback": list(self.traceback),
+            "returncode": self.returncode,
+        }
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One try at one file: how it ended and what the retry policy did next.
+
+    ``fault`` is the taxonomy kind for failures (``"deadline"``/``"crash"``,
+    ``None`` for ok/diagnosed attempts); ``backoff_ms`` is the delay the
+    deterministic schedule imposed *after* this attempt (0 when this was the
+    last); ``injected`` lists the chaos faults installed for this attempt
+    (``"stage:kind"`` tags), so the chaos harness can assert every injected
+    fault is reported exactly once.  ``duration_ms`` is a timing field.
+    """
+
+    attempt: int
+    status: str
+    fault: Optional[str] = None
+    retryable: bool = False
+    backoff_ms: float = 0.0
+    injected: Tuple[str, ...] = ()
+    duration_ms: float = 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "attempt": self.attempt,
+            "status": self.status,
+            "fault": self.fault,
+            "retryable": self.retryable,
+            "backoff_ms": self.backoff_ms,
+            "injected": list(self.injected),
+            "duration_ms": self.duration_ms,
+        }
+
+
+@dataclass(frozen=True)
+class FileOutcome:
+    """The final word on one input file.
+
+    ``status`` is the last attempt's status; ``quarantined`` is set when the
+    circuit breaker opened (N consecutive failures) before the retry budget
+    ran out, so retries couldn't starve the batch.
+    """
+
+    file: str
+    index: int
+    status: str
+    ok: bool
+    quarantined: bool = False
+    attempts: Tuple[AttemptRecord, ...] = ()
+    diagnostics: Tuple[Dict[str, object], ...] = ()
+    severities: Dict[str, int] = field(default_factory=dict)
+    rendered: str = ""
+    crash: Optional[CrashReport] = None
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "index": self.index,
+            "status": self.status,
+            "ok": self.ok,
+            "quarantined": self.quarantined,
+            "attempts": [a.to_json() for a in self.attempts],
+            "diagnostics": list(self.diagnostics),
+            "severities": dict(self.severities),
+            "rendered": self.rendered,
+            "crash": self.crash.to_json() if self.crash else None,
+        }
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything one batch run produced, in input order.
+
+    The exit-code contract extends the single-file 0/1/2/3 one so partial
+    failure, deadline exhaustion, and total failure are distinguishable:
+
+    - 0 — every file checked clean;
+    - 1 — the batch completed; some files have diagnostics (input errors);
+    - 4 — deadline exhaustion: at least one file timed out (and none
+      crashed);
+    - 5 — partial failure: crash containment engaged for at least one file
+      (usage errors stay 2 and a bug in the batch driver itself stays 3,
+      both decided by the CLI).
+    """
+
+    files: Tuple[FileOutcome, ...]
+    policy: Dict[str, object] = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(f.ok for f in self.files)
+
+    @property
+    def quarantine(self) -> Tuple[str, ...]:
+        return tuple(f.file for f in self.files if f.quarantined)
+
+    @property
+    def exit_code(self) -> int:
+        statuses = {f.status for f in self.files}
+        if "crash" in statuses:
+            return EXIT_PARTIAL
+        if "timeout" in statuses:
+            return EXIT_DEADLINE
+        if any(f.severities.get("error") for f in self.files):
+            return EXIT_DIAGNOSTICS
+        return EXIT_OK
+
+    def rollup(self) -> Dict[str, object]:
+        """Counts by status plus the severity totals across every report."""
+        by_status = {status: 0 for status in STATUSES}
+        severities = {"error": 0, "warning": 0, "note": 0}
+        retries = 0
+        for outcome in self.files:
+            by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+            retries += outcome.retries
+            for severity, count in outcome.severities.items():
+                severities[severity] = severities.get(severity, 0) + count
+        return {
+            "files": len(self.files),
+            **by_status,
+            "quarantined": len(self.quarantine),
+            "retries": retries,
+            "severities": severities,
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "policy": dict(self.policy),
+            "files": [f.to_json() for f in self.files],
+            "rollup": self.rollup(),
+            "quarantine": list(self.quarantine),
+            "exit_code": self.exit_code,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+    def canonical_json(self) -> str:
+        """The determinism surface: JSON with timing fields stripped."""
+        return json.dumps(
+            _strip_timings(self.to_json()), sort_keys=True, indent=None
+        )
+
+    def render(self) -> str:
+        """Human-readable per-file table + rollup (the non-JSON CLI view)."""
+        lines: List[str] = []
+        for outcome in self.files:
+            label = outcome.status
+            if outcome.status == "diagnostics":
+                label = f"error({outcome.severities.get('error', 0)})"
+            flags = []
+            if outcome.retries:
+                flags.append(f"attempts={len(outcome.attempts)}")
+            if outcome.quarantined:
+                flags.append("quarantined")
+            suffix = ("  [" + ", ".join(flags) + "]") if flags else ""
+            lines.append(f"{label:<12} {outcome.file}{suffix}")
+            if outcome.crash is not None:
+                lines.append(
+                    f"{'':<12} contained {outcome.crash.where} crash: "
+                    f"{outcome.crash.exc_type}: {outcome.crash.message}"
+                )
+        roll = self.rollup()
+        lines.append(
+            "-- rollup: "
+            + " ".join(f"{k}={roll[k]}" for k in
+                       ("files", "ok", "diagnostics", "timeout", "crash",
+                        "quarantined", "retries"))
+        )
+        if self.quarantine:
+            lines.append("-- quarantine: " + ", ".join(self.quarantine))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+
+def _strip_timings(value):
+    if isinstance(value, dict):
+        return {
+            k: _strip_timings(v)
+            for k, v in value.items()
+            if k not in TIMING_FIELDS
+        }
+    if isinstance(value, list):
+        return [_strip_timings(v) for v in value]
+    return value

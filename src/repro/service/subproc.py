@@ -1,0 +1,67 @@
+"""Child entry point for ``isolate="subprocess"`` batch workers.
+
+Protocol: one JSON task on stdin, one JSON result on stdout.  The parent
+(:func:`repro.service.worker.run_attempt_subprocess`) enforces the deadline
+by killing this process, so nothing here watches the clock beyond the
+cooperative deadline already folded into the task's limits.
+
+The task carries the chaos faults to replay — declarative
+:class:`~repro.service.faults.FaultSpec` entries plus serialized ambient
+exceptions — because the parent's thread-local fault table does not cross
+the process boundary by itself.  An injected fault that escapes
+``check_source`` crashes this process exactly like a genuine bug would
+(traceback on stderr, nonzero exit); the parent contains either as a
+``CrashReport``.  The pipeline contract is unchanged inside the wall:
+diagnosed programs exit 0 with their report in the result.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main() -> int:
+    from repro.diagnostics.limits import Limits
+    from repro.pipeline import check_source, install_faults
+    from repro.service.faults import FaultSpec, deserialize_exception_faults
+    from repro.service.worker import outcome_projection
+
+    payload = json.load(sys.stdin)
+    limits_data = payload.get("limits")
+    limits = Limits(**limits_data) if limits_data is not None else None
+    faults = deserialize_exception_faults(
+        payload.get("exception_faults", ())
+    )
+    hang_s = payload.get("hang_s", 0.5)
+    for spec_data in payload.get("fault_specs", ()):
+        spec = FaultSpec.from_json(spec_data)
+        faults[spec.stage] = spec.materialize(hang_s, in_subprocess=True)
+
+    with install_faults(faults):
+        outcome = check_source(
+            payload["text"],
+            payload["filename"],
+            prelude=payload.get("prelude", False),
+            ext=payload.get("ext", False),
+            max_errors=payload.get("max_errors", 20),
+            limits=limits,
+            verify=payload.get("verify", False),
+            evaluate=payload.get("evaluate", False),
+        )
+    status, diagnostics, severities, rendered = outcome_projection(outcome)
+    json.dump(
+        {
+            "status": status,
+            "diagnostics": diagnostics,
+            "severities": severities,
+            "rendered": rendered,
+        },
+        sys.stdout,
+    )
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,263 @@
+"""Isolated execution of one check attempt: thread watchdog or subprocess.
+
+Two containment walls, chosen by ``BatchPolicy.isolate``:
+
+- **Watchdogged thread** (the default): the attempt runs on a daemon
+  thread; the watchdog joins it for ``deadline_ms`` and, on expiry,
+  *abandons* it and reports a deadline fault.  The abandoned thread is
+  harmless — it holds no shared mutable state (fault tables are
+  thread-local, budgets are per-run, and
+  :func:`~repro.diagnostics.limits.scoped_recursion_limit` restores are
+  guarded) and the cooperative deadline in :class:`~repro.diagnostics.Budget`
+  usually reels it in shortly after.  Any non-``Diagnostic`` exception the
+  attempt raises is contained as a :class:`~repro.service.report.CrashReport`.
+
+- **Subprocess** (``isolate="subprocess"``): the attempt runs in a fresh
+  interpreter via :mod:`repro.service.subproc`; deadline expiry kills the
+  child, and interpreter-killing failures — C-level recursion faults, OOM
+  kills, ``os._exit`` — surface as a crash report carrying the child's wait
+  status instead of taking the batch down.
+
+:func:`run_with_deadline` is the shared watchdog primitive; the single-file
+``fg check --deadline-ms`` reuses it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.faults import FaultSpec
+from repro.service.report import CrashReport
+
+#: How many trailing traceback/stderr lines a crash report keeps.
+TRACEBACK_TAIL = 8
+
+
+@dataclass
+class AttemptResult:
+    """What one isolated attempt produced (internal to the service)."""
+
+    status: str  # "ok" | "diagnostics" | "timeout" | "crash"
+    diagnostics: List[Dict[str, object]] = field(default_factory=list)
+    severities: Dict[str, int] = field(default_factory=dict)
+    rendered: str = ""
+    crash: Optional[CrashReport] = None
+    duration_ms: float = 0.0
+
+
+def outcome_projection(outcome) -> Tuple[str, List[dict], Dict[str, int], str]:
+    """Project a ``CheckOutcome`` to the batch report's JSON-ready shape.
+
+    A run whose report contains a deadline diagnostic (the cooperative
+    cancel fired mid-check) counts as a ``"timeout"``, not mere
+    diagnostics — the retry policy treats the two very differently.
+    """
+    report = outcome.report
+    diagnostics = report.to_json()
+    severities: Dict[str, int] = {}
+    for diag in report:
+        severity = getattr(diag, "severity", "error")
+        severities[severity] = severities.get(severity, 0) + 1
+    if outcome.ok:
+        status = "ok"
+    elif any(getattr(d, "limit", None) == "deadline" for d in report):
+        status = "timeout"
+    else:
+        status = "diagnostics"
+    return status, diagnostics, severities, report.render()
+
+
+def run_with_deadline(fn, deadline_ms: Optional[float]):
+    """Run ``fn()`` under the watchdog; the shared deadline primitive.
+
+    Returns ``("ok", value)``, ``("timeout", None)`` when the deadline
+    expired first (the worker thread is abandoned), or ``("error", exc)``
+    when ``fn`` raised.  The caller's thread-local fault table is installed
+    in the worker thread, so ``inject_fault`` works across the boundary.
+    With ``deadline_ms=None`` this degenerates to a plain guarded call on
+    the current thread — no watchdog thread is spawned.
+    """
+    from repro.pipeline import current_faults, install_faults
+
+    if deadline_ms is None:
+        try:
+            return ("ok", fn())
+        except BaseException as exc:  # noqa: BLE001 — containment wall
+            return ("error", exc)
+
+    faults = current_faults()
+    box: Dict[str, object] = {}
+
+    def target():
+        try:
+            with install_faults(faults):
+                box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — containment wall
+            box["exc"] = exc
+
+    thread = threading.Thread(
+        target=target, daemon=True, name="fg-deadline-worker"
+    )
+    thread.start()
+    thread.join(deadline_ms / 1000.0)
+    if thread.is_alive():
+        return ("timeout", None)
+    if "exc" in box:
+        return ("error", box["exc"])
+    return ("ok", box.get("value"))
+
+
+def crash_report_from_exception(exc: BaseException,
+                                where: str = "worker") -> CrashReport:
+    frames = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(frames).rstrip().splitlines()[-TRACEBACK_TAIL:]
+    return CrashReport(
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        where=where,
+        traceback=tuple(tail),
+    )
+
+
+def run_attempt_thread(
+    text: str,
+    filename: str,
+    check_kwargs: Dict[str, object],
+    faults: Dict[str, object],
+    deadline_ms: Optional[float],
+) -> AttemptResult:
+    """One attempt in-process, under the watchdog when a deadline is set."""
+    from repro.pipeline import check_source, install_faults
+
+    def attempt():
+        with install_faults(faults):
+            return check_source(text, filename, **check_kwargs)
+
+    start = time.perf_counter()
+    kind, value = run_with_deadline(attempt, deadline_ms)
+    duration_ms = round((time.perf_counter() - start) * 1e3, 3)
+    if kind == "timeout":
+        return AttemptResult(status="timeout", duration_ms=duration_ms)
+    if kind == "error":
+        return AttemptResult(
+            status="crash",
+            crash=crash_report_from_exception(value),
+            duration_ms=duration_ms,
+        )
+    status, diagnostics, severities, rendered = outcome_projection(value)
+    return AttemptResult(
+        status=status,
+        diagnostics=diagnostics,
+        severities=severities,
+        rendered=rendered,
+        duration_ms=duration_ms,
+    )
+
+
+def _child_env() -> Dict[str, str]:
+    """The child's environment, with this package's source root prepended."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not prior else src_root + os.pathsep + prior
+    )
+    return env
+
+
+def run_attempt_subprocess(
+    text: str,
+    filename: str,
+    check_kwargs: Dict[str, object],
+    exception_faults: List[Dict[str, str]],
+    fault_specs: Tuple[FaultSpec, ...],
+    hang_s: float,
+    deadline_ms: Optional[float],
+) -> AttemptResult:
+    """One attempt in a fresh interpreter (see :mod:`repro.service.subproc`).
+
+    The deadline kills the child outright; a dead child (nonzero exit,
+    signal, or garbage on stdout) becomes a crash report carrying its wait
+    status and the tail of its stderr.
+    """
+    limits = check_kwargs.get("limits")
+    payload = {
+        "text": text,
+        "filename": filename,
+        "prelude": check_kwargs.get("prelude", False),
+        "ext": check_kwargs.get("ext", False),
+        "max_errors": check_kwargs.get("max_errors", 20),
+        "verify": check_kwargs.get("verify", False),
+        "evaluate": check_kwargs.get("evaluate", False),
+        "limits": None if limits is None else {
+            "max_check_depth": limits.max_check_depth,
+            "max_congruence_nodes": limits.max_congruence_nodes,
+            "max_eval_steps": limits.max_eval_steps,
+            "python_stack_limit": limits.python_stack_limit,
+            "deadline_ms": limits.deadline_ms,
+        },
+        "exception_faults": exception_faults,
+        "fault_specs": [spec.to_json() for spec in fault_specs],
+        "hang_s": hang_s,
+    }
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.service.subproc"],
+            input=json.dumps(payload),
+            capture_output=True,
+            text=True,
+            timeout=deadline_ms / 1000.0 if deadline_ms is not None else None,
+            env=_child_env(),
+        )
+    except subprocess.TimeoutExpired:
+        duration_ms = round((time.perf_counter() - start) * 1e3, 3)
+        return AttemptResult(status="timeout", duration_ms=duration_ms)
+    duration_ms = round((time.perf_counter() - start) * 1e3, 3)
+    stderr_tail = tuple(proc.stderr.rstrip().splitlines()[-TRACEBACK_TAIL:])
+    if proc.returncode != 0:
+        return AttemptResult(
+            status="crash",
+            crash=CrashReport(
+                exc_type="WorkerDeath",
+                message=(
+                    f"subprocess worker exited with status {proc.returncode}"
+                ),
+                where="subprocess",
+                traceback=stderr_tail,
+                returncode=proc.returncode,
+            ),
+            duration_ms=duration_ms,
+        )
+    try:
+        result = json.loads(proc.stdout)
+    except (json.JSONDecodeError, ValueError):
+        return AttemptResult(
+            status="crash",
+            crash=CrashReport(
+                exc_type="WorkerProtocolError",
+                message="subprocess worker produced no parseable result",
+                where="subprocess",
+                traceback=stderr_tail,
+                returncode=proc.returncode,
+            ),
+            duration_ms=duration_ms,
+        )
+    return AttemptResult(
+        status=result["status"],
+        diagnostics=result["diagnostics"],
+        severities=result["severities"],
+        rendered=result["rendered"],
+        duration_ms=duration_ms,
+    )

@@ -7,6 +7,12 @@ mutation fuzzer behind the crash-resilience suite
 corrupts a known-good program at the token level and :func:`run_fuzz`
 asserts the fault-tolerant pipeline never lets anything but a
 :class:`~repro.diagnostics.Diagnostic` escape.
+
+:func:`run_chaos` is the batch-level counterpart — **chaos mode**: a
+deterministic fault schedule (stage × fault-kind × file-index, derived from
+one seed) is injected into a :func:`repro.service.check_batch` run, and the
+harness asserts the batch always terminates, never loses a file's result,
+and reports every injected fault exactly once.
 """
 
 from __future__ import annotations
@@ -249,3 +255,152 @@ def run_fuzz(
             "iter_max_s": max(iter_seconds),
         }
     return stats
+
+
+# ---------------------------------------------------------------------------
+# Chaos mode: deterministic fault schedules over the batch service
+# ---------------------------------------------------------------------------
+
+def chaos_schedule(
+    n_files: int,
+    seed: int = 0,
+    *,
+    stages: Tuple[str, ...] = ("parse", "check"),
+    kinds: Tuple[str, ...] = ("crash", "hang"),
+    hang_s: float = 1.5,
+):
+    """A deterministic fault schedule for ``n_files`` inputs.
+
+    Roughly half the files get exactly one fault each — a random stage ×
+    kind, firing either on every attempt (a deterministic fault the circuit
+    breaker must handle) or only on attempt 0 (a transient fault a retry
+    outruns).  Pure function of ``(n_files, seed, stages, kinds)``.
+    """
+    from repro.service import FaultSchedule, FaultSpec
+
+    rng = random.Random(seed)
+    n_faulted = max(1, n_files // 2)
+    indices = sorted(rng.sample(range(n_files), n_faulted))
+    specs = tuple(
+        FaultSpec(
+            index=index,
+            stage=rng.choice(stages),
+            kind=rng.choice(kinds),
+            attempts=rng.choice((None, frozenset({0}))),
+        )
+        for index in indices
+    )
+    return FaultSchedule(specs=specs, hang_s=hang_s)
+
+
+def run_chaos(
+    rounds: int = 2,
+    seed: int = 0,
+    *,
+    files: Optional[List[Tuple[str, str]]] = None,
+    jobs: int = 2,
+    deadline_ms: float = 400.0,
+    retries: int = 1,
+    quarantine_after: int = 3,
+    isolate: str = "none",
+) -> Dict[str, object]:
+    """Chaos mode: run a batch under an injected fault schedule, ``rounds``
+    times, asserting the containment contract every time.
+
+    Asserts (raising :class:`AssertionError` with the violating detail):
+
+    - **termination with no lost results** — every input yields exactly one
+      outcome, whatever was injected into it;
+    - **every injected fault is reported exactly once** — each (file,
+      attempt) the schedule targeted carries exactly its scheduled fault
+      tags in its attempt record, and the attempt's status matches the
+      fault kind (``crash``/``kill`` → crash with the injected marker;
+      ``hang`` → deadline miss);
+    - **determinism** — the canonical (timing-stripped) report bytes are
+      identical across all ``rounds``.
+
+    Returns the final round's counters plus ``report_digest`` (SHA-256 of
+    the canonical report).
+    """
+    import hashlib
+
+    from repro.service import BatchPolicy, RetryPolicy, check_batch
+
+    if files is None:
+        files = [(f"<chaos{i}>", src) for i, src in enumerate(FUZZ_SEEDS)]
+    schedule = chaos_schedule(
+        len(files), seed, hang_s=max(0.2, deadline_ms * 3 / 1000.0)
+    )
+    policy = BatchPolicy(
+        jobs=jobs,
+        deadline_ms=deadline_ms,
+        retry=RetryPolicy(max_retries=retries),
+        quarantine_after=quarantine_after,
+        isolate=isolate,
+    )
+    digests = []
+    report = None
+    for _ in range(rounds):
+        report = check_batch(files, policy, fault_schedule=schedule)
+        _assert_chaos_contract(report, files, schedule)
+        digests.append(
+            hashlib.sha256(report.canonical_json().encode()).hexdigest()
+        )
+    assert len(set(digests)) == 1, (
+        f"chaos batch is nondeterministic across {rounds} rounds "
+        f"(seed={seed}): digests {digests}"
+    )
+    rollup = report.rollup()
+    return {
+        "files": rollup["files"],
+        "ok": rollup["ok"],
+        "diagnostics": rollup["diagnostics"],
+        "timeout": rollup["timeout"],
+        "crash": rollup["crash"],
+        "quarantined": rollup["quarantined"],
+        "retries": rollup["retries"],
+        "injected_specs": len(schedule.specs),
+        "report_digest": digests[0],
+    }
+
+
+def _assert_chaos_contract(report, files, schedule) -> None:
+    """The chaos-mode invariants for one batch report."""
+    assert len(report.files) == len(files), (
+        f"batch lost results: {len(files)} inputs, "
+        f"{len(report.files)} outcomes"
+    )
+    assert [o.index for o in report.files] == list(range(len(files))), (
+        "batch outcomes out of order or missing indexes"
+    )
+    for outcome in report.files:
+        assert outcome.attempts, f"{outcome.file}: no attempt was recorded"
+        for record in outcome.attempts:
+            expected = tuple(
+                spec.tag for spec in
+                schedule.for_attempt(outcome.index, record.attempt)
+            )
+            assert record.injected == expected, (
+                f"{outcome.file} attempt {record.attempt}: injected faults "
+                f"reported as {record.injected}, scheduled {expected}"
+            )
+            # The fault must actually have *fired*: an attempt with an
+            # injected crash/kill ends as a crash carrying the chaos
+            # marker; an injected hang ends as a deadline miss.
+            kinds = {tag.split(":", 1)[1] for tag in expected}
+            if kinds & {"crash", "kill"}:
+                assert record.status == "crash", (
+                    f"{outcome.file} attempt {record.attempt}: injected "
+                    f"crash not reported (status={record.status})"
+                )
+            elif "hang" in kinds:
+                assert record.status == "timeout", (
+                    f"{outcome.file} attempt {record.attempt}: injected "
+                    f"hang did not miss the deadline "
+                    f"(status={record.status})"
+                )
+            else:
+                assert record.status in ("ok", "diagnostics"), (
+                    f"{outcome.file} attempt {record.attempt}: failed "
+                    f"({record.status}) with no fault injected"
+                )

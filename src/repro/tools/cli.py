@@ -10,6 +10,9 @@ Subcommands::
     fg profile FILE      hot-path profile + per-stage peak memory for a run
     fg bench             run the built-in benchmark suite; write/compare
                          versioned BENCH_<tag>.json records
+    fg batch FILES...    check many files under the fault-isolated batch
+                         service: worker pool, deadlines, retries,
+                         crash containment, quarantine
 
 ``--prelude`` wraps the program with the standard concept library and ``-e``
 takes the program from the command line instead of a file.
@@ -34,9 +37,20 @@ profile, memory — ``BENCH_<tag>.json``) and ``fg bench --compare OLD.json
 [NEW.json]`` renders a verdict table (ok/regressed/improved/new/missing),
 exiting 1 on regression — the CI perf gate.
 
+``fg batch`` (see docs/DIAGNOSTICS.md for the report schema) runs many
+checks under ``repro.service``: ``--jobs N`` workers, ``--deadline-ms T``
+per-task watchdog, ``--retries K`` with a deterministic backoff schedule,
+``--isolate`` for subprocess workers that contain interpreter-killing
+failures, and a circuit breaker (``--quarantine-after N``).  ``--chaos``
+injects a deterministic fault schedule (the CI chaos-smoke hook).
+
 Exit codes: **0** success, **1** the program has diagnostics, **2** usage
 error (bad flags, unreadable file), **3** internal error (a bug in this
-implementation — never the input program's fault).
+implementation — never the input program's fault), **4** deadline exceeded
+(only with ``--deadline-ms``; for ``fg batch``, deadline exhaustion — at
+least one file timed out and none crashed), **5** partial failure
+(``fg batch`` only: crash containment engaged for at least one file while
+the rest of the batch completed).
 """
 
 from __future__ import annotations
@@ -55,11 +69,14 @@ from repro.systemf import pretty_term as f_pretty_term
 from repro.systemf import pretty_type as f_pretty_type
 from repro.systemf import type_of as f_type_of
 
-#: Exit codes of the ``fg`` driver (documented contract).
+#: Exit codes of the ``fg`` driver (documented contract).  4 and 5 extend
+#: the original 0–3 contract for deadlines and batch partial failure; they
+#: are defined next to the batch report so the service and the CLI agree.
 EXIT_OK = 0
 EXIT_DIAGNOSTICS = 1
 EXIT_USAGE = 2
 EXIT_INTERNAL = 3
+from repro.service.report import EXIT_DEADLINE, EXIT_PARTIAL  # noqa: E402
 
 _INTERNAL_BANNER = (
     "fg: internal error — this is a bug in the F_G implementation, "
@@ -93,6 +110,7 @@ def _limits(args: argparse.Namespace) -> Limits:
             else DEFAULT_LIMITS.max_check_depth
         ),
         max_eval_steps=args.fuel,
+        deadline_ms=getattr(args, "deadline_ms", None),
     )
 
 
@@ -220,27 +238,54 @@ def _emit_report(
             print(rendered, file=sys.stderr)
 
 
+def _deadline_tripped(report) -> bool:
+    return any(getattr(d, "limit", None) == "deadline" for d in report)
+
+
 def _run_fg_command(args: argparse.Namespace) -> int:
     from repro.pipeline import check_source
 
     inst = _instrumentation(args)
     text = _read_program(args)
-    outcome = check_source(
-        text,
-        args.file or "<cmdline>",
-        prelude=args.prelude,
-        ext=args.ext,
-        max_errors=args.max_errors,
-        limits=_limits(args),
-        evaluate=(args.command in ("run", "profile")),
-        verify=(args.command == "verify"),
-        instrumentation=inst,
-    )
+
+    def run_check():
+        return check_source(
+            text,
+            args.file or "<cmdline>",
+            prelude=args.prelude,
+            ext=args.ext,
+            max_errors=args.max_errors,
+            limits=_limits(args),
+            evaluate=(args.command in ("run", "profile")),
+            verify=(args.command == "verify"),
+            instrumentation=inst,
+        )
+
+    if args.deadline_ms is not None:
+        # The same watchdog the batch service uses: the check runs on an
+        # abandoned-on-expiry worker thread, with the cooperative deadline
+        # (folded into the limits above) cancelling metered work in-band.
+        from repro.service import run_with_deadline
+
+        kind, value = run_with_deadline(run_check, args.deadline_ms)
+        if kind == "timeout":
+            print(
+                f"fg: deadline exceeded after {args.deadline_ms}ms",
+                file=sys.stderr,
+            )
+            return EXIT_DEADLINE
+        if kind == "error":
+            raise value
+        outcome = value
+    else:
+        outcome = run_check()
     _write_trace(inst, args)
     extras = _json_extras(args, outcome.stats, outcome.explain, inst)
     if not outcome.ok:
         _emit_report(outcome.report, args, extras)
         _emit_observability(args, outcome.stats, outcome.explain, inst)
+        if args.deadline_ms is not None and _deadline_tripped(outcome.report):
+            return EXIT_DEADLINE
         return EXIT_DIAGNOSTICS
     if args.command == "profile":
         from repro.observability import format_profile, profile_tracer
@@ -398,6 +443,112 @@ def _run_bench(args: argparse.Namespace) -> int:
     return comparison.exit_code if comparison is not None else EXIT_OK
 
 
+def _collect_batch_files(paths) -> list:
+    """Expand the FILES arguments: directories become their ``*.fg`` trees
+    (sorted, so batch input order is deterministic)."""
+    from pathlib import Path
+
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(p for p in path.rglob("*.fg") if p.is_file())
+            if not found:
+                raise FileNotFoundError(f"no .fg files under {raw}")
+            files.extend(str(p) for p in found)
+        else:
+            files.append(raw)
+    return files
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """``fg batch``: the fault-isolated batch checking service."""
+    from repro.service import (
+        BatchPolicy, FaultSchedule, RetryPolicy, check_batch,
+    )
+
+    try:
+        paths = _collect_batch_files(args.files)
+    except (OSError, FileNotFoundError) as err:
+        print(f"fg batch: {err}", file=sys.stderr)
+        return EXIT_USAGE
+    sources = []
+    for path in paths:
+        try:
+            with open(path) as handle:
+                sources.append((path, handle.read()))
+        except OSError as err:
+            print(
+                f"fg batch: cannot read {path}: {err.strerror or err}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        except UnicodeDecodeError as err:
+            print(
+                f"fg batch: cannot read {path}: not valid UTF-8 ({err})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    schedule = None
+    if args.chaos:
+        hang_s = (
+            args.deadline_ms * 3 / 1000.0
+            if args.deadline_ms is not None else 0.5
+        )
+        try:
+            schedule = FaultSchedule.parse(
+                ",".join(args.chaos), hang_s=hang_s
+            )
+        except ValueError as err:
+            print(f"fg batch: {err}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        policy = BatchPolicy(
+            jobs=args.jobs,
+            deadline_ms=args.deadline_ms,
+            retry=RetryPolicy(
+                max_retries=args.retries,
+                backoff_base_ms=args.backoff_ms,
+            ),
+            quarantine_after=args.quarantine_after,
+            isolate="subprocess" if args.isolate else "none",
+            prelude=args.prelude,
+            ext=args.ext,
+            max_errors=args.max_errors,
+            limits=Limits(
+                max_check_depth=(
+                    args.depth if args.depth is not None
+                    else DEFAULT_LIMITS.max_check_depth
+                ),
+                max_eval_steps=args.fuel,
+            ),
+            verify=args.verify,
+        )
+    except ValueError as err:
+        print(f"fg batch: {err}", file=sys.stderr)
+        return EXIT_USAGE
+
+    inst = _instrumentation(args)
+    report = check_batch(
+        sources, policy, instrumentation=inst, fault_schedule=schedule,
+    )
+    _write_trace(inst, args)
+    stats = None
+    if inst is not None and inst.metrics is not None:
+        stats = inst.metrics.snapshot()
+    if args.json:
+        envelope = report.to_json()
+        if args.stats and stats is not None:
+            envelope["stats"] = stats
+        print(json.dumps(envelope, indent=2))
+    else:
+        print(report.render())
+        if args.stats and stats is not None:
+            print(_render_stats(stats), file=sys.stderr)
+    return report.exit_code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fg",
@@ -447,6 +598,87 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the record summary and verdict table as JSON",
     )
+    batch = sub.add_parser(
+        "batch",
+        help="check many F_G files under the fault-isolated batch service: "
+        "worker pool, per-task deadlines, retries with deterministic "
+        "backoff, crash containment, and circuit-breaker quarantine",
+    )
+    batch.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="files to check; a directory expands to its *.fg tree",
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker pool size (default 1)",
+    )
+    batch.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="T",
+        help="per-task wall-clock deadline; a miss is a retryable fault",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retry budget per file for transient faults (deadline misses, "
+        "crashes — never type errors; default 0)",
+    )
+    batch.add_argument(
+        "--backoff-ms", type=float, default=0.0, metavar="B",
+        help="base of the deterministic exponential backoff schedule "
+        "(default 0: retry immediately)",
+    )
+    batch.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="circuit breaker: quarantine a file after N consecutive "
+        "failures (default 3)",
+    )
+    batch.add_argument(
+        "--isolate", action="store_true",
+        help="run each attempt in its own interpreter so interpreter-"
+        "killing failures (C-level faults, OOM kills) are contained",
+    )
+    batch.add_argument(
+        "--verify", action="store_true",
+        help="also run the Theorem 1/2 translation check per file",
+    )
+    batch.add_argument(
+        "--chaos", action="append", default=None, metavar="SPEC",
+        help="inject a deterministic fault schedule (testing hook): "
+        "INDEX:STAGE:KIND[:ATTEMPTS][,...] with KIND one of crash|hang|"
+        "kill and ATTEMPTS N, A-B, or * (default)",
+    )
+    batch.add_argument(
+        "--prelude", action="store_true",
+        help="wrap each program with the standard concept library",
+    )
+    batch.add_argument(
+        "--ext", action="store_true",
+        help="enable the section 6 extensions",
+    )
+    batch.add_argument(
+        "--max-errors", type=int, default=20, metavar="N",
+        help="per-file collected-error cap (default 20)",
+    )
+    batch.add_argument(
+        "--fuel", type=int, default=None, metavar="N",
+        help="per-file evaluation step budget",
+    )
+    batch.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="per-file typechecker nesting budget",
+    )
+    batch.add_argument(
+        "--json", action="store_true",
+        help="emit the BatchReport envelope as JSON on stdout",
+    )
+    batch.add_argument(
+        "--stats", action="store_true",
+        help="report batch counters (retries, timeouts, quarantines)",
+    )
+    batch.add_argument(
+        "--trace", nargs="?", const="-", default=None, metavar="FILE",
+        help="record the coordinator's span trace",
+    )
+    batch.set_defaults(explain=False, profile=False)
     for name, help_ in [
         ("run", "typecheck, translate, and evaluate an F_G program"),
         ("check", "typecheck an F_G program and print its type"),
@@ -493,6 +725,14 @@ def main(argv=None) -> int:
             metavar="N",
             help="bound typechecker nesting depth (default "
             f"{DEFAULT_LIMITS.max_check_depth})",
+        )
+        cmd.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            metavar="T",
+            help="wall-clock deadline for the run (watchdog + cooperative "
+            "cancellation); exit code 4 when exceeded",
         )
         cmd.add_argument(
             "--json",
@@ -544,6 +784,19 @@ def main(argv=None) -> int:
             print(_INTERNAL_BANNER, file=sys.stderr)
             traceback.print_exc()
             return EXIT_INTERNAL
+    if args.command == "batch":
+        if args.max_errors < 1:
+            parser.error("--max-errors must be at least 1")
+        try:
+            return _run_batch(args)
+        except Exception:
+            # Total failure: a bug in the batch driver itself — distinct
+            # from partial failure (5), which the report's exit code covers.
+            import traceback
+
+            print(_INTERNAL_BANNER, file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
     if args.file is None and args.expr is None:
         parser.error("a FILE or -e EXPR is required")
     if args.max_errors < 1:
@@ -566,6 +819,8 @@ def main(argv=None) -> int:
     except Diagnostic as err:
         # Fail-fast paths (runf) still honor the exit-code contract.
         print(err, file=sys.stderr)
+        if getattr(err, "limit", None) == "deadline":
+            return EXIT_DEADLINE
         return EXIT_DIAGNOSTICS
     except Exception:
         import traceback

@@ -1,0 +1,92 @@
+"""Deadlines: the watchdog, the cooperative cancel, and their interplay."""
+
+import time
+
+import pytest
+
+from repro.diagnostics.limits import (
+    Budget,
+    DeadlineExceededError,
+    Limits,
+)
+from repro.pipeline import check_source, inject_fault
+from repro.service import run_with_deadline
+from repro.testing import FUZZ_SEEDS
+
+
+class TestRunWithDeadline:
+    def test_fast_function_completes(self):
+        assert run_with_deadline(lambda: 42, 5_000.0) == ("ok", 42)
+
+    def test_no_deadline_runs_inline(self):
+        assert run_with_deadline(lambda: 7, None) == ("ok", 7)
+
+    def test_slow_function_times_out_and_is_abandoned(self):
+        start = time.perf_counter()
+        kind, value = run_with_deadline(lambda: time.sleep(1.0), 50.0)
+        elapsed = time.perf_counter() - start
+        assert kind == "timeout" and value is None
+        assert elapsed < 0.9  # we did not wait for the sleeper
+
+    def test_exception_is_contained_not_raised(self):
+        kind, value = run_with_deadline(
+            lambda: (_ for _ in ()).throw(RuntimeError("boom")), 1_000.0
+        )
+        assert kind == "error"
+        assert isinstance(value, RuntimeError)
+
+    def test_faults_propagate_into_the_worker_thread(self):
+        # inject_fault state is thread-local; the watchdog carries it over.
+        with inject_fault("check", RuntimeError("crossed")):
+            kind, value = run_with_deadline(
+                lambda: check_source("1", "<t>"), 5_000.0
+            )
+        assert kind == "error" and "crossed" in str(value)
+
+
+class TestCooperativeDeadline:
+    def test_expired_deadline_raises_in_metered_code(self):
+        budget = Budget(Limits(deadline_ms=0.001))
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceededError):
+            for _ in range(64):  # past the poll stride
+                budget.enter_depth()
+                budget.leave_depth()
+
+    def test_deadline_diagnostic_has_the_deadline_limit_tag(self):
+        budget = Budget(Limits(deadline_ms=0.001))
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            for _ in range(64):
+                budget.spend_fuel()
+        assert exc_info.value.limit == "deadline"
+        assert exc_info.value.kind == "deadline exceeded"
+
+    def test_no_deadline_never_trips(self):
+        budget = Budget(Limits())
+        for _ in range(1_000):
+            budget.enter_depth()
+            budget.leave_depth()
+
+    def test_check_source_surfaces_deadline_as_diagnostic(self):
+        # Genuinely slow *metered* work cancels in-band: the checker's
+        # budget clock starts when checking starts, the 600-deep program
+        # makes far more than one poll stride of metered calls, and a
+        # microscopic deadline has certainly passed by the first poll.
+        # The pipeline never raises — the report carries the deadline.
+        deep = "iadd(1, " * 600 + "1" + ")" * 600
+        outcome = check_source(
+            deep, "<t>", limits=Limits(deadline_ms=0.01)
+        )
+        assert not outcome.ok
+        assert any(
+            getattr(d, "limit", None) == "deadline" for d in outcome.report
+        )
+
+    def test_generous_deadline_does_not_perturb_a_run(self):
+        free = check_source(FUZZ_SEEDS[0], "<t>")
+        timed = check_source(
+            FUZZ_SEEDS[0], "<t>", limits=Limits(deadline_ms=60_000.0)
+        )
+        assert timed.ok == free.ok
+        assert timed.report.render() == free.report.render()

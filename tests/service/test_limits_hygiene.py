@@ -1,0 +1,103 @@
+"""Limits hygiene: a cancelled or timed-out check must not poison the
+budgets of whatever runs next.
+
+Workers are reused (thread pools) or abandoned (watchdog expiry); either
+way, the next check must start with a full fuel tank, a zero depth
+counter, and the recursion limit it expects.
+"""
+
+import sys
+import time
+
+from repro.diagnostics.limits import (
+    Budget,
+    Limits,
+    scoped_recursion_limit,
+)
+from repro.pipeline import check_source
+from repro.service import BatchPolicy, FaultSchedule, FaultSpec, check_batch
+from repro.testing import FUZZ_SEEDS
+
+
+class TestRecursionLimitRestore:
+    def test_recursion_limit_unchanged_after_timed_out_check(self):
+        # The cooperative deadline cancels a slow metered check mid-scope;
+        # the scoped recursion limit must still unwind cleanly.
+        prior = sys.getrecursionlimit()
+        deep = "iadd(1, " * 600 + "1" + ")" * 600
+        outcome = check_source(
+            deep, "<t>", limits=Limits(deadline_ms=0.01)
+        )
+        assert not outcome.ok
+        assert sys.getrecursionlimit() == prior
+
+    def test_recursion_limit_unchanged_after_batch_with_faults(self):
+        prior = sys.getrecursionlimit()
+        schedule = FaultSchedule(specs=(
+            FaultSpec(0, "check", "crash"),
+            FaultSpec(1, "check", "hang"),
+        ), hang_s=0.6)
+        check_batch(
+            [(f"<f{i}>", src) for i, src in enumerate(FUZZ_SEEDS[:3])],
+            BatchPolicy(jobs=2, deadline_ms=150.0),
+            fault_schedule=schedule,
+        )
+        # The hung worker thread was abandoned mid-scope; the guarded
+        # restore means it cannot clobber the limit out from under us.
+        assert sys.getrecursionlimit() == prior
+
+    def test_guarded_restore_yields_to_a_concurrent_raise(self):
+        # Simulates the abandoned-worker interleaving directly: while scope
+        # A is open, someone else raises the limit further; A's exit must
+        # leave that raise alone rather than "restoring" underneath it.
+        prior = sys.getrecursionlimit()
+        inner = prior + 1_000
+        try:
+            with scoped_recursion_limit(inner):
+                sys.setrecursionlimit(inner + 1_000)
+            assert sys.getrecursionlimit() == inner + 1_000
+        finally:
+            sys.setrecursionlimit(prior)
+
+    def test_unraised_scope_restores_nothing(self):
+        prior = sys.getrecursionlimit()
+        with scoped_recursion_limit(prior - 100):
+            assert sys.getrecursionlimit() == prior
+        assert sys.getrecursionlimit() == prior
+
+
+class TestBudgetFreshness:
+    def test_budgets_are_per_run_not_per_worker(self):
+        # A drained budget is garbage-collected with its run: the next
+        # check on the same (reused) worker constructs a fresh Budget.
+        drained = Budget(Limits(max_eval_steps=1))
+        drained.spend_fuel()
+        fresh = Budget(Limits(max_eval_steps=1))
+        fresh.spend_fuel()  # must not raise: no inherited drain
+
+    def test_deadline_state_does_not_leak_between_budgets(self):
+        expired = Budget(Limits(deadline_ms=0.001))
+        time.sleep(0.01)
+        try:
+            for _ in range(64):
+                expired.enter_depth()
+                expired.leave_depth()
+        except Exception:
+            pass
+        fresh = Budget(Limits(deadline_ms=60_000.0))
+        for _ in range(64):
+            fresh.enter_depth()
+            fresh.leave_depth()
+
+    def test_reused_pool_worker_checks_clean_after_a_timeout(self):
+        # jobs=1 forces both files through the same worker path: the
+        # second file must be untouched by the first one's deadline miss.
+        schedule = FaultSchedule(
+            specs=(FaultSpec(0, "check", "hang"),), hang_s=0.6
+        )
+        report = check_batch(
+            [("<hung>", FUZZ_SEEDS[0]), ("<after>", FUZZ_SEEDS[1])],
+            BatchPolicy(jobs=1, deadline_ms=150.0),
+            fault_schedule=schedule,
+        )
+        assert [o.status for o in report.files] == ["timeout", "ok"]

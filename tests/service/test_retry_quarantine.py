@@ -1,0 +1,112 @@
+"""The retry loop and the circuit breaker.
+
+Transient faults (deadline misses, crashes) are retried on the
+deterministic backoff schedule; deterministic failures trip the breaker
+and quarantine the input before retries can starve the batch; diagnosed
+programs are results, never retried at all.
+"""
+
+from repro.service import (
+    BatchPolicy,
+    FaultSchedule,
+    FaultSpec,
+    RetryPolicy,
+    check_batch,
+)
+from repro.testing import FUZZ_SEEDS
+
+GOOD = ("<good>", FUZZ_SEEDS[0])
+BROKEN = ("<broken>", "let x = iadd(1, true) in x")
+
+
+def one_file_batch(policy, schedule, source=GOOD):
+    report = check_batch([source], policy, fault_schedule=schedule)
+    assert len(report.files) == 1
+    return report.files[0]
+
+
+class TestRetry:
+    def test_transient_crash_is_retried_to_success(self):
+        outcome = one_file_batch(
+            BatchPolicy(retry=RetryPolicy(max_retries=2)),
+            FaultSchedule(specs=(
+                FaultSpec(0, "check", "crash", attempts=frozenset({0})),
+            )),
+        )
+        assert outcome.status == "ok" and outcome.ok
+        assert outcome.retries == 1
+        first, second = outcome.attempts
+        assert first.status == "crash" and first.fault == "crash"
+        assert first.retryable
+        assert second.status == "ok" and second.fault is None
+
+    def test_transient_deadline_miss_is_retried(self):
+        outcome = one_file_batch(
+            BatchPolicy(
+                deadline_ms=100.0, retry=RetryPolicy(max_retries=1),
+            ),
+            FaultSchedule(specs=(
+                FaultSpec(0, "check", "hang", attempts=frozenset({0})),
+            ), hang_s=0.5),
+        )
+        assert outcome.status == "ok"
+        assert outcome.attempts[0].status == "timeout"
+        assert outcome.attempts[0].fault == "deadline"
+
+    def test_retry_budget_exhausts(self):
+        outcome = one_file_batch(
+            BatchPolicy(retry=RetryPolicy(max_retries=1)),
+            FaultSchedule(specs=(FaultSpec(0, "check", "crash"),)),
+        )
+        assert outcome.status == "crash"
+        assert len(outcome.attempts) == 2
+        assert not outcome.quarantined  # budget ran out before the breaker
+
+    def test_type_errors_are_never_retried(self):
+        outcome = one_file_batch(
+            BatchPolicy(retry=RetryPolicy(max_retries=5)),
+            None,
+            source=BROKEN,
+        )
+        assert outcome.status == "diagnostics"
+        assert len(outcome.attempts) == 1  # no retry burned on a result
+
+    def test_backoff_schedule_is_recorded_deterministically(self):
+        policy = BatchPolicy(
+            retry=RetryPolicy(max_retries=2, backoff_base_ms=1.0),
+        )
+        schedule = FaultSchedule(specs=(FaultSpec(0, "check", "crash"),))
+        outcome = one_file_batch(policy, schedule)
+        # Failed attempts that scheduled a retry carry the backoff delay;
+        # the final attempt does not.
+        assert [a.backoff_ms for a in outcome.attempts] == [1.0, 2.0, 0.0]
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_before_retries_starve_the_batch(self):
+        outcome = one_file_batch(
+            BatchPolicy(
+                retry=RetryPolicy(max_retries=50), quarantine_after=2,
+            ),
+            FaultSchedule(specs=(FaultSpec(0, "check", "crash"),)),
+        )
+        assert outcome.quarantined
+        assert outcome.status == "crash"
+        assert len(outcome.attempts) == 2  # not 51
+
+    def test_quarantine_list_names_the_input(self):
+        report = check_batch(
+            [GOOD, ("<sick>", FUZZ_SEEDS[1])],
+            BatchPolicy(retry=RetryPolicy(max_retries=9),
+                        quarantine_after=3),
+            fault_schedule=FaultSchedule(
+                specs=(FaultSpec(1, "check", "crash"),)
+            ),
+        )
+        assert report.quarantine == ("<sick>",)
+        assert report.rollup()["quarantined"] == 1
+        assert report.files[0].status == "ok"
+
+    def test_breaker_does_not_open_for_successes(self):
+        report = check_batch([GOOD], BatchPolicy(quarantine_after=1))
+        assert not report.files[0].quarantined

@@ -1,0 +1,77 @@
+"""Subprocess isolation: the wall that contains interpreter-killing faults.
+
+These tests spawn real child interpreters, so the suite keeps the child
+count small and the programs tiny.
+"""
+
+import json
+
+import pytest
+
+from repro.service import (
+    BatchPolicy,
+    FaultSchedule,
+    FaultSpec,
+    check_batch,
+)
+from repro.service.worker import run_attempt_subprocess
+
+TINY = ("<tiny>", "iadd(1, 2)")
+BROKEN = ("<broken>", "iadd(1, true)")
+
+
+def test_clean_run_round_trips_through_the_child():
+    result = run_attempt_subprocess(
+        TINY[1], TINY[0], {}, [], (), 0.5, deadline_ms=30_000.0,
+    )
+    assert result.status == "ok"
+    assert result.crash is None
+
+
+def test_diagnostics_round_trip_through_the_child():
+    result = run_attempt_subprocess(
+        BROKEN[1], BROKEN[0], {"max_errors": 20}, [], (), 0.5,
+        deadline_ms=30_000.0,
+    )
+    assert result.status == "diagnostics"
+    assert result.severities.get("error", 0) >= 1
+    assert result.diagnostics and result.rendered
+
+
+def test_interpreter_killing_fault_is_contained_with_wait_status():
+    # "kill" materializes as os._exit(13) in the child: no Python-level
+    # containment is possible, only the process wall catches it.
+    spec = FaultSpec(0, "check", "kill")
+    result = run_attempt_subprocess(
+        TINY[1], TINY[0], {}, [], (spec,), 0.5, deadline_ms=30_000.0,
+    )
+    assert result.status == "crash"
+    assert result.crash.exc_type == "WorkerDeath"
+    assert result.crash.returncode == 13
+    assert result.crash.where == "subprocess"
+
+
+def test_deadline_kills_a_hung_child():
+    spec = FaultSpec(0, "check", "hang")
+    result = run_attempt_subprocess(
+        TINY[1], TINY[0], {}, [], (spec,), 5.0, deadline_ms=800.0,
+    )
+    assert result.status == "timeout"
+
+
+@pytest.mark.slow
+def test_batch_survives_a_kill_in_subprocess_mode():
+    schedule = FaultSchedule(specs=(FaultSpec(1, "check", "kill"),))
+    report = check_batch(
+        [TINY, ("<victim>", TINY[1]), BROKEN],
+        BatchPolicy(jobs=2, deadline_ms=30_000.0, isolate="subprocess"),
+        fault_schedule=schedule,
+    )
+    assert [o.status for o in report.files] == [
+        "ok", "crash", "diagnostics",
+    ]
+    victim = report.files[1]
+    assert victim.crash.returncode == 13
+    # The wait status survives into the JSON report for postmortems.
+    blob = json.loads(report.canonical_json())
+    assert blob["files"][1]["crash"]["returncode"] == 13

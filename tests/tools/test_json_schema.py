@@ -1,0 +1,125 @@
+"""Snapshot tests pinning the ``--json`` envelope schemas.
+
+Downstream tooling (the CI chaos-smoke job, editor integrations) keys off
+these exact shapes; a key rename or removal must show up here as a
+deliberate diff, not as a silent break.  Adding keys is fine — the
+snapshots assert supersets only where growth is expected (``extras``) and
+exact sets where the contract is closed.
+"""
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+
+# -- the pinned shapes ------------------------------------------------------
+
+CHECK_ENVELOPE = {"diagnostics", "type"}
+RUN_ENVELOPE = {"diagnostics", "value"}
+DIAGNOSTIC_KEYS = {"col", "file", "kind", "line", "message", "severity"}
+STATS_KEYS = {"counters", "histograms", "timings_ms"}
+PROFILE_KEYS = {"hotspots", "memory_peak_kb", "span_count",
+                "total_exclusive_ms"}
+RESOLUTION_KEYS = {"concept", "args", "phase", "location", "scope_size",
+                   "equalities_in_scope", "resolved", "candidates",
+                   "refinements"}
+BATCH_ENVELOPE = {"schema", "files", "policy", "rollup", "quarantine",
+                  "exit_code", "elapsed_ms"}
+BATCH_FILE_KEYS = {"file", "index", "status", "ok", "quarantined",
+                   "attempts", "diagnostics", "severities", "rendered",
+                   "crash"}
+BATCH_ATTEMPT_KEYS = {"attempt", "status", "fault", "retryable",
+                      "backoff_ms", "injected", "duration_ms"}
+BATCH_ROLLUP_KEYS = {"files", "ok", "diagnostics", "timeout", "crash",
+                     "quarantined", "retries", "severities"}
+CRASH_KEYS = {"exc_type", "message", "where", "traceback", "returncode"}
+
+
+def run_json(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, json.loads(out)
+
+
+class TestSingleFileEnvelopes:
+    def test_check_envelope_is_exactly_pinned(self, capsys):
+        _, blob = run_json(capsys, "check", "-e", "iadd(1, 2)", "--json")
+        assert set(blob) == CHECK_ENVELOPE
+
+    def test_run_envelope_is_exactly_pinned(self, capsys):
+        _, blob = run_json(capsys, "run", "-e", "iadd(1, 2)", "--json")
+        assert set(blob) == RUN_ENVELOPE
+
+    def test_diagnostic_entries_are_pinned(self, capsys):
+        _, blob = run_json(capsys, "check", "-e", "iadd(1, true)", "--json")
+        assert blob["diagnostics"]
+        for diag in blob["diagnostics"]:
+            assert set(diag) == DIAGNOSTIC_KEYS
+
+    def test_stats_key_shape(self, capsys):
+        _, blob = run_json(
+            capsys, "check", "-e", "iadd(1, 2)", "--json", "--stats",
+        )
+        assert set(blob) == CHECK_ENVELOPE | {"stats"}
+        assert set(blob["stats"]) == STATS_KEYS
+
+    def test_explain_key_shape(self, capsys):
+        src = (
+            "concept C<t> { op : fn(t, t) -> t; } in "
+            "model C<int> { op = iadd; } in C<int>.op(1, 2)"
+        )
+        _, blob = run_json(
+            capsys, "check", "-e", src, "--json", "--explain",
+        )
+        assert set(blob) == CHECK_ENVELOPE | {"explain"}
+        resolutions = [e for e in blob["explain"] if "note" not in e]
+        assert resolutions
+        for entry in resolutions:
+            assert set(entry) == RESOLUTION_KEYS
+
+    def test_profile_key_shape(self, capsys):
+        _, blob = run_json(
+            capsys, "run", "-e", "iadd(1, 2)", "--json", "--profile",
+        )
+        assert set(blob) == RUN_ENVELOPE | {"profile"}
+        assert set(blob["profile"]) == PROFILE_KEYS
+
+
+class TestBatchEnvelope:
+    @pytest.fixture
+    def blob(self, capsys, tmp_path):
+        (tmp_path / "ok.fg").write_text("iadd(1, 2)")
+        (tmp_path / "bad.fg").write_text("iadd(1, true)")
+        _, blob = run_json(
+            capsys, "batch", str(tmp_path),
+            "--chaos", "0:check:crash", "--json",
+        )
+        return blob
+
+    def test_envelope_is_exactly_pinned(self, blob):
+        assert set(blob) == BATCH_ENVELOPE
+        assert blob["schema"] == "repro/batch-report v1"
+
+    def test_file_outcomes_are_pinned(self, blob):
+        assert len(blob["files"]) == 2
+        for outcome in blob["files"]:
+            assert set(outcome) == BATCH_FILE_KEYS
+            for attempt in outcome["attempts"]:
+                assert set(attempt) == BATCH_ATTEMPT_KEYS
+
+    def test_crash_report_is_pinned(self, blob):
+        crashed = [f for f in blob["files"] if f["crash"] is not None]
+        assert crashed
+        assert set(crashed[0]["crash"]) == CRASH_KEYS
+
+    def test_rollup_is_pinned(self, blob):
+        assert set(blob["rollup"]) == BATCH_ROLLUP_KEYS
+
+    def test_batch_stats_key(self, capsys, tmp_path):
+        (tmp_path / "ok.fg").write_text("iadd(1, 2)")
+        _, blob = run_json(
+            capsys, "batch", str(tmp_path), "--json", "--stats",
+        )
+        assert set(blob) == BATCH_ENVELOPE | {"stats"}
+        assert {"counters", "histograms"} <= set(blob["stats"])
