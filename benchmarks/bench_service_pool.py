@@ -1,0 +1,52 @@
+"""Experiment ISO: isolation-wall overhead, subprocess vs worker pool.
+
+Times the same ``check_batch`` run over the ``examples/fg`` corpus under
+the two process-isolation modes.  The subprocess wall pays one
+interpreter spawn per attempt; the pool spawns ``pool_workers``
+prelude-warmed processes once per batch and reuses them, so the delta is
+the pool's whole value proposition in one paired row
+(``fg bench --compare`` pairs by name across records).
+
+Rounds are pinned low via ``pedantic`` — every round forks real
+processes, and the medians differ by integer factors, not jitter.
+"""
+
+from pathlib import Path
+
+from repro.service import BatchPolicy, RetryPolicy, check_batch
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "fg"
+
+
+def _corpus():
+    return [
+        (path.name, path.read_text())
+        for path in sorted(EXAMPLES.glob("*.fg"))
+    ]
+
+
+def _policy(**overrides):
+    return BatchPolicy(
+        jobs=2, deadline_ms=30_000.0,
+        retry=RetryPolicy(max_retries=0), **overrides,
+    )
+
+
+class TestIsolationWall:
+    def test_batch_isolate_subprocess(self, benchmark):
+        items = _corpus()
+        report = benchmark.pedantic(
+            check_batch, args=(items, _policy(isolate="subprocess")),
+            rounds=5, iterations=1, warmup_rounds=1,
+        )
+        assert report.exit_code == 0
+
+    def test_batch_isolate_pool(self, benchmark):
+        items = _corpus()
+        report = benchmark.pedantic(
+            check_batch, args=(items, _policy(isolate="pool",
+                                              pool_workers=2)),
+            rounds=5, iterations=1, warmup_rounds=1,
+        )
+        assert report.exit_code == 0
+        assert report.pool["respawns"] == 0

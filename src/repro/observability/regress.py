@@ -363,6 +363,59 @@ def fuzz_benchmark_row(fuzz_stats: Dict[str, object],
     }
 
 
+def _isolation_corpus() -> List[Tuple[str, str]]:
+    """The ``examples/fg`` corpus for the isolation-mode comparison.
+
+    Falls back to synthetic Figure 5 programs when the checkout's example
+    directory is absent (installed-package runs), so the benchmark names
+    stay stable either way.
+    """
+    examples = Path(__file__).resolve().parents[3] / "examples" / "fg"
+    if examples.is_dir():
+        items = [
+            (path.name, path.read_text())
+            for path in sorted(examples.glob("*.fg"))
+        ]
+        if items:
+            return items
+    return [(f"fig5_{n}.fg", _figure5(n)) for n in (4, 8, 16, 24, 32, 48)]
+
+
+def isolation_benchmark_rows(
+    rounds: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Time the same batch under subprocess vs pool isolation.
+
+    The pair of rows is the pool's reason to exist in one number: the
+    subprocess wall pays one interpreter spawn *per attempt*, the pool
+    pays ``pool_workers`` spawns *per batch* and reuses the warm workers.
+    Both run the ``examples/fg`` corpus with parallelism 2 and no fault
+    schedule, so the delta is pure isolation overhead.
+    """
+    from repro.service import BatchPolicy, RetryPolicy, check_batch
+
+    items = _isolation_corpus()
+    rows: List[Dict[str, object]] = []
+    for name, overrides in (
+        ("batch.isolate_subprocess", {"isolate": "subprocess"}),
+        ("batch.isolate_pool", {"isolate": "pool", "pool_workers": 2}),
+    ):
+        policy = BatchPolicy(
+            jobs=2, deadline_ms=30_000.0,
+            retry=RetryPolicy(max_retries=0), **overrides,
+        )
+        if progress:
+            progress(f"bench {name} ({rounds} rounds, "
+                     f"{len(items)} files)")
+
+        def run(policy: BatchPolicy = policy) -> None:
+            check_batch(items, policy)
+
+        rows.append(_timed_row(name, "isolation", run, rounds))
+    return rows
+
+
 def _timed_row(name: str, group: str, fn: Callable[[], None],
                rounds: int) -> Dict[str, object]:
     samples: List[float] = []
@@ -386,6 +439,7 @@ def run_bench_suite(
     *,
     rounds: int = 5,
     fuzz_mutants: int = 25,
+    isolation_rounds: int = 2,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
     """The self-contained ``fg bench`` suite over the paper's hot paths.
@@ -393,6 +447,9 @@ def run_bench_suite(
     Returns ``(benchmark_rows, instrumented)`` where ``instrumented`` has
     the one fully observed run's ``metrics``/``profile``/``memory_peak_kb``
     for :func:`build_record`.  Deterministic work, wall-clock timings.
+    ``isolation_rounds`` controls the subprocess-vs-pool batch comparison
+    (:func:`isolation_benchmark_rows`); it spawns real worker processes,
+    so ``0`` skips it.
     """
     from repro.diagnostics.limits import resource_scope
     from repro.observability import (
@@ -443,6 +500,10 @@ def run_bench_suite(
             fig5_eval, "<bench>", evaluate=True, verify=True,
             instrumentation=inst,
         )
+    # Worker processes are spawned outside the resource scope: the rlimit
+    # fence is per-process policy, not something to time the pool against.
+    if isolation_rounds > 0:
+        rows.extend(isolation_benchmark_rows(isolation_rounds, progress))
     instrumented = {
         "metrics": outcome.stats,
         "profile": profile_tracer(inst.tracer).to_json(),

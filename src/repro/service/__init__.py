@@ -26,11 +26,14 @@ from repro.service.faults import (
     ChaosCrash,
     FAULT_CRASH,
     FAULT_DEADLINE,
+    FAULT_WORKER_LOST,
     FaultSchedule,
     FaultSpec,
+    WorkerKillSpec,
     is_retryable,
 )
 from repro.service.policy import ISOLATION_MODES, BatchPolicy, RetryPolicy
+from repro.service.pool import PoolStats, run_pool_batch
 from repro.service.report import (
     EXIT_DEADLINE,
     EXIT_PARTIAL,
@@ -39,6 +42,7 @@ from repro.service.report import (
     CrashReport,
     FileOutcome,
     TIMING_FIELDS,
+    VOLATILE_POOL_FIELDS,
 )
 from repro.service.worker import run_with_deadline
 
@@ -53,13 +57,18 @@ __all__ = [
     "EXIT_PARTIAL",
     "FAULT_CRASH",
     "FAULT_DEADLINE",
+    "FAULT_WORKER_LOST",
     "FaultSchedule",
     "FaultSpec",
     "FileOutcome",
     "ISOLATION_MODES",
+    "PoolStats",
     "RetryPolicy",
     "TIMING_FIELDS",
+    "VOLATILE_POOL_FIELDS",
+    "WorkerKillSpec",
     "check_batch",
     "is_retryable",
+    "run_pool_batch",
     "run_with_deadline",
 ]

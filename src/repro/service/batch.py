@@ -72,7 +72,7 @@ def check_batch(
     # up front rather than silently dropping an injected fault.
     serialized_ambient = (
         serialize_exception_faults(ambient)
-        if policy.isolate == "subprocess" else None
+        if policy.isolate in ("subprocess", "pool") else None
     )
     tracer = (
         instrumentation.tracer if instrumentation is not None else NULL_TRACER
@@ -81,12 +81,23 @@ def check_batch(
         instrumentation.metrics if instrumentation is not None else None
     )
     outcomes: List[Optional[FileOutcome]] = [None] * len(items)
+    pool_stats = None
     start = time.perf_counter()
     with tracer.span(
         "service.check_batch",
         files=len(items), jobs=policy.jobs, isolate=policy.isolate,
     ):
-        if policy.jobs == 1 or len(items) <= 1:
+        if policy.isolate == "pool":
+            from repro.service.pool import run_pool_batch
+
+            outcomes, pool_stats = run_pool_batch(
+                items, policy,
+                schedule=fault_schedule,
+                ambient=ambient,
+                serialized_ambient=serialized_ambient,
+                tracer=tracer,
+            )
+        elif policy.jobs == 1 or len(items) <= 1:
             for index, (filename, text) in enumerate(items):
                 outcomes[index] = _check_one(
                     index, filename, text, policy, ambient,
@@ -120,11 +131,23 @@ def check_batch(
                 if outcome.quarantined:
                     metrics.inc("batch.quarantined")
                 metrics.observe("batch.attempts", len(outcome.attempts))
+        if metrics is not None and pool_stats is not None:
+            metrics.inc("pool.workers", pool_stats.workers)
+            metrics.inc("pool.spawned", pool_stats.spawned)
+            metrics.inc("pool.respawns", pool_stats.respawns)
+            metrics.inc("pool.worker_lost", pool_stats.worker_lost)
+            metrics.inc("pool.deadline_kills", pool_stats.deadline_kills)
+            metrics.inc("pool.steals", pool_stats.steals)
+            metrics.inc("pool.heartbeat_misses", pool_stats.heartbeat_misses)
+            metrics.inc("pool.retired", pool_stats.retired)
+            if pool_stats.degraded:
+                metrics.inc("pool.degraded")
     elapsed_ms = round((time.perf_counter() - start) * 1e3, 3)
     return BatchReport(
         files=tuple(outcomes),
         policy=policy.to_json(),
         elapsed_ms=elapsed_ms,
+        pool=pool_stats.to_json() if pool_stats is not None else None,
     )
 
 

@@ -29,19 +29,25 @@ import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-#: Fault-taxonomy kinds an attempt can fail with.
+#: Fault-taxonomy kinds an attempt can fail with.  ``worker-lost`` is the
+#: pool supervisor's kind: the worker *process* died (SIGKILL, OOM,
+#: heartbeat silence) with the attempt in flight — transient like the
+#: others, because the replacement worker usually completes the retry.
 FAULT_DEADLINE = "deadline"
 FAULT_CRASH = "crash"
+FAULT_WORKER_LOST = "worker-lost"
 
 #: Injectable chaos kinds: ``crash`` raises inside the stage, ``hang``
 #: sleeps past the deadline, ``kill`` takes the whole worker down
-#: (``os._exit`` in a subprocess; a contained ``SystemExit`` in a thread).
-CHAOS_KINDS = ("crash", "hang", "kill")
+#: (``os._exit`` in a subprocess; a contained ``SystemExit`` in a thread),
+#: ``noise`` prints to stdout mid-stage — harmless by contract, because
+#: the result channel is framed on a shielded fd; it exists to prove that.
+CHAOS_KINDS = ("crash", "hang", "kill", "noise")
 
 
 def is_retryable(fault_kind: Optional[str]) -> bool:
     """Transient faults are worth retrying; diagnosed programs are not."""
-    return fault_kind in (FAULT_DEADLINE, FAULT_CRASH)
+    return fault_kind in (FAULT_DEADLINE, FAULT_CRASH, FAULT_WORKER_LOST)
 
 
 class ChaosCrash(RuntimeError):
@@ -88,6 +94,11 @@ class FaultSpec:
             return ChaosCrash(f"chaos: injected crash at {self.stage}")
         if self.kind == "hang":
             return lambda: time.sleep(hang_s)
+        if self.kind == "noise":
+            # A stray print: corrupts an unframed result-on-stdout protocol,
+            # lands on stderr once the worker has shielded fd 1.
+            stage = self.stage
+            return lambda: print(f"chaos: stray stdout noise at {stage}")
         # "kill": genuine worker death when isolated; in a thread the whole
         # process is not ours to kill, so it degrades to a contained crash.
         if in_subprocess:
@@ -118,12 +129,76 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class WorkerKillSpec:
+    """SIGKILL a pool worker at the dispatch of one (file, attempt) pair.
+
+    Keyed to *which task is being handed out*, never to wall clock or to a
+    global dispatch ordinal — both of those depend on OS scheduling, and
+    the chaos harness asserts byte-identical canonical reports across
+    rounds.  ``worker=None`` kills whichever worker received the dispatch
+    (the fully deterministic form); an explicit slot index kills that
+    worker instead, taking down whatever it happens to be running.
+    """
+
+    index: int
+    attempt: int = 0
+    worker: Optional[int] = None
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError("file index must be non-negative")
+        if self.attempt < 0:
+            raise ValueError("attempt must be non-negative")
+
+    def applies(self, index: int, attempt: int) -> bool:
+        return index == self.index and attempt == self.attempt
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "attempt": self.attempt,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "WorkerKillSpec":
+        return cls(
+            index=data["index"],
+            attempt=data.get("attempt", 0),
+            worker=data.get("worker"),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkerKillSpec":
+        """Parse the CLI form ``INDEX[:ATTEMPT[:WORKER]]``."""
+        parts = text.strip().split(":")
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(
+                f"bad kill spec {text!r}: want INDEX[:ATTEMPT[:WORKER]]"
+            )
+        try:
+            index = int(parts[0])
+            attempt = int(parts[1]) if len(parts) > 1 else 0
+            worker = int(parts[2]) if len(parts) > 2 else None
+        except ValueError:
+            raise ValueError(
+                f"bad kill spec {text!r}: fields must be integers"
+            ) from None
+        return cls(index=index, attempt=attempt, worker=worker)
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
-    """A deterministic set of scheduled faults plus the hang duration."""
+    """A deterministic set of scheduled faults plus the hang duration.
+
+    ``kills`` only applies under ``isolate="pool"`` — the other isolation
+    modes have no supervised worker to kill.
+    """
 
     specs: Tuple[FaultSpec, ...] = ()
     #: How long an injected ``hang`` sleeps; pick it well past the deadline.
     hang_s: float = 0.5
+    kills: Tuple[WorkerKillSpec, ...] = ()
 
     def for_attempt(self, index: int, attempt: int) -> Tuple[FaultSpec, ...]:
         """The faults that fire on this (file, attempt), stage-ordered."""
@@ -138,6 +213,7 @@ class FaultSchedule:
         return {
             "specs": [s.to_json() for s in self.specs],
             "hang_s": self.hang_s,
+            "kills": [k.to_json() for k in self.kills],
         }
 
     @classmethod
@@ -145,6 +221,9 @@ class FaultSchedule:
         return cls(
             specs=tuple(FaultSpec.from_json(s) for s in data["specs"]),
             hang_s=data.get("hang_s", 0.5),
+            kills=tuple(
+                WorkerKillSpec.from_json(k) for k in data.get("kills", ())
+            ),
         )
 
     @classmethod

@@ -14,8 +14,11 @@ from repro.diagnostics.limits import DEFAULT_LIMITS, Limits
 
 #: Worker isolation modes: ``"none"`` runs attempts on watchdogged daemon
 #: threads in-process; ``"subprocess"`` gives each attempt its own
-#: interpreter so even C-level faults and OOM kills are contained.
-ISOLATION_MODES = ("none", "subprocess")
+#: interpreter so even C-level faults and OOM kills are contained;
+#: ``"pool"`` keeps the process-level containment but amortizes the
+#: interpreter cost over a supervised pool of persistent, prelude-warmed
+#: workers (:mod:`repro.service.pool`).
+ISOLATION_MODES = ("none", "subprocess", "pool")
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,10 @@ class BatchPolicy:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     quarantine_after: int = 3
     isolate: str = "none"
+    # Pool-mode supervision (ignored by the other isolation modes).
+    pool_workers: int = 2
+    max_respawns: int = 4
+    heartbeat_ms: float = 100.0
     # Per-file check_source configuration.
     prelude: bool = False
     ext: bool = False
@@ -92,6 +99,12 @@ class BatchPolicy:
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
+        if self.pool_workers < 1:
+            raise ValueError("pool_workers must be at least 1")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        if self.heartbeat_ms <= 0:
+            raise ValueError("heartbeat_ms must be positive")
 
     def effective_limits(self) -> Limits:
         """The per-attempt limits, with the cooperative deadline folded in."""
@@ -103,22 +116,24 @@ class BatchPolicy:
         return replace(base, deadline_ms=self.deadline_ms)
 
     def to_json(self) -> Dict[str, object]:
-        limits = self.limits if self.limits is not None else DEFAULT_LIMITS
-        return {
-            "jobs": self.jobs,
-            "deadline_ms": self.deadline_ms,
-            "retry": self.retry.to_json(),
-            "quarantine_after": self.quarantine_after,
-            "isolate": self.isolate,
-            "prelude": self.prelude,
-            "ext": self.ext,
-            "max_errors": self.max_errors,
-            "limits": {
-                "max_check_depth": limits.max_check_depth,
-                "max_congruence_nodes": limits.max_congruence_nodes,
-                "max_eval_steps": limits.max_eval_steps,
-                "python_stack_limit": limits.python_stack_limit,
-            },
-            "verify": self.verify,
-            "evaluate": self.evaluate,
-        }
+        """Project *every* field, so the report's policy echo pins the run.
+
+        Generic on purpose: hand-picking keys is how ``deadline_ms``
+        silently fell out of the ``limits`` echo once — a field added to
+        this policy or to :class:`~repro.diagnostics.limits.Limits` now
+        shows up here without anyone remembering to add it.
+        """
+        from dataclasses import asdict, fields
+
+        blob: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "retry":
+                blob[spec.name] = value.to_json()
+            elif spec.name == "limits":
+                blob[spec.name] = asdict(
+                    value if value is not None else DEFAULT_LIMITS
+                )
+            else:
+                blob[spec.name] = value
+        return blob

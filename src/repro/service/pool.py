@@ -1,0 +1,675 @@
+"""Supervised persistent worker-process pool for the batch service.
+
+``--isolate=subprocess`` (PR 5) pays for crash containment with a fresh
+interpreter per attempt.  This module keeps the containment and drops the
+cost: a supervisor forks ``pool_workers`` persistent children *once* (each
+imports the pipeline and pre-checks the prelude at spawn, so warm attempts
+skip that cost), then feeds them over the framed pipe protocol
+(:mod:`repro.service.proto`) from per-worker deques with work stealing.
+
+**Failure domains.**  A task that merely raises is contained *inside* the
+worker (a structured ``"crash"`` result; the worker survives).  The
+supervisor's business is process death:
+
+- a worker that exits, is SIGKILLed, or goes heartbeat-silent is reaped;
+  its in-flight task gets a ``worker-lost`` attempt (retryable under the
+  normal :class:`~repro.service.policy.RetryPolicy`/quarantine taxonomy)
+  and a replacement is spawned into the same slot, up to the pool-wide
+  ``max_respawns`` budget;
+- a worker that blows the attempt deadline is hard-killed after a grace
+  window (the in-worker cooperative deadline gets first shot, because a
+  self-reported timeout keeps the worker warm); either path records the
+  same ``timeout``/``deadline`` attempt;
+- with the respawn budget exhausted, dead slots retire (their queues are
+  drained by the survivors via stealing), and when *no* worker remains the
+  supervisor degrades to in-process execution — the batch completes with a
+  partial-failure exit code at worst, never a hang.
+
+**Determinism.**  Attempt records never mention which worker ran them, and
+chaos worker kills are keyed to *(file index, attempt number)* at dispatch
+time — not to wall clock — so canonical report digests are byte-identical
+across rounds.  Scheduling-dependent counters (``steals``,
+``heartbeat_misses``, ``warm_ms``) are declared volatile and stripped from
+:meth:`~repro.service.report.BatchReport.canonical_json`.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import selectors
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.observability import NULL_TRACER
+from repro.service import proto
+from repro.service.faults import (
+    FAULT_CRASH,
+    FAULT_DEADLINE,
+    FAULT_WORKER_LOST,
+    FaultSchedule,
+    is_retryable,
+)
+from repro.service.policy import BatchPolicy
+from repro.service.report import AttemptRecord, CrashReport, FileOutcome
+from repro.service.worker import (
+    AttemptResult,
+    _child_env,
+    result_to_attempt,
+    run_attempt_thread,
+    task_payload,
+)
+
+_FAULT_KIND = {"timeout": FAULT_DEADLINE, "crash": FAULT_CRASH}
+
+#: Grace past the cooperative deadline before the supervisor hard-kills a
+#: worker: half the deadline, floored and capped.  Wide enough that a
+#: worker's self-reported timeout normally wins (keeping it warm), narrow
+#: enough that a genuinely wedged worker is reaped promptly.
+GRACE_FRACTION = 0.5
+GRACE_MIN_MS = 50.0
+GRACE_MAX_MS = 2_000.0
+
+#: A live-but-silent worker (no heartbeat, no result) is declared lost
+#: after this many heartbeat periods, with an absolute floor so a loaded
+#: machine doesn't reap healthy workers.
+HEARTBEAT_MISS_PERIODS = 20
+HEARTBEAT_MISS_FLOOR_S = 2.0
+
+
+@dataclass
+class PoolStats:
+    """What the supervisor did, for the report's ``pool`` block.
+
+    ``steals``, ``heartbeat_misses``, and ``warm_ms`` depend on OS
+    scheduling and are stripped from the canonical digest
+    (:data:`~repro.service.report.VOLATILE_POOL_FIELDS`); everything else
+    is deterministic for a given input/policy/schedule triple.
+    """
+
+    workers: int = 0
+    spawned: int = 0
+    respawns: int = 0
+    worker_lost: int = 0
+    deadline_kills: int = 0
+    retired: int = 0
+    degraded: bool = False
+    steals: int = 0
+    heartbeat_misses: int = 0
+    warm_ms: float = 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "spawned": self.spawned,
+            "respawns": self.respawns,
+            "worker_lost": self.worker_lost,
+            "deadline_kills": self.deadline_kills,
+            "retired": self.retired,
+            "degraded": self.degraded,
+            "steals": self.steals,
+            "heartbeat_misses": self.heartbeat_misses,
+            "warm_ms": self.warm_ms,
+        }
+
+
+class _TaskState:
+    """One file's retry state machine, advanced attempt by attempt.
+
+    Mirrors the classification in ``repro.service.batch._check_one``
+    exactly — same fault taxonomy, same breaker and budget arithmetic —
+    so a pool report is record-for-record comparable with the other
+    isolation modes.
+    """
+
+    __slots__ = ("index", "filename", "text", "home", "attempt",
+                 "consecutive", "attempts", "final", "quarantined", "done",
+                 "ready_at")
+
+    def __init__(self, index: int, filename: str, text: str, home: int):
+        self.index = index
+        self.filename = filename
+        self.text = text
+        self.home = home
+        self.attempt = 0
+        self.consecutive = 0
+        self.attempts: List[AttemptRecord] = []
+        self.final: Optional[AttemptResult] = None
+        self.quarantined = False
+        self.done = False
+        self.ready_at = 0.0  # monotonic instant this task may redispatch
+
+    def resolve(self, result: AttemptResult, injected: Tuple[str, ...],
+                policy: BatchPolicy,
+                fault_override: Optional[str] = None) -> Optional[float]:
+        """Fold one attempt in; returns the backoff in ms when the task
+        should retry, ``None`` when it is finished."""
+        self.final = result
+        fault_kind = fault_override or _FAULT_KIND.get(result.status)
+        if fault_kind is None:
+            self.attempts.append(AttemptRecord(
+                attempt=self.attempt, status=result.status,
+                injected=injected, duration_ms=result.duration_ms,
+            ))
+            self.done = True
+            return None
+        self.consecutive += 1
+        retryable = is_retryable(fault_kind)
+        breaker_open = self.consecutive >= policy.quarantine_after
+        out_of_retries = self.attempt >= policy.retry.max_retries
+        will_retry = retryable and not breaker_open and not out_of_retries
+        backoff_ms = (
+            policy.retry.backoff_ms(self.consecutive - 1)
+            if will_retry else 0.0
+        )
+        self.attempts.append(AttemptRecord(
+            attempt=self.attempt, status=result.status, fault=fault_kind,
+            retryable=retryable, backoff_ms=backoff_ms, injected=injected,
+            duration_ms=result.duration_ms,
+        ))
+        if breaker_open:
+            self.quarantined = True
+            self.done = True
+            return None
+        if not will_retry:
+            self.done = True
+            return None
+        self.attempt += 1
+        return backoff_ms
+
+    def outcome(self) -> FileOutcome:
+        final = self.final
+        return FileOutcome(
+            file=self.filename,
+            index=self.index,
+            status=final.status,
+            ok=final.status == "ok",
+            quarantined=self.quarantined,
+            attempts=tuple(self.attempts),
+            diagnostics=tuple(final.diagnostics),
+            severities=dict(final.severities),
+            rendered=final.rendered,
+            crash=final.crash,
+        )
+
+
+class _WorkerSlot:
+    """A fixed seat at the pool: the process occupying it may be replaced,
+    the slot index and its deque persist."""
+
+    __slots__ = ("slot", "proc", "task_w", "result_r", "reader", "queue",
+                 "current", "warmed", "last_beat", "retired", "tasks_done")
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.proc: Optional[subprocess.Popen] = None
+        self.task_w = -1
+        self.result_r = -1
+        self.reader = proto.FrameReader()
+        self.queue: collections.deque = collections.deque()
+        # In-flight dispatch: (task, injected tags, dispatch instant).
+        self.current: Optional[Tuple[_TaskState, Tuple[str, ...], float]] = \
+            None
+        # Set by the worker's hello frame.  Tasks are only dispatched to
+        # warmed workers so the deadline clock never includes interpreter
+        # startup or prelude warm-up time.
+        self.warmed = False
+        self.last_beat = 0.0
+        self.retired = False
+        self.tasks_done = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class _Supervisor:
+    """Single-threaded event loop owning the worker slots.
+
+    All I/O is non-blocking reads multiplexed through a selector; backoff
+    delays are modelled as per-task ``ready_at`` instants folded into the
+    select timeout, never as sleeps, so one backing-off file cannot stall
+    the others.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Tuple[str, str]],
+        policy: BatchPolicy,
+        *,
+        schedule: Optional[FaultSchedule],
+        ambient: Dict[str, object],
+        serialized_ambient: List[Dict[str, str]],
+        tracer,
+    ):
+        self.policy = policy
+        self.schedule = schedule
+        self.ambient = ambient
+        self.serialized_ambient = serialized_ambient
+        self.tracer = tracer
+        self.hang_s = schedule.hang_s if schedule is not None else 0.5
+        self.check_kwargs = {
+            "prelude": policy.prelude,
+            "ext": policy.ext,
+            "max_errors": policy.max_errors,
+            "limits": policy.effective_limits(),
+            "verify": policy.verify,
+            "evaluate": policy.evaluate,
+        }
+        n_workers = max(1, min(policy.pool_workers, len(items)))
+        self.slots = [_WorkerSlot(i) for i in range(n_workers)]
+        self.tasks = [
+            _TaskState(index, filename, text, index % n_workers)
+            for index, (filename, text) in enumerate(items)
+        ]
+        for task in self.tasks:
+            self.slots[task.home].queue.append(task)
+        self.kills = [
+            [spec, False]
+            for spec in (schedule.kills if schedule is not None else ())
+        ]
+        self.stats = PoolStats(workers=n_workers)
+        self.done_count = 0
+        self.sel = selectors.DefaultSelector()
+        if policy.deadline_ms is not None:
+            grace_ms = min(
+                max(policy.deadline_ms * GRACE_FRACTION, GRACE_MIN_MS),
+                GRACE_MAX_MS,
+            )
+            self.kill_after_s = (policy.deadline_ms + grace_ms) / 1000.0
+        else:
+            self.kill_after_s = None
+        self.heartbeat_s = policy.heartbeat_ms / 1000.0
+        self.miss_window_s = max(
+            self.heartbeat_s * HEARTBEAT_MISS_PERIODS, HEARTBEAT_MISS_FLOOR_S
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        task_r, task_w = os.pipe()
+        result_r, result_w = os.pipe()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.subproc", "--serve",
+             "--task-fd", str(task_r), "--result-fd", str(result_w),
+             "--heartbeat-ms", str(self.policy.heartbeat_ms)],
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            pass_fds=(task_r, result_w),
+            env=_child_env(),
+        )
+        os.close(task_r)
+        os.close(result_w)
+        os.set_blocking(result_r, False)
+        slot.proc = proc
+        slot.task_w = task_w
+        slot.result_r = result_r
+        slot.reader = proto.FrameReader()
+        slot.warmed = False
+        slot.last_beat = time.monotonic()
+        self.sel.register(result_r, selectors.EVENT_READ, slot)
+        self.stats.spawned += 1
+        try:
+            proto.write_frame_fd(task_w, {
+                "type": "init",
+                "prelude": self.policy.prelude,
+                "ext": self.policy.ext,
+            })
+        except OSError:
+            self._handle_worker_loss(slot, salvage=False)
+
+    def _close_slot(self, slot: _WorkerSlot) -> None:
+        if slot.result_r >= 0:
+            try:
+                self.sel.unregister(slot.result_r)
+            except (KeyError, ValueError):
+                pass
+            os.close(slot.result_r)
+            slot.result_r = -1
+        if slot.task_w >= 0:
+            try:
+                os.close(slot.task_w)
+            except OSError:
+                pass
+            slot.task_w = -1
+        slot.reader = proto.FrameReader()
+
+    def _reap(self, slot: _WorkerSlot) -> Optional[int]:
+        if slot.proc is None:
+            return None
+        try:
+            return slot.proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            slot.proc.kill()
+            return slot.proc.wait()
+
+    def _respawn_or_retire(self, slot: _WorkerSlot) -> None:
+        if self.stats.respawns < self.policy.max_respawns:
+            self.stats.respawns += 1
+            self._spawn(slot)
+        else:
+            slot.retired = True
+            self.stats.retired += 1
+
+    # -- dispatch and stealing ---------------------------------------------
+
+    def _next_task(self, slot: _WorkerSlot, now: float) \
+            -> Optional[_TaskState]:
+        for i, task in enumerate(slot.queue):
+            if task.ready_at <= now:
+                del slot.queue[i]
+                return task
+        victims = sorted(
+            (s for s in self.slots if s is not slot and s.queue),
+            key=lambda s: (-len(s.queue), s.slot),
+        )
+        for victim in victims:
+            for i in range(len(victim.queue) - 1, -1, -1):
+                if victim.queue[i].ready_at <= now:
+                    task = victim.queue[i]
+                    del victim.queue[i]
+                    self.stats.steals += 1
+                    return task
+        return None
+
+    def _pending_kill(self, index: int, attempt: int):
+        for entry in self.kills:
+            spec, fired = entry
+            if not fired and spec.applies(index, attempt):
+                entry[1] = True
+                return spec
+        return None
+
+    def _dispatch(self, slot: _WorkerSlot, task: _TaskState) -> None:
+        specs = (
+            self.schedule.for_attempt(task.index, task.attempt)
+            if self.schedule is not None else ()
+        )
+        injected = tuple(spec.tag for spec in specs)
+        frame = task_payload(
+            task.text, task.filename, self.check_kwargs,
+            self.serialized_ambient, specs, self.hang_s,
+        )
+        frame["type"] = "task"
+        frame["id"] = task.index
+        frame["attempt"] = task.attempt
+        slot.current = (task, injected, time.monotonic())
+        kill = self._pending_kill(task.index, task.attempt)
+        try:
+            proto.write_frame_fd(slot.task_w, frame)
+        except OSError:
+            self._handle_worker_loss(slot, salvage=False)
+            return
+        if kill is not None:
+            target = (
+                slot if kill.worker is None
+                else self.slots[kill.worker % len(self.slots)]
+            )
+            if target.alive:
+                # No salvage: the kill is keyed to this dispatch, so the
+                # attempt must read worker-lost every round, even if the
+                # doomed worker got a result out first.
+                target.proc.kill()
+                self._handle_worker_loss(target, salvage=False)
+
+    def _fill_idle(self) -> None:
+        now = time.monotonic()
+        for slot in self.slots:
+            if (slot.retired or not slot.alive or not slot.warmed
+                    or slot.current is not None):
+                continue
+            task = self._next_task(slot, now)
+            if task is not None:
+                self._dispatch(slot, task)
+
+    # -- attempt resolution -------------------------------------------------
+
+    def _finish_attempt(self, task: _TaskState, result: AttemptResult,
+                        injected: Tuple[str, ...],
+                        fault_override: Optional[str] = None) -> None:
+        if result.status == "timeout":
+            # Both timeout paths — worker-cooperative and supervisor kill —
+            # must produce identical records, so drop the partial report a
+            # cooperative cancel may have attached.
+            result = AttemptResult(
+                status="timeout", duration_ms=result.duration_ms
+            )
+        backoff_ms = task.resolve(result, injected, self.policy,
+                                  fault_override)
+        if task.done:
+            self.done_count += 1
+            return
+        task.ready_at = (
+            time.monotonic() + backoff_ms / 1000.0 if backoff_ms else 0.0
+        )
+        # Retries go to the front of the home queue: same slot by default,
+        # stealable when the home slot is busy or retired.
+        self.slots[task.home].queue.appendleft(task)
+
+    def _handle_worker_loss(self, slot: _WorkerSlot, *,
+                            salvage: bool = True) -> None:
+        if salvage:
+            self._drain(slot, handle_eof=False)
+        returncode = self._reap(slot)
+        self._close_slot(slot)
+        self.stats.worker_lost += 1
+        current, slot.current = slot.current, None
+        if current is not None:
+            task, injected, t0 = current
+            duration_ms = round((time.monotonic() - t0) * 1e3, 3)
+            result = AttemptResult(
+                status="crash",
+                crash=CrashReport(
+                    exc_type="WorkerLost",
+                    message="pool worker died mid-attempt",
+                    where="pool",
+                    returncode=returncode,
+                ),
+                duration_ms=duration_ms,
+            )
+            self._finish_attempt(task, result, injected,
+                                 fault_override=FAULT_WORKER_LOST)
+        self._respawn_or_retire(slot)
+
+    def _deadline_kill(self, slot: _WorkerSlot) -> None:
+        self._drain(slot, handle_eof=False)
+        if slot.current is None:
+            return  # the result raced in during the grace window
+        if not slot.alive:
+            self._handle_worker_loss(slot, salvage=False)
+            return
+        self.stats.deadline_kills += 1
+        slot.proc.kill()
+        self._reap(slot)
+        self._close_slot(slot)
+        (task, injected, t0), slot.current = slot.current, None
+        duration_ms = round((time.monotonic() - t0) * 1e3, 3)
+        self._finish_attempt(
+            task, AttemptResult(status="timeout", duration_ms=duration_ms),
+            injected,
+        )
+        self._respawn_or_retire(slot)
+
+    # -- the read side ------------------------------------------------------
+
+    def _drain(self, slot: _WorkerSlot, *, handle_eof: bool = True) -> None:
+        if slot.result_r < 0:
+            return
+        eof = False
+        while True:
+            try:
+                chunk = os.read(slot.result_r, 65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                eof = True
+                break
+            if chunk == b"":
+                eof = True
+                break
+            try:
+                for frame in slot.reader.feed(chunk):
+                    self._on_frame(slot, frame)
+            except proto.FrameError:
+                eof = True
+                break
+        if eof and handle_eof:
+            self._handle_worker_loss(slot, salvage=False)
+
+    def _on_frame(self, slot: _WorkerSlot, frame: dict) -> None:
+        slot.last_beat = time.monotonic()
+        kind = frame.get("type")
+        if kind == "hello":
+            slot.warmed = True
+            self.stats.warm_ms += frame.get("warm_ms") or 0.0
+        elif kind == "result":
+            if slot.current is None:
+                return  # stale frame from a previous dispatch; drop it
+            task, injected, t0 = slot.current
+            if (frame.get("id") != task.index
+                    or frame.get("attempt") != task.attempt):
+                return
+            slot.current = None
+            slot.tasks_done += 1
+            fallback_ms = round((time.monotonic() - t0) * 1e3, 3)
+            result = result_to_attempt(
+                frame, frame.get("duration_ms", fallback_ms)
+            )
+            self._finish_attempt(task, result, injected)
+        # "heartbeat" and unknown kinds only refresh last_beat.
+
+    # -- watchdogs ----------------------------------------------------------
+
+    def _check_watchdogs(self) -> None:
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.retired or slot.proc is None:
+                continue
+            if (slot.current is not None and self.kill_after_s is not None
+                    and now - slot.current[2] >= self.kill_after_s):
+                self._deadline_kill(slot)
+                continue
+            if now - slot.last_beat >= self.miss_window_s:
+                self.stats.heartbeat_misses += 1
+                if slot.alive:
+                    slot.proc.kill()
+                self._handle_worker_loss(slot, salvage=True)
+
+    def _next_timeout(self) -> float:
+        now = time.monotonic()
+        candidates = [self.miss_window_s]
+        for slot in self.slots:
+            if slot.current is not None and self.kill_after_s is not None:
+                candidates.append(slot.current[2] + self.kill_after_s - now)
+            for task in slot.queue:
+                if task.ready_at > now:
+                    candidates.append(task.ready_at - now)
+        return max(0.0, min(candidates))
+
+    # -- degradation --------------------------------------------------------
+
+    def _drain_in_process(self) -> None:
+        """Every worker is gone and the respawn budget is spent: finish the
+        remaining tasks in-process, continuing each retry state machine."""
+        self.stats.degraded = True
+        for task in self.tasks:
+            while not task.done:
+                wait = task.ready_at - time.monotonic()
+                if wait > 0:
+                    time.sleep(wait)
+                specs = (
+                    self.schedule.for_attempt(task.index, task.attempt)
+                    if self.schedule is not None else ()
+                )
+                injected = tuple(spec.tag for spec in specs)
+                faults = dict(self.ambient)
+                for spec in specs:
+                    faults[spec.stage] = spec.materialize(self.hang_s)
+                result = run_attempt_thread(
+                    task.text, task.filename, self.check_kwargs, faults,
+                    self.policy.deadline_ms,
+                )
+                self._finish_attempt(task, result, injected)
+
+    # -- shutdown -----------------------------------------------------------
+
+    def _shutdown(self) -> None:
+        for slot in self.slots:
+            if slot.task_w >= 0:
+                try:
+                    proto.write_frame_fd(slot.task_w, {"type": "shutdown"})
+                except OSError:
+                    pass
+            self._close_slot(slot)
+            if slot.proc is not None:
+                try:
+                    slot.proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    slot.proc.kill()
+                    slot.proc.wait()
+        self.sel.close()
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self) -> Tuple[List[FileOutcome], PoolStats]:
+        with self.tracer.span(
+            "pool.supervise",
+            workers=len(self.slots), tasks=len(self.tasks),
+        ):
+            for slot in self.slots:
+                self._spawn(slot)
+            try:
+                while self.done_count < len(self.tasks):
+                    if not any(
+                        not s.retired and s.alive for s in self.slots
+                    ):
+                        self._drain_in_process()
+                        break
+                    self._fill_idle()
+                    for key, _mask in self.sel.select(self._next_timeout()):
+                        self._drain(key.data)
+                    self._check_watchdogs()
+            finally:
+                self._shutdown()
+            for slot in self.slots:
+                with self.tracer.span(
+                    "pool.worker",
+                    slot=slot.slot, tasks=slot.tasks_done,
+                    retired=slot.retired,
+                ):
+                    pass
+        return [task.outcome() for task in self.tasks], self.stats
+
+
+def run_pool_batch(
+    items: Sequence[Tuple[str, str]],
+    policy: BatchPolicy,
+    *,
+    schedule: Optional[FaultSchedule] = None,
+    ambient: Optional[Dict[str, object]] = None,
+    serialized_ambient: Optional[List[Dict[str, str]]] = None,
+    tracer=NULL_TRACER,
+) -> Tuple[List[FileOutcome], PoolStats]:
+    """Check ``(filename, text)`` pairs on the persistent worker pool.
+
+    Returns the outcomes in input order plus the supervisor's
+    :class:`PoolStats`.  Never raises for anything the inputs or the
+    workers do — the containment contract of
+    :func:`repro.service.check_batch` extends here.
+    """
+    if not items:
+        return [], PoolStats(workers=0)
+    supervisor = _Supervisor(
+        items, policy,
+        schedule=schedule,
+        ambient=ambient if ambient is not None else {},
+        serialized_ambient=(
+            serialized_ambient if serialized_ambient is not None else []
+        ),
+        tracer=tracer,
+    )
+    return supervisor.run()

@@ -29,6 +29,13 @@ STATUSES = ("ok", "diagnostics", "timeout", "crash")
 #: batch report is required to be run-to-run stable.
 TIMING_FIELDS = frozenset({"duration_ms", "elapsed_ms"})
 
+#: Pool-supervisor counters that depend on OS scheduling (who stole what,
+#: whether a heartbeat squeaked in) rather than on the input/policy/chaos
+#: triple; stripped from the canonical digest alongside the timing fields.
+#: ``respawns``, ``worker_lost``, and ``degraded`` are *not* here — those
+#: are part of the deterministic chaos contract.
+VOLATILE_POOL_FIELDS = frozenset({"steals", "heartbeat_misses", "warm_ms"})
+
 #: Extended exit codes for ``fg batch`` (0–3 shared with the single-file
 #: contract; see docs/DIAGNOSTICS.md).
 EXIT_OK = 0
@@ -42,8 +49,10 @@ class CrashReport:
     """A contained worker death, attached to the file that caused it.
 
     ``where`` says which containment wall caught it: ``"worker"`` (the
-    in-process worker thread) or ``"subprocess"`` (an isolated child died —
-    ``returncode`` carries its wait status, negative for a signal kill).
+    in-process worker thread), ``"subprocess"`` (an isolated child died —
+    ``returncode`` carries its wait status, negative for a signal kill), or
+    ``"pool"`` (a persistent pool worker was lost with this attempt in
+    flight; the supervisor recorded it as the ``worker-lost`` fault).
     """
 
     exc_type: str
@@ -152,6 +161,9 @@ class BatchReport:
     files: Tuple[FileOutcome, ...]
     policy: Dict[str, object] = field(default_factory=dict)
     elapsed_ms: float = 0.0
+    #: Pool-supervisor stats (``PoolStats.to_json()``) when the batch ran
+    #: under ``isolate="pool"``; ``None`` for the other isolation modes.
+    pool: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -199,10 +211,12 @@ class BatchReport:
             "quarantine": list(self.quarantine),
             "exit_code": self.exit_code,
             "elapsed_ms": self.elapsed_ms,
+            "pool": dict(self.pool) if self.pool is not None else None,
         }
 
     def canonical_json(self) -> str:
-        """The determinism surface: JSON with timing fields stripped."""
+        """The determinism surface: JSON with timing and scheduling-volatile
+        fields stripped."""
         return json.dumps(
             _strip_timings(self.to_json()), sort_keys=True, indent=None
         )
@@ -233,6 +247,14 @@ class BatchReport:
                        ("files", "ok", "diagnostics", "timeout", "crash",
                         "quarantined", "retries"))
         )
+        if self.pool is not None:
+            lines.append(
+                "-- pool: "
+                + " ".join(f"{k}={self.pool[k]}" for k in
+                           ("workers", "respawns", "worker_lost", "steals",
+                            "retired", "degraded")
+                           if k in self.pool)
+            )
         if self.quarantine:
             lines.append("-- quarantine: " + ", ".join(self.quarantine))
         return "\n".join(lines)
@@ -241,12 +263,15 @@ class BatchReport:
         return len(self.files)
 
 
+_NONCANONICAL_FIELDS = TIMING_FIELDS | VOLATILE_POOL_FIELDS
+
+
 def _strip_timings(value):
     if isinstance(value, dict):
         return {
             k: _strip_timings(v)
             for k, v in value.items()
-            if k not in TIMING_FIELDS
+            if k not in _NONCANONICAL_FIELDS
         }
     if isinstance(value, list):
         return [_strip_timings(v) for v in value]

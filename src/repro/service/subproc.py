@@ -1,33 +1,58 @@
-"""Child entry point for ``isolate="subprocess"`` batch workers.
+"""Child entry points for isolated batch workers (one-shot and pool).
 
-Protocol: one JSON task on stdin, one JSON result on stdout.  The parent
-(:func:`repro.service.worker.run_attempt_subprocess`) enforces the deadline
-by killing this process, so nothing here watches the clock beyond the
-cooperative deadline already folded into the task's limits.
+Two modes share one task codec:
 
-The task carries the chaos faults to replay — declarative
+**One-shot** (``isolate="subprocess"``; no arguments): one JSON task on
+stdin, one *framed* result on the claimed stdout
+(:func:`repro.service.proto.shield_stdout` — a stray ``print`` from
+checked code or the pipeline lands on stderr, never inside the result
+stream).  The parent (:func:`repro.service.worker.run_attempt_subprocess`)
+enforces the deadline by killing this process.
+
+**Persistent** (``--serve``; spawned by :mod:`repro.service.pool`): the
+worker warms up once — imports the whole pipeline and pre-checks the
+prelude so warm attempts skip that cost — then loops over framed tasks on
+a dedicated task pipe, writing framed results and periodic heartbeats to
+a dedicated result pipe.  A heartbeat thread keeps ticking while a task
+runs, so the supervisor can tell "busy" from "wedged".  Exceptions inside
+a task are contained *by the worker* (a structured ``"crash"`` result;
+the worker survives for the next task); only process-killing faults —
+``os._exit``, SIGKILL, C-level crashes — take the worker down, and those
+are the supervisor's business (the ``worker-lost`` fault kind).
+
+The task payload carries the chaos faults to replay — declarative
 :class:`~repro.service.faults.FaultSpec` entries plus serialized ambient
 exceptions — because the parent's thread-local fault table does not cross
-the process boundary by itself.  An injected fault that escapes
-``check_source`` crashes this process exactly like a genuine bug would
-(traceback on stderr, nonzero exit); the parent contains either as a
-``CrashReport``.  The pipeline contract is unchanged inside the wall:
-diagnosed programs exit 0 with their report in the result.
+the process boundary by itself.  The pipeline contract is unchanged inside
+the wall: diagnosed programs produce a ``"diagnostics"`` result, not a
+crash.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+import threading
+import time
 
 
-def main() -> int:
+def run_task(payload: dict) -> dict:
+    """Execute one check task; always returns a result dict, never raises.
+
+    The shared task codec for both isolation modes: builds the limits and
+    fault table from the payload, runs :func:`~repro.pipeline.check_source`
+    under them, and projects the outcome (or the contained crash) to the
+    JSON-ready result shape.
+    """
     from repro.diagnostics.limits import Limits
     from repro.pipeline import check_source, install_faults
     from repro.service.faults import FaultSpec, deserialize_exception_faults
-    from repro.service.worker import outcome_projection
+    from repro.service.worker import (
+        crash_report_from_exception,
+        outcome_projection,
+    )
 
-    payload = json.load(sys.stdin)
     limits_data = payload.get("limits")
     limits = Limits(**limits_data) if limits_data is not None else None
     faults = deserialize_exception_faults(
@@ -38,30 +63,150 @@ def main() -> int:
         spec = FaultSpec.from_json(spec_data)
         faults[spec.stage] = spec.materialize(hang_s, in_subprocess=True)
 
-    with install_faults(faults):
-        outcome = check_source(
-            payload["text"],
-            payload["filename"],
-            prelude=payload.get("prelude", False),
-            ext=payload.get("ext", False),
-            max_errors=payload.get("max_errors", 20),
-            limits=limits,
-            verify=payload.get("verify", False),
-            evaluate=payload.get("evaluate", False),
-        )
+    start = time.perf_counter()
+    try:
+        with install_faults(faults):
+            outcome = check_source(
+                payload["text"],
+                payload.get("filename", "<input>"),
+                prelude=payload.get("prelude", False),
+                ext=payload.get("ext", False),
+                max_errors=payload.get("max_errors", 20),
+                limits=limits,
+                verify=payload.get("verify", False),
+                evaluate=payload.get("evaluate", False),
+            )
+    except BaseException as exc:  # noqa: BLE001 — the containment wall
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            # Deliberate kills must stay process-killing (the "kill" chaos
+            # kind and real signals), not be flattened into a result.
+            raise
+        crash = crash_report_from_exception(exc)
+        return {
+            "status": "crash",
+            "diagnostics": [],
+            "severities": {},
+            "rendered": "",
+            "crash": crash.to_json(),
+            "duration_ms": round((time.perf_counter() - start) * 1e3, 3),
+        }
     status, diagnostics, severities, rendered = outcome_projection(outcome)
-    json.dump(
-        {
-            "status": status,
-            "diagnostics": diagnostics,
-            "severities": severities,
-            "rendered": rendered,
-        },
-        sys.stdout,
-    )
-    sys.stdout.write("\n")
+    return {
+        "status": status,
+        "diagnostics": diagnostics,
+        "severities": severities,
+        "rendered": rendered,
+        "crash": None,
+        "duration_ms": round((time.perf_counter() - start) * 1e3, 3),
+    }
+
+
+def warm_up(prelude: bool, ext: bool) -> float:
+    """Import the pipeline and pre-check a trivial prelude program.
+
+    Run once at worker spawn so every later attempt starts warm: module
+    imports, the parser tables, and — with ``prelude=True`` — a full parse
+    and typecheck of the standard concept library.  Returns the wall time
+    in ms; never raises (a failing warm-up just means cold attempts).
+    """
+    start = time.perf_counter()
+    try:
+        from repro.pipeline import check_source
+
+        check_source("iadd(1, 2)", "<warmup>", prelude=prelude, ext=ext)
+    except Exception:  # noqa: BLE001 — warm-up is best-effort
+        pass
+    return round((time.perf_counter() - start) * 1e3, 3)
+
+
+def main() -> int:
+    """One-shot mode: task on stdin, one framed result on claimed stdout."""
+    from repro.service import proto
+
+    result_fd = proto.shield_stdout()
+    payload = json.load(sys.stdin)
+    result = run_task(payload)
+    proto.write_frame_fd(result_fd, result)
     return 0
 
 
+def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
+    """Persistent mode: loop over framed tasks until shutdown or EOF."""
+    from repro.service import proto
+
+    proto.shield_stdout()  # stray stdout writes can never reach a pipe
+    write_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(message: dict) -> None:
+        with write_lock:
+            proto.write_frame_fd(result_fd, message)
+
+    def heartbeat() -> None:
+        while not stop.wait(heartbeat_ms / 1000.0):
+            try:
+                send({"type": "heartbeat", "pid": os.getpid()})
+            except OSError:
+                return
+
+    threading.Thread(
+        target=heartbeat, daemon=True, name="fg-pool-heartbeat"
+    ).start()
+
+    try:
+        while True:
+            frame = proto.read_frame_fd(task_fd)
+            if frame is None:
+                return 0  # supervisor closed the task pipe
+            kind = frame.get("type")
+            if kind == "init":
+                warm_ms = warm_up(
+                    frame.get("prelude", False), frame.get("ext", False)
+                )
+                send({
+                    "type": "hello",
+                    "pid": os.getpid(),
+                    "warm_ms": warm_ms,
+                })
+            elif kind == "task":
+                result = run_task(frame)
+                result["type"] = "result"
+                result["id"] = frame.get("id")
+                result["attempt"] = frame.get("attempt")
+                send(result)
+            elif kind == "shutdown":
+                return 0
+            # Unknown frame types are ignored: forward compatibility.
+    except (OSError, proto.FrameError):
+        # A dead supervisor (broken pipes) is a clean exit, not a crash.
+        return 0
+    finally:
+        stop.set()
+
+
+def _parse_serve_args(argv) -> dict:
+    options = {"heartbeat_ms": 100.0}
+    it = iter(argv)
+    for arg in it:
+        if arg == "--task-fd":
+            options["task_fd"] = int(next(it))
+        elif arg == "--result-fd":
+            options["result_fd"] = int(next(it))
+        elif arg == "--heartbeat-ms":
+            options["heartbeat_ms"] = float(next(it))
+        else:
+            raise SystemExit(f"subproc --serve: unknown argument {arg!r}")
+    if "task_fd" not in options or "result_fd" not in options:
+        raise SystemExit("subproc --serve: --task-fd and --result-fd "
+                         "are required")
+    return options
+
+
 if __name__ == "__main__":
+    if "--serve" in sys.argv[1:]:
+        args = [a for a in sys.argv[1:] if a != "--serve"]
+        opts = _parse_serve_args(args)
+        sys.exit(serve(
+            opts["task_fd"], opts["result_fd"], opts["heartbeat_ms"]
+        ))
     sys.exit(main())

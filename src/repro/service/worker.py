@@ -176,6 +176,58 @@ def _child_env() -> Dict[str, str]:
     return env
 
 
+def task_payload(
+    text: str,
+    filename: str,
+    check_kwargs: Dict[str, object],
+    exception_faults: List[Dict[str, str]],
+    fault_specs: Tuple[FaultSpec, ...],
+    hang_s: float,
+) -> Dict[str, object]:
+    """The JSON task shape both isolation walls ship to a worker process.
+
+    ``limits`` is projected field-by-field from the dataclass, so a new
+    :class:`~repro.diagnostics.limits.Limits` budget crosses the process
+    boundary without this function changing.
+    """
+    from dataclasses import asdict
+
+    limits = check_kwargs.get("limits")
+    return {
+        "text": text,
+        "filename": filename,
+        "prelude": check_kwargs.get("prelude", False),
+        "ext": check_kwargs.get("ext", False),
+        "max_errors": check_kwargs.get("max_errors", 20),
+        "verify": check_kwargs.get("verify", False),
+        "evaluate": check_kwargs.get("evaluate", False),
+        "limits": None if limits is None else asdict(limits),
+        "exception_faults": list(exception_faults),
+        "fault_specs": [spec.to_json() for spec in fault_specs],
+        "hang_s": hang_s,
+    }
+
+
+def result_to_attempt(result: Dict[str, object],
+                      duration_ms: float) -> AttemptResult:
+    """Lift a worker's JSON result dict into an :class:`AttemptResult`."""
+    crash = result.get("crash")
+    return AttemptResult(
+        status=result["status"],
+        diagnostics=result.get("diagnostics", []),
+        severities=result.get("severities", {}),
+        rendered=result.get("rendered", ""),
+        crash=CrashReport(
+            exc_type=crash["exc_type"],
+            message=crash["message"],
+            where=crash.get("where", "worker"),
+            traceback=tuple(crash.get("traceback", ())),
+            returncode=crash.get("returncode"),
+        ) if crash else None,
+        duration_ms=duration_ms,
+    )
+
+
 def run_attempt_subprocess(
     text: str,
     filename: str,
@@ -188,36 +240,23 @@ def run_attempt_subprocess(
     """One attempt in a fresh interpreter (see :mod:`repro.service.subproc`).
 
     The deadline kills the child outright; a dead child (nonzero exit,
-    signal, or garbage on stdout) becomes a crash report carrying its wait
-    status and the tail of its stderr.
+    signal, or a result channel with no complete frame) becomes a crash
+    report carrying its wait status and the tail of its stderr.  The result
+    travels as a length-prefixed frame on the child's *claimed* stdout
+    (:func:`repro.service.proto.shield_stdout`), so a stray ``print`` from
+    checked code or the pipeline cannot corrupt it.
     """
-    limits = check_kwargs.get("limits")
-    payload = {
-        "text": text,
-        "filename": filename,
-        "prelude": check_kwargs.get("prelude", False),
-        "ext": check_kwargs.get("ext", False),
-        "max_errors": check_kwargs.get("max_errors", 20),
-        "verify": check_kwargs.get("verify", False),
-        "evaluate": check_kwargs.get("evaluate", False),
-        "limits": None if limits is None else {
-            "max_check_depth": limits.max_check_depth,
-            "max_congruence_nodes": limits.max_congruence_nodes,
-            "max_eval_steps": limits.max_eval_steps,
-            "python_stack_limit": limits.python_stack_limit,
-            "deadline_ms": limits.deadline_ms,
-        },
-        "exception_faults": exception_faults,
-        "fault_specs": [spec.to_json() for spec in fault_specs],
-        "hang_s": hang_s,
-    }
+    from repro.service import proto
+
+    payload = task_payload(
+        text, filename, check_kwargs, exception_faults, fault_specs, hang_s,
+    )
     start = time.perf_counter()
     try:
         proc = subprocess.run(
             [sys.executable, "-m", "repro.service.subproc"],
-            input=json.dumps(payload),
+            input=json.dumps(payload).encode("utf-8"),
             capture_output=True,
-            text=True,
             timeout=deadline_ms / 1000.0 if deadline_ms is not None else None,
             env=_child_env(),
         )
@@ -225,7 +264,8 @@ def run_attempt_subprocess(
         duration_ms = round((time.perf_counter() - start) * 1e3, 3)
         return AttemptResult(status="timeout", duration_ms=duration_ms)
     duration_ms = round((time.perf_counter() - start) * 1e3, 3)
-    stderr_tail = tuple(proc.stderr.rstrip().splitlines()[-TRACEBACK_TAIL:])
+    stderr_text = proc.stderr.decode("utf-8", errors="replace")
+    stderr_tail = tuple(stderr_text.rstrip().splitlines()[-TRACEBACK_TAIL:])
     if proc.returncode != 0:
         return AttemptResult(
             status="crash",
@@ -241,8 +281,10 @@ def run_attempt_subprocess(
             duration_ms=duration_ms,
         )
     try:
-        result = json.loads(proc.stdout)
-    except (json.JSONDecodeError, ValueError):
+        result, _ = proto.extract_frame(proc.stdout)
+    except proto.FrameError:
+        result = None
+    if result is None:
         return AttemptResult(
             status="crash",
             crash=CrashReport(
@@ -254,10 +296,4 @@ def run_attempt_subprocess(
             ),
             duration_ms=duration_ms,
         )
-    return AttemptResult(
-        status=result["status"],
-        diagnostics=result["diagnostics"],
-        severities=result["severities"],
-        rendered=result["rendered"],
-        duration_ms=duration_ms,
-    )
+    return result_to_attempt(result, duration_ms)

@@ -268,15 +268,19 @@ def chaos_schedule(
     stages: Tuple[str, ...] = ("parse", "check"),
     kinds: Tuple[str, ...] = ("crash", "hang"),
     hang_s: float = 1.5,
+    worker_kills: int = 0,
 ):
     """A deterministic fault schedule for ``n_files`` inputs.
 
     Roughly half the files get exactly one fault each — a random stage ×
     kind, firing either on every attempt (a deterministic fault the circuit
     breaker must handle) or only on attempt 0 (a transient fault a retry
-    outruns).  Pure function of ``(n_files, seed, stages, kinds)``.
+    outruns).  With ``worker_kills > 0`` (pool mode), that many distinct
+    files additionally get a :class:`~repro.service.WorkerKillSpec`: at the
+    dispatch of the file's first attempt, SIGKILL the worker that received
+    it.  Pure function of ``(n_files, seed, stages, kinds, worker_kills)``.
     """
-    from repro.service import FaultSchedule, FaultSpec
+    from repro.service import FaultSchedule, FaultSpec, WorkerKillSpec
 
     rng = random.Random(seed)
     n_faulted = max(1, n_files // 2)
@@ -290,7 +294,15 @@ def chaos_schedule(
         )
         for index in indices
     )
-    return FaultSchedule(specs=specs, hang_s=hang_s)
+    kills: Tuple = ()
+    if worker_kills:
+        kills = tuple(
+            WorkerKillSpec(index=index)
+            for index in sorted(
+                rng.sample(range(n_files), min(worker_kills, n_files))
+            )
+        )
+    return FaultSchedule(specs=specs, hang_s=hang_s, kills=kills)
 
 
 def run_chaos(
@@ -303,6 +315,9 @@ def run_chaos(
     retries: int = 1,
     quarantine_after: int = 3,
     isolate: str = "none",
+    pool_workers: int = 2,
+    max_respawns: int = 4,
+    worker_kills: int = 0,
 ) -> Dict[str, object]:
     """Chaos mode: run a batch under an injected fault schedule, ``rounds``
     times, asserting the containment contract every time.
@@ -315,21 +330,33 @@ def run_chaos(
       attempt) the schedule targeted carries exactly its scheduled fault
       tags in its attempt record, and the attempt's status matches the
       fault kind (``crash``/``kill`` → crash with the injected marker;
-      ``hang`` → deadline miss);
+      ``hang`` → deadline miss; a scheduled worker kill → a ``worker-lost``
+      crash, which preempts any stage fault on the same attempt because
+      the supervisor kills at dispatch, before the stage runs);
     - **determinism** — the canonical (timing-stripped) report bytes are
       identical across all ``rounds``.
 
+    ``worker_kills`` requires ``isolate="pool"`` and schedules that many
+    worker SIGKILLs (see :func:`chaos_schedule`).  Keep ``max_respawns``
+    at or above the total number of scheduled worker deaths when asserting
+    determinism: once the budget runs out, *where* the pool degrades to
+    in-process execution depends on timing.
+
     Returns the final round's counters plus ``report_digest`` (SHA-256 of
-    the canonical report).
+    the canonical report) and, in pool mode, the supervisor's ``pool``
+    stats block.
     """
     import hashlib
 
     from repro.service import BatchPolicy, RetryPolicy, check_batch
 
+    if worker_kills and isolate != "pool":
+        raise ValueError("worker_kills requires isolate='pool'")
     if files is None:
         files = [(f"<chaos{i}>", src) for i, src in enumerate(FUZZ_SEEDS)]
     schedule = chaos_schedule(
-        len(files), seed, hang_s=max(0.2, deadline_ms * 3 / 1000.0)
+        len(files), seed, hang_s=max(0.2, deadline_ms * 3 / 1000.0),
+        worker_kills=worker_kills,
     )
     policy = BatchPolicy(
         jobs=jobs,
@@ -337,6 +364,8 @@ def run_chaos(
         retry=RetryPolicy(max_retries=retries),
         quarantine_after=quarantine_after,
         isolate=isolate,
+        pool_workers=pool_workers,
+        max_respawns=max_respawns,
     )
     digests = []
     report = None
@@ -360,7 +389,9 @@ def run_chaos(
         "quarantined": rollup["quarantined"],
         "retries": rollup["retries"],
         "injected_specs": len(schedule.specs),
+        "injected_kills": len(schedule.kills),
         "report_digest": digests[0],
+        "pool": report.pool,
     }
 
 
@@ -386,7 +417,25 @@ def _assert_chaos_contract(report, files, schedule) -> None:
             )
             # The fault must actually have *fired*: an attempt with an
             # injected crash/kill ends as a crash carrying the chaos
-            # marker; an injected hang ends as a deadline miss.
+            # marker; an injected hang ends as a deadline miss.  A
+            # scheduled worker kill preempts everything — the supervisor
+            # SIGKILLs at dispatch, so the attempt is a worker-lost crash
+            # no matter what stage faults were also installed.
+            killed = any(
+                kill.applies(outcome.index, record.attempt)
+                for kill in schedule.kills
+            )
+            if killed:
+                assert record.status == "crash", (
+                    f"{outcome.file} attempt {record.attempt}: scheduled "
+                    f"worker kill not reported (status={record.status})"
+                )
+                assert record.fault == "worker-lost", (
+                    f"{outcome.file} attempt {record.attempt}: scheduled "
+                    f"worker kill recorded as {record.fault!r}, expected "
+                    "'worker-lost'"
+                )
+                continue
             kinds = {tag.split(":", 1)[1] for tag in expected}
             if kinds & {"crash", "kill"}:
                 assert record.status == "crash", (

@@ -40,9 +40,13 @@ exiting 1 on regression — the CI perf gate.
 ``fg batch`` (see docs/DIAGNOSTICS.md for the report schema) runs many
 checks under ``repro.service``: ``--jobs N`` workers, ``--deadline-ms T``
 per-task watchdog, ``--retries K`` with a deterministic backoff schedule,
-``--isolate`` for subprocess workers that contain interpreter-killing
-failures, and a circuit breaker (``--quarantine-after N``).  ``--chaos``
-injects a deterministic fault schedule (the CI chaos-smoke hook).
+``--isolate`` for worker processes that contain interpreter-killing
+failures (``subprocess`` = fresh interpreter per attempt; ``pool`` = a
+supervised pool of persistent prelude-warmed workers with heartbeats,
+respawn, and work stealing — ``--pool-workers``/``--max-respawns``), and a
+circuit breaker (``--quarantine-after N``).  ``--chaos`` injects a
+deterministic fault schedule and ``--kill-worker`` SIGKILLs pool workers
+mid-batch (the CI chaos-smoke hooks).
 
 Exit codes: **0** success, **1** the program has diagnostics, **2** usage
 error (bad flags, unreadable file), **3** internal error (a bug in this
@@ -416,6 +420,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     )
     rows, instrumented = regress.run_bench_suite(
         rounds=args.rounds, fuzz_mutants=args.fuzz_mutants,
+        isolation_rounds=args.isolation_rounds,
         progress=progress,
     )
     record = regress.build_record(tag, rows, **instrumented)
@@ -463,8 +468,10 @@ def _collect_batch_files(paths) -> list:
 
 def _run_batch(args: argparse.Namespace) -> int:
     """``fg batch``: the fault-isolated batch checking service."""
+    from dataclasses import replace
+
     from repro.service import (
-        BatchPolicy, FaultSchedule, RetryPolicy, check_batch,
+        BatchPolicy, FaultSchedule, RetryPolicy, WorkerKillSpec, check_batch,
     )
 
     try:
@@ -490,16 +497,27 @@ def _run_batch(args: argparse.Namespace) -> int:
             )
             return EXIT_USAGE
 
+    if args.kill_worker and args.isolate != "pool":
+        print(
+            "fg batch: --kill-worker requires --isolate=pool "
+            "(there are no workers to kill otherwise)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     schedule = None
-    if args.chaos:
+    if args.chaos or args.kill_worker:
         hang_s = (
             args.deadline_ms * 3 / 1000.0
             if args.deadline_ms is not None else 0.5
         )
         try:
             schedule = FaultSchedule.parse(
-                ",".join(args.chaos), hang_s=hang_s
+                ",".join(args.chaos or ()), hang_s=hang_s
             )
+            if args.kill_worker:
+                schedule = replace(schedule, kills=tuple(
+                    WorkerKillSpec.parse(spec) for spec in args.kill_worker
+                ))
         except ValueError as err:
             print(f"fg batch: {err}", file=sys.stderr)
             return EXIT_USAGE
@@ -512,7 +530,10 @@ def _run_batch(args: argparse.Namespace) -> int:
                 backoff_base_ms=args.backoff_ms,
             ),
             quarantine_after=args.quarantine_after,
-            isolate="subprocess" if args.isolate else "none",
+            isolate=args.isolate if args.isolate else "none",
+            pool_workers=args.pool_workers,
+            max_respawns=args.max_respawns,
+            heartbeat_ms=args.heartbeat_ms,
             prelude=args.prelude,
             ext=args.ext,
             max_errors=args.max_errors,
@@ -587,6 +608,12 @@ def main(argv=None) -> int:
         "0 disables it)",
     )
     bench.add_argument(
+        "--isolation-rounds", type=int, default=2, metavar="N",
+        help="rounds for the subprocess-vs-pool batch isolation "
+        "comparison over examples/fg (default 2; 0 skips it — it spawns "
+        "real worker processes)",
+    )
+    bench.add_argument(
         "--tag", default=None,
         help="record tag (default: $BENCH_TAG, else today's date)",
     )
@@ -632,9 +659,26 @@ def main(argv=None) -> int:
         "failures (default 3)",
     )
     batch.add_argument(
-        "--isolate", action="store_true",
-        help="run each attempt in its own interpreter so interpreter-"
-        "killing failures (C-level faults, OOM kills) are contained",
+        "--isolate", nargs="?", const="subprocess", default=None,
+        choices=["subprocess", "pool"], metavar="MODE",
+        help="contain interpreter-killing failures (C-level faults, OOM "
+        "kills) in worker processes: 'subprocess' (the default when the "
+        "flag is bare) forks a fresh interpreter per attempt; 'pool' "
+        "supervises persistent prelude-warmed workers with heartbeats, "
+        "respawn on worker loss, and work stealing",
+    )
+    batch.add_argument(
+        "--pool-workers", type=int, default=2, metavar="N",
+        help="persistent workers under --isolate=pool (default 2)",
+    )
+    batch.add_argument(
+        "--max-respawns", type=int, default=4, metavar="N",
+        help="pool-wide respawn budget for lost workers; once spent, dead "
+        "slots retire and the pool degrades gracefully (default 4)",
+    )
+    batch.add_argument(
+        "--heartbeat-ms", type=float, default=100.0, metavar="T",
+        help="pool worker heartbeat period (default 100)",
     )
     batch.add_argument(
         "--verify", action="store_true",
@@ -644,7 +688,13 @@ def main(argv=None) -> int:
         "--chaos", action="append", default=None, metavar="SPEC",
         help="inject a deterministic fault schedule (testing hook): "
         "INDEX:STAGE:KIND[:ATTEMPTS][,...] with KIND one of crash|hang|"
-        "kill and ATTEMPTS N, A-B, or * (default)",
+        "kill|noise and ATTEMPTS N, A-B, or * (default)",
+    )
+    batch.add_argument(
+        "--kill-worker", action="append", default=None, metavar="SPEC",
+        help="chaos hook for --isolate=pool: SIGKILL a worker at the "
+        "dispatch of INDEX[:ATTEMPT[:WORKER]] (default attempt 0, default "
+        "worker: whichever received the dispatch)",
     )
     batch.add_argument(
         "--prelude", action="store_true",

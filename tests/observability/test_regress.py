@@ -207,7 +207,7 @@ class TestCliGate:
         monkeypatch.chdir(tmp_path)
         code = main([
             "bench", "--rounds", "1", "--fuzz-mutants", "0",
-            "--tag", "t1", "--json",
+            "--isolation-rounds", "0", "--tag", "t1", "--json",
         ])
         assert code == EXIT_OK
         payload = json.loads(capsys.readouterr().out)
@@ -225,10 +225,34 @@ class TestCliGate:
         # comparison is produced with every benchmark paired.
         code = main([
             "bench", "--rounds", "1", "--fuzz-mutants", "0",
-            "--tag", "t2", "--compare", str(record_file),
-            "--threshold", "1000",
+            "--isolation-rounds", "0", "--tag", "t2",
+            "--compare", str(record_file), "--threshold", "1000",
         ])
         out = capsys.readouterr().out
         assert code == EXIT_OK
         assert "bench trajectory: t1 -> t2" in out
         assert (tmp_path / "BENCH_t2.json").exists()
+
+
+@pytest.mark.slow
+class TestIsolationBenchmark:
+    def test_pool_beats_subprocess_wall_clock(self):
+        # The pool's reason to exist, measured: the subprocess wall spawns
+        # one interpreter per file, the pool spawns two workers per batch
+        # and reuses them warm.  Over the examples/fg corpus the pool must
+        # win on wall-clock, not just in principle.
+        rows = regress.isolation_benchmark_rows(rounds=2)
+        medians = {row["name"]: row["median_s"] for row in rows}
+        assert set(medians) == {
+            "batch.isolate_subprocess", "batch.isolate_pool",
+        }
+        assert medians["batch.isolate_pool"] \
+            < medians["batch.isolate_subprocess"]
+
+    def test_rows_ride_the_regression_gate_shape(self):
+        rows = regress.isolation_benchmark_rows(rounds=1)
+        for row in rows:
+            assert row["group"] == "isolation"
+            assert isinstance(row["median_s"], float)
+            record = regress.build_record("t", rows)
+            assert regress.compare_records(record, record).ok

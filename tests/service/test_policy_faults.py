@@ -7,9 +7,11 @@ from repro.service import (
     CHAOS_KINDS,
     FAULT_CRASH,
     FAULT_DEADLINE,
+    FAULT_WORKER_LOST,
     FaultSchedule,
     FaultSpec,
     RetryPolicy,
+    WorkerKillSpec,
     is_retryable,
 )
 
@@ -39,6 +41,9 @@ class TestTaxonomy:
     def test_transient_faults_are_retryable(self):
         assert is_retryable(FAULT_DEADLINE)
         assert is_retryable(FAULT_CRASH)
+        # A lost pool worker is transient: the replacement usually
+        # completes the retry.
+        assert is_retryable(FAULT_WORKER_LOST)
 
     def test_diagnosed_programs_are_not_faults(self):
         # A type error is a result, not a fault: never retried.
@@ -56,6 +61,12 @@ class TestBatchPolicy:
             BatchPolicy(isolate="container")
         with pytest.raises(ValueError):
             BatchPolicy(deadline_ms=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(pool_workers=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_respawns=-1)
+        with pytest.raises(ValueError):
+            BatchPolicy(heartbeat_ms=0)
 
     def test_effective_limits_fold_in_the_deadline(self):
         policy = BatchPolicy(deadline_ms=250.0)
@@ -67,6 +78,24 @@ class TestBatchPolicy:
 
         policy = BatchPolicy(jobs=4, deadline_ms=100.0, isolate="subprocess")
         assert json.dumps(policy.to_json()) == json.dumps(policy.to_json())
+
+    def test_policy_echo_projects_every_field(self):
+        """Regression: to_json used to hand-pick keys and silently dropped
+        ``Limits.deadline_ms``; the echo must pin the full configuration."""
+        from dataclasses import fields
+
+        from repro.diagnostics.limits import Limits
+
+        policy = BatchPolicy(
+            isolate="pool", pool_workers=3, max_respawns=7,
+            limits=Limits(deadline_ms=123.0),
+        )
+        blob = policy.to_json()
+        assert set(blob) == {f.name for f in fields(BatchPolicy)}
+        assert set(blob["limits"]) == {f.name for f in fields(Limits)}
+        assert blob["limits"]["deadline_ms"] == 123.0
+        assert blob["pool_workers"] == 3
+        assert blob["max_respawns"] == 7
 
 
 class TestFaultSpec:
@@ -90,7 +119,41 @@ class TestFaultSpec:
         assert FaultSpec.from_json(spec.to_json()) == spec
 
     def test_kinds_stable(self):
-        assert CHAOS_KINDS == ("crash", "hang", "kill")
+        assert CHAOS_KINDS == ("crash", "hang", "kill", "noise")
+
+
+class TestWorkerKillSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerKillSpec(index=-1)
+        with pytest.raises(ValueError):
+            WorkerKillSpec(index=0, attempt=-1)
+
+    def test_applies_is_keyed_to_file_and_attempt(self):
+        spec = WorkerKillSpec(index=3, attempt=1)
+        assert spec.applies(3, 1)
+        assert not spec.applies(3, 0)
+        assert not spec.applies(2, 1)
+
+    def test_json_round_trip(self):
+        spec = WorkerKillSpec(index=2, attempt=1, worker=0)
+        assert WorkerKillSpec.from_json(spec.to_json()) == spec
+
+    def test_parse_cli_forms(self):
+        assert WorkerKillSpec.parse("4") == WorkerKillSpec(index=4)
+        assert WorkerKillSpec.parse("4:1") == WorkerKillSpec(4, attempt=1)
+        assert WorkerKillSpec.parse("4:1:0") == WorkerKillSpec(4, 1, 0)
+        with pytest.raises(ValueError):
+            WorkerKillSpec.parse("a:b")
+        with pytest.raises(ValueError):
+            WorkerKillSpec.parse("1:2:3:4")
+
+    def test_schedule_round_trip_with_kills(self):
+        schedule = FaultSchedule(
+            specs=(FaultSpec(0, "check", "crash"),),
+            kills=(WorkerKillSpec(index=1), WorkerKillSpec(2, 1, 0)),
+        )
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
 
 
 class TestScheduleParsing:

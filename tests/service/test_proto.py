@@ -1,0 +1,94 @@
+"""Units for the framed worker-result protocol (:mod:`repro.service.proto`).
+
+Pure byte-level tests — no subprocesses.  The protocol's whole reason to
+exist is surviving a scribbled-on channel, so the resynchronization and
+partial-read paths get the attention.
+"""
+
+import os
+
+import pytest
+
+from repro.service import proto
+
+
+def test_round_trip_through_a_pipe():
+    r, w = os.pipe()
+    try:
+        proto.write_frame_fd(w, {"hello": [1, 2, 3]})
+        proto.write_frame_fd(w, {"bye": None})
+        assert proto.read_frame_fd(r) == {"hello": [1, 2, 3]}
+        assert proto.read_frame_fd(r) == {"bye": None}
+        os.close(w)
+        assert proto.read_frame_fd(r) is None  # clean EOF
+    finally:
+        os.close(r)
+
+
+def test_magic_is_not_valid_utf8():
+    # The preamble must be self-distinguishing from accidental text.
+    with pytest.raises(UnicodeDecodeError):
+        proto.MAGIC.decode("utf-8")
+
+
+def test_extract_frame_resyncs_past_stray_text():
+    data = b"oops, someone printed this\n" + proto.encode_frame({"ok": 1})
+    message, rest = proto.extract_frame(data)
+    assert message == {"ok": 1}
+    assert rest == b""
+
+
+def test_extract_frame_handles_incomplete_input():
+    wire = proto.encode_frame({"k": "v"})
+    message, rest = proto.extract_frame(wire[:-2])
+    assert message is None
+    assert rest == wire[:-2]
+    message, _ = proto.extract_frame(rest + wire[-2:])
+    assert message == {"k": "v"}
+
+
+def test_frame_reader_reassembles_byte_by_byte():
+    wire = proto.encode_frame({"a": 1}) + proto.encode_frame({"b": 2})
+    reader = proto.FrameReader()
+    seen = []
+    for i in range(len(wire)):
+        seen.extend(reader.feed(wire[i:i + 1]))
+    assert seen == [{"a": 1}, {"b": 2}]
+    assert reader.pending == 0
+
+
+def test_frame_reader_skips_junk_between_frames():
+    wire = (b"junk" + proto.encode_frame({"a": 1})
+            + b"more junk" + proto.encode_frame({"b": 2}))
+    reader = proto.FrameReader()
+    assert list(reader.feed(wire)) == [{"a": 1}, {"b": 2}]
+
+
+def test_oversized_frame_is_rejected_not_buffered():
+    import struct
+
+    bogus = proto.MAGIC + struct.pack(">I", proto.MAX_FRAME + 1) + b"x"
+    with pytest.raises(proto.FrameError):
+        proto.extract_frame(bogus)
+    with pytest.raises(proto.FrameError):
+        proto.encode_frame({"blob": "x" * (proto.MAX_FRAME + 1)})
+
+
+def test_truncated_stream_raises_not_hangs():
+    r, w = os.pipe()
+    try:
+        wire = proto.encode_frame({"k": "v"})
+        os.write(w, wire[:-3])
+        os.close(w)
+        with pytest.raises(proto.FrameError):
+            proto.read_frame_fd(r)
+    finally:
+        os.close(r)
+
+
+def test_corrupt_payload_is_a_frame_error():
+    import struct
+
+    bogus = proto.MAGIC + struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+    with pytest.raises(proto.FrameError):
+        proto.extract_frame(bogus)

@@ -110,3 +110,41 @@ class TestCircuitBreaker:
     def test_breaker_does_not_open_for_successes(self):
         report = check_batch([GOOD], BatchPolicy(quarantine_after=1))
         assert not report.files[0].quarantined
+
+    def test_success_after_failures_ends_clean_and_unquarantined(self):
+        # The breaker counts *consecutive* failures: a success terminates
+        # the loop before the count can reach quarantine_after, so a
+        # transient fault that a retry outruns never quarantines — even
+        # when the breaker is one failure away from opening.
+        outcome = one_file_batch(
+            BatchPolicy(
+                retry=RetryPolicy(max_retries=3), quarantine_after=2,
+            ),
+            FaultSchedule(specs=(
+                FaultSpec(0, "check", "crash", attempts=frozenset({0})),
+            )),
+        )
+        assert outcome.status == "ok" and outcome.ok
+        assert not outcome.quarantined
+        assert [a.status for a in outcome.attempts] == ["crash", "ok"]
+
+    def test_quarantine_after_one_trips_on_first_failure(self):
+        # The most aggressive breaker: the first failure quarantines
+        # immediately, consuming none of the (ample) retry budget.
+        outcome = one_file_batch(
+            BatchPolicy(
+                retry=RetryPolicy(max_retries=50), quarantine_after=1,
+            ),
+            FaultSchedule(specs=(
+                FaultSpec(0, "check", "crash", attempts=frozenset({0})),
+            )),
+        )
+        assert outcome.quarantined
+        assert outcome.status == "crash"
+        assert len(outcome.attempts) == 1  # no retry consumed
+        # The record shows the breaker, not the budget, ended the loop:
+        # the fault was retryable and budget remained, yet no backoff was
+        # scheduled because the attempt was final.
+        only = outcome.attempts[0]
+        assert only.retryable
+        assert only.backoff_ms == 0.0

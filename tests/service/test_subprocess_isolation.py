@@ -51,6 +51,19 @@ def test_interpreter_killing_fault_is_contained_with_wait_status():
     assert result.crash.where == "subprocess"
 
 
+def test_stray_stdout_cannot_corrupt_the_result_channel():
+    # Regression: the result used to be bare JSON on stdout, which any
+    # stray print corrupted.  The child now claims stdout for a framed
+    # protocol and reroutes fd 1 to stderr, so an injected mid-check
+    # "noise" print leaves the result intact and parseable.
+    spec = FaultSpec(0, "check", "noise")
+    result = run_attempt_subprocess(
+        TINY[1], TINY[0], {}, [], (spec,), 0.5, deadline_ms=30_000.0,
+    )
+    assert result.status == "ok"
+    assert result.crash is None
+
+
 def test_deadline_kills_a_hung_child():
     spec = FaultSpec(0, "check", "hang")
     result = run_attempt_subprocess(

@@ -85,6 +85,23 @@ class TestBatchExitCodes:
         )
         assert code == EXIT_USAGE
 
+    def test_kill_worker_outside_pool_mode_is_usage_error(
+            self, capsys, corpus):
+        # Silently ignoring the kill schedule would make a chaos run
+        # vacuously green; demand the mode that can honor it.
+        code, _, err = run_cli(
+            capsys, "batch", str(corpus / "a.fg"), "--kill-worker", "0",
+        )
+        assert code == EXIT_USAGE
+        assert "--isolate=pool" in err
+
+    def test_bad_kill_worker_spec_is_usage_error(self, capsys, corpus):
+        code, _, _ = run_cli(
+            capsys, "batch", str(corpus / "a.fg"),
+            "--isolate=pool", "--kill-worker", "not-a-spec",
+        )
+        assert code == EXIT_USAGE
+
 
 class TestBatchReportOutput:
     def test_directory_expansion_is_sorted_and_recursive(

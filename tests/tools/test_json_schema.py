@@ -25,7 +25,10 @@ RESOLUTION_KEYS = {"concept", "args", "phase", "location", "scope_size",
                    "equalities_in_scope", "resolved", "candidates",
                    "refinements"}
 BATCH_ENVELOPE = {"schema", "files", "policy", "rollup", "quarantine",
-                  "exit_code", "elapsed_ms"}
+                  "exit_code", "elapsed_ms", "pool"}
+POOL_KEYS = {"workers", "spawned", "respawns", "worker_lost",
+             "deadline_kills", "retired", "degraded", "steals",
+             "heartbeat_misses", "warm_ms"}
 BATCH_FILE_KEYS = {"file", "index", "status", "ok", "quarantined",
                    "attempts", "diagnostics", "severities", "rendered",
                    "crash"}
@@ -123,3 +126,19 @@ class TestBatchEnvelope:
         )
         assert set(blob) == BATCH_ENVELOPE | {"stats"}
         assert {"counters", "histograms"} <= set(blob["stats"])
+
+    def test_pool_block_absent_outside_pool_mode(self, blob):
+        assert blob["pool"] is None
+
+    @pytest.mark.slow
+    def test_pool_block_is_pinned(self, capsys, tmp_path):
+        (tmp_path / "ok.fg").write_text("iadd(1, 2)")
+        (tmp_path / "also.fg").write_text("iadd(3, 4)")
+        code, blob = run_json(
+            capsys, "batch", str(tmp_path), "--isolate=pool",
+            "--pool-workers", "2", "--json",
+        )
+        assert code == 0
+        assert set(blob) == BATCH_ENVELOPE
+        assert set(blob["pool"]) == POOL_KEYS
+        assert blob["pool"]["workers"] == 2
