@@ -416,6 +416,68 @@ def isolation_benchmark_rows(
     return rows
 
 
+def serve_benchmark_rows(
+    rounds: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Time a warm ``fg serve`` round trip against the isolation corpus.
+
+    ``batch.isolate_pool`` pays ``pool_workers`` interpreter spawns *per
+    batch*; the daemon pays them once per lifetime.  This row times a full
+    client round trip (connect, frame, check on the already-warm pool,
+    response) against the same corpus and policy, so the pair
+    ``serve.warm_request`` vs ``batch.isolate_pool`` is the daemon's
+    amortization argument in one comparison.  One unmeasured warm-up
+    request runs first so every measured round hits warm workers.
+    """
+    import os
+    import tempfile
+    import threading
+
+    from repro.service import (
+        BatchPolicy,
+        RetryPolicy,
+        ServeOptions,
+        Server,
+        check_remote,
+        request_shutdown,
+    )
+
+    items = _isolation_corpus()
+    policy = BatchPolicy(
+        jobs=2, deadline_ms=30_000.0, retry=RetryPolicy(max_retries=0),
+        isolate="pool", pool_workers=2,
+    )
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(
+        prefix="fgbench", dir="/tmp"  # AF_UNIX paths must stay short
+    ) as tmp:
+        options = ServeOptions(socket_path=os.path.join(tmp, "fg.sock"))
+        server = Server(policy, options)
+        thread = threading.Thread(target=server.serve, daemon=True)
+        thread.start()
+        if not server.ready.wait(20.0):
+            raise RuntimeError("bench daemon never became ready")
+        try:
+            check_remote(options.socket_path, items, timeout=120.0)
+            if progress:
+                progress(f"bench serve.warm_request ({rounds} rounds, "
+                         f"{len(items)} files)")
+
+            def run() -> None:
+                response = check_remote(
+                    options.socket_path, items, timeout=120.0,
+                )
+                assert response.get("type") == "report", response
+
+            rows.append(_timed_row("serve.warm_request", "isolation",
+                                   run, rounds))
+        finally:
+            request_shutdown(options.socket_path)
+            thread.join(timeout=30.0)
+    return rows
+
+
 def _timed_row(name: str, group: str, fn: Callable[[], None],
                rounds: int) -> Dict[str, object]:
     samples: List[float] = []
@@ -448,8 +510,9 @@ def run_bench_suite(
     the one fully observed run's ``metrics``/``profile``/``memory_peak_kb``
     for :func:`build_record`.  Deterministic work, wall-clock timings.
     ``isolation_rounds`` controls the subprocess-vs-pool batch comparison
-    (:func:`isolation_benchmark_rows`); it spawns real worker processes,
-    so ``0`` skips it.
+    (:func:`isolation_benchmark_rows`) and the warm-daemon round trip
+    (:func:`serve_benchmark_rows`); both spawn real worker processes, so
+    ``0`` skips them.
     """
     from repro.diagnostics.limits import resource_scope
     from repro.observability import (
@@ -504,6 +567,7 @@ def run_bench_suite(
     # fence is per-process policy, not something to time the pool against.
     if isolation_rounds > 0:
         rows.extend(isolation_benchmark_rows(isolation_rounds, progress))
+        rows.extend(serve_benchmark_rows(isolation_rounds, progress))
     instrumented = {
         "metrics": outcome.stats,
         "profile": profile_tracer(inst.tracer).to_json(),

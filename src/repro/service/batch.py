@@ -54,6 +54,7 @@ def check_batch(
     *,
     instrumentation: Optional[Instrumentation] = None,
     fault_schedule: Optional[FaultSchedule] = None,
+    pool=None,
 ) -> BatchReport:
     """Check every ``(filename, text)`` pair under the batch policy.
 
@@ -62,6 +63,10 @@ def check_batch(
     declarative injected faults replayed deterministically (and shipped to
     subprocess workers as JSON).  Ambient :func:`~repro.pipeline.inject_fault`
     state from the calling thread is propagated into every worker attempt.
+
+    ``pool`` is an optional :class:`~repro.service.pool.PersistentPool`
+    (the serve daemon's): with ``isolate="pool"`` the batch borrows its
+    warm workers instead of spawning and tearing down a fresh pool.
     """
     from repro.pipeline import current_faults
 
@@ -87,7 +92,14 @@ def check_batch(
         "service.check_batch",
         files=len(items), jobs=policy.jobs, isolate=policy.isolate,
     ):
-        if policy.isolate == "pool":
+        if policy.isolate == "pool" and pool is not None:
+            outcomes, pool_stats = pool.run_batch(
+                items, policy,
+                schedule=fault_schedule,
+                ambient=ambient,
+                serialized_ambient=serialized_ambient,
+            )
+        elif policy.isolate == "pool":
             from repro.service.pool import run_pool_batch
 
             outcomes, pool_stats = run_pool_batch(

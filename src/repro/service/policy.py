@@ -137,3 +137,30 @@ class BatchPolicy:
             else:
                 blob[spec.name] = value
         return blob
+
+    @classmethod
+    def from_json(cls, blob: Dict[str, object]) -> "BatchPolicy":
+        """Rebuild a policy from its :meth:`to_json` echo — exactly.
+
+        The serve daemon's journal stores the *resolved* policy of every
+        admitted request; replay after a crash reconstructs it with this,
+        and ``from_json(p.to_json()).to_json() == p.to_json()`` is the
+        round-trip contract that makes resumed reports byte-identical
+        (pinned by ``tests/service/test_journal.py``).  Unknown keys are
+        rejected loudly — a journal written by a newer policy must not
+        silently replay under a truncated one.
+        """
+        from dataclasses import fields
+
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(blob) - known
+        if unknown:
+            raise ValueError(
+                f"unknown BatchPolicy field(s) in echo: {sorted(unknown)}"
+            )
+        kwargs: Dict[str, object] = dict(blob)
+        if "retry" in kwargs:
+            kwargs["retry"] = RetryPolicy(**kwargs["retry"])
+        if kwargs.get("limits") is not None:
+            kwargs["limits"] = Limits(**kwargs["limits"])
+        return cls(**kwargs)

@@ -226,6 +226,80 @@ class _WorkerSlot:
         return self.proc is not None and self.proc.poll() is None
 
 
+def _init_frame(policy: BatchPolicy) -> Dict[str, object]:
+    return {
+        "type": "init",
+        "prelude": policy.prelude,
+        "ext": policy.ext,
+    }
+
+
+def _spawn_process(slot: _WorkerSlot, policy: BatchPolicy) -> None:
+    """Spawn a worker process into the slot: pipes, child, reader state.
+
+    Failure-path contract (the warm-up audit): if *any* step raises —
+    ``os.pipe`` under fd pressure, ``Popen`` under memory pressure —
+    every resource created so far is released before the exception
+    propagates, so a half-spawned slot never leaks pipes or a child.
+    The caller still owns sending the init frame (its error handling
+    differs between the batch supervisor and the persistent pool).
+    """
+    task_r = task_w = result_r = result_w = -1
+    proc: Optional[subprocess.Popen] = None
+    try:
+        task_r, task_w = os.pipe()
+        result_r, result_w = os.pipe()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.subproc", "--serve",
+             "--task-fd", str(task_r), "--result-fd", str(result_w),
+             "--heartbeat-ms", str(policy.heartbeat_ms)],
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            pass_fds=(task_r, result_w),
+            env=_child_env(),
+        )
+    except BaseException:
+        for fd in (task_r, task_w, result_r, result_w):
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        if proc is not None:
+            proc.kill()
+            proc.wait()
+        raise
+    os.close(task_r)
+    os.close(result_w)
+    os.set_blocking(result_r, False)
+    slot.proc = proc
+    slot.task_w = task_w
+    slot.result_r = result_r
+    slot.reader = proto.FrameReader()
+    slot.warmed = False
+    slot.retired = False
+    slot.last_beat = time.monotonic()
+
+
+def _release_slot_fds(slot: _WorkerSlot) -> None:
+    """Close the slot's pipe ends and reset its reader (selector handling,
+    if any, is the caller's business)."""
+    if slot.result_r >= 0:
+        try:
+            os.close(slot.result_r)
+        except OSError:
+            pass
+        slot.result_r = -1
+    if slot.task_w >= 0:
+        try:
+            os.close(slot.task_w)
+        except OSError:
+            pass
+        slot.task_w = -1
+    slot.reader = proto.FrameReader()
+
+
 class _Supervisor:
     """Single-threaded event loop owning the worker slots.
 
@@ -233,6 +307,14 @@ class _Supervisor:
     delays are modelled as per-task ``ready_at`` instants folded into the
     select timeout, never as sleeps, so one backing-off file cannot stall
     the others.
+
+    With ``slots`` passed in (the serve daemon's
+    :class:`PersistentPool`), the supervisor *borrows* the workers: it
+    registers their pipes for the duration of one batch and detaches at
+    the end instead of spawning and shutting down — warm workers carry
+    over to the next batch.  Losses and deadline kills are handled
+    identically either way (a respawn replaces the process in the shared
+    slot).
     """
 
     def __init__(
@@ -244,6 +326,7 @@ class _Supervisor:
         ambient: Dict[str, object],
         serialized_ambient: List[Dict[str, str]],
         tracer,
+        slots: Optional[List[_WorkerSlot]] = None,
     ):
         self.policy = policy
         self.schedule = schedule
@@ -259,8 +342,17 @@ class _Supervisor:
             "verify": policy.verify,
             "evaluate": policy.evaluate,
         }
-        n_workers = max(1, min(policy.pool_workers, len(items)))
-        self.slots = [_WorkerSlot(i) for i in range(n_workers)]
+        if slots is None:
+            n_workers = max(1, min(policy.pool_workers, len(items)))
+            self.slots = [_WorkerSlot(i) for i in range(n_workers)]
+            self._managed = True
+        else:
+            self.slots = list(slots)
+            n_workers = max(1, len(self.slots))
+            self._managed = False
+            for slot in self.slots:
+                slot.queue.clear()
+                slot.current = None
         self.tasks = [
             _TaskState(index, filename, text, index % n_workers)
             for index, (filename, text) in enumerate(items)
@@ -290,35 +382,11 @@ class _Supervisor:
     # -- lifecycle ----------------------------------------------------------
 
     def _spawn(self, slot: _WorkerSlot) -> None:
-        task_r, task_w = os.pipe()
-        result_r, result_w = os.pipe()
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.service.subproc", "--serve",
-             "--task-fd", str(task_r), "--result-fd", str(result_w),
-             "--heartbeat-ms", str(self.policy.heartbeat_ms)],
-            stdin=subprocess.DEVNULL,
-            stdout=subprocess.DEVNULL,
-            stderr=subprocess.DEVNULL,
-            pass_fds=(task_r, result_w),
-            env=_child_env(),
-        )
-        os.close(task_r)
-        os.close(result_w)
-        os.set_blocking(result_r, False)
-        slot.proc = proc
-        slot.task_w = task_w
-        slot.result_r = result_r
-        slot.reader = proto.FrameReader()
-        slot.warmed = False
-        slot.last_beat = time.monotonic()
-        self.sel.register(result_r, selectors.EVENT_READ, slot)
+        _spawn_process(slot, self.policy)
+        self.sel.register(slot.result_r, selectors.EVENT_READ, slot)
         self.stats.spawned += 1
         try:
-            proto.write_frame_fd(task_w, {
-                "type": "init",
-                "prelude": self.policy.prelude,
-                "ext": self.policy.ext,
-            })
+            proto.write_frame_fd(slot.task_w, _init_frame(self.policy))
         except OSError:
             self._handle_worker_loss(slot, salvage=False)
 
@@ -328,15 +396,7 @@ class _Supervisor:
                 self.sel.unregister(slot.result_r)
             except (KeyError, ValueError):
                 pass
-            os.close(slot.result_r)
-            slot.result_r = -1
-        if slot.task_w >= 0:
-            try:
-                os.close(slot.task_w)
-            except OSError:
-                pass
-            slot.task_w = -1
-        slot.reader = proto.FrameReader()
+        _release_slot_fds(slot)
 
     def _reap(self, slot: _WorkerSlot) -> Optional[int]:
         if slot.proc is None:
@@ -615,14 +675,42 @@ class _Supervisor:
 
     # -- the loop -----------------------------------------------------------
 
+    def _attach(self) -> None:
+        """Register borrowed (persistent-pool) slots with this batch's
+        selector and restart their heartbeat clocks."""
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.result_r >= 0:
+                self.sel.register(slot.result_r, selectors.EVENT_READ, slot)
+                slot.last_beat = now
+
+    def _detach(self) -> None:
+        """Unhook borrowed slots without killing them: the workers stay
+        warm for the owner's next batch; only the selector dies."""
+        for slot in self.slots:
+            if slot.result_r >= 0:
+                try:
+                    self.sel.unregister(slot.result_r)
+                except (KeyError, ValueError):
+                    pass
+            slot.current = None
+            slot.queue.clear()
+        self.sel.close()
+
     def run(self) -> Tuple[List[FileOutcome], PoolStats]:
         with self.tracer.span(
             "pool.supervise",
             workers=len(self.slots), tasks=len(self.tasks),
         ):
-            for slot in self.slots:
-                self._spawn(slot)
+            # Spawning happens *inside* the try: if spawn k of n raises
+            # (fd exhaustion, fork failure), the ``finally`` still kills
+            # and reaps workers 0..k-1 instead of leaking them.
             try:
+                if self._managed:
+                    for slot in self.slots:
+                        self._spawn(slot)
+                else:
+                    self._attach()
                 while self.done_count < len(self.tasks):
                     if not any(
                         not s.retired and s.alive for s in self.slots
@@ -634,7 +722,10 @@ class _Supervisor:
                         self._drain(key.data)
                     self._check_watchdogs()
             finally:
-                self._shutdown()
+                if self._managed:
+                    self._shutdown()
+                else:
+                    self._detach()
             for slot in self.slots:
                 with self.tracer.span(
                     "pool.worker",
@@ -673,3 +764,138 @@ def run_pool_batch(
         tracer=tracer,
     )
     return supervisor.run()
+
+
+class PersistentPool:
+    """Worker slots that outlive any single batch — the warm half of the
+    ``fg serve`` daemon.
+
+    Each :meth:`run_batch` borrows the slots for one supervised batch
+    (losses, deadline kills, and respawns behave exactly as in one-shot
+    pool mode) and hands the surviving warm workers back.  Between
+    batches :meth:`ensure` revives dead or retired seats and
+    :meth:`flush` consumes idle chatter (heartbeats, late hellos) so the
+    64 KiB pipe never fills while the daemon sits idle.
+
+    The slot count is fixed at construction from ``policy.pool_workers``
+    — per-request policies cannot resize the pool, which keeps the
+    report's ``workers`` stat identical between a resumed replay and the
+    uninterrupted run.
+    """
+
+    def __init__(self, policy: BatchPolicy, tracer=NULL_TRACER):
+        self.policy = policy
+        self.tracer = tracer
+        self.slots = [_WorkerSlot(i)
+                      for i in range(max(1, policy.pool_workers))]
+        self.closed = False
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for slot in self.slots if slot.alive)
+
+    def ensure(self) -> int:
+        """Spawn a worker into every empty or dead seat; returns how many
+        were (re)spawned."""
+        if self.closed:
+            raise RuntimeError("pool is closed")
+        spawned = 0
+        for slot in self.slots:
+            if slot.alive:
+                continue
+            if slot.proc is not None:
+                try:
+                    slot.proc.wait(timeout=0)
+                except subprocess.TimeoutExpired:
+                    slot.proc.kill()
+                    slot.proc.wait()
+                slot.proc = None
+            _release_slot_fds(slot)
+            try:
+                _spawn_process(slot, self.policy)
+                proto.write_frame_fd(slot.task_w, _init_frame(self.policy))
+            except OSError:
+                # A seat that cannot spawn right now stays empty; the
+                # borrowed-slot supervisor treats it as lost and the next
+                # ensure() tries again.
+                continue
+            spawned += 1
+        return spawned
+
+    def flush(self) -> None:
+        """Consume idle-time frames (heartbeats, hellos) from every live
+        worker.  Frames are parsed, not discarded raw: a hello that lands
+        between batches must still mark its slot warmed."""
+        for slot in self.slots:
+            if slot.result_r < 0:
+                continue
+            while True:
+                try:
+                    chunk = os.read(slot.result_r, 65536)
+                except (BlockingIOError, OSError):
+                    break
+                if chunk == b"":
+                    break  # worker died; ensure() revives the seat
+                try:
+                    for frame in slot.reader.feed(chunk):
+                        if frame.get("type") == "hello":
+                            slot.warmed = True
+                except proto.FrameError:
+                    slot.reader = proto.FrameReader()
+                    break
+
+    def run_batch(
+        self,
+        items: Sequence[Tuple[str, str]],
+        policy: BatchPolicy,
+        *,
+        schedule: Optional[FaultSchedule] = None,
+        ambient: Optional[Dict[str, object]] = None,
+        serialized_ambient: Optional[List[Dict[str, str]]] = None,
+    ) -> Tuple[List[FileOutcome], PoolStats]:
+        """One batch on the warm workers; same contract as
+        :func:`run_pool_batch`."""
+        if self.closed:
+            raise RuntimeError("pool is closed")
+        if not items:
+            return [], PoolStats(workers=len(self.slots))
+        self.ensure()
+        self.flush()
+        supervisor = _Supervisor(
+            items, policy,
+            schedule=schedule,
+            ambient=ambient if ambient is not None else {},
+            serialized_ambient=(
+                serialized_ambient if serialized_ambient is not None else []
+            ),
+            tracer=self.tracer,
+            slots=self.slots,
+        )
+        return supervisor.run()
+
+    def close(self) -> None:
+        """Shut every worker down: polite shutdown frame, bounded wait,
+        then kill.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        for slot in self.slots:
+            if slot.task_w >= 0:
+                try:
+                    proto.write_frame_fd(slot.task_w, {"type": "shutdown"})
+                except OSError:
+                    pass
+            _release_slot_fds(slot)
+            if slot.proc is not None:
+                try:
+                    slot.proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    slot.proc.kill()
+                    slot.proc.wait()
+                slot.proc = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

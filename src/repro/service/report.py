@@ -33,15 +33,25 @@ TIMING_FIELDS = frozenset({"duration_ms", "elapsed_ms"})
 #: whether a heartbeat squeaked in) rather than on the input/policy/chaos
 #: triple; stripped from the canonical digest alongside the timing fields.
 #: ``respawns``, ``worker_lost``, and ``degraded`` are *not* here — those
-#: are part of the deterministic chaos contract.
-VOLATILE_POOL_FIELDS = frozenset({"steals", "heartbeat_misses", "warm_ms"})
+#: are part of the deterministic chaos contract.  ``spawned`` joined the
+#: volatile set with the serve daemon's persistent pool: a warm pool runs
+#: a batch with zero fresh spawns where a cold one spawns every slot, and
+#: the canonical report must not depend on which daemon lifetime served
+#: the request.
+VOLATILE_POOL_FIELDS = frozenset(
+    {"steals", "heartbeat_misses", "warm_ms", "spawned"}
+)
 
-#: Extended exit codes for ``fg batch`` (0–3 shared with the single-file
-#: contract; see docs/DIAGNOSTICS.md).
+#: Extended exit codes for ``fg batch`` / ``fg client`` (0–3 shared with
+#: the single-file contract; see docs/DIAGNOSTICS.md).
 EXIT_OK = 0
 EXIT_DIAGNOSTICS = 1
 EXIT_DEADLINE = 4
 EXIT_PARTIAL = 5
+#: ``fg client`` only: the serve daemon shed the request at admission
+#: (bounded queue full, or draining); the response carries a
+#: deterministic ``retry_after_ms`` hint.
+EXIT_OVERLOAD = 6
 
 
 @dataclass(frozen=True)
@@ -217,9 +227,7 @@ class BatchReport:
     def canonical_json(self) -> str:
         """The determinism surface: JSON with timing and scheduling-volatile
         fields stripped."""
-        return json.dumps(
-            _strip_timings(self.to_json()), sort_keys=True, indent=None
-        )
+        return canonicalize(self.to_json())
 
     def render(self) -> str:
         """Human-readable per-file table + rollup (the non-JSON CLI view)."""
@@ -264,6 +272,19 @@ class BatchReport:
 
 
 _NONCANONICAL_FIELDS = TIMING_FIELDS | VOLATILE_POOL_FIELDS
+
+
+def canonicalize(report_json) -> str:
+    """Canonical form of an already-projected report dict.
+
+    The serve daemon ships ``BatchReport.to_json()`` envelopes over the
+    wire and into the journal; this is :meth:`BatchReport.canonical_json`
+    for consumers that only hold the JSON — same stripping, same key
+    order, byte-identical output.
+    """
+    return json.dumps(
+        _strip_timings(report_json), sort_keys=True, indent=None
+    )
 
 
 def _strip_timings(value):

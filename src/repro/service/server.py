@@ -1,0 +1,694 @@
+"""The ``fg serve`` daemon: a resilient socket front end for batch checking.
+
+One long-lived process owns a :class:`~repro.service.pool.PersistentPool`
+of warm workers and serves check requests over a Unix-domain stream socket
+using the framed protocol from :mod:`repro.service.proto` — the same
+magic, length prefix, and junk-resync rules as the worker pipes, so a
+partial or hostile byte stream can never wedge the parser.
+
+**Threading model.**  Two threads, one direction of ownership:
+
+- the *main* thread runs a non-blocking ``selectors`` loop over the
+  listener, every client connection, and a self-pipe; it owns admission
+  (the bounded queue), connection lifecycle (including disconnect and
+  slow-loris idle close), and all socket I/O;
+- the *executor* thread pops admitted requests one at a time and runs
+  :func:`~repro.service.check_batch` on the warm pool, journaling
+  ``done`` records and pushing responses back through the self-pipe.
+
+**Admission control.**  The queue is bounded (``max_queue``); a request
+arriving over the bound is shed immediately with an ``overload`` response
+carrying a deterministic ``retry_after_ms = retry_after_base_ms *
+(queued + in_flight)`` hint — load shedding is a *policy*, not an
+accident of buffer sizes.  A request whose own ``deadline_ms`` expires
+while still queued is shed with a ``shed`` response (the work never
+started; the journal records a ``cancel``).
+
+**Deadline composition.**  A request may carry policy overrides including
+``deadline_ms``; the effective per-task deadline is the *minimum* of the
+server's configured deadline and the request's — computed once at
+admission from static values, so the policy echo in the report (and hence
+the canonical digest) is identical whether the request runs immediately,
+queued, or replayed after a crash.
+
+**Graceful drain.**  SIGTERM/SIGINT set a flag through
+:func:`~repro.service.signals.notify_on_termination` and poke the
+self-pipe.  A draining server stops admitting (``draining`` responses),
+finishes every already-admitted request, flushes the responses, and exits
+0.  Clients that disconnect while their request is queued get it
+cancelled (journal ``cancel``); a disconnect with the request in flight
+orphans it — the batch completes and is journaled, only the response is
+dropped, and the pool is never poisoned mid-task.
+
+**Crash safety.**  Every admitted request writes a journal ``begin``
+before it can run and a ``done``/``cancel`` after
+(:mod:`repro.service.journal`).  A SIGKILLed daemon restarted with
+``--resume`` replays the journal, truncates any torn tail, and re-runs
+exactly the unfinished requests; determinism of the checking stack makes
+the resumed canonical reports byte-identical to the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import selectors
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability import Instrumentation, NULL_TRACER
+from repro.service import journal as journal_mod
+from repro.service import proto
+from repro.service.batch import check_batch
+from repro.service.faults import FaultSchedule
+from repro.service.journal import (
+    Journal,
+    begin_record,
+    cancel_record,
+    done_record,
+    report_digest,
+)
+from repro.service.policy import BatchPolicy
+from repro.service.pool import PersistentPool
+from repro.service.signals import notify_on_termination
+
+#: Request frame types a client may send.
+REQUEST_TYPES = ("batch", "health", "shutdown")
+
+#: Response frame types that end a request (everything except "accepted").
+TERMINAL_RESPONSES = (
+    "report", "overload", "shed", "draining", "error", "health", "shutdown"
+)
+
+
+class ServeError(Exception):
+    """The daemon cannot start (bad socket path, live sibling, ...)."""
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Everything about the daemon that is not the batch policy."""
+
+    socket_path: str
+    journal_path: Optional[str] = None
+    #: Admission bound: requests beyond this many queued are shed.
+    max_queue: int = 8
+    #: Scale for the deterministic overload hint.
+    retry_after_base_ms: int = 100
+    #: Slow-loris defense: a connection idle this long with no admitted
+    #: request (stalled mid-frame, or never sent one) is closed.
+    idle_timeout_s: float = 10.0
+    #: Replay the existing journal and re-run unfinished requests before
+    #: serving.  Without it, an existing journal is rotated aside.
+    resume: bool = False
+    #: Replay, re-run, journal, and exit without ever binding the socket
+    #: (the crash-recovery verification mode used by CI).
+    resume_only: bool = False
+
+    def effective_journal_path(self) -> str:
+        return (
+            self.journal_path
+            if self.journal_path is not None
+            else self.socket_path + ".journal"
+        )
+
+
+class _Conn:
+    """One client connection owned by the main loop."""
+
+    __slots__ = ("sock", "fd", "reader", "outbuf", "last_activity",
+                 "requests", "closed")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.reader = proto.FrameReader()
+        self.outbuf = b""
+        self.last_activity = time.monotonic()
+        #: Requests this connection is waiting on (admission through
+        #: response) — the disconnect-cancellation set.
+        self.requests: List["_Request"] = []
+        self.closed = False
+
+
+class _Request:
+    """One admitted batch request, queued or in flight."""
+
+    __slots__ = ("id", "conn", "sources", "policy", "policy_json",
+                 "schedule_json", "deadline_ms", "admitted_at", "resumed")
+
+    def __init__(self, rid: int, conn: Optional[_Conn],
+                 sources: List[Tuple[str, str]], policy: BatchPolicy,
+                 policy_json: Dict[str, object],
+                 schedule_json: Optional[Dict[str, object]],
+                 deadline_ms: Optional[float], *, resumed: bool = False):
+        self.id = rid
+        self.conn = conn
+        self.sources = sources
+        self.policy = policy
+        self.policy_json = policy_json
+        self.schedule_json = schedule_json
+        self.deadline_ms = deadline_ms
+        self.admitted_at = time.monotonic()
+        self.resumed = resumed
+
+
+def resolve_policy(
+    base: BatchPolicy, overrides: Optional[Dict[str, object]]
+) -> Tuple[BatchPolicy, Dict[str, object]]:
+    """Compose the server's base policy with a request's overrides.
+
+    Overrides are applied field-wise on top of the base policy's echo,
+    except ``deadline_ms``, which composes as the *minimum* when both
+    sides set one — a client can only tighten the server's deadline,
+    never escape it.  Returns the resolved policy and its echo (which is
+    what the journal ``begin`` record stores).
+    """
+    blob = base.to_json()
+    if overrides:
+        if not isinstance(overrides, dict):
+            raise ValueError("policy overrides must be an object")
+        base_deadline = blob.get("deadline_ms")
+        request_deadline = overrides.get("deadline_ms")
+        blob = dict(blob)
+        blob.update(overrides)
+        if base_deadline is not None and request_deadline is not None:
+            blob["deadline_ms"] = min(base_deadline, request_deadline)
+    policy = BatchPolicy.from_json(blob)
+    return policy, policy.to_json()
+
+
+class Server:
+    """The daemon.  Construct, then :meth:`serve` (blocks until drained).
+
+    ``serve`` returns a summary dict: requests served, requests resumed
+    (id → digest), and journal-repair facts — the CLI prints it on exit.
+    """
+
+    def __init__(
+        self,
+        policy: BatchPolicy,
+        options: ServeOptions,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        self.policy = policy
+        self.options = options
+        self.instrumentation = instrumentation
+        self.tracer = (
+            instrumentation.tracer if instrumentation is not None
+            else NULL_TRACER
+        )
+        self.metrics = (
+            instrumentation.metrics if instrumentation is not None else None
+        )
+        self.pool: Optional[PersistentPool] = None
+        self.journal: Optional[Journal] = None
+        # Admission queue + executor handshake.
+        self.queue: collections.deque = collections.deque()
+        self.cond = threading.Condition()
+        self.current: Optional[_Request] = None
+        self.stopping = False
+        # Finished (request, response) pairs, main loop drains.
+        self.results: collections.deque = collections.deque()
+        self.draining = False
+        self.next_id = 1
+        self.served = 0
+        self.resumed_digests: Dict[int, str] = {}
+        self.truncated_bytes = 0
+        self._started_at = 0.0
+        self.sel: Optional[selectors.BaseSelector] = None
+        self.listener: Optional[socket.socket] = None
+        self.conns: Dict[int, _Conn] = {}
+        self._wake_r = -1
+        self._wake_w = -1
+        #: Set once the socket is bound and listening (tests poll it).
+        self.ready = threading.Event()
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
+    # -- journal / resume ---------------------------------------------------
+
+    def _prepare_journal(self) -> List[Dict[str, object]]:
+        """Open the journal; under ``--resume`` replay it and return the
+        unfinished ``begin`` records, otherwise rotate any stale file
+        aside so two daemon lifetimes never interleave."""
+        path = self.options.effective_journal_path()
+        unfinished: List[Dict[str, object]] = []
+        if self.options.resume or self.options.resume_only:
+            replay = journal_mod.replay(path)
+            self.truncated_bytes = replay.truncated_bytes
+            unfinished = replay.unfinished
+            self.next_id = replay.next_request_id
+        else:
+            journal_mod.rotate(path)
+        self.journal = Journal(path)
+        return unfinished
+
+    def _replay_request(self, record: Dict[str, object]) -> _Request:
+        policy = BatchPolicy.from_json(record["policy"])
+        return _Request(
+            record["request"], None,
+            [(name, text) for name, text in record["sources"]],
+            policy, record["policy"], record.get("schedule"),
+            # Queue-wait deadlines do not survive a crash: the daemon was
+            # down for an unknowable wall-clock span, and shedding on it
+            # would make resume nondeterministic.
+            None,
+            resumed=True,
+        )
+
+    # -- the executor thread ------------------------------------------------
+
+    def _run_request(self, req: _Request) -> Dict[str, object]:
+        if req.deadline_ms is not None:
+            waited_ms = (time.monotonic() - req.admitted_at) * 1000.0
+            if waited_ms > req.deadline_ms:
+                self.journal.append(cancel_record(req.id, "queue-deadline"))
+                return {"type": "shed", "request": req.id,
+                        "reason": "queue-deadline"}
+        schedule = (
+            FaultSchedule.from_json(req.schedule_json)
+            if req.schedule_json else None
+        )
+        with self.tracer.span(
+            "server.request",
+            request=req.id, files=len(req.sources), resumed=req.resumed,
+        ):
+            try:
+                report = check_batch(
+                    req.sources, req.policy,
+                    instrumentation=self.instrumentation,
+                    fault_schedule=schedule,
+                    pool=self.pool,
+                )
+            except Exception as exc:  # a bug, not an input failure
+                self.journal.append(cancel_record(
+                    req.id, f"internal: {type(exc).__name__}: {exc}"
+                ))
+                return {"type": "error", "request": req.id, "internal": True,
+                        "message": f"{type(exc).__name__}: {exc}"}
+        canonical = report.canonical_json()
+        digest = report_digest(canonical)
+        self.journal.append(done_record(
+            req.id, report.exit_code, canonical, resumed=req.resumed,
+        ))
+        self.served += 1
+        if req.resumed:
+            self.resumed_digests[req.id] = digest
+        return {
+            "type": "report",
+            "request": req.id,
+            "exit_code": report.exit_code,
+            "digest": digest,
+            "report": report.to_json(),
+        }
+
+    def _executor(self) -> None:
+        while True:
+            with self.cond:
+                while not self.queue and not self.stopping:
+                    self.cond.wait()
+                if self.stopping and not self.queue:
+                    return
+                req = self.queue.popleft()
+                self.current = req
+            response = self._run_request(req)
+            with self.cond:
+                self.current = None
+            self.results.append((req, response))
+            self._wake()
+
+    # -- self-pipe ----------------------------------------------------------
+
+    def _wake(self) -> None:
+        if self._wake_w >= 0:
+            try:
+                os.write(self._wake_w, b"w")
+            except OSError:
+                pass
+
+    def _on_signal(self, signum: int) -> None:
+        # Signal context: flag + wakeup only.
+        self.draining = True
+        self._wake()
+
+    # -- admission (main thread) --------------------------------------------
+
+    def _retry_after_ms(self) -> int:
+        in_flight = 1 if self.current is not None else 0
+        return int(
+            self.options.retry_after_base_ms * (len(self.queue) + in_flight)
+        )
+
+    def _admit(self, conn: _Conn, frame: Dict[str, object]) -> None:
+        self._inc("server.requests")
+        if self.draining:
+            self._inc("server.shed")
+            self._respond(conn, {
+                "type": "draining",
+                "retry_after_ms": self._retry_after_ms(),
+            })
+            return
+        if len(self.queue) >= self.options.max_queue:
+            self._inc("server.overload")
+            self._respond(conn, {
+                "type": "overload",
+                "retry_after_ms": self._retry_after_ms(),
+            })
+            return
+        try:
+            raw = frame.get("sources")
+            if not isinstance(raw, list) or not all(
+                isinstance(pair, (list, tuple)) and len(pair) == 2
+                and isinstance(pair[0], str) and isinstance(pair[1], str)
+                for pair in raw
+            ):
+                raise ValueError("sources must be a list of [name, text]")
+            sources = [(name, text) for name, text in raw]
+            policy, policy_json = resolve_policy(
+                self.policy, frame.get("policy")
+            )
+            schedule_json = frame.get("schedule")
+            if schedule_json is not None:
+                FaultSchedule.from_json(schedule_json)  # validate early
+        except (ValueError, TypeError, KeyError) as exc:
+            self._inc("server.errors")
+            self._respond(conn, {"type": "error", "message": str(exc)})
+            return
+        rid = self.next_id
+        self.next_id += 1
+        req = _Request(
+            rid, conn, sources, policy, policy_json, schedule_json,
+            policy.deadline_ms,
+        )
+        self.journal.append(begin_record(
+            rid, sources, policy_json, schedule_json,
+        ))
+        conn.requests.append(req)
+        with self.cond:
+            self.queue.append(req)
+            self.cond.notify()
+        self._inc("server.accepted")
+        self._respond(conn, {"type": "accepted", "request": rid,
+                             "queued": len(self.queue)})
+
+    def _health_payload(self) -> Dict[str, object]:
+        return {
+            "type": "health",
+            "status": "draining" if self.draining else "ok",
+            "queued": len(self.queue),
+            "in_flight": 1 if self.current is not None else 0,
+            "workers": self.pool.alive_workers if self.pool else 0,
+            "served": self.served,
+            "uptime_ms": round(
+                (time.monotonic() - self._started_at) * 1000.0, 3
+            ),
+        }
+
+    def _on_frame(self, conn: _Conn, frame: Dict[str, object]) -> None:
+        kind = frame.get("type")
+        if kind == "batch":
+            self._admit(conn, frame)
+        elif kind == "health":
+            self._inc("server.health")
+            self._respond(conn, self._health_payload())
+        elif kind == "shutdown":
+            # Socket-initiated drain: same semantics as SIGTERM.
+            self.draining = True
+            self._respond(conn, {"type": "shutdown", "draining": True})
+        else:
+            self._inc("server.errors")
+            self._respond(conn, {
+                "type": "error",
+                "message": f"unknown request type {kind!r}",
+            })
+
+    # -- connection lifecycle (main thread) ---------------------------------
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self.listener.accept()
+        except (BlockingIOError, OSError):
+            return
+        sock.setblocking(False)
+        conn = _Conn(sock)
+        self.conns[conn.fd] = conn
+        self.sel.register(sock, selectors.EVENT_READ, conn)
+        self._inc("server.connections")
+
+    def _update_events(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        events = selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        self.sel.modify(conn.sock, events, conn)
+
+    def _respond(self, conn: _Conn, payload: Dict[str, object]) -> None:
+        if conn.closed:
+            return
+        conn.outbuf += proto.encode_frame(payload)
+        self._flush_conn(conn)
+
+    def _flush_conn(self, conn: _Conn) -> None:
+        while conn.outbuf and not conn.closed:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop_conn(conn, "send-failed")
+                return
+            if sent == 0:
+                self._drop_conn(conn, "send-failed")
+                return
+            conn.outbuf = conn.outbuf[sent:]
+        self._update_events(conn)
+
+    def _on_readable(self, conn: _Conn) -> None:
+        while not conn.closed:
+            try:
+                chunk = conn.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop_conn(conn, "recv-failed")
+                return
+            if chunk == b"":
+                self._drop_conn(conn, "client-disconnected")
+                return
+            conn.last_activity = time.monotonic()
+            try:
+                for frame in conn.reader.feed(chunk):
+                    self._on_frame(conn, frame)
+            except proto.FrameError:
+                # Unrecoverably hostile bytes (oversized length prefix):
+                # the protocol's junk-resync already ate what it could.
+                self._drop_conn(conn, "protocol-error")
+                return
+
+    def _drop_conn(self, conn: _Conn, reason: str) -> None:
+        """Close a connection, cancelling its queued requests and
+        orphaning its in-flight one (the batch still completes and is
+        journaled; only the response is dropped)."""
+        if conn.closed:
+            return
+        conn.closed = True
+        if reason == "client-disconnected":
+            self._inc("server.disconnects")
+        for req in conn.requests:
+            req.conn = None
+            with self.cond:
+                queued = req in self.queue
+                if queued:
+                    self.queue.remove(req)
+            if queued:
+                self.journal.append(cancel_record(req.id, reason))
+                self._inc("server.cancelled")
+        conn.requests = []
+        try:
+            self.sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self.conns.pop(conn.fd, None)
+
+    def _close_idle(self) -> None:
+        """Slow-loris defense: reap connections that sit idle — stalled
+        mid-frame or never completing a request — while owning no admitted
+        request."""
+        now = time.monotonic()
+        for conn in list(self.conns.values()):
+            if conn.requests or conn.outbuf:
+                continue
+            if now - conn.last_activity >= self.options.idle_timeout_s:
+                self._inc("server.idle_closed")
+                self._drop_conn(conn, "idle-timeout")
+
+    # -- results ------------------------------------------------------------
+
+    def _flush_results(self) -> None:
+        while self.results:
+            req, response = self.results.popleft()
+            self._inc("server.completed")
+            if req.resumed:
+                self._inc("server.resumed")
+            conn = req.conn
+            if conn is None or conn.closed:
+                continue  # orphaned: work journaled, response dropped
+            if req in conn.requests:
+                conn.requests.remove(req)
+            self._respond(conn, response)
+
+    # -- the loop -----------------------------------------------------------
+
+    def _next_timeout(self) -> Optional[float]:
+        now = time.monotonic()
+        candidates = []
+        for conn in self.conns.values():
+            if conn.requests or conn.outbuf:
+                continue
+            candidates.append(
+                conn.last_activity + self.options.idle_timeout_s - now
+            )
+        if self.draining:
+            candidates.append(0.1)  # poll the exit condition while draining
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    def _drained(self) -> bool:
+        if not self.draining:
+            return False
+        with self.cond:
+            busy = bool(self.queue) or self.current is not None
+        return (not busy and not self.results
+                and all(not c.outbuf for c in self.conns.values()))
+
+    def _bind(self) -> None:
+        path = self.options.socket_path
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(0.25)
+                probe.connect(path)
+            except OSError:
+                os.unlink(path)  # stale socket from a killed daemon
+            else:
+                raise ServeError(f"a daemon is already serving on {path}")
+            finally:
+                probe.close()
+        self.listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self.listener.bind(path)
+        except OSError as exc:
+            self.listener.close()
+            self.listener = None
+            raise ServeError(f"cannot bind {path}: {exc}") from exc
+        self.listener.listen(16)
+        self.listener.setblocking(False)
+
+    def serve(self) -> Dict[str, object]:
+        """Run the daemon until drained (or, under ``resume_only``, until
+        the replayed requests finish).  Returns the exit summary."""
+        self._started_at = time.monotonic()
+        unfinished = self._prepare_journal()
+        self.pool = PersistentPool(self.policy, tracer=self.tracer)
+        try:
+            # Eager warm-up: the daemon's reason to exist is amortizing
+            # worker spin-up, so pay it before the first request arrives.
+            self.pool.ensure()
+            for record in unfinished:
+                req = self._replay_request(record)
+                self.queue.append(req)
+            if self.options.resume_only:
+                # No socket, no threads: run the replay set inline.
+                while self.queue:
+                    req = self.queue.popleft()
+                    response = self._run_request(req)
+                    self.results.append((req, response))
+                self._flush_results()
+                return self._summary()
+            self._bind()
+            self._wake_r, self._wake_w = os.pipe()
+            os.set_blocking(self._wake_r, False)
+            self.sel = selectors.DefaultSelector()
+            self.sel.register(self.listener, selectors.EVENT_READ, None)
+            self.sel.register(self._wake_r, selectors.EVENT_READ, "wake")
+            executor = threading.Thread(
+                target=self._executor, name="fg-serve-executor", daemon=True,
+            )
+            with self.cond:
+                if self.queue:
+                    self.cond.notify()
+            executor.start()
+            self.ready.set()
+            with notify_on_termination(self._on_signal):
+                while not self._drained():
+                    for key, mask in self.sel.select(self._next_timeout()):
+                        if key.data is None:
+                            self._accept()
+                        elif key.data == "wake":
+                            try:
+                                os.read(self._wake_r, 4096)
+                            except OSError:
+                                pass
+                        elif mask & selectors.EVENT_READ:
+                            self._on_readable(key.data)
+                        elif mask & selectors.EVENT_WRITE:
+                            self._flush_conn(key.data)
+                    self._flush_results()
+                    self._close_idle()
+            with self.cond:
+                self.stopping = True
+                self.cond.notify_all()
+            executor.join(timeout=10.0)
+            return self._summary()
+        finally:
+            self._teardown()
+
+    def _summary(self) -> Dict[str, object]:
+        return {
+            "served": self.served,
+            "resumed": {
+                str(rid): digest
+                for rid, digest in sorted(self.resumed_digests.items())
+            },
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+    def _teardown(self) -> None:
+        for conn in list(self.conns.values()):
+            self._drop_conn(conn, "server-exit")
+        if self.sel is not None:
+            self.sel.close()
+            self.sel = None
+        if self.listener is not None:
+            try:
+                self.listener.close()
+            except OSError:
+                pass
+            self.listener = None
+            try:
+                os.unlink(self.options.socket_path)
+            except OSError:
+                pass
+        for fd in (self._wake_r, self._wake_w):
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._wake_r = self._wake_w = -1
+        if self.pool is not None:
+            self.pool.close()
+        if self.journal is not None:
+            self.journal.close()

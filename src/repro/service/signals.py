@@ -1,0 +1,106 @@
+"""Scoped POSIX signal handling for the service front ends.
+
+Two consumers with different needs:
+
+- ``fg batch`` wants SIGTERM to behave like Ctrl-C: raise
+  :class:`KeyboardInterrupt` at the next bytecode boundary so the pool
+  supervisor's ``finally`` blocks run — workers are killed and reaped, the
+  selector is closed, nothing leaks.  Without a handler, SIGTERM's default
+  disposition kills the coordinator *without* unwinding, orphaning every
+  worker process (:func:`raise_on_termination`).
+
+- ``fg serve`` wants SIGTERM/SIGINT to *request a graceful drain* — stop
+  accepting, finish in-flight work, exit 0 — which is a flag and a wakeup,
+  not an exception (:func:`notify_on_termination`).
+
+Both are context managers that restore the previous dispositions on exit,
+and both degrade to no-ops off the main thread (CPython only delivers
+signals to the main thread; a worker thread calling these must not
+clobber process-wide state).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Tuple
+
+#: The termination signals the service front ends intercept.
+TERMINATION_SIGNALS: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)
+
+
+class TerminationRequested(KeyboardInterrupt):
+    """Raised by :func:`raise_on_termination` when SIGTERM arrives.
+
+    A :class:`KeyboardInterrupt` subclass on purpose: every drain path that
+    already handles Ctrl-C handles SIGTERM identically, and it stays
+    outside ``except Exception`` containment walls.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"termination signal {signum}")
+        self.signum = signum
+
+
+def _on_main_thread() -> bool:
+    return threading.current_thread() is threading.main_thread()
+
+
+@contextmanager
+def raise_on_termination(
+    signals: Tuple[int, ...] = TERMINATION_SIGNALS,
+) -> Iterator[None]:
+    """Within the scope, SIGTERM (and SIGINT) raise
+    :class:`TerminationRequested` instead of killing the process.
+
+    The exception unwinds through the batch coordinator, whose ``finally``
+    blocks shut the worker pool down — kill, reap, close — so an
+    interrupted ``fg batch`` leaves no orphan processes behind.  Previous
+    handlers are restored on exit; off the main thread this is a no-op.
+    """
+    if not _on_main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        raise TerminationRequested(signum)
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, handler)
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+@contextmanager
+def notify_on_termination(
+    callback: Callable[[int], None],
+    signals: Tuple[int, ...] = TERMINATION_SIGNALS,
+) -> Iterator[None]:
+    """Within the scope, termination signals invoke ``callback(signum)``
+    instead of killing the process.
+
+    The callback runs in the main thread's signal context — it should only
+    set flags and poke wakeup pipes (the ``fg serve`` drain request), never
+    do real work.  Previous handlers are restored on exit; off the main
+    thread this is a no-op.
+    """
+    if not _on_main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        callback(signum)
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, handler)
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

@@ -13,6 +13,14 @@ deterministic fault schedule (stage × fault-kind × file-index, derived from
 one seed) is injected into a :func:`repro.service.check_batch` run, and the
 harness asserts the batch always terminates, never loses a file's result,
 and reports every injected fault exactly once.
+
+:func:`run_server_chaos` lifts chaos mode to the ``fg serve`` daemon:
+each round stands up a real daemon and attacks it with the
+:data:`SERVER_CHAOS_KINDS` — a client that disconnects with requests
+queued, a slow-loris connection that stalls mid-frame, and a SIGKILL of
+the daemon itself mid-batch followed by a journal resume — asserting the
+daemon survives (or recovers) every one and that the canonical report
+digests are identical across rounds *and* across the crash boundary.
 """
 
 from __future__ import annotations
@@ -453,3 +461,309 @@ def _assert_chaos_contract(report, files, schedule) -> None:
                     f"{outcome.file} attempt {record.attempt}: failed "
                     f"({record.status}) with no fault injected"
                 )
+
+
+# ---------------------------------------------------------------------------
+# Server chaos: fault kinds aimed at the fg serve daemon itself
+# ---------------------------------------------------------------------------
+
+#: Chaos kinds for :func:`run_server_chaos`.  Unlike :data:`CHAOS_KINDS`
+#: (which target a *worker attempt*), these target the daemon: kill the
+#: daemon process mid-batch and resume from the journal; disconnect a
+#: client with requests queued; stall a connection mid-frame forever.
+SERVER_CHAOS_KINDS: Tuple[str, ...] = (
+    "daemon-kill", "client-disconnect", "slow-loris",
+)
+
+
+def _serve_forever(policy, options):  # pragma: no cover — forked child
+    """Fork target for the daemon-kill kind: serve until SIGKILLed."""
+    from repro.service import Server
+
+    Server(policy, options).serve()
+
+
+def _read_accepted(sock, timeout: float = 10.0):
+    """Read frames off ``sock`` until one ``accepted`` arrives."""
+    from repro.service import proto
+
+    sock.settimeout(timeout)
+    reader = proto.FrameReader()
+    while True:
+        chunk = sock.recv(65536)
+        if chunk == b"":
+            raise AssertionError("daemon closed before accepting request")
+        for frame in reader.feed(chunk):
+            if frame.get("type") == "accepted":
+                return frame
+            if frame.get("type") == "error":
+                raise AssertionError(f"daemon rejected request: {frame}")
+
+
+def _await_eof(sock, timeout: float) -> bool:
+    """True if the daemon closes ``sock`` within ``timeout`` seconds."""
+    sock.settimeout(timeout)
+    try:
+        while True:
+            if sock.recv(65536) == b"":
+                return True
+    except OSError:
+        return False
+
+
+def run_server_chaos(
+    rounds: int = 2,
+    seed: int = 0,
+    *,
+    kinds: Tuple[str, ...] = SERVER_CHAOS_KINDS,
+    pool_workers: int = 2,
+    deadline_ms: float = 600.0,
+) -> Dict[str, object]:
+    """Chaos mode for the ``fg serve`` daemon, ``rounds`` times over.
+
+    Each round runs two daemons against the same request mix:
+
+    1. An **in-process** daemon absorbs the ``client-disconnect`` kind (a
+       client submits two slow batches, reads both ``accepted`` frames,
+       and vanishes — the queued one must be cancelled, the in-flight one
+       orphaned without poisoning the pool) and the ``slow-loris`` kind
+       (a connection sends half a frame and stalls — the idle reaper must
+       close it).  It then serves a clean batch and a chaos-hang batch
+       whose report digests are the round's baseline, and drains via a
+       ``shutdown`` request.
+    2. A **forked** daemon takes the ``daemon-kill`` kind: the same hang
+       batch is submitted, SIGKILL lands once health shows it in flight,
+       and a ``resume_only`` replay of the journal must re-run it to a
+       digest **byte-identical to the uninterrupted baseline** from the
+       in-process daemon.
+
+    Asserts daemon survival after every fault, the cancellation/idle-close
+    metrics, and digest equality across rounds and across the crash.
+    Returns the final round's digests and metric counts.
+    """
+    import multiprocessing
+    import os
+    import signal
+    import tempfile
+    import threading
+    import time
+
+    from repro.observability import Instrumentation, MetricsRegistry, Tracer
+    from repro.service import (
+        BatchPolicy,
+        ConnectionLost,
+        FaultSchedule,
+        FaultSpec,
+        ServeOptions,
+        Server,
+        check_remote,
+        health,
+        proto,
+        request_shutdown,
+    )
+    from repro.service.client import connect
+
+    unknown = set(kinds) - set(SERVER_CHAOS_KINDS)
+    if unknown:
+        raise ValueError(f"unknown server chaos kinds: {sorted(unknown)}")
+    rng = random.Random(seed)
+    files = [(f"<srvchaos{i}>", src) for i, src in enumerate(FUZZ_SEEDS)]
+    # Pool-mode hangs only die by the supervisor's hard kill at
+    # deadline + grace, so the hang must comfortably outlast both.
+    hang_s = deadline_ms * 3 / 1000.0
+    hang_schedule = FaultSchedule(
+        specs=(FaultSpec(
+            index=rng.randrange(len(files)), stage="check", kind="hang",
+        ),),
+        hang_s=hang_s,
+    )
+    slow_schedule = FaultSchedule(
+        specs=(FaultSpec(index=0, stage="check", kind="hang"),),
+        hang_s=hang_s,
+    )
+    policy = BatchPolicy(
+        deadline_ms=deadline_ms, isolate="pool", pool_workers=pool_workers,
+    )
+    results: List[Dict[str, object]] = []
+    for _ in range(rounds):
+        outcome: Dict[str, object] = {}
+        with tempfile.TemporaryDirectory(
+            prefix="fgsc", dir="/tmp"  # AF_UNIX paths must stay short
+        ) as tmp:
+            # ---- phase 1: in-process daemon -----------------------------
+            metrics = MetricsRegistry()
+            instrumentation = Instrumentation(
+                tracer=Tracer(), metrics=metrics,
+            )
+            options = ServeOptions(
+                socket_path=os.path.join(tmp, "fg.sock"),
+                idle_timeout_s=(
+                    0.4 if "slow-loris" in kinds else 10.0
+                ),
+            )
+            server = Server(policy, options, instrumentation)
+            summary_box: List[Dict[str, object]] = []
+            thread = threading.Thread(
+                target=lambda: summary_box.append(server.serve()),
+                daemon=True,
+            )
+            thread.start()
+            assert server.ready.wait(20.0), "daemon never became ready"
+            loris = None
+            if "slow-loris" in kinds:
+                loris = connect(options.socket_path)
+                # Half a health frame, then silence.
+                loris.sendall(
+                    proto.encode_frame({"type": "health"})[:5]
+                )
+            if "client-disconnect" in kinds:
+                ghost = connect(options.socket_path)
+                payload = proto.encode_frame({
+                    "type": "batch",
+                    "sources": [list(files[0])],
+                    "schedule": slow_schedule.to_json(),
+                })
+                # Two slow requests: the executor is serial, so by the
+                # time both are accepted at most one is in flight and the
+                # other is provably still queued — its cancellation on
+                # disconnect is deterministic.
+                ghost.sendall(payload + payload)
+                _read_accepted(ghost)
+                _read_accepted(ghost)
+                ghost.close()
+                # The orphaned in-flight request still runs to completion;
+                # wait it out so the baseline batches below don't queue
+                # behind it into their own queue-wait deadline.
+                settle = time.monotonic() + 30.0
+                while time.monotonic() < settle:
+                    snap = health(options.socket_path)
+                    if not snap["queued"] and not snap["in_flight"]:
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise AssertionError(
+                        "ghost requests never drained after disconnect"
+                    )
+            clean = check_remote(
+                options.socket_path, files, timeout=120.0,
+            )
+            assert clean.get("type") == "report", (
+                f"clean batch did not complete after faults: {clean}"
+            )
+            hang = check_remote(
+                options.socket_path, files,
+                schedule_json=hang_schedule.to_json(), timeout=120.0,
+            )
+            assert hang.get("type") == "report", (
+                f"hang batch did not complete: {hang}"
+            )
+            snapshot = health(options.socket_path)
+            assert snapshot.get("status") == "ok", (
+                f"daemon unhealthy after faults: {snapshot}"
+            )
+            if loris is not None:
+                assert _await_eof(loris, 15.0), (
+                    "slow-loris connection was never idle-closed"
+                )
+                loris.close()
+            request_shutdown(options.socket_path)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "daemon failed to drain"
+            assert summary_box, "daemon exited without a summary"
+            if "client-disconnect" in kinds:
+                assert metrics.counter("server.disconnects") >= 1, (
+                    "client disconnect was not detected"
+                )
+                assert metrics.counter("server.cancelled") >= 1, (
+                    "queued request of a vanished client was not cancelled"
+                )
+            if "slow-loris" in kinds:
+                assert metrics.counter("server.idle_closed") >= 1, (
+                    "slow-loris connection not reaped by the idle timeout"
+                )
+            outcome["clean_digest"] = clean["digest"]
+            outcome["hang_digest"] = hang["digest"]
+            outcome["served"] = summary_box[0]["served"]
+            outcome["metrics"] = {
+                name: metrics.counter(name)
+                for name in (
+                    "server.requests", "server.disconnects",
+                    "server.cancelled", "server.idle_closed",
+                )
+            }
+            # ---- phase 2: daemon-kill + journal resume ------------------
+            if "daemon-kill" in kinds:
+                kill_sock = os.path.join(tmp, "kill.sock")
+                kill_journal = os.path.join(tmp, "kill.journal")
+                ctx = multiprocessing.get_context("fork")
+                child = ctx.Process(
+                    target=_serve_forever,
+                    args=(policy, ServeOptions(
+                        socket_path=kill_sock, journal_path=kill_journal,
+                    )),
+                    daemon=True,
+                )
+                child.start()
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    try:
+                        health(kill_sock, timeout=1.0)
+                        break
+                    except Exception:
+                        time.sleep(0.05)
+                else:
+                    raise AssertionError("forked daemon never came up")
+                errors: List[BaseException] = []
+
+                def _doomed_client() -> None:
+                    try:
+                        check_remote(
+                            kill_sock, files,
+                            schedule_json=hang_schedule.to_json(),
+                            timeout=120.0,
+                        )
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                doomed = threading.Thread(target=_doomed_client, daemon=True)
+                doomed.start()
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    if health(kill_sock, timeout=1.0).get("in_flight"):
+                        break
+                    time.sleep(0.02)
+                else:
+                    raise AssertionError("request never went in flight")
+                os.kill(child.pid, signal.SIGKILL)
+                child.join(timeout=10.0)
+                doomed.join(timeout=30.0)
+                assert errors and isinstance(errors[0], ConnectionLost), (
+                    f"killed daemon should drop the client with "
+                    f"ConnectionLost, got {errors!r}"
+                )
+                resume_summary = Server(policy, ServeOptions(
+                    socket_path=kill_sock, journal_path=kill_journal,
+                    resume_only=True,
+                )).serve()
+                resumed = resume_summary["resumed"]
+                assert len(resumed) == 1, (
+                    f"expected exactly one resumed request: {resume_summary}"
+                )
+                (resumed_digest,) = resumed.values()
+                assert resumed_digest == outcome["hang_digest"], (
+                    "resumed report digest diverged from the uninterrupted "
+                    f"run: {resumed_digest} != {outcome['hang_digest']}"
+                )
+                outcome["resumed_digest"] = resumed_digest
+        results.append(outcome)
+    digest_keys = [k for k in results[0] if k.endswith("_digest")]
+    for key in digest_keys:
+        values = [r[key] for r in results]
+        assert len(set(values)) == 1, (
+            f"server chaos is nondeterministic across {rounds} rounds: "
+            f"{key} = {values}"
+        )
+    final = dict(results[-1])
+    final["rounds"] = rounds
+    final["kinds"] = list(kinds)
+    return final

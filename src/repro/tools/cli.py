@@ -13,6 +13,12 @@ Subcommands::
     fg batch FILES...    check many files under the fault-isolated batch
                          service: worker pool, deadlines, retries,
                          crash containment, quarantine
+    fg serve             long-lived Unix-socket daemon fronting a warm
+                         worker pool: bounded admission, graceful drain
+                         on SIGTERM, crash-safe request journal
+                         (--resume replays unfinished requests)
+    fg client FILES...   submit a batch to a running daemon (or --health
+                         / --shutdown)
 
 ``--prelude`` wraps the program with the standard concept library and ``-e``
 takes the program from the command line instead of a file.
@@ -52,9 +58,13 @@ Exit codes: **0** success, **1** the program has diagnostics, **2** usage
 error (bad flags, unreadable file), **3** internal error (a bug in this
 implementation — never the input program's fault), **4** deadline exceeded
 (only with ``--deadline-ms``; for ``fg batch``, deadline exhaustion — at
-least one file timed out and none crashed), **5** partial failure
+least one file timed out and none crashed; for ``fg client``, the request
+was shed because its deadline expired while queued), **5** partial failure
 (``fg batch`` only: crash containment engaged for at least one file while
-the rest of the batch completed).
+the rest of the batch completed), **6** overload (``fg client`` only: the
+daemon shed the request at admission — queue full or draining — with a
+deterministic ``retry_after_ms`` hint), **130** interrupted (``fg batch``:
+SIGTERM/SIGINT arrived; workers were killed and reaped before exit).
 """
 
 from __future__ import annotations
@@ -80,7 +90,12 @@ EXIT_OK = 0
 EXIT_DIAGNOSTICS = 1
 EXIT_USAGE = 2
 EXIT_INTERNAL = 3
-from repro.service.report import EXIT_DEADLINE, EXIT_PARTIAL  # noqa: E402
+#: ``fg batch``/``fg serve``: a termination signal arrived and the worker
+#: pool was shut down cleanly before exit (128 + SIGINT, the shell idiom).
+EXIT_INTERRUPTED = 130
+from repro.service.report import (  # noqa: E402
+    EXIT_DEADLINE, EXIT_OVERLOAD, EXIT_PARTIAL,
+)
 
 _INTERNAL_BANNER = (
     "fg: internal error — this is a bug in the F_G implementation, "
@@ -570,6 +585,184 @@ def _run_batch(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``fg serve``: the resilient socket daemon over a warm worker pool."""
+    from repro.service import (
+        BatchPolicy, RetryPolicy, ServeError, ServeOptions, Server,
+    )
+
+    try:
+        policy = BatchPolicy(
+            deadline_ms=args.deadline_ms,
+            retry=RetryPolicy(
+                max_retries=args.retries,
+                backoff_base_ms=args.backoff_ms,
+            ),
+            quarantine_after=args.quarantine_after,
+            isolate="pool",
+            pool_workers=args.pool_workers,
+            max_respawns=args.max_respawns,
+            heartbeat_ms=args.heartbeat_ms,
+            prelude=args.prelude,
+            ext=args.ext,
+            max_errors=args.max_errors,
+            verify=args.verify,
+        )
+        options = ServeOptions(
+            socket_path=args.socket,
+            journal_path=args.journal,
+            max_queue=args.max_queue,
+            retry_after_base_ms=args.retry_after_ms,
+            idle_timeout_s=args.idle_timeout_ms / 1000.0,
+            resume=args.resume,
+            resume_only=args.resume_only,
+        )
+    except ValueError as err:
+        print(f"fg serve: {err}", file=sys.stderr)
+        return EXIT_USAGE
+    inst = _instrumentation(args)
+    if not args.resume_only:
+        print(f"fg serve: serving on {args.socket}", file=sys.stderr)
+    try:
+        summary = Server(policy, options, instrumentation=inst).serve()
+    except ServeError as err:
+        print(f"fg serve: {err}", file=sys.stderr)
+        return EXIT_USAGE
+    _write_trace(inst, args)
+    if args.json or args.resume_only:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"fg serve: drained after serving {summary['served']} "
+            "request(s)",
+            file=sys.stderr,
+        )
+    if args.stats and inst is not None and inst.metrics is not None:
+        print(_render_stats(inst.metrics.snapshot()), file=sys.stderr)
+    return EXIT_OK
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    """``fg client``: submit to a daemon, or probe/drain it."""
+    from repro.service import (
+        ClientError, FaultSchedule, ServerUnavailable, check_remote,
+        health, request_shutdown,
+    )
+
+    try:
+        if args.health:
+            print(json.dumps(health(args.socket, timeout=args.timeout),
+                             indent=2))
+            return EXIT_OK
+        if args.shutdown:
+            request_shutdown(args.socket, timeout=args.timeout)
+            print("fg client: daemon draining", file=sys.stderr)
+            return EXIT_OK
+
+        if not args.files:
+            print("fg client: FILES are required (or --health/--shutdown)",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            paths = _collect_batch_files(args.files)
+            sources = []
+            for path in paths:
+                with open(path) as handle:
+                    sources.append((path, handle.read()))
+        except (OSError, UnicodeDecodeError) as err:
+            print(f"fg client: cannot read input: {err}", file=sys.stderr)
+            return EXIT_USAGE
+        overrides = {}
+        if args.deadline_ms is not None:
+            overrides["deadline_ms"] = args.deadline_ms
+        if args.prelude:
+            overrides["prelude"] = True
+        if args.ext:
+            overrides["ext"] = True
+        if args.verify:
+            overrides["verify"] = True
+        if args.retries is not None:
+            overrides["retry"] = {"max_retries": args.retries}
+        schedule_json = None
+        if args.chaos:
+            # Same hang scaling as fg batch: an injected hang must outlast
+            # the deadline (plus the supervisor's kill grace) to matter.
+            hang_s = (
+                args.deadline_ms * 3 / 1000.0
+                if args.deadline_ms is not None else 0.5
+            )
+            try:
+                schedule_json = FaultSchedule.parse(
+                    ",".join(args.chaos), hang_s=hang_s
+                ).to_json()
+            except ValueError as err:
+                print(f"fg client: {err}", file=sys.stderr)
+                return EXIT_USAGE
+        response = check_remote(
+            args.socket, sources,
+            policy_overrides=overrides or None,
+            schedule_json=schedule_json,
+            timeout=args.timeout,
+        )
+    except ServerUnavailable as err:
+        print(f"fg client: {err}", file=sys.stderr)
+        return EXIT_USAGE
+    except ClientError as err:
+        print(f"fg client: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+    kind = response.get("type")
+    if kind == "report":
+        if args.json:
+            envelope = dict(response["report"])
+            envelope["digest"] = response.get("digest")
+            print(json.dumps(envelope, indent=2))
+        else:
+            print(_render_remote_report(response["report"]))
+        return int(response.get("exit_code", EXIT_INTERNAL))
+    if kind in ("overload", "draining"):
+        print(
+            f"fg client: daemon {kind}; retry after "
+            f"{response.get('retry_after_ms', 0)}ms",
+            file=sys.stderr,
+        )
+        return EXIT_OVERLOAD
+    if kind == "shed":
+        print(
+            f"fg client: request shed ({response.get('reason', 'unknown')})",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE
+    if kind == "error":
+        print(f"fg client: {response.get('message', 'error')}",
+              file=sys.stderr)
+        return (
+            EXIT_INTERNAL if response.get("internal") else EXIT_USAGE
+        )
+    print(f"fg client: unexpected response {kind!r}", file=sys.stderr)
+    return EXIT_INTERNAL
+
+
+def _render_remote_report(report_json: dict) -> str:
+    """Human view of a wire-format batch report (mirrors
+    ``BatchReport.render`` closely enough for eyeballs)."""
+    lines = []
+    for outcome in report_json.get("files", ()):
+        label = outcome["status"]
+        if label == "diagnostics":
+            label = f"error({outcome.get('severities', {}).get('error', 0)})"
+        lines.append(f"{label:<12} {outcome['file']}")
+    roll = report_json.get("rollup", {})
+    if roll:
+        lines.append(
+            "-- rollup: "
+            + " ".join(f"{k}={roll[k]}" for k in
+                       ("files", "ok", "diagnostics", "timeout", "crash",
+                        "quarantined", "retries") if k in roll)
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="fg",
@@ -729,6 +922,160 @@ def main(argv=None) -> int:
         help="record the coordinator's span trace",
     )
     batch.set_defaults(explain=False, profile=False)
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient batch daemon: a Unix-socket front end over "
+        "a persistent warm worker pool, with bounded admission, graceful "
+        "SIGTERM drain, and a crash-safe request journal",
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix-domain socket path to listen on",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="request journal path (default: <socket>.journal)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal on startup and re-run unfinished requests "
+        "before serving (after a crash/SIGKILL); without it a stale "
+        "journal is rotated to <journal>.bak",
+    )
+    serve.add_argument(
+        "--resume-only", action="store_true",
+        help="replay and re-run unfinished requests, print the digest "
+        "summary as JSON, and exit without binding the socket",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help="admission bound: requests beyond N queued are shed with an "
+        "overload response (default 8)",
+    )
+    serve.add_argument(
+        "--retry-after-ms", type=int, default=100, metavar="T",
+        help="base of the deterministic retry_after_ms overload hint "
+        "(default 100)",
+    )
+    serve.add_argument(
+        "--idle-timeout-ms", type=float, default=10_000.0, metavar="T",
+        help="slow-loris defense: close connections idle this long with "
+        "no admitted request (default 10000)",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int, default=2, metavar="N",
+        help="persistent warm workers (default 2)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="T",
+        help="server-side per-task deadline; composes with each request's "
+        "own deadline as the minimum",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="default retry budget per file (default 0)",
+    )
+    serve.add_argument(
+        "--backoff-ms", type=float, default=0.0, metavar="B",
+        help="base of the deterministic backoff schedule (default 0)",
+    )
+    serve.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="circuit breaker threshold (default 3)",
+    )
+    serve.add_argument(
+        "--max-respawns", type=int, default=4, metavar="N",
+        help="per-batch respawn budget for lost workers (default 4)",
+    )
+    serve.add_argument(
+        "--heartbeat-ms", type=float, default=100.0, metavar="T",
+        help="pool worker heartbeat period (default 100)",
+    )
+    serve.add_argument(
+        "--prelude", action="store_true",
+        help="wrap each program with the standard concept library",
+    )
+    serve.add_argument(
+        "--ext", action="store_true",
+        help="enable the section 6 extensions",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="also run the Theorem 1/2 translation check per file",
+    )
+    serve.add_argument(
+        "--max-errors", type=int, default=20, metavar="N",
+        help="per-file collected-error cap (default 20)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the exit summary as JSON",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="report server.* and batch counters on drain",
+    )
+    serve.add_argument(
+        "--trace", nargs="?", const="-", default=None, metavar="FILE",
+        help="record the daemon's span trace",
+    )
+    serve.set_defaults(explain=False, profile=False)
+    cli = sub.add_parser(
+        "client",
+        help="submit F_G files to a running fg serve daemon "
+        "(or --health / --shutdown)",
+    )
+    cli.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="files to check; a directory expands to its *.fg tree",
+    )
+    cli.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's Unix-domain socket path",
+    )
+    cli.add_argument(
+        "--health", action="store_true",
+        help="print the daemon's health snapshot and exit",
+    )
+    cli.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain gracefully and exit",
+    )
+    cli.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="T",
+        help="request deadline: per-task bound (min with the server's) "
+        "and the queue-wait bound — expiry while queued sheds the "
+        "request (exit 4)",
+    )
+    cli.add_argument(
+        "--retries", type=int, default=None, metavar="K",
+        help="override the server's per-file retry budget",
+    )
+    cli.add_argument(
+        "--prelude", action="store_true",
+        help="wrap each program with the standard concept library",
+    )
+    cli.add_argument(
+        "--ext", action="store_true",
+        help="enable the section 6 extensions",
+    )
+    cli.add_argument(
+        "--verify", action="store_true",
+        help="also run the Theorem 1/2 translation check per file",
+    )
+    cli.add_argument(
+        "--chaos", action="append", default=None, metavar="SPEC",
+        help="attach a deterministic fault schedule to the request "
+        "(testing hook; same syntax as fg batch --chaos)",
+    )
+    cli.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="client-side socket timeout in seconds (default: none)",
+    )
+    cli.add_argument(
+        "--json", action="store_true",
+        help="emit the report envelope (plus its digest) as JSON",
+    )
     for name, help_ in [
         ("run", "typecheck, translate, and evaluate an F_G program"),
         ("check", "typecheck an F_G program and print its type"),
@@ -838,10 +1185,38 @@ def main(argv=None) -> int:
         if args.max_errors < 1:
             parser.error("--max-errors must be at least 1")
         try:
-            return _run_batch(args)
+            # SIGTERM behaves like Ctrl-C for the whole batch: the raise
+            # unwinds through the coordinator so the pool supervisor's
+            # finally blocks kill and reap every worker before exit.
+            from repro.service import raise_on_termination
+
+            with raise_on_termination():
+                return _run_batch(args)
+        except KeyboardInterrupt:
+            print("fg batch: interrupted — workers shut down",
+                  file=sys.stderr)
+            return EXIT_INTERRUPTED
         except Exception:
             # Total failure: a bug in the batch driver itself — distinct
             # from partial failure (5), which the report's exit code covers.
+            import traceback
+
+            print(_INTERNAL_BANNER, file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
+    if args.command == "serve":
+        try:
+            return _run_serve(args)
+        except Exception:
+            import traceback
+
+            print(_INTERNAL_BANNER, file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
+    if args.command == "client":
+        try:
+            return _run_client(args)
+        except Exception:
             import traceback
 
             print(_INTERNAL_BANNER, file=sys.stderr)

@@ -9,6 +9,9 @@ instead of hanging, and canonical digests are byte-identical across
 rounds.
 """
 
+import os
+import sys
+
 import pytest
 
 from repro.service import (
@@ -215,3 +218,82 @@ class TestPoolChaos:
         assert "heartbeat_misses" not in canonical["pool"]
         assert "warm_ms" not in canonical["pool"]
         assert "respawns" in canonical["pool"]  # deterministic, stays
+
+
+# ---------------------------------------------------------------------------
+# Warm-up failure paths: a spawn that dies halfway must not leak
+# ---------------------------------------------------------------------------
+
+def _open_fds():
+    return set(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="reads /proc")
+def test_spawn_process_failure_releases_every_fd(monkeypatch):
+    """``Popen`` blowing up after the pipes exist must close all four
+    pipe ends before the exception propagates."""
+    from repro.service import pool as pool_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected: fork failed")
+
+    monkeypatch.setattr(pool_mod.subprocess, "Popen", boom)
+    slot = pool_mod._WorkerSlot(0)
+    before = _open_fds()
+    with pytest.raises(RuntimeError, match="injected"):
+        pool_mod._spawn_process(slot, pool_policy())
+    assert _open_fds() == before
+    assert slot.proc is None
+    assert slot.task_w == -1
+    assert slot.result_r == -1
+
+
+@pytest.mark.slow
+def test_mid_spawn_failure_reaps_already_spawned_workers(monkeypatch):
+    """The warm-up audit: if spawn k of n raises, the supervisor's
+    ``finally`` must kill and reap workers 0..k-1, not leak them."""
+    from repro.service import pool as pool_mod
+    from repro.service.pool import run_pool_batch
+
+    real = pool_mod._spawn_process
+    spawned = []
+
+    def flaky(slot, policy):
+        if spawned:  # first spawn succeeds, second dies mid-warm-up
+            raise OSError("injected: out of file descriptors")
+        real(slot, policy)
+        spawned.append(slot)
+
+    monkeypatch.setattr(pool_mod, "_spawn_process", flaky)
+    items = [(f"f{i}.fg", TINY) for i in range(4)]
+    with pytest.raises(OSError, match="injected"):
+        run_pool_batch(items, pool_policy())
+    (slot,) = spawned
+    assert slot.proc is not None
+    assert slot.proc.poll() is not None, "worker 0 leaked past the finally"
+    assert slot.task_w == -1
+    assert slot.result_r == -1
+
+
+@pytest.mark.slow
+def test_persistent_pool_ensure_tolerates_spawn_failure(monkeypatch):
+    """The serve daemon's pool: a seat whose spawn fails stays empty (the
+    next ``ensure`` retries it) instead of wedging the daemon."""
+    from repro.service import PersistentPool
+    from repro.service import pool as pool_mod
+
+    real = pool_mod._spawn_process
+
+    def down(slot, policy):
+        raise OSError("injected: resource exhaustion")
+
+    pool = PersistentPool(pool_policy())
+    try:
+        monkeypatch.setattr(pool_mod, "_spawn_process", down)
+        assert pool.ensure() == 0
+        # The outage clears; the same seats fill on the next ensure.
+        monkeypatch.setattr(pool_mod, "_spawn_process", real)
+        assert pool.ensure() == 2
+        assert pool.alive_workers == 2
+    finally:
+        pool.close()

@@ -92,3 +92,90 @@ def test_corrupt_payload_is_a_frame_error():
     bogus = proto.MAGIC + struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
     with pytest.raises(proto.FrameError):
         proto.extract_frame(bogus)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial FrameReader runs.  The same reader now parses ``fg serve``
+# client sockets, where the kernel — or a hostile client — picks the chunk
+# boundaries; every split of every wire must recover every frame.
+# ---------------------------------------------------------------------------
+
+import random  # noqa: E402
+
+#: A frame mix with small, nested, unicode, and empty payloads.
+_FRAMES = [
+    {"type": "health"},
+    {"type": "batch", "sources": [["a.fg", "let x = 1 in x"]],
+     "policy": {"deadline_ms": 250.0}},
+    {"deep": {"nest": [1, [2, [3, None]], {"k": True}]}},
+    {"text": "пример ▸ 例 ▸ \x00-adjacent"},
+    {},
+]
+
+
+def _seeded_chunks(data: bytes, seed: int, max_chunk: int):
+    """A deterministic adversarial split of ``data``."""
+    rng = random.Random(seed)
+    out, i = [], 0
+    while i < len(data):
+        n = rng.randint(1, max_chunk)
+        out.append(data[i:i + n])
+        i += n
+    return out
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("max_chunk", (1, 2, 5, 64))
+def test_frame_reader_survives_adversarial_splits(seed, max_chunk):
+    wire = b"".join(proto.encode_frame(f) for f in _FRAMES)
+    reader = proto.FrameReader()
+    seen = []
+    for chunk in _seeded_chunks(wire, seed, max_chunk):
+        seen.extend(reader.feed(chunk))
+    assert seen == _FRAMES
+    assert reader.pending == 0
+
+
+@pytest.mark.parametrize("chunk_size", (1, 7, 1024, 4096))
+def test_frame_much_larger_than_the_read_chunk(chunk_size):
+    big = {"blob": "x" * 200_000, "rows": list(range(64))}
+    wire = proto.encode_frame(big)
+    assert len(wire) > chunk_size
+    reader = proto.FrameReader()
+    seen = []
+    for i in range(0, len(wire), chunk_size):
+        seen.extend(reader.feed(wire[i:i + chunk_size]))
+    assert seen == [big]
+    assert reader.pending == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_junk_interleaved_frames_resync_under_any_split(seed):
+    rng = random.Random(seed)
+
+    def junk() -> bytes:
+        # Printable ASCII junk: can never collide with the magic, whose
+        # first byte is deliberately invalid UTF-8.
+        n = rng.randint(0, 40)
+        return bytes(rng.randrange(0x20, 0x7F) for _ in range(n))
+
+    wire = junk()
+    for frame in _FRAMES:
+        wire += proto.encode_frame(frame) + junk()
+    reader = proto.FrameReader()
+    seen = []
+    for chunk in _seeded_chunks(wire, seed + 1000, 9):
+        seen.extend(reader.feed(chunk))
+    assert seen == _FRAMES
+
+
+@pytest.mark.parametrize("cut", (1, 3, 4, 6, 10))
+def test_partial_magic_at_the_tail_stays_buffered_not_lost(cut):
+    """A frame split inside its magic/header must neither emit nor drop:
+    the remainder completes it."""
+    wire = proto.encode_frame({"k": "v"})
+    cut = min(cut, len(wire) - 1)
+    reader = proto.FrameReader()
+    assert list(reader.feed(wire[:cut])) == []
+    assert list(reader.feed(wire[cut:])) == [{"k": "v"}]
+    assert reader.pending == 0

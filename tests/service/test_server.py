@@ -1,0 +1,438 @@
+"""The ``fg serve`` daemon: admission, deadlines, drain, and resume.
+
+Every test stands up a real in-process :class:`~repro.service.Server` on a
+Unix socket under a short tmp dir (AF_UNIX paths are length-capped) and
+talks to it through the real client.  The executor and the select loop run
+exactly as in production; only the process boundary is folded away.
+"""
+
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.observability import Instrumentation, MetricsRegistry, Tracer
+from repro.service import (
+    BatchPolicy,
+    FaultSchedule,
+    FaultSpec,
+    ServeError,
+    ServeOptions,
+    Server,
+    check_batch,
+    check_remote,
+    health,
+    proto,
+    replay,
+    request_shutdown,
+    resolve_policy,
+)
+from repro.service.client import connect, read_response
+from repro.service.journal import Journal, begin_record, report_digest
+
+GOOD = "let id = \\x : int. x in id(41)"
+SLOW_DEADLINE_MS = 300.0
+
+
+def _hang_schedule(deadline_ms=SLOW_DEADLINE_MS, index=0):
+    # Pool workers only die by the supervisor's hard kill at
+    # deadline + grace, so the hang must outlast both.
+    return FaultSchedule(
+        specs=(FaultSpec(index=index, stage="check", kind="hang"),),
+        hang_s=deadline_ms * 3 / 1000.0,
+    )
+
+
+class _Daemon:
+    """A live in-process daemon plus its exit summary."""
+
+    def __init__(self, policy=None, metrics=False, **options):
+        self.tmp = tempfile.TemporaryDirectory(prefix="fgsrv", dir="/tmp")
+        self.socket_path = os.path.join(self.tmp.name, "fg.sock")
+        self.policy = policy if policy is not None else BatchPolicy(
+            isolate="pool", pool_workers=1,
+        )
+        self.options = ServeOptions(socket_path=self.socket_path, **options)
+        self.metrics = MetricsRegistry() if metrics else None
+        instrumentation = (
+            Instrumentation(tracer=Tracer(), metrics=self.metrics)
+            if metrics else None
+        )
+        self.server = Server(self.policy, self.options, instrumentation)
+        self.summary = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.summary = self.server.serve()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self.server.ready.wait(20.0), "daemon never became ready"
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            if self._thread.is_alive():
+                try:
+                    request_shutdown(self.socket_path)
+                except Exception:
+                    self.server.draining = True
+                    self.server._wake()
+                self._thread.join(timeout=30.0)
+                assert not self._thread.is_alive(), "daemon failed to drain"
+        finally:
+            self.tmp.cleanup()
+
+    def settle(self, timeout=30.0):
+        """Wait until nothing is queued or in flight."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            snap = health(self.socket_path)
+            if not snap["queued"] and not snap["in_flight"]:
+                return snap
+            time.sleep(0.02)
+        raise AssertionError("daemon never settled")
+
+
+# ---------------------------------------------------------------------------
+# resolve_policy: the deadline-composition contract
+# ---------------------------------------------------------------------------
+
+def test_resolve_policy_overrides_fieldwise():
+    base = BatchPolicy(jobs=2, verify=False)
+    policy, echo = resolve_policy(base, {"verify": True, "max_errors": 3})
+    assert policy.verify is True
+    assert policy.max_errors == 3
+    assert policy.jobs == 2
+    assert echo == policy.to_json()
+
+
+def test_resolve_policy_deadline_composes_as_minimum():
+    base = BatchPolicy(deadline_ms=500.0)
+    tightened, _ = resolve_policy(base, {"deadline_ms": 200.0})
+    assert tightened.deadline_ms == 200.0
+    # A client cannot *loosen* the server's deadline.
+    loosened, _ = resolve_policy(base, {"deadline_ms": 5000.0})
+    assert loosened.deadline_ms == 500.0
+
+
+def test_resolve_policy_without_overrides_echoes_base():
+    base = BatchPolicy(deadline_ms=750.0, isolate="pool")
+    policy, echo = resolve_policy(base, None)
+    assert echo == base.to_json()
+    assert policy.deadline_ms == 750.0
+
+
+def test_resolve_policy_rejects_unknown_keys_and_bad_shapes():
+    base = BatchPolicy()
+    with pytest.raises(ValueError):
+        resolve_policy(base, {"no_such_knob": 1})
+    with pytest.raises(ValueError):
+        resolve_policy(base, ["not", "a", "dict"])
+
+
+# ---------------------------------------------------------------------------
+# The live daemon
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_batch_round_trip_and_digest_matches_local_run():
+    with _Daemon() as daemon:
+        response = check_remote(
+            daemon.socket_path, [("good.fg", GOOD)], timeout=60.0,
+        )
+        assert response["type"] == "report"
+        assert response["exit_code"] == 0
+        # The daemon's digest is the canonical digest of the same batch
+        # run locally under the resolved policy — remote execution is
+        # invisible in the report.
+        local = check_batch([("good.fg", GOOD)], daemon.policy)
+        assert response["digest"] == report_digest(local.canonical_json())
+
+
+@pytest.mark.slow
+def test_warm_requests_are_byte_identical():
+    with _Daemon() as daemon:
+        first = check_remote(
+            daemon.socket_path, [("good.fg", GOOD)], timeout=60.0,
+        )
+        second = check_remote(
+            daemon.socket_path, [("good.fg", GOOD)], timeout=60.0,
+        )
+        assert first["digest"] == second["digest"]
+        # The wire report keeps its timing fields; identity is canonical.
+        from repro.service import canonicalize
+
+        assert canonicalize(first["report"]) == canonicalize(
+            second["report"]
+        )
+
+
+@pytest.mark.slow
+def test_health_reports_workers_and_served():
+    with _Daemon(policy=BatchPolicy(isolate="pool", pool_workers=2)) \
+            as daemon:
+        snap = health(daemon.socket_path)
+        assert snap["status"] == "ok"
+        assert snap["workers"] == 2  # eagerly warmed before first request
+        assert snap["served"] == 0
+        check_remote(daemon.socket_path, [("good.fg", GOOD)], timeout=60.0)
+        assert health(daemon.socket_path)["served"] == 1
+
+
+@pytest.mark.slow
+def test_overload_sheds_with_deterministic_retry_after():
+    policy = BatchPolicy(
+        isolate="pool", pool_workers=1, deadline_ms=SLOW_DEADLINE_MS,
+    )
+    with _Daemon(policy=policy, metrics=True, max_queue=1,
+                 retry_after_base_ms=100) as daemon:
+        hang = _hang_schedule().to_json()
+        # Occupy the executor, then fill the queue's single seat — in
+        # sequence, so neither step races the executor's pop.
+        socks = []
+        try:
+            for want_queued in (0, 1):
+                sock = connect(daemon.socket_path)
+                sock.sendall(proto.encode_frame({
+                    "type": "batch",
+                    "sources": [["slow.fg", GOOD]],
+                    "schedule": hang,
+                }))
+                socks.append(sock)
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    snap = health(daemon.socket_path)
+                    if snap["in_flight"] and snap["queued"] == want_queued:
+                        break
+                    time.sleep(0.02)
+                else:
+                    raise AssertionError(
+                        f"daemon never reached queued={want_queued}"
+                    )
+            shed = check_remote(
+                daemon.socket_path, [("late.fg", GOOD)], timeout=10.0,
+            )
+            assert shed["type"] == "overload"
+            # retry_after = base * (queued + in_flight) = 100 * 2.
+            assert shed["retry_after_ms"] == 200
+            assert daemon.metrics.counter("server.overload") == 1
+            # The in-flight request reports; the queued one outwaited its
+            # own 300ms deadline behind ~450ms of hang and is shed.
+            assert read_response(socks[0])["type"] == "report"
+            assert read_response(socks[1])["type"] == "shed"
+        finally:
+            for sock in socks:
+                sock.close()
+
+
+@pytest.mark.slow
+def test_request_deadline_bounds_queue_wait():
+    """A request whose own deadline expires while queued is shed, never
+    run — the work would be wasted on a caller that stopped waiting."""
+    policy = BatchPolicy(
+        isolate="pool", pool_workers=1, deadline_ms=SLOW_DEADLINE_MS,
+    )
+    with _Daemon(policy=policy, metrics=True) as daemon:
+        sock = connect(daemon.socket_path)
+        try:
+            sock.sendall(proto.encode_frame({
+                "type": "batch",
+                "sources": [["slow.fg", GOOD]],
+                "schedule": _hang_schedule().to_json(),
+            }))
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if health(daemon.socket_path)["in_flight"]:
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("hang request never went in flight")
+            # Queued behind ~deadline+grace of hang with a 50ms budget.
+            shed = check_remote(
+                daemon.socket_path, [("late.fg", GOOD)],
+                policy_overrides={"deadline_ms": 50.0}, timeout=30.0,
+            )
+            assert shed["type"] == "shed"
+            assert shed["reason"] == "queue-deadline"
+            response = read_response(sock)
+            assert response["type"] == "report"
+        finally:
+            sock.close()
+
+
+@pytest.mark.slow
+def test_disconnect_cancels_queued_requests():
+    policy = BatchPolicy(
+        isolate="pool", pool_workers=1, deadline_ms=SLOW_DEADLINE_MS,
+    )
+    with _Daemon(policy=policy, metrics=True) as daemon:
+        ghost = connect(daemon.socket_path)
+        payload = proto.encode_frame({
+            "type": "batch",
+            "sources": [["slow.fg", GOOD]],
+            "schedule": _hang_schedule().to_json(),
+        })
+        # Two slow requests: the serial executor guarantees the second is
+        # still queued when the client vanishes.
+        ghost.sendall(payload + payload)
+        reader = proto.FrameReader()
+        accepted = []
+        while len(accepted) < 2:
+            chunk = ghost.recv(65536)
+            assert chunk, "daemon closed before accepting"
+            accepted += [f for f in reader.feed(chunk)
+                         if f.get("type") == "accepted"]
+        ghost.close()
+        daemon.settle()
+        assert daemon.metrics.counter("server.disconnects") >= 1
+        assert daemon.metrics.counter("server.cancelled") >= 1
+        # The daemon survived: the pool still answers.
+        after = check_remote(
+            daemon.socket_path, [("good.fg", GOOD)], timeout=60.0,
+        )
+        assert after["type"] == "report"
+        assert after["exit_code"] == 0
+        # The cancelled request is journaled as such.
+        journal = replay(daemon.options.effective_journal_path())
+        cancelled = [r for r in journal.records if r["op"] == "cancel"]
+        assert any(
+            r["reason"] == "client-disconnected" for r in cancelled
+        )
+
+
+@pytest.mark.slow
+def test_slow_loris_connection_is_idle_closed():
+    with _Daemon(metrics=True, idle_timeout_s=0.3) as daemon:
+        loris = connect(daemon.socket_path)
+        try:
+            loris.sendall(proto.encode_frame({"type": "health"})[:5])
+            loris.settimeout(15.0)
+            assert loris.recv(65536) == b"", "stalled conn never closed"
+        finally:
+            loris.close()
+        assert daemon.metrics.counter("server.idle_closed") == 1
+        # Still serving afterwards.
+        assert health(daemon.socket_path)["status"] == "ok"
+
+
+@pytest.mark.slow
+def test_shutdown_request_drains_and_sheds_newcomers():
+    policy = BatchPolicy(
+        isolate="pool", pool_workers=1, deadline_ms=SLOW_DEADLINE_MS,
+    )
+    with _Daemon(policy=policy, metrics=True) as daemon:
+        # An in-flight hang holds the drain open long enough for the late
+        # request to be shed by a daemon that is provably still alive.
+        sock = connect(daemon.socket_path)
+        try:
+            sock.sendall(proto.encode_frame({
+                "type": "batch",
+                "sources": [["slow.fg", GOOD]],
+                "schedule": _hang_schedule().to_json(),
+            }))
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if health(daemon.socket_path)["in_flight"]:
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("hang request never went in flight")
+            response = request_shutdown(daemon.socket_path)
+            assert response == {"type": "shutdown", "draining": True}
+            late = check_remote(
+                daemon.socket_path, [("late.fg", GOOD)], timeout=10.0,
+            )
+            assert late["type"] == "draining"
+            assert "retry_after_ms" in late
+            # The in-flight request still gets its report: drain finishes
+            # admitted work, it only refuses new work.
+            report = read_response(sock)
+            assert report["type"] == "report"
+        finally:
+            sock.close()
+    assert daemon.summary is not None
+    assert daemon.summary["served"] == 1
+    assert daemon.metrics.counter("server.shed") == 1
+
+
+@pytest.mark.slow
+def test_malformed_requests_get_error_responses_not_death():
+    with _Daemon() as daemon:
+        bad_sources = check_remote(daemon.socket_path, [], timeout=10.0)
+        assert bad_sources["type"] == "report"  # empty batch is legal
+        from repro.service.client import roundtrip
+
+        for payload in (
+            {"type": "batch", "sources": "not-a-list"},
+            {"type": "batch", "sources": [["one"]]},
+            {"type": "batch", "sources": [["a.fg", GOOD]],
+             "policy": {"bogus_knob": 1}},
+            {"type": "no-such-type"},
+        ):
+            response = roundtrip(daemon.socket_path, payload, timeout=10.0)
+            assert response["type"] == "error", payload
+        # And the daemon is still alive.
+        assert health(daemon.socket_path)["status"] == "ok"
+
+
+@pytest.mark.slow
+def test_two_daemons_cannot_share_a_socket():
+    with _Daemon() as daemon:
+        clash = Server(BatchPolicy(isolate="pool", pool_workers=1),
+                       ServeOptions(socket_path=daemon.socket_path))
+        with pytest.raises(ServeError):
+            clash.serve()
+
+
+# ---------------------------------------------------------------------------
+# Resume: the journal replay path without a process kill
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_resume_only_reruns_unfinished_to_identical_digest(tmp_path):
+    """A hand-written begin-without-done journal (what a SIGKILLed daemon
+    leaves behind) replays to the digest of an uninterrupted run."""
+    policy = BatchPolicy(isolate="pool", pool_workers=1)
+    resolved, echo = resolve_policy(policy, None)
+    journal_path = str(tmp_path / "fg.journal")
+    with Journal(journal_path) as journal:
+        journal.append(begin_record(1, [("good.fg", GOOD)], echo, None))
+    summary = Server(policy, ServeOptions(
+        socket_path=str(tmp_path / "unused.sock"),
+        journal_path=journal_path,
+        resume_only=True,
+    )).serve()
+    assert list(summary["resumed"]) == ["1"]
+    expected = report_digest(
+        check_batch([("good.fg", GOOD)], resolved).canonical_json()
+    )
+    assert summary["resumed"]["1"] == expected
+    # The journal now carries the done record: a second resume is a no-op.
+    again = Server(policy, ServeOptions(
+        socket_path=str(tmp_path / "unused.sock"),
+        journal_path=journal_path,
+        resume_only=True,
+    )).serve()
+    assert again["resumed"] == {}
+    assert again["served"] == 0
+
+
+@pytest.mark.slow
+def test_resume_only_repairs_a_torn_tail(tmp_path):
+    policy = BatchPolicy(isolate="pool", pool_workers=1)
+    _, echo = resolve_policy(policy, None)
+    journal_path = str(tmp_path / "fg.journal")
+    with Journal(journal_path) as journal:
+        journal.append(begin_record(1, [("good.fg", GOOD)], echo, None))
+    with open(journal_path, "ab") as handle:
+        handle.write(b"\xabFGJ\x00\x00")  # torn mid-header
+    summary = Server(policy, ServeOptions(
+        socket_path=str(tmp_path / "unused.sock"),
+        journal_path=journal_path,
+        resume_only=True,
+    )).serve()
+    assert summary["truncated_bytes"] == 6
+    assert list(summary["resumed"]) == ["1"]

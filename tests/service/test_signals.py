@@ -1,0 +1,155 @@
+"""Scoped signal handling (:mod:`repro.service.signals`) and the
+no-orphan contract of an interrupted ``fg batch --isolate=pool``.
+
+The headline regression test SIGTERMs a real ``fg batch`` coordinator
+mid-hang and asserts exit 130 with every worker process reaped — the
+exact leak :func:`~repro.service.signals.raise_on_termination` exists to
+prevent (SIGTERM's default disposition kills the coordinator without
+unwinding the supervisor's ``finally``).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service.signals import (
+    TERMINATION_SIGNALS,
+    TerminationRequested,
+    notify_on_termination,
+    raise_on_termination,
+)
+
+
+def test_termination_signals_catalog():
+    assert TERMINATION_SIGNALS == (signal.SIGTERM, signal.SIGINT)
+
+
+def test_termination_requested_is_a_keyboard_interrupt():
+    exc = TerminationRequested(signal.SIGTERM)
+    # Must sail past ``except Exception`` containment walls, exactly like
+    # Ctrl-C does.
+    assert isinstance(exc, KeyboardInterrupt)
+    assert not isinstance(exc, Exception)
+    assert exc.signum == signal.SIGTERM
+
+
+@pytest.mark.parametrize("signum", TERMINATION_SIGNALS)
+def test_raise_on_termination_raises_in_scope(signum):
+    with pytest.raises(TerminationRequested) as excinfo:
+        with raise_on_termination():
+            os.kill(os.getpid(), signum)
+            time.sleep(5.0)  # the signal interrupts this sleep
+    assert excinfo.value.signum == signum
+
+
+def test_raise_on_termination_restores_previous_handlers():
+    previous = signal.getsignal(signal.SIGTERM)
+    with raise_on_termination():
+        assert signal.getsignal(signal.SIGTERM) is not previous
+    assert signal.getsignal(signal.SIGTERM) is previous
+
+
+def test_notify_on_termination_invokes_callback_not_raise():
+    seen = []
+    with notify_on_termination(seen.append):
+        os.kill(os.getpid(), signal.SIGTERM)
+        deadline = time.monotonic() + 5.0
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.01)
+    assert seen == [signal.SIGTERM]
+    # Outside the scope the disposition is restored (pytest's default).
+    assert signal.getsignal(signal.SIGTERM) is not None
+
+
+def test_both_managers_are_noops_off_the_main_thread():
+    before = signal.getsignal(signal.SIGTERM)
+    results = []
+
+    def worker():
+        with raise_on_termination():
+            results.append(signal.getsignal(signal.SIGTERM))
+        with notify_on_termination(lambda signum: None):
+            results.append(signal.getsignal(signal.SIGTERM))
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join(10.0)
+    # The worker thread must not have touched process-wide dispositions.
+    assert results == [before, before]
+
+
+# ---------------------------------------------------------------------------
+# The no-orphan regression: SIGTERM mid-batch under --isolate=pool
+# ---------------------------------------------------------------------------
+
+def _children_of(pid):
+    """Linux: the child PIDs of ``pid`` via /proc."""
+    try:
+        with open(f"/proc/{pid}/task/{pid}/children") as handle:
+            return [int(tok) for tok in handle.read().split()]
+    except (FileNotFoundError, ValueError):
+        return []
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(sys.platform != "linux", reason="reads /proc")
+def test_sigterm_mid_pool_batch_exits_130_with_no_orphans(tmp_path):
+    for i in range(3):
+        (tmp_path / f"f{i}.fg").write_text("iadd(1, 2)")
+    src_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))), "src",
+    )
+    env = dict(os.environ, PYTHONPATH=src_root)
+    # A long deadline plus a hang on every file keeps workers mid-task for
+    # seconds — plenty of window to land the SIGTERM.
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.tools.cli", "batch",
+            str(tmp_path), "--isolate", "pool", "--pool-workers", "2",
+            "--deadline-ms", "30000",
+            "--chaos", "0:check:hang,1:check:hang,2:check:hang",
+        ],
+        env=env, cwd=str(tmp_path),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        # Wait until the supervisor has actually spawned its workers.
+        deadline = time.monotonic() + 30.0
+        workers = []
+        while time.monotonic() < deadline:
+            workers = _children_of(proc.pid)
+            if len(workers) >= 2:
+                break
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                raise AssertionError(
+                    f"batch exited early ({proc.returncode}):\n{out}\n{err}"
+                )
+            time.sleep(0.05)
+        else:
+            raise AssertionError("pool workers never spawned")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 130, f"exit {proc.returncode}:\n{out}\n{err}"
+    assert "interrupted" in err
+    # Every worker the coordinator spawned is gone (reaped by its
+    # supervisor's finally, not reparented to init as a live orphan).
+    deadline = time.monotonic() + 10.0
+    leaked = workers
+    while time.monotonic() < deadline:
+        leaked = [pid for pid in workers if os.path.exists(f"/proc/{pid}")]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"orphaned worker PIDs survived SIGTERM: {leaked}"

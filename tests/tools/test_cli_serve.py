@@ -1,0 +1,201 @@
+"""``fg serve`` / ``fg client``: the CLI surface of the daemon.
+
+The daemon's own semantics live in ``tests/service/test_server.py``; here
+the contract under test is the command-line mapping — flags to policy,
+responses to exit codes (0/1 report, 2 usage, 4 shed, 6 overload), and
+the ``--resume-only`` crash-recovery entry point CI drives.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    BatchPolicy,
+    EXIT_OVERLOAD,
+    FaultSchedule,
+    FaultSpec,
+    ServeOptions,
+    Server,
+    check_batch,
+    health,
+    proto,
+    resolve_policy,
+)
+from repro.service.client import connect, read_response
+from repro.service.journal import Journal, begin_record, report_digest
+from repro.tools.cli import EXIT_OK, EXIT_USAGE, main
+
+GOOD = "let id = \\x : int. x in id(41)"
+BROKEN = "iadd(1, true)"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def daemon():
+    """An in-process daemon matching ``fg serve`` defaults, plus its
+    socket path (kept short for AF_UNIX)."""
+    with tempfile.TemporaryDirectory(prefix="fgcli", dir="/tmp") as tmp:
+        policy = BatchPolicy(
+            isolate="pool", pool_workers=1, deadline_ms=300.0,
+        )
+        server = Server(policy, ServeOptions(
+            socket_path=os.path.join(tmp, "fg.sock"),
+        ))
+        thread = threading.Thread(target=server.serve, daemon=True)
+        thread.start()
+        assert server.ready.wait(20.0)
+        try:
+            yield server
+        finally:
+            if thread.is_alive():
+                server.draining = True
+                server._wake()
+                thread.join(timeout=30.0)
+
+
+@pytest.mark.slow
+class TestClientExitCodes:
+    def test_clean_file_reports_exit_zero(self, capsys, daemon, tmp_path):
+        (tmp_path / "good.fg").write_text(GOOD)
+        code, out, _ = run_cli(
+            capsys, "client", str(tmp_path / "good.fg"),
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        assert "ok" in out
+
+    def test_diagnostics_exit_one(self, capsys, daemon, tmp_path):
+        (tmp_path / "bad.fg").write_text(BROKEN)
+        code, out, _ = run_cli(
+            capsys, "client", str(tmp_path / "bad.fg"),
+            "--socket", daemon.options.socket_path, "--json",
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["digest"]
+        assert payload["files"][0]["status"] == "diagnostics"
+
+    def test_no_daemon_is_usage_error(self, capsys, tmp_path):
+        (tmp_path / "good.fg").write_text(GOOD)
+        code, _, err = run_cli(
+            capsys, "client", str(tmp_path / "good.fg"),
+            "--socket", str(tmp_path / "nowhere.sock"),
+        )
+        assert code == EXIT_USAGE
+        assert "no daemon" in err
+
+    def test_files_required_without_probe_flags(self, capsys, daemon):
+        code, _, err = run_cli(
+            capsys, "client", "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_USAGE
+        assert "FILES are required" in err
+
+    def test_health_probe(self, capsys, daemon):
+        code, out, _ = run_cli(
+            capsys, "client", "--socket", daemon.options.socket_path,
+            "--health",
+        )
+        assert code == EXIT_OK
+        snap = json.loads(out)
+        assert snap["status"] == "ok"
+        assert snap["workers"] == 1
+
+    def test_chaos_hang_maps_to_deadline_exit(self, capsys, daemon,
+                                              tmp_path):
+        (tmp_path / "good.fg").write_text(GOOD)
+        code, _, _ = run_cli(
+            capsys, "client", str(tmp_path / "good.fg"),
+            "--socket", daemon.options.socket_path,
+            "--chaos", "0:check:hang", "--deadline-ms", "250",
+        )
+        from repro.service import EXIT_DEADLINE
+
+        assert code == EXIT_DEADLINE
+
+    def test_draining_daemon_sheds_with_exit_six(self, capsys, daemon,
+                                                 tmp_path):
+        (tmp_path / "good.fg").write_text(GOOD)
+        socket_path = daemon.options.socket_path
+        # Hold the drain open with an in-flight hang, then drain.
+        hang = FaultSchedule(
+            specs=(FaultSpec(0, "check", "hang"),), hang_s=0.9,
+        )
+        sock = connect(socket_path)
+        try:
+            sock.sendall(proto.encode_frame({
+                "type": "batch", "sources": [["slow.fg", GOOD]],
+                "schedule": hang.to_json(),
+            }))
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if health(socket_path)["in_flight"]:
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("request never went in flight")
+            code, _, err = run_cli(
+                capsys, "client", "--socket", socket_path, "--shutdown",
+            )
+            assert code == EXIT_OK
+            assert "draining" in err
+            code, _, err = run_cli(
+                capsys, "client", str(tmp_path / "good.fg"),
+                "--socket", socket_path,
+            )
+            assert code == EXIT_OVERLOAD
+            assert "retry after" in err
+            assert read_response(sock)["type"] == "report"
+        finally:
+            sock.close()
+
+
+@pytest.mark.slow
+class TestServeCli:
+    def test_resume_only_prints_digest_summary(self, capsys, tmp_path):
+        policy = BatchPolicy(isolate="pool", pool_workers=1)
+        _, echo = resolve_policy(policy, None)
+        journal_path = str(tmp_path / "fg.journal")
+        with Journal(journal_path) as journal:
+            journal.append(
+                begin_record(1, [("good.fg", GOOD)], echo, None)
+            )
+        code, out, _ = run_cli(
+            capsys, "serve",
+            "--socket", str(tmp_path / "unused.sock"),
+            "--journal", journal_path,
+            "--pool-workers", "1",
+            "--resume-only",
+        )
+        assert code == EXIT_OK
+        summary = json.loads(out)
+        expected = report_digest(
+            check_batch([("good.fg", GOOD)], policy).canonical_json()
+        )
+        assert summary["resumed"] == {"1": expected}
+
+    def test_socket_collision_is_usage_error(self, capsys, daemon):
+        code, _, err = run_cli(
+            capsys, "serve", "--socket", daemon.options.socket_path,
+            "--pool-workers", "1",
+        )
+        assert code == EXIT_USAGE
+        assert "already serving" in err
+
+    def test_bad_policy_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "serve", "--socket", str(tmp_path / "fg.sock"),
+            "--pool-workers", "0",
+        )
+        assert code == EXIT_USAGE
+        assert "fg serve:" in err
