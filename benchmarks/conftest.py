@@ -5,7 +5,10 @@ bench record (``BENCH_<tag>.json``, tag from ``$BENCH_TAG`` or today's
 date) at the repo root via :mod:`repro.observability.regress` — the same
 writer ``fg bench`` uses, so the two artifacts cannot drift.  The record
 holds per-benchmark wall-time statistics (from pytest-benchmark, when it
-ran) plus one instrumented ``check_source`` run of the Figure 5 program:
+ran), the daemon telemetry rows (``serve.warm_request`` traced vs.
+untraced plus ``serve.stats_request``, timed against a live pool-backed
+daemon), plus one instrumented ``check_source`` run of the Figure 5
+program:
 its metrics snapshot records what the pipeline *did* (model lookups,
 congruence work, eval steps), the profiler records where the time went,
 and the memory accountant records peak bytes per stage.  ``fg bench
@@ -100,6 +103,20 @@ def _instrumented_snapshot():
     }
 
 
+def _serve_rows():
+    """Daemon telemetry rows (``serve.warm_request`` traced vs. untraced,
+    ``serve.stats_request``) so the committed record prices the PR-8
+    observability surface alongside the pytest-benchmark rows."""
+    from repro.observability.regress import serve_benchmark_rows
+
+    try:
+        return serve_benchmark_rows(rounds=3)
+    except Exception as err:  # noqa: BLE001 — sandboxes without AF_UNIX
+        print(f"benchmarks/conftest: serve rows skipped: {err}",
+              file=sys.stderr)
+        return []
+
+
 def pytest_sessionfinish(session, exitstatus):
     from repro.observability.regress import (
         build_record, record_path, write_record,
@@ -110,7 +127,7 @@ def pytest_sessionfinish(session, exitstatus):
         snapshot = _instrumented_snapshot()
         record = build_record(
             tag,
-            _benchmark_rows(session),
+            _benchmark_rows(session) + _serve_rows(),
             metrics=snapshot["metrics"],
             profile=snapshot["profile"],
             memory_peak_kb=snapshot["memory_peak_kb"],

@@ -41,9 +41,20 @@ from repro.observability.explain import ExplainLog, format_span
 from repro.observability.exporters import (
     chrome_trace,
     chrome_trace_json,
+    prometheus_text,
     render_tree,
     spans_from_jsonl,
     to_jsonl,
+)
+from repro.observability.telemetry import (
+    OpsLog,
+    ServerTelemetry,
+    WindowReservoir,
+    clock_offset_ns,
+    graft_spans,
+    merge_worker_telemetry,
+    read_ops_log,
+    spans_to_wire,
 )
 from repro.observability.metrics import Histogram, MetricsRegistry
 from repro.observability.profiler import (
@@ -100,15 +111,24 @@ __all__ = [
     "NULL_INSTRUMENTATION",
     "NULL_TRACER",
     "NullTracer",
+    "OpsLog",
     "Profile",
+    "ServerTelemetry",
     "Span",
     "Tracer",
+    "WindowReservoir",
     "chrome_trace",
     "chrome_trace_json",
+    "clock_offset_ns",
     "format_profile",
     "format_span",
+    "graft_spans",
+    "merge_worker_telemetry",
     "profile_tracer",
+    "prometheus_text",
+    "read_ops_log",
     "render_tree",
     "spans_from_jsonl",
+    "spans_to_wire",
     "to_jsonl",
 ]

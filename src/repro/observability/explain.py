@@ -43,6 +43,14 @@ class Candidate:
     def accepted(self) -> bool:
         return self.status == ACCEPTED
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Candidate":
+        return cls(
+            scope_index=int(data.get("scope_index", 0)),
+            args=str(data.get("args", "")),
+            status=str(data.get("status", "")),
+        )
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "scope_index": self.scope_index,
@@ -79,6 +87,24 @@ class Resolution:
             "candidates": [c.to_dict() for c in self.candidates],
             "refinements": list(self.refinements),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Resolution":
+        """Rebuild a resolution from :meth:`to_dict` output (the wire form
+        worker processes ship back in result frames)."""
+        return cls(
+            concept=str(data.get("concept", "")),
+            args=str(data.get("args", "")),
+            scope_size=int(data.get("scope_size", 0)),
+            equalities_in_scope=int(data.get("equalities_in_scope", 0)),
+            phase=str(data.get("phase", "typecheck")),
+            location=data.get("location"),
+            candidates=[
+                Candidate.from_dict(c) for c in data.get("candidates") or []
+            ],
+            resolved=bool(data.get("resolved", False)),
+            refinements=[str(r) for r in data.get("refinements") or []],
+        )
 
     def render(self) -> str:
         head = f"model lookup: {self.concept}<{self.args}>"
@@ -169,6 +195,17 @@ class ExplainLog:
     def finish(self, resolved: bool) -> None:
         if self._open:
             self._open.pop().resolved = resolved
+
+    def merge_json(self, entries: List[Dict[str, object]]) -> None:
+        """Re-append entries exported by :meth:`to_json` in another process
+        (resolutions rebuilt as :class:`Resolution`, notes as strings), so
+        a coordinator log renders worker resolutions indistinguishably from
+        local ones."""
+        for entry in entries or []:
+            if "concept" in entry:
+                self.entries.append(Resolution.from_dict(entry))
+            else:
+                self.entries.append(str(entry.get("note", "")))
 
     # -- reading ----------------------------------------------------------
 

@@ -50,6 +50,16 @@ def _span_args(span: Span) -> Dict[str, object]:
     return out
 
 
+def _event_pid(span: Span) -> int:
+    """A span grafted from a worker carries a ``pid`` attribute; use it as
+    the Chrome event's process lane so Perfetto draws one track per real
+    OS process.  Local spans stay on the coordinator lane (1)."""
+    pid = span.attrs.get("pid")
+    if isinstance(pid, int) and pid > 0:
+        return pid
+    return 1
+
+
 def chrome_trace(tracer: Tracer) -> List[Dict[str, object]]:
     """The spans as a Chrome ``trace_event`` list (complete events)."""
     events: List[Dict[str, object]] = []
@@ -60,7 +70,7 @@ def chrome_trace(tracer: Tracer) -> List[Dict[str, object]]:
             "ph": "X",
             "ts": span.start_ns / 1_000,      # microseconds
             "dur": span.duration_ns / 1_000,
-            "pid": 1,
+            "pid": _event_pid(span),
             "tid": 1,
             "args": dict(_span_args(span), span_id=span.id,
                          parent_id=span.parent_id),
@@ -86,6 +96,58 @@ def to_jsonl(tracer: Tracer) -> str:
             "attrs": _span_args(span),
         }, sort_keys=True))
     return "\n".join(lines)
+
+
+def prometheus_text(stats: Dict[str, object]) -> str:
+    """A daemon ``stats`` payload in Prometheus text exposition format.
+
+    Flat numeric fields become ``fg_<name>`` gauges; the rolling
+    ``latency_ms``/``queue_wait_ms`` reservoirs become one gauge family
+    each with ``quantile`` labels (summary-style), so
+    ``fg serve --metrics-file`` snapshots scrape cleanly.  Non-numeric and
+    structural fields (worker detail lists, request type) are skipped —
+    Prometheus has no place for them.
+    """
+    lines: List[str] = []
+
+    def gauge(name: str, value, labels: str = "") -> None:
+        if value is None:
+            return
+        lines.append(f"fg_{name}{labels} {float(value):g}")
+
+    def family(name: str, help_text: str) -> None:
+        lines.append(f"# HELP fg_{name} {help_text}")
+        lines.append(f"# TYPE fg_{name} gauge")
+
+    for key, help_text in (
+        ("uptime_ms", "Daemon uptime in milliseconds."),
+        ("served", "Requests served since boot."),
+        ("shed_total", "Requests shed (overload or draining) since boot."),
+        ("respawns", "Worker processes respawned since boot."),
+        ("queued", "Requests waiting for the executor."),
+        ("in_flight", "Requests currently executing."),
+        ("workers", "Configured worker seats."),
+        ("worker_utilization", "Busy worker-seconds per wall-second, 0..1."),
+    ):
+        if stats.get(key) is not None:
+            family(key, help_text)
+            gauge(key, stats[key])
+
+    for key, help_text in (
+        ("latency_ms", "Rolling request latency quantiles (ms)."),
+        ("queue_wait_ms", "Rolling executor queue-wait quantiles (ms)."),
+    ):
+        window = stats.get(key)
+        if not isinstance(window, dict):
+            continue
+        family(key, help_text)
+        for quantile, field in (("0.5", "p50"), ("0.95", "p95"),
+                                ("0.99", "p99")):
+            gauge(key, window.get(field), '{quantile="%s"}' % quantile)
+        family(key + "_observations", "Observations ever made.")
+        gauge(key + "_observations", window.get("count"))
+
+    return "\n".join(lines) + "\n"
 
 
 def spans_from_jsonl(text: str) -> List[Dict[str, object]]:

@@ -53,6 +53,20 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def merge(self, other: Dict[str, object]) -> None:
+        """Fold another histogram's ``to_dict`` projection into this one
+        (cross-process metrics merging; the mean is derived, not stored)."""
+        self.count += int(other.get("count", 0) or 0)
+        self.sum += other.get("sum", 0) or 0
+        other_min = other.get("min")
+        if other_min is not None and (self.min is None or
+                                      other_min < self.min):
+            self.min = other_min
+        other_max = other.get("max")
+        if other_max is not None and (self.max is None or
+                                      other_max > self.max):
+            self.max = other_max
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -91,6 +105,21 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` from another registry (typically another
+        *process*) into this one: counters add, histograms merge their
+        count/sum/min/max.  This is how worker-side ``typecheck.*`` and
+        ``congruence.*`` metrics reach the coordinator registry — merged at
+        result time, so everything a worker completed survives its death.
+        """
+        for name, amount in (snapshot.get("counters") or {}).items():
+            self.inc(name, int(amount))
+        for name, data in (snapshot.get("histograms") or {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.merge(data)
 
     # -- reading ----------------------------------------------------------
 

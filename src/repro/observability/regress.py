@@ -429,11 +429,22 @@ def serve_benchmark_rows(
     ``serve.warm_request`` vs ``batch.isolate_pool`` is the daemon's
     amortization argument in one comparison.  One unmeasured warm-up
     request runs first so every measured round hits warm workers.
+
+    Three companion rows price the PR-8 telemetry: ``serve.stats_request``
+    times the memory-only live-stats probe (it must stay orders of
+    magnitude under a batch round trip — it is served on the accept
+    loop), and ``serve.warm_request_traced`` repeats the round trip
+    against a daemon with full instrumentation, so the tracing-on vs
+    tracing-off delta (span shipping, clock normalization, grafting) is
+    one comparison in every record.
     """
     import os
     import tempfile
     import threading
 
+    from repro.observability import (
+        Instrumentation, MetricsRegistry, Tracer,
+    )
     from repro.service import (
         BatchPolicy,
         RetryPolicy,
@@ -441,40 +452,60 @@ def serve_benchmark_rows(
         Server,
         check_remote,
         request_shutdown,
+        stats,
     )
 
     items = _isolation_corpus()
-    policy = BatchPolicy(
-        jobs=2, deadline_ms=30_000.0, retry=RetryPolicy(max_retries=0),
-        isolate="pool", pool_workers=2,
-    )
     rows: List[Dict[str, object]] = []
-    with tempfile.TemporaryDirectory(
-        prefix="fgbench", dir="/tmp"  # AF_UNIX paths must stay short
-    ) as tmp:
-        options = ServeOptions(socket_path=os.path.join(tmp, "fg.sock"))
-        server = Server(policy, options)
-        thread = threading.Thread(target=server.serve, daemon=True)
-        thread.start()
-        if not server.ready.wait(20.0):
-            raise RuntimeError("bench daemon never became ready")
-        try:
-            check_remote(options.socket_path, items, timeout=120.0)
-            if progress:
-                progress(f"bench serve.warm_request ({rounds} rounds, "
-                         f"{len(items)} files)")
+    for name, instrumented in (
+        ("serve.warm_request", False),
+        ("serve.warm_request_traced", True),
+    ):
+        policy = BatchPolicy(
+            jobs=2, deadline_ms=30_000.0, retry=RetryPolicy(max_retries=0),
+            isolate="pool", pool_workers=2,
+        )
+        instrumentation = (
+            Instrumentation(tracer=Tracer(), metrics=MetricsRegistry())
+            if instrumented else None
+        )
+        with tempfile.TemporaryDirectory(
+            prefix="fgbench", dir="/tmp"  # AF_UNIX paths must stay short
+        ) as tmp:
+            options = ServeOptions(socket_path=os.path.join(tmp, "fg.sock"))
+            server = Server(policy, options, instrumentation)
+            thread = threading.Thread(target=server.serve, daemon=True)
+            thread.start()
+            if not server.ready.wait(20.0):
+                raise RuntimeError("bench daemon never became ready")
+            try:
+                check_remote(options.socket_path, items, timeout=120.0)
+                if progress:
+                    progress(f"bench {name} ({rounds} rounds, "
+                             f"{len(items)} files)")
 
-            def run() -> None:
-                response = check_remote(
-                    options.socket_path, items, timeout=120.0,
-                )
-                assert response.get("type") == "report", response
+                def run() -> None:
+                    response = check_remote(
+                        options.socket_path, items, timeout=120.0,
+                    )
+                    assert response.get("type") == "report", response
 
-            rows.append(_timed_row("serve.warm_request", "isolation",
-                                   run, rounds))
-        finally:
-            request_shutdown(options.socket_path)
-            thread.join(timeout=30.0)
+                rows.append(_timed_row(name, "isolation", run, rounds))
+                if not instrumented:
+                    stats_rounds = rounds * 10
+                    if progress:
+                        progress(f"bench serve.stats_request "
+                                 f"({stats_rounds} rounds)")
+
+                    def probe() -> None:
+                        snapshot = stats(options.socket_path, timeout=30.0)
+                        assert snapshot.get("type") == "stats", snapshot
+
+                    rows.append(_timed_row("serve.stats_request", "serve",
+                                           probe, stats_rounds))
+            finally:
+                request_shutdown(options.socket_path)
+                thread.join(timeout=30.0)
     return rows
 
 

@@ -123,6 +123,31 @@ class Tracer:
         self._stack.append(span)
         return _SpanHandle(self, span)
 
+    def adopt(self, name: str, start_ns: int, end_ns: int, *,
+              parent: Optional[Span] = None,
+              attrs: Optional[Dict[str, object]] = None) -> Span:
+        """Record an already-timed span (cross-process telemetry stitching).
+
+        Unlike :meth:`span`, the caller supplies both timestamps and an
+        explicit ``parent`` (``None`` adopts under the innermost open span,
+        or as a new root).  The open-span stack is never touched — adopted
+        spans are history, not dynamic scope — so grafting a worker's span
+        tree cannot disturb live ``with tracer.span(...)`` nesting.
+        """
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
+        span = Span(self._next_id, name,
+                    parent.id if parent is not None else None,
+                    int(start_ns), dict(attrs or {}))
+        span.end_ns = int(end_ns)
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._spans.append(span)
+        return span
+
     def _finish(self, span: Span) -> None:
         span.end_ns = self._clock()
         # Normal exits pop exactly the top; pop defensively past any spans
@@ -133,6 +158,12 @@ class Tracer:
                 return
             if top.end_ns is None:
                 top.end_ns = span.end_ns
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` (cross-process dispatch
+        stamps its id on task frames as the worker's logical parent)."""
+        return self._stack[-1] if self._stack else None
 
     @property
     def spans(self) -> List[Span]:
@@ -167,6 +198,13 @@ class NullTracer:
 
     def span(self, name: str, /, **attrs) -> _NullHandle:
         return _NULL_HANDLE
+
+    def adopt(self, name, start_ns, end_ns, *, parent=None, attrs=None):
+        return None
+
+    @property
+    def current(self):
+        return None
 
     @property
     def roots(self):

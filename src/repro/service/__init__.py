@@ -32,8 +32,10 @@ from repro.service.client import (
     ProtocolError,
     ServerUnavailable,
     check_remote,
+    events,
     health,
     request_shutdown,
+    stats,
 )
 from repro.service.journal import Journal, JournalError, replay
 from repro.service.server import (
@@ -112,6 +114,7 @@ __all__ = [
     "canonicalize",
     "check_batch",
     "check_remote",
+    "events",
     "health",
     "is_retryable",
     "notify_on_termination",
@@ -121,4 +124,5 @@ __all__ = [
     "resolve_policy",
     "run_pool_batch",
     "run_with_deadline",
+    "stats",
 ]

@@ -25,11 +25,16 @@ quarantined, plus the ``batch.attempts`` histogram).
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.observability import Instrumentation, NULL_TRACER
+from repro.observability import (
+    Instrumentation,
+    NULL_TRACER,
+    merge_worker_telemetry,
+)
 from repro.service.faults import (
     FAULT_CRASH,
     FAULT_DEADLINE,
@@ -43,9 +48,15 @@ from repro.service.worker import (
     AttemptResult,
     run_attempt_subprocess,
     run_attempt_thread,
+    telemetry_request,
 )
 
 _FAULT_KIND = {"timeout": FAULT_DEADLINE, "crash": FAULT_CRASH}
+
+#: Serializes telemetry merges into the shared coordinator bundle: with
+#: ``jobs > 1`` several worker threads finish attempts concurrently, and
+#: neither the tracer nor the metrics registry is thread-safe on its own.
+_MERGE_LOCK = threading.Lock()
 
 
 def check_batch(
@@ -98,6 +109,7 @@ def check_batch(
                 schedule=fault_schedule,
                 ambient=ambient,
                 serialized_ambient=serialized_ambient,
+                instrumentation=instrumentation,
             )
         elif policy.isolate == "pool":
             from repro.service.pool import run_pool_batch
@@ -108,12 +120,13 @@ def check_batch(
                 ambient=ambient,
                 serialized_ambient=serialized_ambient,
                 tracer=tracer,
+                instrumentation=instrumentation,
             )
         elif policy.jobs == 1 or len(items) <= 1:
             for index, (filename, text) in enumerate(items):
                 outcomes[index] = _check_one(
                     index, filename, text, policy, ambient,
-                    serialized_ambient, fault_schedule,
+                    serialized_ambient, fault_schedule, instrumentation,
                 )
         else:
             with ThreadPoolExecutor(
@@ -122,7 +135,7 @@ def check_batch(
                 futures = {
                     pool.submit(
                         _check_one, index, filename, text, policy, ambient,
-                        serialized_ambient, fault_schedule,
+                        serialized_ambient, fault_schedule, instrumentation,
                     ): index
                     for index, (filename, text) in enumerate(items)
                 }
@@ -171,8 +184,17 @@ def _check_one(
     ambient: Dict[str, object],
     serialized_ambient,
     schedule: Optional[FaultSchedule],
+    instrumentation: Optional[Instrumentation] = None,
 ) -> FileOutcome:
-    """The per-file retry loop: attempts → taxonomy → backoff → breaker."""
+    """The per-file retry loop: attempts → taxonomy → backoff → breaker.
+
+    Every attempt carries the coordinator's telemetry request across the
+    isolation wall and merges what the worker saw back under
+    :data:`_MERGE_LOCK`, so ``--stats``/``--explain``/``--trace`` are no
+    longer silently empty under ``--isolate=subprocess`` (or the thread
+    wall).
+    """
+    telemetry = telemetry_request(instrumentation)
     check_kwargs = {
         "prelude": policy.prelude,
         "ext": policy.ext,
@@ -191,11 +213,13 @@ def _check_one(
             schedule.for_attempt(index, attempt)
             if schedule is not None else ()
         )
+        send_ns = time.perf_counter_ns()
         if policy.isolate == "subprocess":
             result = run_attempt_subprocess(
                 text, filename, check_kwargs, serialized_ambient, specs,
                 schedule.hang_s if schedule is not None else 0.5,
                 policy.deadline_ms,
+                telemetry=telemetry,
             )
         else:
             faults = dict(ambient)
@@ -205,7 +229,19 @@ def _check_one(
                 )
             result = run_attempt_thread(
                 text, filename, check_kwargs, faults, policy.deadline_ms,
+                telemetry=telemetry,
             )
+        if result.telemetry is not None:
+            with _MERGE_LOCK:
+                merge_worker_telemetry(
+                    instrumentation, result.telemetry,
+                    send_ns=send_ns, recv_ns=time.perf_counter_ns(),
+                    span_name="service.attempt",
+                    attrs={
+                        "file": filename, "attempt": attempt,
+                        "isolate": policy.isolate,
+                    },
+                )
         final = result
         injected = tuple(spec.tag for spec in specs)
         fault_kind = _FAULT_KIND.get(result.status)

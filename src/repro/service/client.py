@@ -129,6 +129,22 @@ def health(socket_path: str, timeout: Optional[float] = 5.0) \
     return roundtrip(socket_path, {"type": "health"}, timeout=timeout)
 
 
+def stats(socket_path: str, timeout: Optional[float] = 5.0) \
+        -> Dict[str, object]:
+    """The daemon's rolling live-telemetry snapshot (latency/queue-wait
+    percentiles, utilization, shed and respawn totals)."""
+    return roundtrip(socket_path, {"type": "stats"}, timeout=timeout)
+
+
+def events(socket_path: str, tail: int = 20,
+           timeout: Optional[float] = 5.0) -> Dict[str, object]:
+    """The last ``tail`` operational events (worker lifecycle, sheds,
+    drain/resume, journal rotation) with monotonic sequence numbers."""
+    return roundtrip(
+        socket_path, {"type": "events", "tail": tail}, timeout=timeout,
+    )
+
+
 def request_shutdown(socket_path: str, timeout: Optional[float] = 5.0) \
         -> Dict[str, object]:
     """Ask the daemon to drain (socket-side SIGTERM equivalent)."""

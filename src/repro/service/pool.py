@@ -36,6 +36,7 @@ across rounds.  Scheduling-dependent counters (``steals``,
 from __future__ import annotations
 
 import collections
+import itertools
 import os
 import selectors
 import subprocess
@@ -44,7 +45,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.observability import NULL_TRACER
+from repro.observability import NULL_TRACER, merge_worker_telemetry
 from repro.service import proto
 from repro.service.faults import (
     FAULT_CRASH,
@@ -61,9 +62,19 @@ from repro.service.worker import (
     result_to_attempt,
     run_attempt_thread,
     task_payload,
+    telemetry_request,
 )
 
 _FAULT_KIND = {"timeout": FAULT_DEADLINE, "crash": FAULT_CRASH}
+
+#: Monotonic suffix for trace ids: unique per supervisor within a process,
+#: combined with the pid for cross-process uniqueness.  Never enters the
+#: canonical report JSON, so determinism guarantees are unaffected.
+_TRACE_SEQ = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{os.getpid():x}-{next(_TRACE_SEQ):x}"
 
 #: Grace past the cooperative deadline before the supervisor hard-kills a
 #: worker: half the deadline, floored and capped.  Wide enough that a
@@ -327,12 +338,27 @@ class _Supervisor:
         serialized_ambient: List[Dict[str, str]],
         tracer,
         slots: Optional[List[_WorkerSlot]] = None,
+        instrumentation=None,
+        ops=None,
     ):
         self.policy = policy
         self.schedule = schedule
         self.ambient = ambient
         self.serialized_ambient = serialized_ambient
-        self.tracer = tracer
+        self.instrumentation = instrumentation
+        self.tracer = (
+            instrumentation.tracer if instrumentation is not None else tracer
+        )
+        self.ops = ops
+        # The telemetry stanza stamped on every dispatched task frame; the
+        # per-dispatch parent-span id is added in _dispatch.
+        self.trace_id = (
+            _new_trace_id()
+            if getattr(self.tracer, "enabled", False) else None
+        )
+        self._telemetry = telemetry_request(
+            instrumentation, trace_id=self.trace_id,
+        )
         self.hang_s = schedule.hang_s if schedule is not None else 0.5
         self.check_kwargs = {
             "prelude": policy.prelude,
@@ -381,10 +407,16 @@ class _Supervisor:
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _emit(self, event: str, **fields) -> None:
+        """Record one operational event when an ops log is attached."""
+        if self.ops is not None:
+            self.ops.emit(event, **fields)
+
     def _spawn(self, slot: _WorkerSlot) -> None:
         _spawn_process(slot, self.policy)
         self.sel.register(slot.result_r, selectors.EVENT_READ, slot)
         self.stats.spawned += 1
+        self._emit("worker-spawn", slot=slot.slot, pid=slot.proc.pid)
         try:
             proto.write_frame_fd(slot.task_w, _init_frame(self.policy))
         except OSError:
@@ -410,10 +442,12 @@ class _Supervisor:
     def _respawn_or_retire(self, slot: _WorkerSlot) -> None:
         if self.stats.respawns < self.policy.max_respawns:
             self.stats.respawns += 1
+            self._emit("worker-respawn", slot=slot.slot)
             self._spawn(slot)
         else:
             slot.retired = True
             self.stats.retired += 1
+            self._emit("worker-retire", slot=slot.slot)
 
     # -- dispatch and stealing ---------------------------------------------
 
@@ -450,14 +484,23 @@ class _Supervisor:
             if self.schedule is not None else ()
         )
         injected = tuple(spec.tag for spec in specs)
+        telemetry = self._telemetry
+        if telemetry is not None and self.trace_id is not None:
+            parent = self.tracer.current
+            if parent is not None:
+                telemetry = dict(telemetry, parent_span=parent.id)
         frame = task_payload(
             task.text, task.filename, self.check_kwargs,
             self.serialized_ambient, specs, self.hang_s,
+            telemetry=telemetry,
         )
         frame["type"] = "task"
         frame["id"] = task.index
         frame["attempt"] = task.attempt
-        slot.current = (task, injected, time.monotonic())
+        # (task, injected tags, monotonic dispatch instant for deadlines,
+        #  perf_counter_ns dispatch instant for trace stitching).
+        slot.current = (task, injected, time.monotonic(),
+                        time.perf_counter_ns())
         kill = self._pending_kill(task.index, task.attempt)
         try:
             proto.write_frame_fd(slot.task_w, frame)
@@ -517,9 +560,10 @@ class _Supervisor:
         returncode = self._reap(slot)
         self._close_slot(slot)
         self.stats.worker_lost += 1
+        self._emit("worker-lost", slot=slot.slot, returncode=returncode)
         current, slot.current = slot.current, None
         if current is not None:
-            task, injected, t0 = current
+            task, injected, t0, _send_ns = current
             duration_ms = round((time.monotonic() - t0) * 1e3, 3)
             result = AttemptResult(
                 status="crash",
@@ -543,10 +587,12 @@ class _Supervisor:
             self._handle_worker_loss(slot, salvage=False)
             return
         self.stats.deadline_kills += 1
+        self._emit("deadline-kill", slot=slot.slot,
+                   file=slot.current[0].filename)
         slot.proc.kill()
         self._reap(slot)
         self._close_slot(slot)
-        (task, injected, t0), slot.current = slot.current, None
+        (task, injected, t0, _send_ns), slot.current = slot.current, None
         duration_ms = round((time.monotonic() - t0) * 1e3, 3)
         self._finish_attempt(
             task, AttemptResult(status="timeout", duration_ms=duration_ms),
@@ -589,7 +635,7 @@ class _Supervisor:
         elif kind == "result":
             if slot.current is None:
                 return  # stale frame from a previous dispatch; drop it
-            task, injected, t0 = slot.current
+            task, injected, t0, send_ns = slot.current
             if (frame.get("id") != task.index
                     or frame.get("attempt") != task.attempt):
                 return
@@ -599,6 +645,19 @@ class _Supervisor:
             result = result_to_attempt(
                 frame, frame.get("duration_ms", fallback_ms)
             )
+            # The stitch point: merge what the worker saw — spans offset
+            # into this clock, metrics, explain — the moment the result
+            # lands, so a later death of this worker loses nothing.
+            if result.telemetry is not None:
+                merge_worker_telemetry(
+                    self.instrumentation, result.telemetry,
+                    send_ns=send_ns, recv_ns=time.perf_counter_ns(),
+                    span_name="pool.attempt",
+                    attrs={
+                        "file": task.filename, "attempt": task.attempt,
+                        "slot": slot.slot,
+                    },
+                )
             self._finish_attempt(task, result, injected)
         # "heartbeat" and unknown kinds only refresh last_beat.
 
@@ -636,6 +695,7 @@ class _Supervisor:
         """Every worker is gone and the respawn budget is spent: finish the
         remaining tasks in-process, continuing each retry state machine."""
         self.stats.degraded = True
+        self._emit("pool-degraded")
         for task in self.tasks:
             while not task.done:
                 wait = task.ready_at - time.monotonic()
@@ -652,7 +712,22 @@ class _Supervisor:
                 result = run_attempt_thread(
                     task.text, task.filename, self.check_kwargs, faults,
                     self.policy.deadline_ms,
+                    telemetry=self._telemetry,
                 )
+                if result.telemetry is not None:
+                    # In-process attempts share this clock: the worker's
+                    # own bracket doubles as the dispatch..receive window.
+                    clk = result.telemetry.get("clock") or {}
+                    merge_worker_telemetry(
+                        self.instrumentation, result.telemetry,
+                        send_ns=int(clk.get("start_ns", 0)),
+                        recv_ns=int(clk.get("end_ns", 0)),
+                        span_name="pool.attempt",
+                        attrs={
+                            "file": task.filename, "attempt": task.attempt,
+                            "degraded": True,
+                        },
+                    )
                 self._finish_attempt(task, result, injected)
 
     # -- shutdown -----------------------------------------------------------
@@ -744,13 +819,18 @@ def run_pool_batch(
     ambient: Optional[Dict[str, object]] = None,
     serialized_ambient: Optional[List[Dict[str, str]]] = None,
     tracer=NULL_TRACER,
+    instrumentation=None,
+    ops=None,
 ) -> Tuple[List[FileOutcome], PoolStats]:
     """Check ``(filename, text)`` pairs on the persistent worker pool.
 
     Returns the outcomes in input order plus the supervisor's
     :class:`PoolStats`.  Never raises for anything the inputs or the
     workers do — the containment contract of
-    :func:`repro.service.check_batch` extends here.
+    :func:`repro.service.check_batch` extends here.  With
+    ``instrumentation``, worker attempts run under real per-task
+    instrumentation and everything they see is stitched back into the
+    coordinator bundle; ``ops`` receives worker lifecycle events.
     """
     if not items:
         return [], PoolStats(workers=0)
@@ -762,6 +842,8 @@ def run_pool_batch(
             serialized_ambient if serialized_ambient is not None else []
         ),
         tracer=tracer,
+        instrumentation=instrumentation,
+        ops=ops,
     )
     return supervisor.run()
 
@@ -783,16 +865,35 @@ class PersistentPool:
     uninterrupted run.
     """
 
-    def __init__(self, policy: BatchPolicy, tracer=NULL_TRACER):
+    def __init__(self, policy: BatchPolicy, tracer=NULL_TRACER, *,
+                 ops=None):
         self.policy = policy
         self.tracer = tracer
+        self.ops = ops
         self.slots = [_WorkerSlot(i)
                       for i in range(max(1, policy.pool_workers))]
         self.closed = False
+        #: Seats revived by :meth:`ensure` after their worker died *between*
+        #: batches — mid-batch respawns are counted by each batch's
+        #: :class:`PoolStats` instead; the daemon sums both for telemetry.
+        self.idle_respawns = 0
 
     @property
     def alive_workers(self) -> int:
         return sum(1 for slot in self.slots if slot.alive)
+
+    def worker_status(self) -> List[Dict[str, object]]:
+        """Per-seat liveness for health/stats payloads (JSON-ready)."""
+        return [
+            {
+                "slot": slot.slot,
+                "alive": slot.alive,
+                "retired": slot.retired,
+                "pid": slot.proc.pid if slot.proc is not None else None,
+                "tasks_done": slot.tasks_done,
+            }
+            for slot in self.slots
+        ]
 
     def ensure(self) -> int:
         """Spawn a worker into every empty or dead seat; returns how many
@@ -803,6 +904,7 @@ class PersistentPool:
         for slot in self.slots:
             if slot.alive:
                 continue
+            revival = slot.proc is not None
             if slot.proc is not None:
                 try:
                     slot.proc.wait(timeout=0)
@@ -820,6 +922,13 @@ class PersistentPool:
                 # ensure() tries again.
                 continue
             spawned += 1
+            if revival:
+                self.idle_respawns += 1
+            if self.ops is not None:
+                self.ops.emit(
+                    "worker-respawn" if revival else "worker-spawn",
+                    slot=slot.slot, pid=slot.proc.pid,
+                )
         return spawned
 
     def flush(self) -> None:
@@ -852,6 +961,7 @@ class PersistentPool:
         schedule: Optional[FaultSchedule] = None,
         ambient: Optional[Dict[str, object]] = None,
         serialized_ambient: Optional[List[Dict[str, str]]] = None,
+        instrumentation=None,
     ) -> Tuple[List[FileOutcome], PoolStats]:
         """One batch on the warm workers; same contract as
         :func:`run_pool_batch`."""
@@ -870,6 +980,8 @@ class PersistentPool:
             ),
             tracer=self.tracer,
             slots=self.slots,
+            instrumentation=instrumentation,
+            ops=self.ops,
         )
         return supervisor.run()
 

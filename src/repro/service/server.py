@@ -59,7 +59,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.observability import Instrumentation, NULL_TRACER
+from repro.observability import (
+    Instrumentation,
+    NULL_TRACER,
+    OpsLog,
+    ServerTelemetry,
+    prometheus_text,
+)
 from repro.service import journal as journal_mod
 from repro.service import proto
 from repro.service.batch import check_batch
@@ -76,11 +82,12 @@ from repro.service.pool import PersistentPool
 from repro.service.signals import notify_on_termination
 
 #: Request frame types a client may send.
-REQUEST_TYPES = ("batch", "health", "shutdown")
+REQUEST_TYPES = ("batch", "health", "stats", "events", "shutdown")
 
 #: Response frame types that end a request (everything except "accepted").
 TERMINAL_RESPONSES = (
-    "report", "overload", "shed", "draining", "error", "health", "shutdown"
+    "report", "overload", "shed", "draining", "error", "health", "stats",
+    "events", "shutdown",
 )
 
 
@@ -107,12 +114,27 @@ class ServeOptions:
     #: Replay, re-run, journal, and exit without ever binding the socket
     #: (the crash-recovery verification mode used by CI).
     resume_only: bool = False
+    #: Periodically write a Prometheus-text-format telemetry snapshot here
+    #: (atomic tmp+rename; ``None`` disables the writer).
+    metrics_file: Optional[str] = None
+    #: Seconds between metrics-file snapshots.
+    metrics_interval_s: float = 2.0
+    #: JSONL mirror of the operational event log; defaults to
+    #: ``<socket>.ops.jsonl`` next to the socket.
+    ops_log_path: Optional[str] = None
 
     def effective_journal_path(self) -> str:
         return (
             self.journal_path
             if self.journal_path is not None
             else self.socket_path + ".journal"
+        )
+
+    def effective_ops_log_path(self) -> str:
+        return (
+            self.ops_log_path
+            if self.ops_log_path is not None
+            else self.socket_path + ".ops.jsonl"
         )
 
 
@@ -219,6 +241,15 @@ class Server:
         self.resumed_digests: Dict[int, str] = {}
         self.truncated_bytes = 0
         self._started_at = 0.0
+        # Rolling live telemetry (latency/queue-wait percentiles, shed and
+        # respawn totals) plus the operational event log; both are created
+        # here so tests can construct a Server and read them directly.
+        self.telemetry = ServerTelemetry(
+            workers=max(1, policy.pool_workers)
+        )
+        self.ops: Optional[OpsLog] = None
+        self._metrics_due = 0.0
+        self._drain_logged = False
         self.sel: Optional[selectors.BaseSelector] = None
         self.listener: Optional[socket.socket] = None
         self.conns: Dict[int, _Conn] = {}
@@ -245,7 +276,9 @@ class Server:
             unfinished = replay.unfinished
             self.next_id = replay.next_request_id
         else:
-            journal_mod.rotate(path)
+            rotated = journal_mod.rotate(path)
+            if rotated is not None and self.ops is not None:
+                self.ops.emit("journal-rotate", backup=rotated)
         self.journal = Journal(path)
         return unfinished
 
@@ -265,16 +298,20 @@ class Server:
     # -- the executor thread ------------------------------------------------
 
     def _run_request(self, req: _Request) -> Dict[str, object]:
-        if req.deadline_ms is not None:
-            waited_ms = (time.monotonic() - req.admitted_at) * 1000.0
-            if waited_ms > req.deadline_ms:
-                self.journal.append(cancel_record(req.id, "queue-deadline"))
-                return {"type": "shed", "request": req.id,
-                        "reason": "queue-deadline"}
+        queue_wait_ms = (time.monotonic() - req.admitted_at) * 1000.0
+        if req.deadline_ms is not None and queue_wait_ms > req.deadline_ms:
+            self.journal.append(cancel_record(req.id, "queue-deadline"))
+            self.telemetry.record_shed()
+            if self.ops is not None:
+                self.ops.emit("shed", reason="queue-deadline",
+                              request=req.id)
+            return {"type": "shed", "request": req.id,
+                    "reason": "queue-deadline"}
         schedule = (
             FaultSchedule.from_json(req.schedule_json)
             if req.schedule_json else None
         )
+        run_started = time.monotonic()
         with self.tracer.span(
             "server.request",
             request=req.id, files=len(req.sources), resumed=req.resumed,
@@ -298,6 +335,15 @@ class Server:
             req.id, report.exit_code, canonical, resumed=req.resumed,
         ))
         self.served += 1
+        finished = time.monotonic()
+        self.telemetry.observe_request(
+            latency_ms=(finished - req.admitted_at) * 1000.0,
+            queue_wait_ms=queue_wait_ms,
+            busy_s=finished - run_started,
+        )
+        self.telemetry.add_respawns(
+            int((report.pool or {}).get("respawns", 0))
+        )
         if req.resumed:
             self.resumed_digests[req.id] = digest
         return {
@@ -349,6 +395,9 @@ class Server:
         self._inc("server.requests")
         if self.draining:
             self._inc("server.shed")
+            self.telemetry.record_shed()
+            if self.ops is not None:
+                self.ops.emit("shed", reason="draining")
             self._respond(conn, {
                 "type": "draining",
                 "retry_after_ms": self._retry_after_ms(),
@@ -356,6 +405,9 @@ class Server:
             return
         if len(self.queue) >= self.options.max_queue:
             self._inc("server.overload")
+            self.telemetry.record_shed()
+            if self.ops is not None:
+                self.ops.emit("shed", reason="overload")
             self._respond(conn, {
                 "type": "overload",
                 "retry_after_ms": self._retry_after_ms(),
@@ -397,6 +449,12 @@ class Server:
         self._respond(conn, {"type": "accepted", "request": rid,
                              "queued": len(self.queue)})
 
+    def _total_respawns(self) -> int:
+        """Mid-batch respawns (telemetry, from pool stats) plus idle-seat
+        revivals the persistent pool performed between batches."""
+        idle = self.pool.idle_respawns if self.pool is not None else 0
+        return self.telemetry.respawns + idle
+
     def _health_payload(self) -> Dict[str, object]:
         return {
             "type": "health",
@@ -408,6 +466,49 @@ class Server:
             "uptime_ms": round(
                 (time.monotonic() - self._started_at) * 1000.0, 3
             ),
+            "queue_wait_ms_p95": self.telemetry.queue_wait_p95(),
+            "shed_total": self.telemetry.shed_total,
+            "respawns": self._total_respawns(),
+            "workers_detail": (
+                self.pool.worker_status() if self.pool is not None else []
+            ),
+        }
+
+    def _stats_payload(self) -> Dict[str, object]:
+        """The live-telemetry payload: everything in memory, no blocking
+        I/O — safe to build on the accept-loop thread."""
+        snap = self.telemetry.snapshot()
+        return {
+            "type": "stats",
+            "status": "draining" if self.draining else "ok",
+            "served": self.served,
+            "queued": len(self.queue),
+            "in_flight": 1 if self.current is not None else 0,
+            "workers": self.pool.alive_workers if self.pool else 0,
+            "workers_detail": (
+                self.pool.worker_status() if self.pool is not None else []
+            ),
+            "uptime_ms": round(
+                (time.monotonic() - self._started_at) * 1000.0, 3
+            ),
+            "latency_ms": snap["latency_ms"],
+            "queue_wait_ms": snap["queue_wait_ms"],
+            "worker_utilization": snap["worker_utilization"],
+            "shed_total": snap["shed_total"],
+            "respawns": self._total_respawns(),
+            "ops_seq": self.ops.seq if self.ops is not None else 0,
+        }
+
+    def _events_payload(self, frame: Dict[str, object]) -> Dict[str, object]:
+        try:
+            tail = int(frame.get("tail", 20))
+        except (TypeError, ValueError):
+            tail = 20
+        events = self.ops.tail(tail) if self.ops is not None else []
+        return {
+            "type": "events",
+            "seq": self.ops.seq if self.ops is not None else 0,
+            "events": events,
         }
 
     def _on_frame(self, conn: _Conn, frame: Dict[str, object]) -> None:
@@ -417,6 +518,12 @@ class Server:
         elif kind == "health":
             self._inc("server.health")
             self._respond(conn, self._health_payload())
+        elif kind == "stats":
+            self._inc("server.stats")
+            self._respond(conn, self._stats_payload())
+        elif kind == "events":
+            self._inc("server.events")
+            self._respond(conn, self._events_payload(frame))
         elif kind == "shutdown":
             # Socket-initiated drain: same semantics as SIGTERM.
             self.draining = True
@@ -548,6 +655,33 @@ class Server:
                 conn.requests.remove(req)
             self._respond(conn, response)
 
+    # -- live telemetry sinks ------------------------------------------------
+
+    def _note_drain(self) -> None:
+        """Log the drain transition exactly once (signal handlers only set
+        the flag; the event is recorded here on the main loop)."""
+        if self.draining and not self._drain_logged:
+            self._drain_logged = True
+            if self.ops is not None:
+                self.ops.emit("drain")
+
+    def _maybe_write_metrics(self) -> None:
+        """Write the Prometheus snapshot when due (atomic tmp+rename, so a
+        scraper never reads a torn file)."""
+        if self.options.metrics_file is None:
+            return
+        now = time.monotonic()
+        if now < self._metrics_due:
+            return
+        self._metrics_due = now + max(0.05, self.options.metrics_interval_s)
+        tmp = self.options.metrics_file + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(self._stats_payload()))
+            os.replace(tmp, self.options.metrics_file)
+        except OSError:
+            pass  # metrics are advisory; never take the daemon down
+
     # -- the loop -----------------------------------------------------------
 
     def _next_timeout(self) -> Optional[float]:
@@ -561,6 +695,8 @@ class Server:
             )
         if self.draining:
             candidates.append(0.1)  # poll the exit condition while draining
+        if self.options.metrics_file is not None:
+            candidates.append(self._metrics_due - now)
         if not candidates:
             return None
         return max(0.0, min(candidates))
@@ -600,12 +736,20 @@ class Server:
         """Run the daemon until drained (or, under ``resume_only``, until
         the replayed requests finish).  Returns the exit summary."""
         self._started_at = time.monotonic()
+        try:
+            self.ops = OpsLog(self.options.effective_ops_log_path())
+        except OSError:
+            self.ops = OpsLog(None)  # unwritable path: ring only
         unfinished = self._prepare_journal()
-        self.pool = PersistentPool(self.policy, tracer=self.tracer)
+        self.pool = PersistentPool(
+            self.policy, tracer=self.tracer, ops=self.ops,
+        )
         try:
             # Eager warm-up: the daemon's reason to exist is amortizing
             # worker spin-up, so pay it before the first request arrives.
             self.pool.ensure()
+            if unfinished:
+                self.ops.emit("resume", requests=len(unfinished))
             for record in unfinished:
                 req = self._replay_request(record)
                 self.queue.append(req)
@@ -647,10 +791,15 @@ class Server:
                             self._flush_conn(key.data)
                     self._flush_results()
                     self._close_idle()
+                    self._note_drain()
+                    self._maybe_write_metrics()
             with self.cond:
                 self.stopping = True
                 self.cond.notify_all()
             executor.join(timeout=10.0)
+            # One final snapshot so the file reflects the drained state.
+            self._metrics_due = 0.0
+            self._maybe_write_metrics()
             return self._summary()
         finally:
             self._teardown()
@@ -692,3 +841,5 @@ class Server:
             self.pool.close()
         if self.journal is not None:
             self.journal.close()
+        if self.ops is not None:
+            self.ops.close()

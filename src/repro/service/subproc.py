@@ -49,8 +49,10 @@ def run_task(payload: dict) -> dict:
     from repro.pipeline import check_source, install_faults
     from repro.service.faults import FaultSpec, deserialize_exception_faults
     from repro.service.worker import (
+        build_task_instrumentation,
         crash_report_from_exception,
         outcome_projection,
+        telemetry_result,
     )
 
     limits_data = payload.get("limits")
@@ -63,7 +65,15 @@ def run_task(payload: dict) -> dict:
         spec = FaultSpec.from_json(spec_data)
         faults[spec.stage] = spec.materialize(hang_s, in_subprocess=True)
 
+    # A telemetry stanza in the task frame turns on *real* per-task
+    # instrumentation inside the worker; the result ships what it saw back
+    # across the process boundary (wire spans + the local clock bracket
+    # for offset normalization).  Absent stanza → zero overhead.
+    telemetry = payload.get("telemetry") or None
+    instrumentation = build_task_instrumentation(telemetry)
+
     start = time.perf_counter()
+    start_ns = time.perf_counter_ns()
     try:
         with install_faults(faults):
             outcome = check_source(
@@ -75,6 +85,7 @@ def run_task(payload: dict) -> dict:
                 limits=limits,
                 verify=payload.get("verify", False),
                 evaluate=payload.get("evaluate", False),
+                instrumentation=instrumentation,
             )
     except BaseException as exc:  # noqa: BLE001 — the containment wall
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -89,6 +100,10 @@ def run_task(payload: dict) -> dict:
             "rendered": "",
             "crash": crash.to_json(),
             "duration_ms": round((time.perf_counter() - start) * 1e3, 3),
+            "telemetry": telemetry_result(
+                instrumentation, telemetry, start_ns,
+                time.perf_counter_ns(),
+            ),
         }
     status, diagnostics, severities, rendered = outcome_projection(outcome)
     return {
@@ -98,6 +113,9 @@ def run_task(payload: dict) -> dict:
         "rendered": rendered,
         "crash": None,
         "duration_ms": round((time.perf_counter() - start) * 1e3, 3),
+        "telemetry": telemetry_result(
+            instrumentation, telemetry, start_ns, time.perf_counter_ns(),
+        ),
     }
 
 

@@ -51,6 +51,78 @@ class AttemptResult:
     rendered: str = ""
     crash: Optional[CrashReport] = None
     duration_ms: float = 0.0
+    #: What the worker's own instrumentation saw (spans/metrics/explain +
+    #: clock bracket), when the task frame requested telemetry.  Never part
+    #: of the report JSON — merged into coordinator instrumentation only.
+    telemetry: Optional[Dict[str, object]] = None
+
+
+def telemetry_request(instrumentation, *, trace_id: Optional[str] = None,
+                      parent_span: Optional[int] = None
+                      ) -> Optional[Dict[str, object]]:
+    """The task-frame telemetry stanza, or ``None`` when every channel is
+    off (the common case — workers then build no instrumentation at all).
+
+    ``trace_id`` and ``parent_span`` stamp the dispatch for cross-process
+    correlation: the worker echoes the id back in its result telemetry and
+    the coordinator grafts the span tree under ``parent_span``.
+    """
+    if instrumentation is None:
+        return None
+    request: Dict[str, object] = {
+        "trace": bool(getattr(instrumentation.tracer, "enabled", False)),
+        "stats": instrumentation.metrics is not None,
+        "explain": instrumentation.explain is not None,
+    }
+    if not any(request.values()):
+        return None
+    if trace_id is not None:
+        request["trace_id"] = trace_id
+    if parent_span is not None:
+        request["parent_span"] = parent_span
+    return request
+
+
+def build_task_instrumentation(telemetry: Optional[Dict[str, object]]):
+    """A fresh per-attempt :class:`~repro.observability.Instrumentation`
+    matching a task frame's telemetry stanza (``None`` when absent)."""
+    if not telemetry:
+        return None
+    from repro.observability import (
+        ExplainLog, Instrumentation, MetricsRegistry, NULL_TRACER, Tracer,
+    )
+
+    return Instrumentation(
+        tracer=Tracer() if telemetry.get("trace") else NULL_TRACER,
+        metrics=MetricsRegistry() if telemetry.get("stats") else None,
+        explain=ExplainLog() if telemetry.get("explain") else None,
+    )
+
+
+def telemetry_result(instrumentation, telemetry: Optional[Dict[str, object]],
+                     start_ns: int, end_ns: int
+                     ) -> Optional[Dict[str, object]]:
+    """Project what one attempt's instrumentation saw into the JSON-safe
+    result-frame stanza (spans in wire form, metrics snapshot, explain
+    entries, plus the local ``perf_counter_ns`` clock bracket the
+    coordinator needs for offset normalization)."""
+    if instrumentation is None:
+        return None
+    from repro.observability.telemetry import spans_to_wire
+
+    out: Dict[str, object] = {
+        "pid": os.getpid(),
+        "clock": {"start_ns": start_ns, "end_ns": end_ns},
+    }
+    if telemetry and telemetry.get("trace_id") is not None:
+        out["trace_id"] = telemetry["trace_id"]
+    if getattr(instrumentation.tracer, "enabled", False):
+        out["spans"] = spans_to_wire(instrumentation.tracer)
+    if instrumentation.metrics is not None:
+        out["metrics"] = instrumentation.metrics.snapshot()
+    if instrumentation.explain is not None:
+        out["explain"] = instrumentation.explain.to_json()
+    return out
 
 
 def outcome_projection(outcome) -> Tuple[str, List[dict], Dict[str, int], str]:
@@ -133,24 +205,41 @@ def run_attempt_thread(
     check_kwargs: Dict[str, object],
     faults: Dict[str, object],
     deadline_ms: Optional[float],
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> AttemptResult:
-    """One attempt in-process, under the watchdog when a deadline is set."""
+    """One attempt in-process, under the watchdog when a deadline is set.
+
+    With a ``telemetry`` stanza the attempt runs under its own fresh
+    instrumentation (the shared coordinator bundle is not thread-safe) and
+    ships what it saw back on the result, exactly like a process worker —
+    except a timed-out attempt reports nothing, since the abandoned thread
+    may still be writing to its tracer.
+    """
     from repro.pipeline import check_source, install_faults
 
+    instrumentation = build_task_instrumentation(telemetry)
+
     def attempt():
+        kwargs = check_kwargs
+        if instrumentation is not None:
+            kwargs = dict(check_kwargs, instrumentation=instrumentation)
         with install_faults(faults):
-            return check_source(text, filename, **check_kwargs)
+            return check_source(text, filename, **kwargs)
 
     start = time.perf_counter()
+    start_ns = time.perf_counter_ns()
     kind, value = run_with_deadline(attempt, deadline_ms)
+    end_ns = time.perf_counter_ns()
     duration_ms = round((time.perf_counter() - start) * 1e3, 3)
     if kind == "timeout":
         return AttemptResult(status="timeout", duration_ms=duration_ms)
+    observed = telemetry_result(instrumentation, telemetry, start_ns, end_ns)
     if kind == "error":
         return AttemptResult(
             status="crash",
             crash=crash_report_from_exception(value),
             duration_ms=duration_ms,
+            telemetry=observed,
         )
     status, diagnostics, severities, rendered = outcome_projection(value)
     return AttemptResult(
@@ -159,6 +248,7 @@ def run_attempt_thread(
         severities=severities,
         rendered=rendered,
         duration_ms=duration_ms,
+        telemetry=observed,
     )
 
 
@@ -183,17 +273,21 @@ def task_payload(
     exception_faults: List[Dict[str, str]],
     fault_specs: Tuple[FaultSpec, ...],
     hang_s: float,
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The JSON task shape both isolation walls ship to a worker process.
 
     ``limits`` is projected field-by-field from the dataclass, so a new
     :class:`~repro.diagnostics.limits.Limits` budget crosses the process
-    boundary without this function changing.
+    boundary without this function changing.  ``telemetry`` is the
+    :func:`telemetry_request` stanza (``None`` keeps workers
+    instrumentation-free, the fast path).
     """
     from dataclasses import asdict
 
     limits = check_kwargs.get("limits")
     return {
+        "telemetry": telemetry,
         "text": text,
         "filename": filename,
         "prelude": check_kwargs.get("prelude", False),
@@ -225,6 +319,7 @@ def result_to_attempt(result: Dict[str, object],
             returncode=crash.get("returncode"),
         ) if crash else None,
         duration_ms=duration_ms,
+        telemetry=result.get("telemetry"),
     )
 
 
@@ -236,6 +331,7 @@ def run_attempt_subprocess(
     fault_specs: Tuple[FaultSpec, ...],
     hang_s: float,
     deadline_ms: Optional[float],
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> AttemptResult:
     """One attempt in a fresh interpreter (see :mod:`repro.service.subproc`).
 
@@ -250,6 +346,7 @@ def run_attempt_subprocess(
 
     payload = task_payload(
         text, filename, check_kwargs, exception_faults, fault_specs, hang_s,
+        telemetry=telemetry,
     )
     start = time.perf_counter()
     try:

@@ -18,7 +18,9 @@ Subcommands::
                          on SIGTERM, crash-safe request journal
                          (--resume replays unfinished requests)
     fg client FILES...   submit a batch to a running daemon (or --health
-                         / --shutdown)
+                         / --shutdown); 'fg client stats' prints the
+                         daemon's live latency/queue-wait percentiles and
+                         'fg client events' tails its operational log
 
 ``--prelude`` wraps the program with the standard concept library and ``-e``
 takes the program from the command line instead of a file.
@@ -36,7 +38,11 @@ rejected.  ``--profile`` (or the ``fg profile`` subcommand) aggregates the
 span stream into a deterministic time-per-callsite table and accounts peak
 memory per pipeline stage.  Under ``--json`` the envelope gains
 ``"stats"``, ``"explain"``, and ``"profile"`` keys (schema in
-docs/DIAGNOSTICS.md).
+docs/DIAGNOSTICS.md).  For ``fg batch`` and ``fg serve`` these flags cross
+the isolation wall: workers record their own spans, metrics, and explain
+entries, ship them back in the result frame, and the coordinator stitches
+them into one merged clock-normalized trace (one Chrome pid lane per
+worker process).
 
 ``fg bench`` writes a versioned run record (benchmark medians, metrics,
 profile, memory — ``BENCH_<tag>.json``) and ``fg bench --compare OLD.json
@@ -573,13 +579,19 @@ def _run_batch(args: argparse.Namespace) -> int:
     stats = None
     if inst is not None and inst.metrics is not None:
         stats = inst.metrics.snapshot()
+    explain = inst.explain if inst is not None else None
     if args.json:
         envelope = report.to_json()
         if args.stats and stats is not None:
             envelope["stats"] = stats
+        if args.explain and explain is not None:
+            envelope["explain"] = explain.to_json()
         print(json.dumps(envelope, indent=2))
     else:
         print(report.render())
+        if args.explain and explain is not None:
+            print("-- model resolution log:", file=sys.stderr)
+            print(explain.render(), file=sys.stderr)
         if args.stats and stats is not None:
             print(_render_stats(stats), file=sys.stderr)
     return report.exit_code
@@ -616,6 +628,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             idle_timeout_s=args.idle_timeout_ms / 1000.0,
             resume=args.resume,
             resume_only=args.resume_only,
+            metrics_file=args.metrics_file,
+            metrics_interval_s=args.metrics_interval_ms / 1000.0,
+            ops_log_path=args.ops_log,
         )
     except ValueError as err:
         print(f"fg serve: {err}", file=sys.stderr)
@@ -642,6 +657,101 @@ def _run_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _client_keyword(args: argparse.Namespace):
+    """``fg client stats|events`` keyword dispatch.
+
+    A real file that happens to be named ``stats`` still gets checked:
+    the keyword only wins when no such path exists.
+    """
+    import os
+
+    if (len(args.files) == 1 and args.files[0] in ("stats", "events")
+            and not os.path.exists(args.files[0])):
+        return args.files[0]
+    return None
+
+
+def _render_server_stats(payload: dict) -> str:
+    """Human view of a daemon ``stats`` snapshot."""
+    lines = [
+        "fg serve: {status}  served={served} queued={queued} "
+        "in_flight={in_flight} uptime_ms={uptime}".format(
+            status=payload.get("status", "?"),
+            served=payload.get("served", 0),
+            queued=payload.get("queued", 0),
+            in_flight=payload.get("in_flight", 0),
+            uptime=payload.get("uptime_ms", 0),
+        )
+    ]
+    def ms(value) -> str:
+        return f"{float(value or 0.0):.2f}"
+
+    for key in ("latency_ms", "queue_wait_ms"):
+        snap = payload.get(key) or {}
+        lines.append(
+            f"   {key:<16} p50={ms(snap.get('p50'))} "
+            f"p95={ms(snap.get('p95'))} p99={ms(snap.get('p99'))} "
+            f"max={ms(snap.get('max'))} (n={snap.get('count', 0)})"
+        )
+    lines.append(
+        "   utilization      {:.1%}  shed={}  respawns={}".format(
+            float(payload.get("worker_utilization", 0.0) or 0.0),
+            payload.get("shed_total", 0),
+            payload.get("respawns", 0),
+        )
+    )
+    for worker in payload.get("workers_detail") or ():
+        state = (
+            "retired" if worker.get("retired")
+            else "alive" if worker.get("alive") else "down"
+        )
+        lines.append(
+            f"   worker[{worker.get('slot')}]  {state:<8} "
+            f"pid={worker.get('pid')} tasks={worker.get('tasks_done', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def _run_client_stats(args: argparse.Namespace) -> int:
+    """``fg client stats [--json|--watch]``."""
+    import time as time_mod
+
+    from repro.service import stats as remote_stats
+
+    try:
+        while True:
+            payload = remote_stats(args.socket, timeout=args.timeout)
+            if args.json:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(_render_server_stats(payload))
+            if not args.watch:
+                return EXIT_OK
+            sys.stdout.flush()
+            time_mod.sleep(args.interval_ms / 1000.0)
+    except KeyboardInterrupt:
+        return EXIT_OK
+
+
+def _run_client_events(args: argparse.Namespace) -> int:
+    """``fg client events [--tail N]``."""
+    from repro.service import events as remote_events
+
+    payload = remote_events(args.socket, tail=args.tail,
+                            timeout=args.timeout)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return EXIT_OK
+    for event in payload.get("events", ()):
+        extra = " ".join(
+            f"{key}={value}" for key, value in sorted(event.items())
+            if key not in ("seq", "ts_ms", "event")
+        )
+        line = f"[{event.get('seq'):>4}] {event.get('event')}"
+        print(line + (f"  {extra}" if extra else ""))
+    return EXIT_OK
+
+
 def _run_client(args: argparse.Namespace) -> int:
     """``fg client``: submit to a daemon, or probe/drain it."""
     from repro.service import (
@@ -649,7 +759,12 @@ def _run_client(args: argparse.Namespace) -> int:
         health, request_shutdown,
     )
 
+    keyword = _client_keyword(args)
     try:
+        if keyword == "stats":
+            return _run_client_stats(args)
+        if keyword == "events":
+            return _run_client_events(args)
         if args.health:
             print(json.dumps(health(args.socket, timeout=args.timeout),
                              indent=2))
@@ -660,7 +775,8 @@ def _run_client(args: argparse.Namespace) -> int:
             return EXIT_OK
 
         if not args.files:
-            print("fg client: FILES are required (or --health/--shutdown)",
+            print("fg client: FILES are required (or --health/--shutdown/"
+                  "stats/events)",
                   file=sys.stderr)
             return EXIT_USAGE
         try:
@@ -919,9 +1035,17 @@ def main(argv=None) -> int:
     )
     batch.add_argument(
         "--trace", nargs="?", const="-", default=None, metavar="FILE",
-        help="record the coordinator's span trace",
+        help="record the merged span trace: coordinator spans plus every "
+        "worker's spans stitched under them (clock-normalized across the "
+        "process boundary; .json = Chrome trace_event with one pid lane "
+        "per worker process)",
     )
-    batch.set_defaults(explain=False, profile=False)
+    batch.add_argument(
+        "--explain", action="store_true",
+        help="print the model-resolution log; entries recorded inside "
+        "workers are shipped back through the isolation wall",
+    )
+    batch.set_defaults(profile=False)
     serve = sub.add_parser(
         "serve",
         help="run the resilient batch daemon: a Unix-socket front end over "
@@ -1017,17 +1141,35 @@ def main(argv=None) -> int:
     )
     serve.add_argument(
         "--trace", nargs="?", const="-", default=None, metavar="FILE",
-        help="record the daemon's span trace",
+        help="record the daemon's merged span trace (worker spans "
+        "stitched under each request, one Chrome pid lane per worker)",
+    )
+    serve.add_argument(
+        "--metrics-file", default=None, metavar="PATH",
+        help="write a Prometheus text-format snapshot of the live "
+        "telemetry to PATH (atomic replace) every --metrics-interval-ms",
+    )
+    serve.add_argument(
+        "--metrics-interval-ms", type=float, default=2000.0, metavar="T",
+        help="metrics-file refresh period (default 2000)",
+    )
+    serve.add_argument(
+        "--ops-log", default=None, metavar="FILE",
+        help="operational event log (append-only JSONL; default: "
+        "<socket>.ops.jsonl)",
     )
     serve.set_defaults(explain=False, profile=False)
     cli = sub.add_parser(
         "client",
-        help="submit F_G files to a running fg serve daemon "
-        "(or --health / --shutdown)",
+        help="submit F_G files to a running fg serve daemon, probe it "
+        "(--health, or the stats / events subcommands), or --shutdown it",
     )
     cli.add_argument(
         "files", nargs="*", metavar="FILE",
-        help="files to check; a directory expands to its *.fg tree",
+        help="files to check (a directory expands to its *.fg tree); or "
+        "the keyword 'stats' (live latency/queue-wait percentiles, "
+        "utilization, shed and respawn totals) or 'events' (the tail of "
+        "the daemon's operational event log)",
     )
     cli.add_argument(
         "--socket", required=True, metavar="PATH",
@@ -1074,7 +1216,20 @@ def main(argv=None) -> int:
     )
     cli.add_argument(
         "--json", action="store_true",
-        help="emit the report envelope (plus its digest) as JSON",
+        help="emit the report envelope (plus its digest) — or the "
+        "stats/events payload — as JSON",
+    )
+    cli.add_argument(
+        "--tail", type=int, default=20, metavar="N",
+        help="with the events subcommand: how many events (default 20)",
+    )
+    cli.add_argument(
+        "--watch", action="store_true",
+        help="with the stats subcommand: refresh until interrupted",
+    )
+    cli.add_argument(
+        "--interval-ms", type=float, default=1000.0, metavar="T",
+        help="refresh period for --watch (default 1000)",
     )
     for name, help_ in [
         ("run", "typecheck, translate, and evaluate an F_G program"),

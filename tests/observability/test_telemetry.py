@@ -1,0 +1,315 @@
+"""Cross-process telemetry primitives: wire spans, clock normalization,
+grafting, rolling reservoirs, the ops log, and Prometheus exposition.
+
+Everything here is in-process and deterministic (injected clocks, no
+worker processes); the end-to-end propagation through the real isolation
+walls lives in ``tests/service/test_telemetry_propagation.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    ExplainLog,
+    Instrumentation,
+    MetricsRegistry,
+    OpsLog,
+    Tracer,
+    WindowReservoir,
+    clock_offset_ns,
+    graft_spans,
+    merge_worker_telemetry,
+    prometheus_text,
+    read_ops_log,
+    spans_to_wire,
+)
+from repro.observability.exporters import chrome_trace_json
+
+
+def _fake_clock(step=10):
+    state = {"now": 0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def _worker_tracer():
+    """What a worker records: check_source with parse/check children."""
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("pipeline.check_source", file="a.fg"):
+        with tracer.span("pipeline.parse"):
+            pass
+        with tracer.span("pipeline.check"):
+            with tracer.span("typecheck.model_lookup", concept="Eq"):
+                pass
+    return tracer
+
+
+class TestWireSpans:
+    def test_preorder_with_parent_links(self):
+        wire = spans_to_wire(_worker_tracer())
+        names = [w["name"] for w in wire]
+        assert names == [
+            "pipeline.check_source", "pipeline.parse", "pipeline.check",
+            "typecheck.model_lookup",
+        ]
+        by_id = {w["id"]: w for w in wire}
+        root = wire[0]
+        assert root["parent"] is None
+        assert by_id[wire[1]["parent"]] is root
+        assert by_id[wire[3]["parent"]] is wire[2]
+
+    def test_open_spans_closed_at_their_start(self):
+        tracer = Tracer(clock=_fake_clock())
+        tracer.span("pipeline.check_source").__enter__()  # crash mid-stage
+        wire = spans_to_wire(tracer)
+        assert wire[0]["end_ns"] == wire[0]["start_ns"]
+
+    def test_json_unsafe_attrs_stringified(self):
+        tracer = Tracer(clock=_fake_clock())
+        with tracer.span("stage", weird=object(), fine=3):
+            pass
+        attrs = spans_to_wire(tracer)[0]["attrs"]
+        assert attrs["fine"] == 3
+        assert isinstance(attrs["weird"], str)
+        json.dumps(attrs)  # must be wire-safe
+
+
+class TestClockOffset:
+    def test_midpoint_method(self):
+        # Coordinator sees the work at 1000..2000; the worker's own clock
+        # said 100..300.  Midpoints 1500 and 200 must align.
+        assert clock_offset_ns(1000, 2000, 100, 300) == 1300
+
+    def test_offset_lands_remote_times_in_local_bracket(self):
+        send, recv = 5_000, 9_000
+        remote_start, remote_end = 70, 2_070
+        off = clock_offset_ns(send, recv, remote_start, remote_end)
+        assert send <= remote_start + off <= recv
+        assert send <= remote_end + off <= recv
+
+    def test_negative_offset(self):
+        # Worker clock ahead of coordinator clock.
+        assert clock_offset_ns(100, 200, 10_000, 10_100) < 0
+
+
+class TestGraftSpans:
+    def test_grafts_under_parent_with_fresh_ids(self):
+        wire = spans_to_wire(_worker_tracer())
+        coord = Tracer(clock=_fake_clock())
+        with coord.span("pool.attempt") as attempt:
+            pass
+        count = graft_spans(coord, wire, parent=attempt)
+        assert count == len(wire)
+        assert [c.name for c in attempt.children] == \
+            ["pipeline.check_source"]
+        grafted_root = attempt.children[0]
+        assert [c.name for c in grafted_root.children] == \
+            ["pipeline.parse", "pipeline.check"]
+        # Fresh coordinator ids, not worker ids.
+        assert grafted_root.id != wire[0]["id"] or \
+            grafted_root.parent_id == attempt.id
+
+    def test_offset_and_clamp_applied(self):
+        wire = [{"id": 1, "parent": None, "name": "w",
+                 "start_ns": 0, "end_ns": 10_000, "attrs": {}}]
+        coord = Tracer(clock=_fake_clock())
+        graft_spans(coord, wire, offset_ns=500, clamp=(600, 5_000))
+        span = coord.roots[-1]
+        assert span.start_ns == 600       # 0+500 clamped up to lo
+        assert span.end_ns == 5_000       # 10500 clamped down to hi
+        assert span.end_ns >= span.start_ns
+
+    def test_extra_attrs_merged_into_every_span(self):
+        wire = spans_to_wire(_worker_tracer())
+        coord = Tracer(clock=_fake_clock())
+        graft_spans(coord, wire, extra_attrs={"pid": 42})
+        for span in coord.spans[-len(wire):]:
+            assert span.attrs["pid"] == 42
+
+    def test_empty_wire_is_noop(self):
+        coord = Tracer(clock=_fake_clock())
+        assert graft_spans(coord, []) == 0
+        assert coord.roots == []
+
+
+class TestMergeWorkerTelemetry:
+    def _telemetry(self):
+        worker = Tracer(clock=_fake_clock())
+        with worker.span("pipeline.check_source"):
+            pass
+        metrics = MetricsRegistry()
+        metrics.inc("typecheck.bindings", 3)
+        metrics.observe("model_lookup.scope_depth", 2)
+        return {
+            "pid": 777,
+            "clock": {"start_ns": 10, "end_ns": 30},
+            "spans": spans_to_wire(worker),
+            "metrics": metrics.snapshot(),
+            "explain": [{"note": "hello"}],
+        }
+
+    def _instrumentation(self):
+        return Instrumentation(
+            tracer=Tracer(clock=_fake_clock()),
+            metrics=MetricsRegistry(),
+            explain=ExplainLog(),
+        )
+
+    def test_metrics_explain_and_spans_all_merge(self):
+        inst = self._instrumentation()
+        merge_worker_telemetry(
+            inst, self._telemetry(), send_ns=1_000, recv_ns=2_000,
+            span_name="pool.attempt", attrs={"slot": 1},
+        )
+        assert inst.metrics.snapshot()["counters"][
+            "typecheck.bindings"] == 3
+        assert len(inst.explain.entries) == 1
+        attempt = inst.tracer.roots[-1]
+        assert attempt.name == "pool.attempt"
+        assert attempt.attrs["pid"] == 777
+        assert attempt.attrs["slot"] == 1
+        assert [c.name for c in attempt.children] == \
+            ["pipeline.check_source"]
+        child = attempt.children[0]
+        assert 1_000 <= child.start_ns <= child.end_ns <= 2_000
+        assert child.attrs["pid"] == 777
+
+    def test_counters_accumulate_across_attempts(self):
+        inst = self._instrumentation()
+        for _ in range(2):
+            merge_worker_telemetry(
+                inst, self._telemetry(), send_ns=1_000, recv_ns=2_000,
+            )
+        assert inst.metrics.snapshot()["counters"][
+            "typecheck.bindings"] == 6
+        hist = inst.metrics.snapshot()["histograms"][
+            "model_lookup.scope_depth"]
+        assert hist["count"] == 2
+
+    def test_none_telemetry_is_noop(self):
+        inst = self._instrumentation()
+        merge_worker_telemetry(inst, None, send_ns=0, recv_ns=1)
+        merge_worker_telemetry(None, self._telemetry(),
+                               send_ns=0, recv_ns=1)
+        assert inst.tracer.roots == []
+
+    def test_merged_tree_survives_chrome_export(self):
+        inst = self._instrumentation()
+        with inst.tracer.span("service.check_batch"):
+            merge_worker_telemetry(
+                inst, self._telemetry(), send_ns=1_000, recv_ns=2_000,
+            )
+        events = json.loads(chrome_trace_json(inst.tracer))["traceEvents"]
+        pids = {e["pid"] for e in events}
+        # Coordinator lane (1) plus the worker's own pid lane.
+        assert pids == {1, 777}
+        assert any(e["name"] == "pipeline.check_source" for e in events)
+
+
+class TestWindowReservoir:
+    def test_percentiles_nearest_rank(self):
+        res = WindowReservoir(capacity=101)
+        for v in range(101):  # 0..100: rank == value, no interpolation
+            res.observe(v)
+        assert res.percentile(50) == 50
+        assert res.percentile(95) == 95
+        assert res.percentile(99) == 99
+        assert res.percentile(0) == 0
+        assert res.percentile(100) == 100
+
+    def test_window_eviction_forgets_old_samples(self):
+        res = WindowReservoir(capacity=4)
+        for v in (1_000, 1_000, 1_000, 1_000, 1, 1, 1, 1):
+            res.observe(v)
+        assert res.percentile(99) == 1  # the slow era fell out
+        assert res.count == 8           # lifetime count still remembers
+        assert len(res) == 4
+
+    def test_empty_snapshot(self):
+        snap = WindowReservoir().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["max"] is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WindowReservoir(capacity=0)
+
+
+class TestOpsLog:
+    def test_seq_monotonic_by_one(self):
+        with OpsLog() as ops:
+            records = [ops.emit("worker-spawn", slot=i) for i in range(5)]
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+
+    def test_tail_oldest_first_and_bounded(self):
+        with OpsLog(ring=3) as ops:
+            for i in range(6):
+                ops.emit("shed", reason="overload", i=i)
+            tail = ops.tail(2)
+        assert [r["i"] for r in tail] == [4, 5]
+        assert ops.tail(0) == []
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        with OpsLog(path) as ops:
+            ops.emit("worker-spawn", slot=0, pid=123)
+            ops.emit("drain")
+        records = read_ops_log(path)
+        assert [r["event"] for r in records] == ["worker-spawn", "drain"]
+        assert records[0]["pid"] == 123
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_ops_log(str(tmp_path / "nope.jsonl")) == []
+
+
+class TestPrometheusText:
+    def _payload(self):
+        res = WindowReservoir()
+        for v in (1.0, 2.0, 3.0):
+            res.observe(v)
+        return {
+            "type": "stats",
+            "status": "ok",
+            "served": 7,
+            "queued": 0,
+            "in_flight": 1,
+            "workers": 2,
+            "uptime_ms": 1234.5,
+            "shed_total": 3,
+            "respawns": 1,
+            "worker_utilization": 0.25,
+            "latency_ms": res.snapshot(),
+            "queue_wait_ms": WindowReservoir().snapshot(),
+        }
+
+    def test_gauges_and_quantiles(self):
+        text = prometheus_text(self._payload())
+        assert text.endswith("\n")
+        assert "fg_served 7" in text
+        assert "fg_shed_total 3" in text
+        assert "fg_respawns 1" in text
+        assert "fg_worker_utilization 0.25" in text
+        assert 'fg_latency_ms{quantile="0.95"}' in text
+        assert "fg_latency_ms_observations 3" in text
+
+    def test_help_and_type_precede_each_family(self):
+        lines = prometheus_text(self._payload()).splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                assert lines[i - 1].startswith("# HELP")
+
+    def test_empty_reservoir_emits_no_quantiles(self):
+        text = prometheus_text(self._payload())
+        assert 'fg_queue_wait_ms{quantile' not in text
+        assert "fg_queue_wait_ms_observations 0" in text
+
+    def test_non_numeric_fields_skipped(self):
+        text = prometheus_text(self._payload())
+        assert "fg_status" not in text
+        assert "fg_type" not in text

@@ -182,3 +182,56 @@ class TestCheckDeadline:
             "--deadline-ms", "60000",
         )
         assert code == EXIT_DIAGNOSTICS
+
+
+#: Resolves a model, so ``--explain`` has entries to report.
+EQ_SOURCE = (
+    "concept Eq<t> { eq : fn(t, t) -> bool; } in\n"
+    "model Eq<int> { eq = ieq; } in\n"
+    "Eq<int>.eq(1, 2)"
+)
+
+
+class TestBatchExplain:
+    """``fg batch --explain``: the log must cross the isolation walls."""
+
+    def test_explain_renders_on_stderr(self, capsys, tmp_path):
+        (tmp_path / "eq.fg").write_text(EQ_SOURCE)
+        code, _, err = run_cli(
+            capsys, "batch", str(tmp_path / "eq.fg"), "--explain",
+        )
+        assert code == EXIT_OK
+        assert "model resolution log" in err
+        assert "Eq" in err
+
+    def test_explain_in_json_envelope(self, capsys, tmp_path):
+        (tmp_path / "eq.fg").write_text(EQ_SOURCE)
+        code, out, _ = run_cli(
+            capsys, "batch", str(tmp_path / "eq.fg"), "--explain",
+            "--json",
+        )
+        assert code == EXIT_OK
+        envelope = json.loads(out)
+        assert envelope["explain"], "--explain must not be silently empty"
+
+    @pytest.mark.slow
+    def test_explain_not_empty_under_pool_isolation(self, capsys,
+                                                    tmp_path):
+        # The regression this PR fixes: --explain used to come back empty
+        # whenever the work happened in a worker process.
+        (tmp_path / "eq.fg").write_text(EQ_SOURCE)
+        code, out, _ = run_cli(
+            capsys, "batch", str(tmp_path / "eq.fg"),
+            "--isolate", "pool", "--pool-workers", "1",
+            "--explain", "--json",
+        )
+        assert code == EXIT_OK
+        assert envelope_has_resolutions(json.loads(out))
+
+
+def envelope_has_resolutions(envelope) -> bool:
+    return any(
+        entry.get("concept") == "Eq"
+        for entry in envelope.get("explain", ())
+        if isinstance(entry, dict)
+    )

@@ -199,3 +199,83 @@ class TestServeCli:
         )
         assert code == EXIT_USAGE
         assert "fg serve:" in err
+
+
+@pytest.mark.slow
+class TestClientTelemetryCli:
+    """``fg client stats`` / ``fg client events``: the live-telemetry CLI."""
+
+    def _serve_one(self, capsys, daemon, tmp_path):
+        (tmp_path / "good.fg").write_text(GOOD)
+        code, _, _ = run_cli(
+            capsys, "client", str(tmp_path / "good.fg"),
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+
+    def test_stats_human_rendering(self, capsys, daemon, tmp_path):
+        self._serve_one(capsys, daemon, tmp_path)
+        code, out, _ = run_cli(
+            capsys, "client", "stats",
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        assert "served=1" in out
+        assert "latency_ms" in out and "queue_wait_ms" in out
+        assert "worker[0]" in out
+
+    def test_stats_json_schema(self, capsys, daemon, tmp_path):
+        self._serve_one(capsys, daemon, tmp_path)
+        code, out, _ = run_cli(
+            capsys, "client", "stats", "--json",
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        snap = json.loads(out)
+        assert snap["type"] == "stats"
+        assert snap["served"] == 1
+        for window in ("latency_ms", "queue_wait_ms"):
+            assert set(snap[window]) >= {"count", "p50", "p95", "p99",
+                                         "max"}
+        assert 0.0 <= snap["worker_utilization"] <= 1.0
+        assert snap["workers_detail"][0]["alive"] is True
+
+    def test_events_tail(self, capsys, daemon, tmp_path):
+        self._serve_one(capsys, daemon, tmp_path)
+        code, out, _ = run_cli(
+            capsys, "client", "events", "--tail", "5",
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        assert "worker-spawn" in out
+
+    def test_events_json(self, capsys, daemon):
+        code, out, _ = run_cli(
+            capsys, "client", "events", "--json",
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out)
+        assert payload["type"] == "events"
+        seqs = [r["seq"] for r in payload["events"]]
+        assert seqs == sorted(seqs)
+
+    def test_keyword_yields_to_a_real_file(self, capsys, daemon, tmp_path,
+                                           monkeypatch):
+        # A file literally named "stats" must still be checked as a file.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "stats").write_text(GOOD)
+        code, out, _ = run_cli(
+            capsys, "client", "stats",
+            "--socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        assert "ok" in out and "stats" in out  # a report row, not a probe
+
+    def test_stats_without_daemon_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "client", "stats",
+            "--socket", str(tmp_path / "nowhere.sock"),
+        )
+        assert code == EXIT_USAGE
+        assert "no daemon" in err
