@@ -117,6 +117,20 @@ def _serve_rows():
         return []
 
 
+def _flightrec_rows():
+    """``flightrec.overhead`` vs ``flightrec.baseline_ring0``: the
+    always-on flight recorder priced against a ring-0 baseline, pinned
+    by the same perf gate as every other row."""
+    from repro.observability.regress import flightrec_benchmark_rows
+
+    try:
+        return flightrec_benchmark_rows(rounds=5)
+    except Exception as err:  # noqa: BLE001 — never fail the session
+        print(f"benchmarks/conftest: flightrec rows skipped: {err}",
+              file=sys.stderr)
+        return []
+
+
 def pytest_sessionfinish(session, exitstatus):
     from repro.observability.regress import (
         build_record, record_path, write_record,
@@ -127,7 +141,7 @@ def pytest_sessionfinish(session, exitstatus):
         snapshot = _instrumented_snapshot()
         record = build_record(
             tag,
-            _benchmark_rows(session) + _serve_rows(),
+            _benchmark_rows(session) + _serve_rows() + _flightrec_rows(),
             metrics=snapshot["metrics"],
             profile=snapshot["profile"],
             memory_peak_kb=snapshot["memory_peak_kb"],

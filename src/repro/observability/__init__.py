@@ -27,7 +27,10 @@ the machinery observable without touching its semantics:
   trajectory gate;
 - :class:`Instrumentation` — the bundle the pipeline threads through the
   stack, with :data:`NULL_INSTRUMENTATION` as the near-free disabled
-  default (null-object pattern; see docs/OBSERVABILITY.md).
+  default (null-object pattern; see docs/OBSERVABILITY.md);
+- :mod:`flightrec <repro.observability.flightrec>` — the always-on
+  bounded flight recorder and ``repro/crash-bundle v1`` crash forensics
+  (``fg doctor``, ``fg debug bundle``; see docs/DIAGNOSTICS.md).
 
 Everything here is standard library only.
 """
@@ -37,6 +40,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+# flightrec sits below tracer/metrics/telemetry in the import graph (they
+# call its record hooks), so it must be initialized first.
+from repro.observability.flightrec import (
+    CRASH_BUNDLE_SCHEMA,
+    FlightRecorder,
+    NullFlightRecorder,
+    build_bundle,
+    flight_recorder,
+    read_bundle,
+    validate_bundle,
+    write_bundle,
+)
 from repro.observability.explain import ExplainLog, format_span
 from repro.observability.exporters import (
     chrome_trace,
@@ -51,6 +66,7 @@ from repro.observability.telemetry import (
     ServerTelemetry,
     WindowReservoir,
     clock_offset_ns,
+    fold_worker_flightrec,
     graft_spans,
     merge_worker_telemetry,
     read_ops_log,
@@ -102,7 +118,9 @@ NULL_INSTRUMENTATION = Instrumentation()
 
 
 __all__ = [
+    "CRASH_BUNDLE_SCHEMA",
     "ExplainLog",
+    "FlightRecorder",
     "Histogram",
     "HotSpot",
     "Instrumentation",
@@ -110,6 +128,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
     "NULL_TRACER",
+    "NullFlightRecorder",
     "NullTracer",
     "OpsLog",
     "Profile",
@@ -117,18 +136,24 @@ __all__ = [
     "Span",
     "Tracer",
     "WindowReservoir",
+    "build_bundle",
     "chrome_trace",
     "chrome_trace_json",
     "clock_offset_ns",
+    "flight_recorder",
+    "fold_worker_flightrec",
     "format_profile",
     "format_span",
     "graft_spans",
     "merge_worker_telemetry",
     "profile_tracer",
     "prometheus_text",
+    "read_bundle",
     "read_ops_log",
     "render_tree",
     "spans_from_jsonl",
     "spans_to_wire",
     "to_jsonl",
+    "validate_bundle",
+    "write_bundle",
 ]

@@ -25,6 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.observability.flightrec import (
+    record_resolution as _flightrec_resolution,
+)
+
 #: Candidate statuses.
 ACCEPTED = "accepted"
 
@@ -194,7 +198,16 @@ class ExplainLog:
 
     def finish(self, resolved: bool) -> None:
         if self._open:
-            self._open.pop().resolved = resolved
+            res = self._open.pop()
+            res.resolved = resolved
+            _flightrec_resolution({
+                "concept": res.concept,
+                "args": res.args,
+                "phase": res.phase,
+                "location": res.location,
+                "scope_size": res.scope_size,
+                "resolved": res.resolved,
+            })
 
     def merge_json(self, entries: List[Dict[str, object]]) -> None:
         """Re-append entries exported by :meth:`to_json` in another process

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.observability.flightrec import record_metric as _flightrec_metric
+
 
 class Histogram:
     """A streaming histogram: count, sum, min, max (no samples kept)."""
@@ -105,6 +107,7 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
+        _flightrec_metric(name, value)
 
     def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
         """Fold a :meth:`snapshot` from another registry (typically another

@@ -509,6 +509,54 @@ def serve_benchmark_rows(
     return rows
 
 
+def flightrec_benchmark_rows(
+    rounds: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Time an instrumented check with the flight recorder on vs ring 0.
+
+    ``flightrec.overhead`` runs with the default ring capacity (every
+    span, metric sample, and resolution lands in the recorder);
+    ``flightrec.baseline_ring0`` runs the identical workload with a
+    :class:`~repro.observability.flightrec.NullFlightRecorder`
+    installed.  The pair pins the "near-zero overhead" claim: the
+    recorder-on median rides the same 1.5x regression gate as every
+    other row, against a baseline measured in the same process.
+    """
+    from repro.observability import (
+        Instrumentation, MetricsRegistry, Tracer, flightrec,
+    )
+    from repro.observability.flightrec import NullFlightRecorder
+    from repro.pipeline import check_source
+
+    source = _figure5(16)
+
+    def checked(rec) -> Callable[[], None]:
+        def run() -> None:
+            previous = flightrec.install(rec)
+            try:
+                inst = Instrumentation(
+                    tracer=Tracer(), metrics=MetricsRegistry(),
+                )
+                outcome = check_source(
+                    source, "<flightrec-bench>", instrumentation=inst,
+                )
+                assert outcome.ok, "flightrec bench program must check"
+            finally:
+                flightrec.install(previous)
+        return run
+
+    rows: List[Dict[str, object]] = []
+    for name, rec in (
+        ("flightrec.overhead", flightrec.FlightRecorder()),
+        ("flightrec.baseline_ring0", NullFlightRecorder()),
+    ):
+        if progress:
+            progress(f"bench {name} ({rounds} rounds)")
+        rows.append(_timed_row(name, "flightrec", checked(rec), rounds))
+    return rows
+
+
 def _timed_row(name: str, group: str, fn: Callable[[], None],
                rounds: int) -> Dict[str, object]:
     samples: List[float] = []
@@ -576,6 +624,7 @@ def run_bench_suite(
             if progress:
                 progress(f"bench {name} ({rounds} rounds)")
             rows.append(_timed_row(name, group, fn, rounds))
+        rows.extend(flightrec_benchmark_rows(rounds, progress))
         if fuzz_mutants > 0:
             if progress:
                 progress(f"bench fuzz.iteration ({fuzz_mutants} mutants)")

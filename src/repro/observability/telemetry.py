@@ -37,6 +37,7 @@ import time
 from collections import deque
 from typing import Dict, List, Optional
 
+from repro.observability import flightrec
 from repro.observability.tracer import Span, Tracer
 
 
@@ -189,6 +190,54 @@ def merge_worker_telemetry(
         tracer, spans, offset_ns=offset, parent=attempt,
         clamp=(send_ns, recv_ns), extra_attrs=extra,
     )
+
+
+def fold_worker_flightrec(
+    rec,
+    wire: Optional[Dict[str, object]],
+    *,
+    send_ns: Optional[int] = None,
+    recv_ns: Optional[int] = None,
+) -> int:
+    """Fold a worker's shipped flight-recorder tail into a coordinator
+    :class:`~repro.observability.flightrec.FlightRecorder`.
+
+    Result frames carry a ``flightrec`` stanza (last few spans and ops
+    events plus the worker's ``clock_ns``); the supervisor keeps the most
+    recent stanza per seat so that when the worker later dies it still
+    has the dead process's final execution state.  Timestamps are
+    normalized with the same midpoint bracket :func:`clock_offset_ns`
+    uses for grafted spans — ``clock_ns`` was taken at ship time, so the
+    dispatch..receive bracket of the frame that carried it bounds the
+    worker clock sample on the coordinator timeline.  Returns the number
+    of ring entries folded.
+    """
+    if not wire or rec is None:
+        return 0
+    offset = 0
+    clock = wire.get("clock_ns")
+    if clock is not None and send_ns is not None and recv_ns is not None:
+        offset = clock_offset_ns(send_ns, recv_ns, int(clock), int(clock))
+    pid = wire.get("pid")
+    folded = 0
+    for span in wire.get("spans") or ():
+        attrs = dict(span.get("attrs") or {})
+        if pid is not None:
+            attrs.setdefault("worker_pid", pid)
+        rec.record_span(
+            str(span.get("name", "?")),
+            int(span.get("start_ns", 0)) + offset,
+            int(span.get("end_ns", span.get("start_ns", 0))) + offset,
+            attrs,
+        )
+        folded += 1
+    for event in wire.get("ops") or ():
+        record = dict(event)
+        if pid is not None:
+            record.setdefault("worker_pid", pid)
+        rec.record_event(record)
+        folded += 1
+    return folded
 
 
 # ---------------------------------------------------------------------------
@@ -349,6 +398,7 @@ class OpsLog:
                       "event": event}
             record.update(fields)
             self._ring.append(record)
+            flightrec.record_event(dict(record))
             if self._fh is not None:
                 try:
                     self._fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -386,13 +436,26 @@ class OpsLog:
 
 
 def read_ops_log(path: str) -> List[Dict[str, object]]:
-    """Parse an :class:`OpsLog` JSONL file back into records, file order."""
+    """Parse an :class:`OpsLog` JSONL file back into records, file order.
+
+    Tolerates a corrupt tail the same way journal replay does: a
+    truncated final line (the process died mid-write) or interleaved
+    junk bytes are skipped, and every parseable record before and after
+    them survives.  An ops log is advisory — losing one torn record must
+    never lose the history around it.
+    """
     if not os.path.exists(path):
         return []
-    records = []
-    with open(path, "r", encoding="utf-8") as fh:
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write or junk: keep the rest
+            if isinstance(record, dict):
+                records.append(record)
     return records

@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.observability.flightrec import record_span as _flightrec_span
+
 
 class Span:
     """One timed operation: name, attributes, children, and nanosecond
@@ -146,10 +148,12 @@ class Tracer:
         else:
             self.roots.append(span)
         self._spans.append(span)
+        _flightrec_span(name, span.start_ns, span.end_ns, span.attrs)
         return span
 
     def _finish(self, span: Span) -> None:
         span.end_ns = self._clock()
+        _flightrec_span(span.name, span.start_ns, span.end_ns, span.attrs)
         # Normal exits pop exactly the top; pop defensively past any spans
         # a non-local exit (error recovery) left open below this one.
         while self._stack:

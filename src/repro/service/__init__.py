@@ -32,6 +32,7 @@ from repro.service.client import (
     ProtocolError,
     ServerUnavailable,
     check_remote,
+    debug_bundle,
     events,
     health,
     request_shutdown,
@@ -114,6 +115,7 @@ __all__ = [
     "canonicalize",
     "check_batch",
     "check_remote",
+    "debug_bundle",
     "events",
     "health",
     "is_retryable",

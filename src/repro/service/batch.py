@@ -168,6 +168,21 @@ def check_batch(
             if pool_stats.degraded:
                 metrics.inc("pool.degraded")
     elapsed_ms = round((time.perf_counter() - start) * 1e3, 3)
+    crashed = [o for o in outcomes if o is not None and o.crash is not None]
+    if crashed:
+        # Crash forensics for the batch coordinator: one bundle per batch
+        # that saw CrashReport outcomes (advisory; no-op without a
+        # configured --crash-dir / $FG_CRASH_DIR).  The recorder already
+        # holds any one-shot worker rings folded at receive time.
+        from repro.observability import flightrec
+
+        flightrec.dump("crash-report", {
+            "files": [o.file for o in crashed],
+            "exc_types": sorted({o.crash.exc_type for o in crashed}),
+        }, context={
+            "policy": policy.to_json(),
+            "pool": pool_stats.to_json() if pool_stats is not None else None,
+        })
     return BatchReport(
         files=tuple(outcomes),
         policy=policy.to_json(),

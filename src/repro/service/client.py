@@ -145,6 +145,14 @@ def events(socket_path: str, tail: int = 20,
     )
 
 
+def debug_bundle(socket_path: str, timeout: Optional[float] = 10.0) \
+        -> Dict[str, object]:
+    """Force a "manual" crash bundle from a live daemon (``fg debug
+    bundle``): the response carries the full bundle document and, when
+    the daemon has a crash dir, the path it was written to."""
+    return roundtrip(socket_path, {"type": "debug-bundle"}, timeout=timeout)
+
+
 def request_shutdown(socket_path: str, timeout: Optional[float] = 5.0) \
         -> Dict[str, object]:
     """Ask the daemon to drain (socket-side SIGTERM equivalent)."""

@@ -129,7 +129,9 @@ class BatchPolicy:
         for spec in fields(self):
             value = getattr(self, spec.name)
             if spec.name == "retry":
-                blob[spec.name] = value.to_json()
+                blob[spec.name] = (
+                    value.to_json() if value is not None else None
+                )
             elif spec.name == "limits":
                 blob[spec.name] = asdict(
                     value if value is not None else DEFAULT_LIMITS
@@ -159,7 +161,7 @@ class BatchPolicy:
                 f"unknown BatchPolicy field(s) in echo: {sorted(unknown)}"
             )
         kwargs: Dict[str, object] = dict(blob)
-        if "retry" in kwargs:
+        if kwargs.get("retry") is not None:
             kwargs["retry"] = RetryPolicy(**kwargs["retry"])
         if kwargs.get("limits") is not None:
             kwargs["limits"] = Limits(**kwargs["limits"])

@@ -45,7 +45,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.observability import NULL_TRACER, merge_worker_telemetry
+from repro.observability import (
+    NULL_TRACER,
+    fold_worker_flightrec,
+    merge_worker_telemetry,
+)
+from repro.observability import flightrec
 from repro.service import proto
 from repro.service.faults import (
     FAULT_CRASH,
@@ -212,7 +217,8 @@ class _WorkerSlot:
     the slot index and its deque persist."""
 
     __slots__ = ("slot", "proc", "task_w", "result_r", "reader", "queue",
-                 "current", "warmed", "last_beat", "retired", "tasks_done")
+                 "current", "warmed", "last_beat", "retired", "tasks_done",
+                 "last_flightrec", "last_flightrec_ns")
 
     def __init__(self, slot: int):
         self.slot = slot
@@ -231,6 +237,12 @@ class _WorkerSlot:
         self.last_beat = 0.0
         self.retired = False
         self.tasks_done = 0
+        # The occupant's most recent flight-recorder stanza (shipped on
+        # every result frame) and the dispatch..receive ns bracket of the
+        # frame that carried it — the dead process's black box when this
+        # seat later suffers a worker-lost or deadline kill.
+        self.last_flightrec: Optional[Dict[str, object]] = None
+        self.last_flightrec_ns: Optional[Tuple[int, int]] = None
 
     @property
     def alive(self) -> bool:
@@ -412,6 +424,38 @@ class _Supervisor:
         if self.ops is not None:
             self.ops.emit(event, **fields)
 
+    def _dump_crash(self, kind: str, detail: Dict[str, object],
+                    slot: Optional[_WorkerSlot] = None) -> None:
+        """Write a crash bundle for a pool fault (advisory; no crash dir
+        configured → no-op).  The dead worker's last shipped flight ring
+        is folded into the coordinator recorder first — clock-normalized
+        through the dispatch..receive bracket that carried it — so the
+        bundle holds the dead *process's* final spans and ops events,
+        not just the supervisor's view."""
+        if flightrec.bundle_directory() is None:
+            return
+        if slot is not None and slot.last_flightrec:
+            send_ns, recv_ns = slot.last_flightrec_ns or (None, None)
+            fold_worker_flightrec(
+                flightrec.recorder(), slot.last_flightrec,
+                send_ns=send_ns, recv_ns=recv_ns,
+            )
+            slot.last_flightrec = None  # folded once, never duplicated
+        flightrec.dump(kind, detail, context={
+            "pool": self.stats.to_json(),
+            "policy": self.policy.to_json(),
+            "ops_tail": self.ops.tail(50) if self.ops is not None else [],
+            "workers": [
+                {"slot": s.slot,
+                 "pid": s.proc.pid if s.proc is not None else None,
+                 "alive": s.alive, "retired": s.retired,
+                 "warmed": s.warmed, "tasks_done": s.tasks_done,
+                 "queued": len(s.queue),
+                 "busy": s.current is not None}
+                for s in self.slots
+            ],
+        })
+
     def _spawn(self, slot: _WorkerSlot) -> None:
         _spawn_process(slot, self.policy)
         self.sel.register(slot.result_r, selectors.EVENT_READ, slot)
@@ -448,6 +492,10 @@ class _Supervisor:
             slot.retired = True
             self.stats.retired += 1
             self._emit("worker-retire", slot=slot.slot)
+            self._dump_crash("respawn-exhausted", {
+                "slot": slot.slot,
+                "max_respawns": self.policy.max_respawns,
+            })
 
     # -- dispatch and stealing ---------------------------------------------
 
@@ -561,6 +609,11 @@ class _Supervisor:
         self._close_slot(slot)
         self.stats.worker_lost += 1
         self._emit("worker-lost", slot=slot.slot, returncode=returncode)
+        self._dump_crash("worker-lost", {
+            "slot": slot.slot,
+            "returncode": returncode,
+            "file": slot.current[0].filename if slot.current else None,
+        }, slot=slot)
         current, slot.current = slot.current, None
         if current is not None:
             task, injected, t0, _send_ns = current
@@ -589,6 +642,11 @@ class _Supervisor:
         self.stats.deadline_kills += 1
         self._emit("deadline-kill", slot=slot.slot,
                    file=slot.current[0].filename)
+        self._dump_crash("deadline-kill", {
+            "slot": slot.slot,
+            "file": slot.current[0].filename,
+            "deadline_ms": self.policy.deadline_ms,
+        }, slot=slot)
         slot.proc.kill()
         self._reap(slot)
         self._close_slot(slot)
@@ -642,6 +700,10 @@ class _Supervisor:
             slot.current = None
             slot.tasks_done += 1
             fallback_ms = round((time.monotonic() - t0) * 1e3, 3)
+            recv_ns = time.perf_counter_ns()
+            if frame.get("flightrec"):
+                slot.last_flightrec = frame["flightrec"]
+                slot.last_flightrec_ns = (send_ns, recv_ns)
             result = result_to_attempt(
                 frame, frame.get("duration_ms", fallback_ms)
             )
@@ -651,7 +713,7 @@ class _Supervisor:
             if result.telemetry is not None:
                 merge_worker_telemetry(
                     self.instrumentation, result.telemetry,
-                    send_ns=send_ns, recv_ns=time.perf_counter_ns(),
+                    send_ns=send_ns, recv_ns=recv_ns,
                     span_name="pool.attempt",
                     attrs={
                         "file": task.filename, "attempt": task.attempt,
@@ -659,7 +721,15 @@ class _Supervisor:
                     },
                 )
             self._finish_attempt(task, result, injected)
-        # "heartbeat" and unknown kinds only refresh last_beat.
+        elif kind == "heartbeat":
+            # Heartbeats carry the worker's flight-recorder tail too, so
+            # a worker that dies before its first result still has a
+            # black box here.  No dispatch bracket exists for a
+            # heartbeat, so its spans fold without clock normalization.
+            if frame.get("flightrec"):
+                slot.last_flightrec = frame["flightrec"]
+                slot.last_flightrec_ns = None
+        # Unknown kinds only refresh last_beat.
 
     # -- watchdogs ----------------------------------------------------------
 

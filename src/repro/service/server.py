@@ -51,11 +51,13 @@ the resumed canonical reports byte-identical to the uninterrupted run.
 from __future__ import annotations
 
 import collections
+import json
 import os
 import selectors
 import socket
 import threading
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -66,6 +68,7 @@ from repro.observability import (
     ServerTelemetry,
     prometheus_text,
 )
+from repro.observability import flightrec
 from repro.service import journal as journal_mod
 from repro.service import proto
 from repro.service.batch import check_batch
@@ -82,12 +85,14 @@ from repro.service.pool import PersistentPool
 from repro.service.signals import notify_on_termination
 
 #: Request frame types a client may send.
-REQUEST_TYPES = ("batch", "health", "stats", "events", "shutdown")
+REQUEST_TYPES = (
+    "batch", "health", "stats", "events", "debug-bundle", "shutdown",
+)
 
 #: Response frame types that end a request (everything except "accepted").
 TERMINAL_RESPONSES = (
     "report", "overload", "shed", "draining", "error", "health", "stats",
-    "events", "shutdown",
+    "events", "debug-bundle", "shutdown",
 )
 
 
@@ -122,6 +127,12 @@ class ServeOptions:
     #: JSONL mirror of the operational event log; defaults to
     #: ``<socket>.ops.jsonl`` next to the socket.
     ops_log_path: Optional[str] = None
+    #: Crash-bundle directory for the flight recorder's forensics dumps;
+    #: defaults to ``<socket>.crash`` next to the socket.
+    crash_dir: Optional[str] = None
+    #: Seconds between live "blackbox" bundle snapshots — the on-disk
+    #: forensics record that survives a SIGKILL (removed on clean exit).
+    blackbox_interval_s: float = 1.0
 
     def effective_journal_path(self) -> str:
         return (
@@ -135,6 +146,13 @@ class ServeOptions:
             self.ops_log_path
             if self.ops_log_path is not None
             else self.socket_path + ".ops.jsonl"
+        )
+
+    def effective_crash_dir(self) -> str:
+        return (
+            self.crash_dir
+            if self.crash_dir is not None
+            else self.socket_path + ".crash"
         )
 
 
@@ -248,7 +266,13 @@ class Server:
             workers=max(1, policy.pool_workers)
         )
         self.ops: Optional[OpsLog] = None
+        #: False when the ops-log path could not be opened (satellite of
+        #: the forensics work: degrading to ring-only must be *loud* —
+        #: a warning event plus a health-payload flag, never silence).
+        self.ops_log_writable = True
         self._metrics_due = 0.0
+        self._blackbox_due = 0.0
+        self._blackbox_path: Optional[str] = None
         self._drain_logged = False
         self.sel: Optional[selectors.BaseSelector] = None
         self.listener: Optional[socket.socket] = None
@@ -327,6 +351,15 @@ class Server:
                 self.journal.append(cancel_record(
                     req.id, f"internal: {type(exc).__name__}: {exc}"
                 ))
+                flightrec.dump(
+                    "daemon-exception",
+                    {"request": req.id, "exc_type": type(exc).__name__,
+                     "message": str(exc)},
+                    context=self._crash_context(),
+                    traceback_lines=traceback.format_exception(
+                        type(exc), exc, exc.__traceback__,
+                    ),
+                )
                 return {"type": "error", "request": req.id, "internal": True,
                         "message": f"{type(exc).__name__}: {exc}"}
         canonical = report.canonical_json()
@@ -472,6 +505,49 @@ class Server:
             "workers_detail": (
                 self.pool.worker_status() if self.pool is not None else []
             ),
+            "ops_log_writable": self.ops_log_writable,
+        }
+
+    def _journal_tail(self, limit: int = 20) -> List[Dict[str, object]]:
+        """The journal's last few records, for crash-bundle context.
+
+        Reads at most the final 64 KiB of the file and parses tolerantly
+        (a torn tail line is skipped, not fatal) — this runs inside fault
+        paths, where forensics must never add a second failure.
+        """
+        try:
+            with open(self.options.effective_journal_path(), "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                fh.seek(max(0, size - 65536))
+                data = fh.read()
+        except OSError:
+            return []
+        records: List[Dict[str, object]] = []
+        for line in data.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records[-limit:]
+
+    def _crash_context(self) -> Dict[str, object]:
+        """The daemon-side sections of a crash bundle: effective policy,
+        last health snapshot, ops-log and journal tails, worker state."""
+        return {
+            "policy": self.policy.to_json(),
+            "health": self._health_payload(),
+            "ops_tail": self.ops.tail(50) if self.ops is not None else [],
+            "journal_tail": self._journal_tail(),
+            "pool": (
+                {
+                    "alive": self.pool.alive_workers,
+                    "workers_detail": self.pool.worker_status(),
+                }
+                if self.pool is not None else None
+            ),
         }
 
     def _stats_payload(self) -> Dict[str, object]:
@@ -524,6 +600,25 @@ class Server:
         elif kind == "events":
             self._inc("server.events")
             self._respond(conn, self._events_payload(frame))
+        elif kind == "debug-bundle":
+            # `fg debug bundle`: force a "manual" crash bundle from the
+            # live daemon — same document a real fault would produce.
+            self._inc("server.debug_bundle")
+            bundle = flightrec.build_bundle(
+                "manual", {"requested": "debug-bundle"},
+                context=self._crash_context(),
+            )
+            path = None
+            directory = flightrec.bundle_directory()
+            if directory:
+                try:
+                    path = flightrec.write_bundle(bundle, directory)
+                except OSError:
+                    path = None
+            if self.ops is not None:
+                self.ops.emit("debug-bundle", path=path)
+            self._respond(conn, {"type": "debug-bundle", "path": path,
+                                 "bundle": bundle})
         elif kind == "shutdown":
             # Socket-initiated drain: same semantics as SIGTERM.
             self.draining = True
@@ -682,6 +777,46 @@ class Server:
         except OSError:
             pass  # metrics are advisory; never take the daemon down
 
+    def _maybe_write_blackbox(self) -> None:
+        """Persist the live "blackbox" bundle when due.
+
+        SIGKILL defeats every in-process hook (excepthook, atexit,
+        faulthandler), so the daemon keeps a current ``hard-death``
+        bundle on disk at all times: a fixed name, rewritten atomically
+        on a cadence, and deleted again on clean exit — if the file is
+        still there after the process is gone, it *is* the crash bundle.
+        """
+        directory = flightrec.bundle_directory()
+        if directory is None:
+            return
+        now = time.monotonic()
+        if now < self._blackbox_due:
+            return
+        self._blackbox_due = now + max(
+            0.05, self.options.blackbox_interval_s
+        )
+        bundle = flightrec.build_bundle(
+            "hard-death",
+            {"note": "live blackbox snapshot (removed on clean drain; "
+                     "still present after the process is gone means the "
+                     "daemon was killed without draining)"},
+            context=self._crash_context(),
+        )
+        try:
+            self._blackbox_path = flightrec.write_bundle(
+                bundle, directory, name=f"live-{os.getpid()}.bundle.json"
+            )
+        except OSError:
+            pass  # forensics are advisory; never take the daemon down
+
+    def _remove_blackbox(self) -> None:
+        if self._blackbox_path is not None:
+            try:
+                os.remove(self._blackbox_path)
+            except OSError:
+                pass
+            self._blackbox_path = None
+
     # -- the loop -----------------------------------------------------------
 
     def _next_timeout(self) -> Optional[float]:
@@ -697,6 +832,8 @@ class Server:
             candidates.append(0.1)  # poll the exit condition while draining
         if self.options.metrics_file is not None:
             candidates.append(self._metrics_due - now)
+        if flightrec.bundle_directory() is not None:
+            candidates.append(self._blackbox_due - now)
         if not candidates:
             return None
         return max(0.0, min(candidates))
@@ -736,10 +873,27 @@ class Server:
         """Run the daemon until drained (or, under ``resume_only``, until
         the replayed requests finish).  Returns the exit summary."""
         self._started_at = time.monotonic()
+        # The flight recorder's hard-death net covers the whole lifetime,
+        # including startup failures; the daemon always has a crash dir
+        # (``--crash-dir`` or ``<socket>.crash``).
+        flightrec.arm(
+            self.options.effective_crash_dir(),
+            context_provider=self._crash_context,
+        )
         try:
             self.ops = OpsLog(self.options.effective_ops_log_path())
-        except OSError:
-            self.ops = OpsLog(None)  # unwritable path: ring only
+        except OSError as exc:
+            # Degrade to the in-memory ring, but *loudly*: a warning
+            # event plus ``ops_log_writable: false`` in every health
+            # payload — an operator should not discover the missing
+            # JSONL mirror only when they need it.
+            self.ops = OpsLog(None)
+            self.ops_log_writable = False
+            self.ops.emit(
+                "ops-log-unwritable",
+                path=self.options.effective_ops_log_path(),
+                error=str(exc),
+            )
         unfinished = self._prepare_journal()
         self.pool = PersistentPool(
             self.policy, tracer=self.tracer, ops=self.ops,
@@ -793,10 +947,23 @@ class Server:
                     self._close_idle()
                     self._note_drain()
                     self._maybe_write_metrics()
+                    self._maybe_write_blackbox()
             with self.cond:
                 self.stopping = True
                 self.cond.notify_all()
             executor.join(timeout=10.0)
+            if executor.is_alive():
+                # A wedged drain is itself a fault: record what was still
+                # in flight before the interpreter tears the thread down.
+                flightrec.dump(
+                    "drain-failure",
+                    {"queued": len(self.queue),
+                     "in_flight": (
+                         self.current.id if self.current is not None
+                         else None
+                     )},
+                    context=self._crash_context(),
+                )
             # One final snapshot so the file reflects the drained state.
             self._metrics_due = 0.0
             self._maybe_write_metrics()
@@ -843,3 +1010,11 @@ class Server:
             self.journal.close()
         if self.ops is not None:
             self.ops.close()
+        # Clean exit: retract the live blackbox bundle and stand the
+        # atexit hard-death guard down.  A SIGKILLed daemon reaches
+        # neither, which is exactly what leaves its bundle behind.  The
+        # crash dir is process-global state; un-configure it so a later
+        # in-process Server (tests) doesn't dump into this one's dir.
+        self._remove_blackbox()
+        flightrec.configure(None)
+        flightrec.disarm()

@@ -46,14 +46,8 @@ def run_task(payload: dict) -> dict:
     JSON-ready result shape.
     """
     from repro.diagnostics.limits import Limits
-    from repro.pipeline import check_source, install_faults
     from repro.service.faults import FaultSpec, deserialize_exception_faults
-    from repro.service.worker import (
-        build_task_instrumentation,
-        crash_report_from_exception,
-        outcome_projection,
-        telemetry_result,
-    )
+    from repro.service.worker import build_task_instrumentation
 
     limits_data = payload.get("limits")
     limits = Limits(**limits_data) if limits_data is not None else None
@@ -74,6 +68,33 @@ def run_task(payload: dict) -> dict:
 
     start = time.perf_counter()
     start_ns = time.perf_counter_ns()
+    try:
+        return _run_task_inner(
+            payload, limits, faults, instrumentation, telemetry,
+            start, start_ns,
+        )
+    finally:
+        # Always-on forensics: one coarse span per task so the flight ring
+        # has worker history even with instrumentation off (the common
+        # case) — it is what ships back in the result's flightrec stanza.
+        from repro.observability import flightrec
+
+        flightrec.record_span(
+            "worker.task", start_ns, time.perf_counter_ns(),
+            {"file": payload.get("filename", "<input>"),
+             "attempt": payload.get("attempt")},
+        )
+
+
+def _run_task_inner(payload, limits, faults, instrumentation, telemetry,
+                    start, start_ns) -> dict:
+    from repro.pipeline import check_source, install_faults
+    from repro.service.worker import (
+        crash_report_from_exception,
+        outcome_projection,
+        telemetry_result,
+    )
+
     try:
         with install_faults(faults):
             outcome = check_source(
@@ -139,19 +160,25 @@ def warm_up(prelude: bool, ext: bool) -> float:
 
 def main() -> int:
     """One-shot mode: task on stdin, one framed result on claimed stdout."""
+    from repro.observability import flightrec
     from repro.service import proto
 
+    flightrec.arm()  # bundle directory (if any) comes from $FG_CRASH_DIR
     result_fd = proto.shield_stdout()
     payload = json.load(sys.stdin)
     result = run_task(payload)
+    result["flightrec"] = flightrec.recorder().wire_tail()
     proto.write_frame_fd(result_fd, result)
+    flightrec.disarm()
     return 0
 
 
 def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
     """Persistent mode: loop over framed tasks until shutdown or EOF."""
+    from repro.observability import flightrec
     from repro.service import proto
 
+    flightrec.arm()  # bundle directory (if any) comes from $FG_CRASH_DIR
     proto.shield_stdout()  # stray stdout writes can never reach a pipe
     write_lock = threading.Lock()
     stop = threading.Event()
@@ -162,8 +189,19 @@ def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
 
     def heartbeat() -> None:
         while not stop.wait(heartbeat_ms / 1000.0):
+            # The black box also rides heartbeats, so a worker killed
+            # before its first result still leaves its ring with the
+            # supervisor.  Snapshotting races task-thread appends; a
+            # torn snapshot is dropped, never a dead heartbeat.
             try:
-                send({"type": "heartbeat", "pid": os.getpid()})
+                tail = flightrec.recorder().wire_tail()
+            except RuntimeError:
+                tail = None
+            message = {"type": "heartbeat", "pid": os.getpid()}
+            if tail is not None:
+                message["flightrec"] = tail
+            try:
+                send(message)
             except OSError:
                 return
 
@@ -175,6 +213,7 @@ def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
         while True:
             frame = proto.read_frame_fd(task_fd)
             if frame is None:
+                flightrec.disarm()
                 return 0  # supervisor closed the task pipe
             kind = frame.get("type")
             if kind == "init":
@@ -191,12 +230,18 @@ def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
                 result["type"] = "result"
                 result["id"] = frame.get("id")
                 result["attempt"] = frame.get("attempt")
+                # The worker's black box rides every result frame: when
+                # this process is later SIGKILLed mid-task, the
+                # supervisor still holds its last-known ring.
+                result["flightrec"] = flightrec.recorder().wire_tail()
                 send(result)
             elif kind == "shutdown":
+                flightrec.disarm()
                 return 0
             # Unknown frame types are ignored: forward compatibility.
     except (OSError, proto.FrameError):
         # A dead supervisor (broken pipes) is a clean exit, not a crash.
+        flightrec.disarm()
         return 0
     finally:
         stop.set()

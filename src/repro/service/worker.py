@@ -253,8 +253,14 @@ def run_attempt_thread(
 
 
 def _child_env() -> Dict[str, str]:
-    """The child's environment, with this package's source root prepended."""
+    """The child's environment, with this package's source root prepended.
+
+    The coordinator's crash-bundle directory (``--crash-dir`` or
+    ``$FG_CRASH_DIR``) is exported so worker processes arm their own
+    hard-death hooks into the same directory.
+    """
     import repro
+    from repro.observability import flightrec
 
     src_root = os.path.dirname(os.path.dirname(os.path.abspath(
         repro.__file__)))
@@ -263,6 +269,9 @@ def _child_env() -> Dict[str, str]:
     env["PYTHONPATH"] = (
         src_root if not prior else src_root + os.pathsep + prior
     )
+    crash_dir = flightrec.bundle_directory()
+    if crash_dir:
+        env[flightrec.ENV_CRASH_DIR] = crash_dir
     return env
 
 
@@ -349,6 +358,7 @@ def run_attempt_subprocess(
         telemetry=telemetry,
     )
     start = time.perf_counter()
+    start_ns = time.perf_counter_ns()
     try:
         proc = subprocess.run(
             [sys.executable, "-m", "repro.service.subproc"],
@@ -392,5 +402,15 @@ def run_attempt_subprocess(
                 returncode=proc.returncode,
             ),
             duration_ms=duration_ms,
+        )
+    if result.get("flightrec"):
+        # Fold the one-shot worker's flight ring into the coordinator
+        # recorder at receive time: a later fault dump then carries the
+        # child's spans even though the child is already gone.
+        from repro.observability import flightrec, fold_worker_flightrec
+
+        fold_worker_flightrec(
+            flightrec.recorder(), result["flightrec"],
+            send_ns=start_ns, recv_ns=time.perf_counter_ns(),
         )
     return result_to_attempt(result, duration_ms)

@@ -21,6 +21,10 @@ Subcommands::
                          / --shutdown); 'fg client stats' prints the
                          daemon's live latency/queue-wait percentiles and
                          'fg client events' tails its operational log
+    fg doctor BUNDLE     triage a repro/crash-bundle v1: what died, its
+                         last spans/ops events, metric anomalies, and
+                         the traceback (--serve-socket pulls a live one)
+    fg debug bundle      force a crash bundle out of a live daemon
 
 ``--prelude`` wraps the program with the standard concept library and ``-e``
 takes the program from the command line instead of a file.
@@ -571,6 +575,12 @@ def _run_batch(args: argparse.Namespace) -> int:
         print(f"fg batch: {err}", file=sys.stderr)
         return EXIT_USAGE
 
+    if args.crash_dir:
+        # Forensics dumps (worker loss, deadline kills, contained
+        # crashes) land here; workers inherit it via $FG_CRASH_DIR.
+        from repro.observability import flightrec
+
+        flightrec.configure(args.crash_dir)
     inst = _instrumentation(args)
     report = check_batch(
         sources, policy, instrumentation=inst, fault_schedule=schedule,
@@ -631,6 +641,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             metrics_file=args.metrics_file,
             metrics_interval_s=args.metrics_interval_ms / 1000.0,
             ops_log_path=args.ops_log,
+            crash_dir=args.crash_dir,
         )
     except ValueError as err:
         print(f"fg serve: {err}", file=sys.stderr)
@@ -859,6 +870,243 @@ def _run_client(args: argparse.Namespace) -> int:
     return EXIT_INTERNAL
 
 
+#: ``fg doctor``'s one-line reading of each fault kind in the taxonomy.
+_DOCTOR_CLASSIFICATION = {
+    "crash-report": "a checked file crashed its worker (contained: the "
+                    "rest of the batch completed)",
+    "worker-lost": "a pool worker process vanished mid-attempt "
+                   "(killed externally or died hard)",
+    "deadline-kill": "the supervisor hard-killed a worker that ran past "
+                     "its deadline",
+    "respawn-exhausted": "the pool's respawn budget was spent and a "
+                         "worker seat was retired",
+    "daemon-exception": "an unhandled exception escaped a daemon request "
+                        "(a bug in the server, not the input)",
+    "drain-failure": "the daemon's graceful drain did not finish before "
+                     "the shutdown timeout",
+    "hard-death": "the process died without reaching a clean exit "
+                  "(SIGKILL, native fault, or uncaught exception)",
+    "manual": "bundle forced via fg debug bundle — not a fault",
+}
+
+
+def _doctor_metric_rows(samples: list) -> list:
+    """Fold the bundle's metric ring into per-name summary rows, flagging
+    names whose peak sits far above their own rolling median."""
+    by_name: dict = {}
+    for sample in samples:
+        value = sample.get("value")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            by_name.setdefault(sample.get("name"), []).append(float(value))
+    rows = []
+    for name, values in sorted(by_name.items()):
+        ordered = sorted(values)
+        median = ordered[len(ordered) // 2]
+        peak = ordered[-1]
+        rows.append({
+            "name": name,
+            "count": len(ordered),
+            "median": median,
+            "max": peak,
+            # With fewer than 4 samples "anomalous" is noise, not signal.
+            "anomalous": (len(ordered) >= 4 and median > 0
+                          and peak > 3.0 * median),
+        })
+    return rows
+
+
+def _doctor_triage(bundle: dict, tail: int) -> dict:
+    """The machine-readable triage: what died, its last activity, and
+    which metrics look out of family."""
+    from repro.observability import flightrec
+
+    fault = bundle.get("fault") or {}
+    kind = fault.get("kind", "unknown")
+    rings = bundle.get("rings") or {}
+    spans = []
+    for span in (rings.get("spans") or [])[-tail:]:
+        start = span.get("start_ns") or 0
+        end = span.get("end_ns") or 0
+        spans.append({
+            "name": span.get("name"),
+            "duration_ms": round((end - start) / 1e6, 3),
+            "attrs": span.get("attrs"),
+        })
+    ops = bundle.get("ops_tail") or rings.get("ops") or []
+    metrics = _doctor_metric_rows(rings.get("metrics") or [])
+    return {
+        "fault_kind": kind,
+        "classification": _DOCTOR_CLASSIFICATION.get(
+            kind, "unknown fault kind (not in the taxonomy)"
+        ),
+        "detail": fault.get("detail") or {},
+        "pid": bundle.get("pid"),
+        "created_ts_ms": bundle.get("created_ts_ms"),
+        "argv": bundle.get("argv") or [],
+        "last_spans": spans,
+        "ops_tail": ops[-tail:],
+        "metrics": metrics,
+        "metric_anomalies": [r for r in metrics if r["anomalous"]],
+        "traceback": bundle.get("traceback") or [],
+        "schema_problems": flightrec.validate_bundle(bundle),
+    }
+
+
+def _render_triage(triage: dict, path) -> str:
+    import time as time_mod
+
+    lines = [
+        f"fg doctor: {triage['fault_kind']} — {triage['classification']}"
+    ]
+    created = triage.get("created_ts_ms")
+    when = (
+        time_mod.strftime(
+            "%Y-%m-%d %H:%M:%S", time_mod.localtime(created / 1000.0)
+        )
+        if isinstance(created, (int, float)) and created else "?"
+    )
+    lines.append(
+        f"   bundle: {path or '<live daemon>'}  "
+        f"pid={triage.get('pid')}  created={when}"
+    )
+    detail = triage.get("detail") or {}
+    if detail:
+        rendered = " ".join(
+            f"{key}={value}" for key, value in sorted(detail.items())
+        )
+        lines.append(f"   detail: {rendered}")
+    spans = triage.get("last_spans") or []
+    lines.append(f"-- last {len(spans)} span(s):")
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        extra = " ".join(
+            f"{k}={v}" for k, v in sorted(attrs.items()) if v is not None
+        )
+        lines.append(
+            f"   {span.get('name'):<28} {span.get('duration_ms'):>10.3f}ms"
+            + (f"  {extra}" if extra else "")
+        )
+    if not spans:
+        lines.append("   (ring empty — recorder off or nothing ran)")
+    ops = triage.get("ops_tail") or []
+    if ops:
+        lines.append(f"-- last {len(ops)} ops event(s):")
+        for event in ops:
+            extra = " ".join(
+                f"{key}={value}" for key, value in sorted(event.items())
+                if key not in ("seq", "ts_ms", "event")
+            )
+            lines.append(
+                f"   [{event.get('seq', '?'):>4}] {event.get('event')}"
+                + (f"  {extra}" if extra else "")
+            )
+    anomalies = triage.get("metric_anomalies") or []
+    if anomalies:
+        lines.append("-- metric anomalies (max > 3x median):")
+        for row in anomalies:
+            lines.append(
+                f"   {row['name']:<32} median={row['median']:.3f} "
+                f"max={row['max']:.3f} (n={row['count']})"
+            )
+    else:
+        lines.append("-- metric anomalies: none")
+    trace = triage.get("traceback") or []
+    if trace:
+        lines.append("-- traceback:")
+        for chunk in trace[-10:]:
+            for text in str(chunk).rstrip("\n").splitlines():
+                lines.append(f"   {text}")
+    problems = triage.get("schema_problems") or []
+    if problems:
+        lines.append("-- schema problems:")
+        for problem in problems:
+            lines.append(f"   {problem}")
+    return "\n".join(lines)
+
+
+def _run_doctor(args: argparse.Namespace) -> int:
+    """``fg doctor``: render human triage from a crash bundle (a file, the
+    newest bundle in a directory, or one pulled from a live daemon)."""
+    import os
+
+    from repro.observability import flightrec
+
+    path = None
+    if args.serve_socket:
+        from repro.service import ClientError, debug_bundle
+
+        try:
+            response = debug_bundle(args.serve_socket, timeout=args.timeout)
+        except ClientError as err:
+            print(f"fg doctor: {err}", file=sys.stderr)
+            return EXIT_USAGE
+        bundle = response.get("bundle")
+        path = response.get("path")
+        if not isinstance(bundle, dict):
+            print("fg doctor: daemon returned no bundle", file=sys.stderr)
+            return EXIT_INTERNAL
+    else:
+        target = args.bundle
+        if target is None:
+            print("fg doctor: a BUNDLE file/directory or --serve-socket "
+                  "is required", file=sys.stderr)
+            return EXIT_USAGE
+        if os.path.isdir(target):
+            path = flightrec.latest_bundle(target)
+            if path is None:
+                print(f"fg doctor: no *.bundle.json under {target}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+        else:
+            path = target
+        try:
+            bundle = flightrec.read_bundle(path)
+        except (OSError, ValueError) as err:
+            print(f"fg doctor: cannot read {path}: {err}", file=sys.stderr)
+            return EXIT_USAGE
+    triage = _doctor_triage(bundle, args.tail)
+    if args.json:
+        print(json.dumps({"path": path, "triage": triage,
+                          "bundle": bundle}, indent=2))
+    else:
+        print(_render_triage(triage, path))
+    return EXIT_OK
+
+
+def _run_debug(args: argparse.Namespace) -> int:
+    """``fg debug bundle``: force a crash bundle out of a live daemon."""
+    from repro.service import ClientError, ServerUnavailable, debug_bundle
+
+    try:
+        response = debug_bundle(args.socket, timeout=args.timeout)
+    except ServerUnavailable as err:
+        print(f"fg debug: {err}", file=sys.stderr)
+        return EXIT_USAGE
+    except ClientError as err:
+        print(f"fg debug: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    bundle = response.get("bundle")
+    path = response.get("path")
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(bundle, handle, indent=2)
+                handle.write("\n")
+        except OSError as err:
+            print(f"fg debug: cannot write {args.out}: {err}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        path = args.out
+    if args.json:
+        print(json.dumps({"path": path, "bundle": bundle}, indent=2))
+    elif path:
+        print(f"fg debug: bundle written to {path}")
+    else:
+        print("fg debug: daemon has no crash dir; use --out FILE to keep "
+              "the bundle", file=sys.stderr)
+    return EXIT_OK
+
+
 def _render_remote_report(report_json: dict) -> str:
     """Human view of a wire-format batch report (mirrors
     ``BatchReport.render`` closely enough for eyeballs)."""
@@ -1004,6 +1252,12 @@ def main(argv=None) -> int:
         help="chaos hook for --isolate=pool: SIGKILL a worker at the "
         "dispatch of INDEX[:ATTEMPT[:WORKER]] (default attempt 0, default "
         "worker: whichever received the dispatch)",
+    )
+    batch.add_argument(
+        "--crash-dir", default=None, metavar="DIR",
+        help="write crash-forensics bundles (flight-recorder rings, pool "
+        "state, tracebacks) here on worker loss, deadline kills, and "
+        "contained crashes; defaults to $FG_CRASH_DIR, unset = disabled",
     )
     batch.add_argument(
         "--prelude", action="store_true",
@@ -1158,6 +1412,12 @@ def main(argv=None) -> int:
         help="operational event log (append-only JSONL; default: "
         "<socket>.ops.jsonl)",
     )
+    serve.add_argument(
+        "--crash-dir", default=None, metavar="DIR",
+        help="crash-bundle directory for the flight recorder's forensics "
+        "(default: <socket>.crash); the daemon also keeps a live "
+        "'blackbox' bundle here that survives a SIGKILL",
+    )
     serve.set_defaults(explain=False, profile=False)
     cli = sub.add_parser(
         "client",
@@ -1230,6 +1490,58 @@ def main(argv=None) -> int:
     cli.add_argument(
         "--interval-ms", type=float, default=1000.0, metavar="T",
         help="refresh period for --watch (default 1000)",
+    )
+    doctor = sub.add_parser(
+        "doctor",
+        help="triage a repro/crash-bundle v1: what died, its last spans "
+        "and ops events, metric anomalies, and the traceback",
+    )
+    doctor.add_argument(
+        "bundle", nargs="?", metavar="BUNDLE",
+        help="a *.bundle.json file, or a crash directory (the newest "
+        "bundle wins)",
+    )
+    doctor.add_argument(
+        "--serve-socket", default=None, metavar="PATH",
+        help="pull a live bundle from the daemon on this socket instead "
+        "of reading one from disk",
+    )
+    doctor.add_argument(
+        "--tail", type=int, default=10, metavar="N",
+        help="how many spans / ops events to show (default 10)",
+    )
+    doctor.add_argument(
+        "--timeout", type=float, default=10.0, metavar="S",
+        help="socket timeout for --serve-socket (default 10)",
+    )
+    doctor.add_argument(
+        "--json", action="store_true",
+        help="emit the triage plus the full bundle as JSON",
+    )
+    debug = sub.add_parser(
+        "debug",
+        help="debugging hooks against a live daemon ('fg debug bundle' "
+        "forces a crash bundle over the socket)",
+    )
+    debug.add_argument(
+        "what", choices=["bundle"], metavar="WHAT",
+        help="'bundle': force a manual crash bundle from the daemon",
+    )
+    debug.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's Unix-domain socket path",
+    )
+    debug.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the returned bundle document to FILE",
+    )
+    debug.add_argument(
+        "--timeout", type=float, default=10.0, metavar="S",
+        help="client-side socket timeout (default 10)",
+    )
+    debug.add_argument(
+        "--json", action="store_true",
+        help="emit the bundle (and its daemon-side path) as JSON",
     )
     for name, help_ in [
         ("run", "typecheck, translate, and evaluate an F_G program"),
@@ -1371,6 +1683,28 @@ def main(argv=None) -> int:
     if args.command == "client":
         try:
             return _run_client(args)
+        except Exception:
+            import traceback
+
+            print(_INTERNAL_BANNER, file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
+    if args.command == "doctor":
+        try:
+            return _run_doctor(args)
+        except BrokenPipeError:
+            return EXIT_OK  # downstream pager/head closed the pipe
+        except Exception:
+            import traceback
+
+            print(_INTERNAL_BANNER, file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
+    if args.command == "debug":
+        try:
+            return _run_debug(args)
+        except BrokenPipeError:
+            return EXIT_OK
         except Exception:
             import traceback
 

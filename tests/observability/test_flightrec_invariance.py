@@ -1,0 +1,131 @@
+"""Digest invariance: the flight recorder must be report-invisible.
+
+The recorder observes completed spans, ops events, metric samples, and
+model resolutions — it never contributes to a report.  These tests pin
+that: the canonical digest of a batch (in-process, pool-isolated, and
+daemon-served) is byte-identical whether the recorder is live or a
+``NullFlightRecorder`` (and, cross-process, whether workers run with
+``FG_FLIGHTREC_RING=0``).
+"""
+
+import os
+import tempfile
+import threading
+
+import pytest
+
+from repro.observability import flightrec
+from repro.observability.flightrec import FlightRecorder, NullFlightRecorder
+from repro.service import (
+    BatchPolicy,
+    ServeOptions,
+    Server,
+    check_remote,
+    request_shutdown,
+)
+from repro.service.journal import report_digest
+
+GOOD = "let id = \\x : int. x in id(41)"
+BROKEN = "iadd(1, true)"
+SOURCES = [("good.fg", GOOD), ("broken.fg", BROKEN)]
+
+
+def _digest(policy, *, recorder, env_ring=None):
+    """One batch run under an explicit recorder; returns its digest."""
+    previous_env = os.environ.get(flightrec.ENV_RING)
+    if env_ring is not None:
+        os.environ[flightrec.ENV_RING] = env_ring
+    previous = flightrec.install(recorder)
+    try:
+        from repro.service import check_batch
+
+        report = check_batch(SOURCES, policy)
+        return report_digest(report.canonical_json())
+    finally:
+        flightrec.install(previous)
+        if env_ring is not None:
+            if previous_env is None:
+                os.environ.pop(flightrec.ENV_RING, None)
+            else:
+                os.environ[flightrec.ENV_RING] = previous_env
+
+
+class TestBatchInvariance:
+    def test_in_process_batch_digest_identical(self):
+        policy = BatchPolicy()
+        on = _digest(policy, recorder=FlightRecorder(capacity=256))
+        off = _digest(policy, recorder=NullFlightRecorder())
+        assert on == off
+
+    def test_pool_batch_digest_identical(self):
+        # Workers inherit the ring size via the environment: ring-256 in
+        # the "on" run, ring-0 in the "off" run.  Byte-identical digests
+        # prove the worker-side recorder (and the wire stanza it ships)
+        # never leaks into the report.
+        policy = BatchPolicy(isolate="pool", pool_workers=1)
+        on = _digest(policy, recorder=FlightRecorder(capacity=256),
+                     env_ring="256")
+        off = _digest(policy, recorder=NullFlightRecorder(), env_ring="0")
+        assert on == off
+
+    def test_crash_dump_does_not_change_the_digest(self, tmp_path):
+        # Dumping bundles is a side channel: a run that writes forensics
+        # reports the same bytes as a run that doesn't.
+        from repro.service import check_batch
+
+        policy = BatchPolicy()
+        plain = report_digest(
+            check_batch(SOURCES, policy).canonical_json()
+        )
+        flightrec.configure(str(tmp_path))
+        try:
+            dumped = report_digest(
+                check_batch(SOURCES, policy).canonical_json()
+            )
+        finally:
+            flightrec.configure(None)
+        assert plain == dumped
+
+
+class TestServeInvariance:
+    def _served_digest(self, *, recorder, env_ring):
+        previous_env = os.environ.get(flightrec.ENV_RING)
+        os.environ[flightrec.ENV_RING] = env_ring
+        previous = flightrec.install(recorder)
+        try:
+            with tempfile.TemporaryDirectory(
+                prefix="fginv", dir="/tmp"
+            ) as tmp:
+                socket_path = os.path.join(tmp, "fg.sock")
+                server = Server(
+                    BatchPolicy(isolate="pool", pool_workers=1),
+                    ServeOptions(socket_path=socket_path),
+                )
+                thread = threading.Thread(target=server.serve, daemon=True)
+                thread.start()
+                assert server.ready.wait(20.0)
+                try:
+                    response = check_remote(
+                        socket_path, SOURCES, timeout=60.0,
+                    )
+                    assert response["type"] == "report", response
+                    return response["digest"]
+                finally:
+                    request_shutdown(socket_path)
+                    thread.join(timeout=30.0)
+        finally:
+            flightrec.install(previous)
+            if previous_env is None:
+                os.environ.pop(flightrec.ENV_RING, None)
+            else:
+                os.environ[flightrec.ENV_RING] = previous_env
+
+    @pytest.mark.slow
+    def test_served_batch_digest_identical(self):
+        on = self._served_digest(
+            recorder=FlightRecorder(capacity=256), env_ring="256",
+        )
+        off = self._served_digest(
+            recorder=NullFlightRecorder(), env_ring="0",
+        )
+        assert on == off

@@ -238,6 +238,39 @@ class TestWindowReservoir:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             WindowReservoir(capacity=0)
+        with pytest.raises(ValueError):
+            WindowReservoir(capacity=-1)
+
+    def test_empty_window_percentile_is_none(self):
+        res = WindowReservoir()
+        for q in (0, 50, 100):
+            assert res.percentile(q) is None
+
+    def test_single_sample_answers_every_quantile(self):
+        res = WindowReservoir()
+        res.observe(42.5)
+        for q in (0, 1, 50, 99, 100):
+            assert res.percentile(q) == 42.5
+
+    def test_capacity_one_keeps_only_the_newest(self):
+        res = WindowReservoir(capacity=1)
+        for v in (7, 8, 9):
+            res.observe(v)
+        assert len(res) == 1
+        assert res.count == 3
+        for q in (0, 50, 100):
+            assert res.percentile(q) == 9
+
+    def test_nearest_rank_boundaries(self):
+        # Two samples: q=0 must be the min, q=100 the max, and ranks
+        # either side of the midpoint snap to the nearer sample.
+        res = WindowReservoir()
+        res.observe(10)
+        res.observe(20)
+        assert res.percentile(0) == 10
+        assert res.percentile(100) == 20
+        assert res.percentile(49) == 10
+        assert res.percentile(51) == 20
 
 
 class TestOpsLog:
@@ -266,6 +299,35 @@ class TestOpsLog:
 
     def test_read_missing_file_is_empty(self, tmp_path):
         assert read_ops_log(str(tmp_path / "nope.jsonl")) == []
+
+    def test_truncated_final_line_keeps_preceding_events(self, tmp_path):
+        # A process SIGKILLed mid-write leaves a torn last line; every
+        # record before it must survive the read.
+        path = str(tmp_path / "ops.jsonl")
+        with OpsLog(path) as ops:
+            ops.emit("worker-spawn", slot=0)
+            ops.emit("worker-lost", slot=0)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"ts_ms": 1, "seq": 3, "event": "drai')  # torn
+        records = read_ops_log(path)
+        assert [r["event"] for r in records] == \
+            ["worker-spawn", "worker-lost"]
+
+    def test_interleaved_junk_does_not_lose_neighbours(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        lines = [
+            '{"ts_ms": 1, "seq": 1, "event": "a"}',
+            "not json at all",
+            '{"ts_ms": 2, "seq": 2, "event": "b"}',
+            '\x00\xff binary junk \x00',
+            '["a", "json", "array", "not", "an", "object"]',
+            '{"ts_ms": 3, "seq": 3, "event": "c"}',
+            "",
+        ]
+        with open(path, "w", encoding="utf-8", errors="replace") as fh:
+            fh.write("\n".join(lines))
+        records = read_ops_log(path)
+        assert [r["event"] for r in records] == ["a", "b", "c"]
 
 
 class TestPrometheusText:

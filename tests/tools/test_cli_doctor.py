@@ -1,0 +1,146 @@
+"""``fg doctor`` / ``fg debug bundle``: crash-forensics triage at the CLI.
+
+Bundle *construction* is pinned in ``tests/observability/test_flightrec``
+and ``tests/service/test_crash_bundles``; here the contract is the
+command-line mapping — a bundle file or directory (or a live daemon's
+socket) in, a human triage or ``--json`` blob out, with the documented
+exit codes (0 triage rendered, 2 usage).
+"""
+
+import json
+import os
+import tempfile
+import threading
+
+import pytest
+
+from repro.observability import flightrec
+from repro.service import BatchPolicy, ServeOptions, Server
+from repro.tools.cli import EXIT_OK, EXIT_USAGE, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _write_bundle(directory, kind="worker-lost", detail=None):
+    rec = flightrec.FlightRecorder(capacity=16)
+    rec.record_span("worker.task", 0, 7_000_000,
+                    {"file": "a.fg", "worker_pid": 999})
+    rec.record_event({"event": "worker-lost", "slot": 0})
+    bundle = flightrec.build_bundle(
+        kind, detail or {"slot": 0, "file": "a.fg"}, rec=rec,
+        context={"policy": {"isolate": "pool"}},
+    )
+    return flightrec.write_bundle(bundle, str(directory))
+
+
+@pytest.fixture
+def daemon():
+    with tempfile.TemporaryDirectory(prefix="fgdoc", dir="/tmp") as tmp:
+        server = Server(
+            BatchPolicy(isolate="pool", pool_workers=1),
+            ServeOptions(
+                socket_path=os.path.join(tmp, "fg.sock"),
+                blackbox_interval_s=60.0,
+            ),
+        )
+        thread = threading.Thread(target=server.serve, daemon=True)
+        thread.start()
+        assert server.ready.wait(20.0)
+        try:
+            yield server
+        finally:
+            if thread.is_alive():
+                server.draining = True
+                server._wake()
+                thread.join(timeout=30.0)
+
+
+class TestDoctor:
+    def test_doctor_names_the_fault(self, capsys, tmp_path):
+        path = _write_bundle(tmp_path)
+        code, out, _ = run_cli(capsys, "doctor", path)
+        assert code == EXIT_OK
+        assert "worker-lost" in out
+        assert "worker.task" in out          # last spans rendered
+        assert "a.fg" in out
+
+    def test_doctor_on_directory_picks_newest(self, capsys, tmp_path):
+        old = _write_bundle(tmp_path, kind="crash-report")
+        os.utime(old, (1, 1))
+        _write_bundle(tmp_path, kind="deadline-kill")
+        code, out, _ = run_cli(capsys, "doctor", str(tmp_path))
+        assert code == EXIT_OK
+        assert "deadline-kill" in out
+        assert "crash-report" not in out
+
+    def test_doctor_every_fault_kind_has_a_classification(
+            self, capsys, tmp_path):
+        for kind in flightrec.FAULT_KINDS:
+            path = _write_bundle(tmp_path, kind=kind)
+            code, out, _ = run_cli(capsys, "doctor", path)
+            assert code == EXIT_OK
+            assert kind in out
+            os.unlink(path)
+
+    def test_doctor_without_bundle_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "doctor", str(tmp_path / "nope"))
+        assert code == EXIT_USAGE
+        assert err
+
+    def test_doctor_empty_directory_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "doctor", str(tmp_path))
+        assert code == EXIT_USAGE
+        assert err
+
+    def test_doctor_no_argument_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "doctor")
+        assert code == EXIT_USAGE
+        assert err
+
+    def test_doctor_json_carries_triage_and_bundle(self, capsys, tmp_path):
+        path = _write_bundle(tmp_path)
+        code, out, _ = run_cli(capsys, "doctor", path, "--json")
+        assert code == EXIT_OK
+        blob = json.loads(out)
+        assert blob["path"] == path
+        assert blob["triage"]["fault_kind"] == "worker-lost"
+        assert blob["triage"]["schema_problems"] == []
+        assert blob["bundle"]["schema"] == flightrec.SCHEMA
+
+
+@pytest.mark.slow
+class TestDoctorLive:
+    def test_doctor_serve_socket_triages_the_live_daemon(
+            self, capsys, daemon):
+        code, out, _ = run_cli(
+            capsys, "doctor",
+            "--serve-socket", daemon.options.socket_path,
+        )
+        assert code == EXIT_OK
+        assert "manual" in out
+
+    def test_debug_bundle_pulls_and_writes(self, capsys, daemon, tmp_path):
+        out_path = str(tmp_path / "pulled.bundle.json")
+        code, out, _ = run_cli(
+            capsys, "debug", "bundle",
+            "--socket", daemon.options.socket_path,
+            "--out", out_path,
+        )
+        assert code == EXIT_OK
+        assert os.path.exists(out_path)
+        bundle = flightrec.read_bundle(out_path)
+        assert flightrec.validate_bundle(bundle) == []
+        assert bundle["fault"]["kind"] == "manual"
+
+    def test_debug_bundle_json(self, capsys, daemon):
+        code, out, _ = run_cli(
+            capsys, "debug", "bundle",
+            "--socket", daemon.options.socket_path, "--json",
+        )
+        assert code == EXIT_OK
+        blob = json.loads(out)
+        assert blob["bundle"]["fault"]["kind"] == "manual"
