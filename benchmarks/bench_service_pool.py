@@ -64,6 +64,24 @@ class TestIsolationWall:
         assert report.exit_code == 0
         assert report.pool["respawns"] == 0
 
+    def test_batch_pool_governed(self, benchmark):
+        # Same pool batch with the memory governor armed: rlimit applied
+        # at spawn, RSS sampled on every heartbeat, recycle thresholds
+        # set far above real usage so no recycle fires.  The delta
+        # against ``test_batch_isolate_pool`` is pure governor overhead.
+        items = _corpus()
+        report = benchmark.pedantic(
+            check_batch,
+            args=(items, _policy(
+                isolate="pool", pool_workers=2,
+                max_worker_mem_mb=1024.0, recycle_rss_mb=4096.0,
+            )),
+            rounds=5, iterations=1, warmup_rounds=1,
+        )
+        assert report.exit_code == 0
+        assert report.pool["recycles"] == 0
+        assert report.pool["respawns"] == 0
+
     def test_serve_warm_request(self, benchmark):
         items = _corpus()
         # Short /tmp prefix: AF_UNIX paths are length-limited.

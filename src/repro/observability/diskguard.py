@@ -1,0 +1,71 @@
+"""Free-space guard for the service's durable writers.
+
+The journal, ops log, metrics file, and crash-bundle directory all grow
+on a long-lived daemon; when the disk fills, each writer should degrade
+loudly (ops event + health flag) instead of dying mid-write. This module
+is the one shared predicate they consult. It lives in observability —
+below :mod:`repro.service` in the import graph — so the flight recorder
+and telemetry can use it without a layering cycle.
+
+Advisory by design: every function swallows OS errors and answers
+optimistically (``has_headroom`` returns True when it cannot tell), so a
+platform without ``disk_usage`` support never loses durability.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Optional
+
+#: Env override for the free-space floor, in megabytes.
+ENV_DISK_FLOOR_MB = "FG_DISK_FLOOR_MB"
+
+#: Default floor: writers start degrading when the filesystem holding
+#: their target has less than this much free.
+DEFAULT_FLOOR_MB = 16.0
+
+
+def floor_bytes() -> int:
+    """The configured free-space floor in bytes."""
+    raw = os.environ.get(ENV_DISK_FLOOR_MB)
+    if raw:
+        try:
+            mb = float(raw)
+            if mb >= 0:
+                return int(mb * 1024 * 1024)
+        except ValueError:
+            pass
+    return int(DEFAULT_FLOOR_MB * 1024 * 1024)
+
+
+def free_bytes(path) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path``, or None.
+
+    ``path`` need not exist yet — the check walks up to the nearest
+    existing ancestor (the directory a writer is about to create a file
+    in).
+    """
+    probe = os.fspath(path) if path else "."
+    probe = os.path.abspath(probe)
+    while probe and not os.path.exists(probe):
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    try:
+        return shutil.disk_usage(probe).free
+    except (OSError, ValueError):
+        return None
+
+
+def has_headroom(path, need_bytes: int = 0) -> bool:
+    """True when writing ~``need_bytes`` at ``path`` keeps the floor.
+
+    Optimistic on error: an unprobeable filesystem does not silence the
+    durable writers.
+    """
+    free = free_bytes(path)
+    if free is None:
+        return True
+    return free - int(need_bytes) >= floor_bytes()

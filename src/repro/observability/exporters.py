@@ -123,7 +123,10 @@ def prometheus_text(stats: Dict[str, object]) -> str:
         ("uptime_ms", "Daemon uptime in milliseconds."),
         ("served", "Requests served since boot."),
         ("shed_total", "Requests shed (overload or draining) since boot."),
+        ("shed_memory", "Requests shed for memory pressure since boot."),
         ("respawns", "Worker processes respawned since boot."),
+        ("recycles", "Workers gracefully recycled since boot."),
+        ("rss_bytes", "Aggregate heartbeat-sampled worker RSS in bytes."),
         ("queued", "Requests waiting for the executor."),
         ("in_flight", "Requests currently executing."),
         ("workers", "Configured worker seats."),

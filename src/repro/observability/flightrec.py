@@ -56,6 +56,12 @@ ENV_RING = "FG_FLIGHTREC_RING"
 #: Bundle directory fallback when no ``--crash-dir`` was given.
 ENV_CRASH_DIR = "FG_CRASH_DIR"
 
+#: Crash-bundle retention: :func:`dump` prunes the directory to the
+#: newest this-many ``crash-*`` bundles (the ``live-*`` blackbox is never
+#: pruned), so forensics on a long-lived daemon cannot fill the disk.
+ENV_CRASH_KEEP = "FG_CRASH_KEEP"
+DEFAULT_CRASH_KEEP = 32
+
 DEFAULT_CAPACITY = 256
 
 #: The fault taxonomy a bundle's ``fault.kind`` draws from.  ``dump``
@@ -63,6 +69,7 @@ DEFAULT_CAPACITY = 256
 #: crashes), but ``fg doctor`` classifies these.
 FAULT_KINDS = (
     "crash-report",        # a checked file died (CrashReport on the outcome)
+    "memory",              # a worker tripped its per-worker memory budget
     "worker-lost",         # pool worker vanished mid-attempt
     "deadline-kill",       # watchdog hard-killed a worker past its deadline
     "respawn-exhausted",   # respawn budget spent; seat retired
@@ -386,6 +393,38 @@ def _mtime(path: str) -> float:
         return 0.0
 
 
+def crash_keep_from_env(default: int = DEFAULT_CRASH_KEEP) -> int:
+    raw = os.environ.get(ENV_CRASH_KEEP)
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def prune_bundles(directory, keep: Optional[int] = None) -> List[str]:
+    """Retention: delete the oldest ``crash-*`` bundles beyond ``keep``.
+
+    Only auto-named crash bundles are candidates — the daemon's ``live-*``
+    blackbox and any explicitly named bundle survive, and ``find_bundles``
+    / ``latest_bundle`` are unaffected for what remains.  Returns the
+    paths removed.  Advisory: errors are swallowed per file.
+    """
+    if keep is None:
+        keep = crash_keep_from_env()
+    crash = [p for p in find_bundles(directory)
+             if os.path.basename(p).startswith("crash-")]
+    removed: List[str] = []
+    for path in crash[:max(0, len(crash) - keep)]:
+        try:
+            os.remove(path)
+            removed.append(path)
+        except OSError:
+            pass
+    return removed
+
+
 def dump(
     kind: str,
     detail: Optional[Dict[str, object]] = None,
@@ -403,9 +442,19 @@ def dump(
     if not target:
         return None
     try:
+        from repro.observability import diskguard
+
+        if not diskguard.has_headroom(target, need_bytes=1 << 20):
+            # A full disk is exactly when bundles get written; retention
+            # may have freed room, so prune first and re-check once.
+            prune_bundles(target)
+            if not diskguard.has_headroom(target, need_bytes=1 << 20):
+                return None
         bundle = build_bundle(kind, detail, context=context,
                               traceback_lines=traceback_lines)
-        return write_bundle(bundle, target, name=name)
+        path = write_bundle(bundle, target, name=name)
+        prune_bundles(target)
+        return path
     except Exception:  # noqa: BLE001 — advisory by contract
         return None
 

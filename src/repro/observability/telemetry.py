@@ -383,29 +383,78 @@ class OpsLog:
     are not).
     """
 
-    def __init__(self, path: Optional[str] = None, *, ring: int = 256):
+    def __init__(self, path: Optional[str] = None, *, ring: int = 256,
+                 max_bytes: Optional[int] = None):
         self._lock = threading.Lock()
         self._ring = deque(maxlen=ring)
         self._seq = 0
         self.path = path
+        #: Rotation threshold: when the file reaches this size, it is
+        #: atomically renamed to ``<path>.1`` (one backup generation) and
+        #: a fresh file opened, bounding a long-lived daemon's ops-log
+        #: footprint at ~2×.  ``None`` disables rotation.
+        self.max_bytes = max_bytes
         self._fh = open(path, "a", encoding="utf-8") if path else None
+
+    def _maybe_rotate_locked(self) -> bool:
+        """Rotate ``path`` → ``path.1`` when past ``max_bytes``.
+
+        Called under the lock with the record that triggered the check
+        not yet written, so the triggering record — and the synthetic
+        ``ops-log-rotate`` marker before it — both land in the *new*
+        file.  Never raises.
+        """
+        if (self._fh is None or self.max_bytes is None
+                or self.max_bytes <= 0):
+            return False
+        try:
+            if self._fh.tell() < self.max_bytes:
+                return False
+            self._fh.close()
+            os.replace(self.path, self.path + ".1")
+            self._fh = open(self.path, "a", encoding="utf-8")
+            return True
+        except OSError:
+            # Rotation failure must not kill the log; try to keep the
+            # handle usable (reopen best-effort).
+            if self._fh is None or self._fh.closed:
+                try:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                except OSError:
+                    self._fh = None
+            return False
 
     def emit(self, event: str, **fields) -> Dict[str, object]:
         """Record one event; returns the record (mostly for tests)."""
         with self._lock:
+            if self._maybe_rotate_locked():
+                self._seq += 1
+                marker = {
+                    "seq": self._seq,
+                    "ts_ms": int(time.time() * 1000),
+                    "event": "ops-log-rotate",
+                    "backup": self.path + ".1",
+                    "max_bytes": self.max_bytes,
+                }
+                self._ring.append(marker)
+                flightrec.record_event(dict(marker))
+                self._write_locked(marker)
             self._seq += 1
             record = {"seq": self._seq, "ts_ms": int(time.time() * 1000),
                       "event": event}
             record.update(fields)
             self._ring.append(record)
             flightrec.record_event(dict(record))
-            if self._fh is not None:
-                try:
-                    self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-                    self._fh.flush()
-                except OSError:
-                    pass  # advisory log: never fail the daemon over it
+            self._write_locked(record)
             return record
+
+    def _write_locked(self, record: Dict[str, object]) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+                self._fh.flush()
+            except OSError:
+                pass  # advisory log: never fail the daemon over it
 
     def tail(self, n: int = 20) -> List[Dict[str, object]]:
         """The most recent ``n`` events, oldest first."""
@@ -443,19 +492,25 @@ def read_ops_log(path: str) -> List[Dict[str, object]]:
     junk bytes are skipped, and every parseable record before and after
     them survives.  An ops log is advisory — losing one torn record must
     never lose the history around it.
+
+    Reads across the rotation boundary: when a ``<path>.1`` backup from
+    :class:`OpsLog` rotation exists, its records come first, so the
+    returned history is continuous (``seq`` keeps increasing through the
+    boundary).
     """
-    if not os.path.exists(path):
-        return []
     records: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8", errors="replace") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # torn write or junk: keep the rest
-            if isinstance(record, dict):
-                records.append(record)
+    for source in (path + ".1", path):
+        if not os.path.exists(source):
+            continue
+        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn write or junk: keep the rest
+                if isinstance(record, dict):
+                    records.append(record)
     return records

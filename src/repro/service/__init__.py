@@ -56,6 +56,7 @@ from repro.service.faults import (
     ChaosCrash,
     FAULT_CRASH,
     FAULT_DEADLINE,
+    FAULT_MEMORY,
     FAULT_WORKER_LOST,
     FaultSchedule,
     FaultSpec,
@@ -92,6 +93,7 @@ __all__ = [
     "EXIT_PARTIAL",
     "FAULT_CRASH",
     "FAULT_DEADLINE",
+    "FAULT_MEMORY",
     "FAULT_WORKER_LOST",
     "FaultSchedule",
     "FaultSpec",

@@ -38,6 +38,7 @@ from repro.observability import (
 from repro.service.faults import (
     FAULT_CRASH,
     FAULT_DEADLINE,
+    FAULT_MEMORY,
     FaultSchedule,
     is_retryable,
     serialize_exception_faults,
@@ -51,7 +52,11 @@ from repro.service.worker import (
     telemetry_request,
 )
 
-_FAULT_KIND = {"timeout": FAULT_DEADLINE, "crash": FAULT_CRASH}
+_FAULT_KIND = {
+    "timeout": FAULT_DEADLINE,
+    "crash": FAULT_CRASH,
+    "memory": FAULT_MEMORY,
+}
 
 #: Serializes telemetry merges into the shared coordinator bundle: with
 #: ``jobs > 1`` several worker threads finish attempts concurrently, and
@@ -165,10 +170,16 @@ def check_batch(
             metrics.inc("pool.steals", pool_stats.steals)
             metrics.inc("pool.heartbeat_misses", pool_stats.heartbeat_misses)
             metrics.inc("pool.retired", pool_stats.retired)
+            metrics.inc("pool.recycles", pool_stats.recycles)
+            metrics.inc("pool.rss_bytes", pool_stats.rss_bytes)
             if pool_stats.degraded:
                 metrics.inc("pool.degraded")
     elapsed_ms = round((time.perf_counter() - start) * 1e3, 3)
-    crashed = [o for o in outcomes if o is not None and o.crash is not None]
+    with_reports = [
+        o for o in outcomes if o is not None and o.crash is not None
+    ]
+    crashed = [o for o in with_reports if o.status != "memory"]
+    memory_hit = [o for o in with_reports if o.status == "memory"]
     if crashed:
         # Crash forensics for the batch coordinator: one bundle per batch
         # that saw CrashReport outcomes (advisory; no-op without a
@@ -179,6 +190,18 @@ def check_batch(
         flightrec.dump("crash-report", {
             "files": [o.file for o in crashed],
             "exc_types": sorted({o.crash.exc_type for o in crashed}),
+        }, context={
+            "policy": policy.to_json(),
+            "pool": pool_stats.to_json() if pool_stats is not None else None,
+        })
+    if memory_hit:
+        # Memory-budget trips get their own bundle kind so doctor triage
+        # can distinguish "the governor contained an OOM" from a crash.
+        from repro.observability import flightrec
+
+        flightrec.dump("memory", {
+            "files": [o.file for o in memory_hit],
+            "max_worker_mem_mb": policy.max_worker_mem_mb,
         }, context={
             "policy": policy.to_json(),
             "pool": pool_stats.to_json() if pool_stats is not None else None,
@@ -235,6 +258,7 @@ def _check_one(
                 schedule.hang_s if schedule is not None else 0.5,
                 policy.deadline_ms,
                 telemetry=telemetry,
+                max_mem_mb=policy.max_worker_mem_mb,
             )
         else:
             faults = dict(ambient)

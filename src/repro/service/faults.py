@@ -36,18 +36,28 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 FAULT_DEADLINE = "deadline"
 FAULT_CRASH = "crash"
 FAULT_WORKER_LOST = "worker-lost"
+#: ``"memory"`` is the governor's kind: the attempt tripped a per-worker
+#: memory budget (a contained :class:`MemoryError` under an rlimit) —
+#: transient, because the retry lands on a freshly recycled worker with a
+#: clean heap.
+FAULT_MEMORY = "memory"
 
 #: Injectable chaos kinds: ``crash`` raises inside the stage, ``hang``
 #: sleeps past the deadline, ``kill`` takes the whole worker down
 #: (``os._exit`` in a subprocess; a contained ``SystemExit`` in a thread),
 #: ``noise`` prints to stdout mid-stage — harmless by contract, because
 #: the result channel is framed on a shielded fd; it exists to prove that.
-CHAOS_KINDS = ("crash", "hang", "kill", "noise")
+#: ``memhog`` allocates until the worker's memory rlimit trips (raising
+#: :class:`MemoryError` immediately when no rlimit is in force, so chaos
+#: never eats the host's actual RAM).
+CHAOS_KINDS = ("crash", "hang", "kill", "noise", "memhog")
 
 
 def is_retryable(fault_kind: Optional[str]) -> bool:
     """Transient faults are worth retrying; diagnosed programs are not."""
-    return fault_kind in (FAULT_DEADLINE, FAULT_CRASH, FAULT_WORKER_LOST)
+    return fault_kind in (
+        FAULT_DEADLINE, FAULT_CRASH, FAULT_WORKER_LOST, FAULT_MEMORY,
+    )
 
 
 class ChaosCrash(RuntimeError):
@@ -99,6 +109,32 @@ class FaultSpec:
             # lands on stderr once the worker has shielded fd 1.
             stage = self.stage
             return lambda: print(f"chaos: stray stdout noise at {stage}")
+        if self.kind == "memhog":
+            # Allocate until the worker's own rlimit trips. Guarded: with
+            # no finite limit in force, raise MemoryError immediately —
+            # chaos must never exhaust the host's real RAM.
+            stage = self.stage
+
+            def _hog():
+                from repro.service.resources import (
+                    current_memory_limit_bytes,
+                )
+
+                blocks = []
+                if current_memory_limit_bytes() is not None:
+                    try:
+                        while True:
+                            blocks.append(bytearray(1 << 20))
+                    except MemoryError:
+                        # Free before raising so building the crash
+                        # report has heap to work with, and so the
+                        # traceback doesn't pin the hog.
+                        del blocks[:]
+                raise MemoryError(
+                    f"chaos: memory exhaustion at {stage}"
+                ) from None
+
+            return _hog
         # "kill": genuine worker death when isolated; in a thread the whole
         # process is not ours to kill, so it degrades to a contained crash.
         if in_subprocess:

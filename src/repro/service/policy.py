@@ -79,6 +79,12 @@ class BatchPolicy:
     pool_workers: int = 2
     max_respawns: int = 4
     heartbeat_ms: float = 100.0
+    # Resource governor. These are operational knobs, not semantics:
+    # report.py strips them from the canonical digest so a governed run
+    # and an ungoverned run of the same batch hash identically.
+    max_worker_mem_mb: Optional[float] = None
+    recycle_rss_mb: Optional[float] = None
+    recycle_after_tasks: Optional[int] = None
     # Per-file check_source configuration.
     prelude: bool = False
     ext: bool = False
@@ -105,6 +111,13 @@ class BatchPolicy:
             raise ValueError("max_respawns must be non-negative")
         if self.heartbeat_ms <= 0:
             raise ValueError("heartbeat_ms must be positive")
+        if self.max_worker_mem_mb is not None and self.max_worker_mem_mb <= 0:
+            raise ValueError("max_worker_mem_mb must be positive")
+        if self.recycle_rss_mb is not None and self.recycle_rss_mb <= 0:
+            raise ValueError("recycle_rss_mb must be positive")
+        if (self.recycle_after_tasks is not None
+                and self.recycle_after_tasks < 1):
+            raise ValueError("recycle_after_tasks must be at least 1")
 
     def effective_limits(self) -> Limits:
         """The per-attempt limits, with the cooperative deadline folded in."""

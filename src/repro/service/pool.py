@@ -55,6 +55,7 @@ from repro.service import proto
 from repro.service.faults import (
     FAULT_CRASH,
     FAULT_DEADLINE,
+    FAULT_MEMORY,
     FAULT_WORKER_LOST,
     FaultSchedule,
     is_retryable,
@@ -70,7 +71,11 @@ from repro.service.worker import (
     telemetry_request,
 )
 
-_FAULT_KIND = {"timeout": FAULT_DEADLINE, "crash": FAULT_CRASH}
+_FAULT_KIND = {
+    "timeout": FAULT_DEADLINE,
+    "crash": FAULT_CRASH,
+    "memory": FAULT_MEMORY,
+}
 
 #: Monotonic suffix for trace ids: unique per supervisor within a process,
 #: combined with the pid for cross-process uniqueness.  Never enters the
@@ -116,6 +121,12 @@ class PoolStats:
     steals: int = 0
     heartbeat_misses: int = 0
     warm_ms: float = 0.0
+    #: Resource-governor counters: graceful recycles (never charged to
+    #: ``max_respawns``) and the peak heartbeat-sampled worker RSS.  Both
+    #: depend on OS memory accounting and heartbeat timing, so they are
+    #: volatile like ``steals``.
+    recycles: int = 0
+    rss_bytes: int = 0
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -129,6 +140,8 @@ class PoolStats:
             "steals": self.steals,
             "heartbeat_misses": self.heartbeat_misses,
             "warm_ms": self.warm_ms,
+            "recycles": self.recycles,
+            "rss_bytes": self.rss_bytes,
         }
 
 
@@ -218,7 +231,8 @@ class _WorkerSlot:
 
     __slots__ = ("slot", "proc", "task_w", "result_r", "reader", "queue",
                  "current", "warmed", "last_beat", "retired", "tasks_done",
-                 "last_flightrec", "last_flightrec_ns")
+                 "last_flightrec", "last_flightrec_ns", "rss_bytes",
+                 "tasks_since_spawn", "recycle_pending")
 
     def __init__(self, slot: int):
         self.slot = slot
@@ -243,6 +257,13 @@ class _WorkerSlot:
         # seat later suffers a worker-lost or deadline kill.
         self.last_flightrec: Optional[Dict[str, object]] = None
         self.last_flightrec_ns: Optional[Tuple[int, int]] = None
+        # Resource-governor state for the occupant: its last self-sampled
+        # RSS (from heartbeat frames), how many tasks this *process* has
+        # completed (tasks_done is per-seat and survives respawns), and
+        # whether the supervisor owes it a graceful recycle.
+        self.rss_bytes: Optional[int] = None
+        self.tasks_since_spawn = 0
+        self.recycle_pending = False
 
     @property
     def alive(self) -> bool:
@@ -272,10 +293,13 @@ def _spawn_process(slot: _WorkerSlot, policy: BatchPolicy) -> None:
     try:
         task_r, task_w = os.pipe()
         result_r, result_w = os.pipe()
+        argv = [sys.executable, "-m", "repro.service.subproc", "--serve",
+                "--task-fd", str(task_r), "--result-fd", str(result_w),
+                "--heartbeat-ms", str(policy.heartbeat_ms)]
+        if policy.max_worker_mem_mb is not None:
+            argv += ["--max-mem-mb", str(policy.max_worker_mem_mb)]
         proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.service.subproc", "--serve",
-             "--task-fd", str(task_r), "--result-fd", str(result_w),
-             "--heartbeat-ms", str(policy.heartbeat_ms)],
+            argv,
             stdin=subprocess.DEVNULL,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
@@ -303,6 +327,9 @@ def _spawn_process(slot: _WorkerSlot, policy: BatchPolicy) -> None:
     slot.warmed = False
     slot.retired = False
     slot.last_beat = time.monotonic()
+    slot.rss_bytes = None
+    slot.tasks_since_spawn = 0
+    slot.recycle_pending = False
 
 
 def _release_slot_fds(slot: _WorkerSlot) -> None:
@@ -403,6 +430,15 @@ class _Supervisor:
         ]
         self.stats = PoolStats(workers=n_workers)
         self.done_count = 0
+        # Worker-recycling stagger: the slot index whose graceful recycle
+        # is in flight (awaiting the replacement's hello), or None.  At
+        # most one seat recycles at a time, so a recycle wave can never
+        # take the whole pool cold simultaneously.
+        self._recycling: Optional[int] = None
+        self._recycle_rss_bytes = (
+            int(policy.recycle_rss_mb * 1024 * 1024)
+            if policy.recycle_rss_mb is not None else None
+        )
         self.sel = selectors.DefaultSelector()
         if policy.deadline_ms is not None:
             grace_ms = min(
@@ -491,6 +527,8 @@ class _Supervisor:
         else:
             slot.retired = True
             self.stats.retired += 1
+            if self._recycling == slot.slot:
+                self._recycling = None  # a retired seat can't say hello
             self._emit("worker-retire", slot=slot.slot)
             self._dump_crash("respawn-exhausted", {
                 "slot": slot.slot,
@@ -567,11 +605,49 @@ class _Supervisor:
                 target.proc.kill()
                 self._handle_worker_loss(target, salvage=False)
 
+    def _maybe_recycle(self, slot: _WorkerSlot) -> bool:
+        """Gracefully recycle an *idle* marked slot: polite shutdown, reap,
+        respawn warm into the same seat.
+
+        Only fires between that seat's tasks (``current is None``), so the
+        in-flight attempt always finishes first and no result is lost or
+        duplicated; the stagger guard keeps every other seat serving while
+        one recycles.  Recycles are charged to ``stats.recycles`` — never
+        to the ``max_respawns`` fault budget, because a recycle is the
+        governor doing its job, not a worker loss.
+        """
+        if not slot.recycle_pending or self._recycling is not None:
+            return False
+        self._recycling = slot.slot
+        self.stats.recycles += 1
+        self._emit(
+            "worker-recycle", slot=slot.slot,
+            pid=slot.proc.pid if slot.proc is not None else None,
+            rss_bytes=slot.rss_bytes, tasks=slot.tasks_since_spawn,
+        )
+        if slot.task_w >= 0:
+            try:
+                proto.write_frame_fd(slot.task_w, {"type": "shutdown"})
+            except OSError:
+                pass
+        self._reap(slot)
+        self._close_slot(slot)
+        try:
+            self._spawn(slot)
+        except OSError:
+            # The seat could not respawn right now; treat it like a loss
+            # so the normal respawn/retire path (and its budget) applies.
+            self._recycling = None
+            self._handle_worker_loss(slot, salvage=False)
+        return True
+
     def _fill_idle(self) -> None:
         now = time.monotonic()
         for slot in self.slots:
             if (slot.retired or not slot.alive or not slot.warmed
                     or slot.current is not None):
+                continue
+            if self._maybe_recycle(slot):
                 continue
             task = self._next_task(slot, now)
             if task is not None:
@@ -690,6 +766,10 @@ class _Supervisor:
         if kind == "hello":
             slot.warmed = True
             self.stats.warm_ms += frame.get("warm_ms") or 0.0
+            if self._recycling == slot.slot:
+                # The recycled seat's replacement is warm: the stagger
+                # guard lifts and the next marked seat may recycle.
+                self._recycling = None
         elif kind == "result":
             if slot.current is None:
                 return  # stale frame from a previous dispatch; drop it
@@ -699,6 +779,26 @@ class _Supervisor:
                 return
             slot.current = None
             slot.tasks_done += 1
+            slot.tasks_since_spawn += 1
+            if (self.policy.recycle_after_tasks is not None
+                    and slot.tasks_since_spawn
+                    >= self.policy.recycle_after_tasks):
+                slot.recycle_pending = True
+            if frame.get("status") == "memory":
+                # The worker tripped its memory budget but survived; its
+                # heap high-water mark is burned, so retries must land on
+                # a fresh process — mark the seat for a graceful recycle.
+                slot.recycle_pending = True
+                self._emit(
+                    "worker-memory-fault", slot=slot.slot,
+                    file=task.filename, attempt=task.attempt,
+                )
+                self._dump_crash("memory", {
+                    "slot": slot.slot,
+                    "file": task.filename,
+                    "attempt": task.attempt,
+                    "max_worker_mem_mb": self.policy.max_worker_mem_mb,
+                }, slot=slot)
             fallback_ms = round((time.monotonic() - t0) * 1e3, 3)
             recv_ns = time.perf_counter_ns()
             if frame.get("flightrec"):
@@ -729,6 +829,15 @@ class _Supervisor:
             if frame.get("flightrec"):
                 slot.last_flightrec = frame["flightrec"]
                 slot.last_flightrec_ns = None
+            rss = frame.get("rss_bytes")
+            if isinstance(rss, int) and rss > 0:
+                slot.rss_bytes = rss
+                if rss > self.stats.rss_bytes:
+                    self.stats.rss_bytes = rss
+                flightrec.record_metric("pool.rss_bytes", rss)
+                if (self._recycle_rss_bytes is not None
+                        and rss >= self._recycle_rss_bytes):
+                    slot.recycle_pending = True
         # Unknown kinds only refresh last_beat.
 
     # -- watchdogs ----------------------------------------------------------
@@ -961,9 +1070,23 @@ class PersistentPool:
                 "retired": slot.retired,
                 "pid": slot.proc.pid if slot.proc is not None else None,
                 "tasks_done": slot.tasks_done,
+                "rss_bytes": slot.rss_bytes,
             }
             for slot in self.slots
         ]
+
+    def rss_bytes(self) -> int:
+        """Aggregate last-sampled RSS of the live workers, in bytes.
+
+        The serve daemon folds this into admission: requests shed under
+        memory pressure instead of piling onto a pool the kernel is about
+        to OOM-kill.  Workers that have not heartbeat an ``rss_bytes``
+        yet contribute zero (optimistic — admission must not flap while
+        the pool warms up).
+        """
+        return sum(
+            slot.rss_bytes or 0 for slot in self.slots if slot.alive
+        )
 
     def ensure(self) -> int:
         """Spawn a worker into every empty or dead seat; returns how many
@@ -1019,6 +1142,10 @@ class PersistentPool:
                     for frame in slot.reader.feed(chunk):
                         if frame.get("type") == "hello":
                             slot.warmed = True
+                        elif frame.get("type") == "heartbeat":
+                            rss = frame.get("rss_bytes")
+                            if isinstance(rss, int) and rss > 0:
+                                slot.rss_bytes = rss
                 except proto.FrameError:
                     slot.reader = proto.FrameReader()
                     break

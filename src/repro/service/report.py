@@ -23,7 +23,10 @@ from typing import Dict, List, Optional, Tuple
 SCHEMA = "repro/batch-report v1"
 
 #: Per-file outcome statuses, in "worst wins" order for the rollup.
-STATUSES = ("ok", "diagnostics", "timeout", "crash")
+#: ``"memory"`` is a contained per-worker memory-budget trip — worse than
+#: a timeout (the attempt died, not just ran long), better than a crash
+#: (the containment wall held and the worker survived).
+STATUSES = ("ok", "diagnostics", "timeout", "memory", "crash")
 
 #: JSON keys holding measured wall-clock quantities; everything else in a
 #: batch report is required to be run-to-run stable.
@@ -39,7 +42,18 @@ TIMING_FIELDS = frozenset({"duration_ms", "elapsed_ms"})
 #: the canonical report must not depend on which daemon lifetime served
 #: the request.
 VOLATILE_POOL_FIELDS = frozenset(
-    {"steals", "heartbeat_misses", "warm_ms", "spawned"}
+    {"steals", "heartbeat_misses", "warm_ms", "spawned", "rss_bytes",
+     "recycles"}
+)
+
+#: Resource-governor policy knobs.  They shape *how* a batch runs (memory
+#: rlimits, worker recycling) but must never change *what* it reports —
+#: the acceptance contract is byte-identical digests governor-on vs
+#: governor-off — so they are stripped from the canonical form exactly
+#: like timing.  The policy echo in :meth:`BatchPolicy.to_json` still
+#: records them for humans and for journal replay.
+GOVERNOR_POLICY_FIELDS = frozenset(
+    {"max_worker_mem_mb", "recycle_rss_mb", "recycle_after_tasks"}
 )
 
 #: Extended exit codes for ``fg batch`` / ``fg client`` (0–3 shared with
@@ -163,9 +177,9 @@ class BatchReport:
     - 1 — the batch completed; some files have diagnostics (input errors);
     - 4 — deadline exhaustion: at least one file timed out (and none
       crashed);
-    - 5 — partial failure: crash containment engaged for at least one file
-      (usage errors stay 2 and a bug in the batch driver itself stays 3,
-      both decided by the CLI).
+    - 5 — partial failure: crash or memory-budget containment engaged for
+      at least one file (usage errors stay 2 and a bug in the batch
+      driver itself stays 3, both decided by the CLI).
     """
 
     files: Tuple[FileOutcome, ...]
@@ -186,7 +200,7 @@ class BatchReport:
     @property
     def exit_code(self) -> int:
         statuses = {f.status for f in self.files}
-        if "crash" in statuses:
+        if "crash" in statuses or "memory" in statuses:
             return EXIT_PARTIAL
         if "timeout" in statuses:
             return EXIT_DEADLINE
@@ -252,8 +266,8 @@ class BatchReport:
         lines.append(
             "-- rollup: "
             + " ".join(f"{k}={roll[k]}" for k in
-                       ("files", "ok", "diagnostics", "timeout", "crash",
-                        "quarantined", "retries"))
+                       ("files", "ok", "diagnostics", "timeout", "memory",
+                        "crash", "quarantined", "retries"))
         )
         if self.pool is not None:
             lines.append(
@@ -271,7 +285,9 @@ class BatchReport:
         return len(self.files)
 
 
-_NONCANONICAL_FIELDS = TIMING_FIELDS | VOLATILE_POOL_FIELDS
+_NONCANONICAL_FIELDS = (
+    TIMING_FIELDS | VOLATILE_POOL_FIELDS | GOVERNOR_POLICY_FIELDS
+)
 
 
 def canonicalize(report_json) -> str:

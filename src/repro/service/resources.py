@@ -1,0 +1,125 @@
+"""Process resource helpers: RSS self-sampling and memory rlimits.
+
+Both halves of the resource governor live on top of these two calls:
+workers sample their own RSS into heartbeat frames (so the supervisor can
+recycle bloated processes) and apply an address-space rlimit at startup
+(so a pathological input trips a contained :class:`MemoryError` instead
+of the kernel OOM killer).
+
+Everything here is advisory and never raises: on platforms without
+``/proc`` or the :mod:`resource` module the samplers return ``None`` and
+the limiter is a no-op — the service degrades to ungoverned behaviour
+rather than refusing to run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+#: ``/proc/self/status`` — primary RSS source on Linux.
+PROC_STATUS = "/proc/self/status"
+
+
+def _rss_from_proc(path: str = PROC_STATUS) -> Optional[int]:
+    """Current RSS in bytes from the ``VmRSS:`` line, or None."""
+    try:
+        with open(path, "rb") as handle:
+            for raw in handle:
+                if raw.startswith(b"VmRSS:"):
+                    parts = raw.split()
+                    # "VmRSS:   12345 kB"
+                    if len(parts) >= 2 and parts[1].isdigit():
+                        return int(parts[1]) * 1024
+                    return None
+    except OSError:
+        return None
+    return None
+
+
+def _rss_from_getrusage() -> Optional[int]:
+    """Peak RSS in bytes via getrusage — the portable fallback.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS, but there
+    ``/proc`` is absent and an over-estimate only recycles sooner, which
+    is the safe direction for a high-water-mark governor).
+    """
+    if _resource is None:
+        return None
+    try:
+        peak_kb = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):
+        return None
+    if peak_kb <= 0:
+        return None
+    return int(peak_kb) * 1024
+
+
+def sample_rss_bytes(proc_status: str = PROC_STATUS) -> Optional[int]:
+    """Best-effort RSS of the calling process in bytes.
+
+    Prefers the live ``VmRSS`` figure from ``/proc``; falls back to the
+    ``getrusage`` high-water mark; returns ``None`` when neither source
+    is available. Never raises.
+    """
+    rss = _rss_from_proc(proc_status)
+    if rss is not None:
+        return rss
+    return _rss_from_getrusage()
+
+
+def apply_memory_limit(mem_mb: Optional[float]) -> bool:
+    """Cap this process's address space at ``mem_mb`` megabytes.
+
+    Tries ``RLIMIT_AS`` first (covers all mappings, so allocations past
+    the cap raise :class:`MemoryError` inside the interpreter), then
+    ``RLIMIT_DATA`` as a fallback for kernels where ``RLIMIT_AS`` is
+    unsupported. Returns True when a limit was installed. Never raises —
+    a worker that cannot be governed still checks programs.
+    """
+    if mem_mb is None or _resource is None:
+        return False
+    try:
+        limit = int(mem_mb * 1024 * 1024)
+    except (TypeError, ValueError):
+        return False
+    if limit <= 0:
+        return False
+    for name in ("RLIMIT_AS", "RLIMIT_DATA"):
+        which = getattr(_resource, name, None)
+        if which is None:
+            continue
+        try:
+            _soft, hard = _resource.getrlimit(which)
+            if hard != _resource.RLIM_INFINITY and hard < limit:
+                limit = hard
+            _resource.setrlimit(which, (limit, hard))
+            return True
+        except (OSError, ValueError):
+            continue
+    return False
+
+
+def current_memory_limit_bytes() -> Optional[int]:
+    """The effective soft address-space cap, or None when unlimited.
+
+    Used by the ``memhog`` chaos fault to refuse to allocate when no
+    rlimit is in force — chaos must never eat the host's actual RAM.
+    """
+    if _resource is None:
+        return None
+    for name in ("RLIMIT_AS", "RLIMIT_DATA"):
+        which = getattr(_resource, name, None)
+        if which is None:
+            continue
+        try:
+            soft, _hard = _resource.getrlimit(which)
+        except (OSError, ValueError):
+            continue
+        if soft != _resource.RLIM_INFINITY and soft > 0:
+            return int(soft)
+    return None

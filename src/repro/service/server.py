@@ -68,7 +68,7 @@ from repro.observability import (
     ServerTelemetry,
     prometheus_text,
 )
-from repro.observability import flightrec
+from repro.observability import diskguard, flightrec
 from repro.service import journal as journal_mod
 from repro.service import proto
 from repro.service.batch import check_batch
@@ -133,6 +133,14 @@ class ServeOptions:
     #: Seconds between live "blackbox" bundle snapshots — the on-disk
     #: forensics record that survives a SIGKILL (removed on clean exit).
     blackbox_interval_s: float = 1.0
+    #: Aggregate worker-RSS admission budget in MiB: while the pool's
+    #: heartbeat-sampled RSS total is at or over this, new batch requests
+    #: are shed with ``reason="memory-pressure"`` instead of piling onto
+    #: a pool the kernel is about to OOM-kill.  ``None`` disables it.
+    max_rss_mb: Optional[float] = None
+    #: Ops-log rotation threshold in bytes (one ``.1`` backup generation);
+    #: ``None`` disables rotation.
+    ops_log_max_bytes: Optional[int] = None
 
     def effective_journal_path(self) -> str:
         return (
@@ -270,6 +278,25 @@ class Server:
         #: the forensics work: degrading to ring-only must be *loud* —
         #: a warning event plus a health-payload flag, never silence).
         self.ops_log_writable = True
+        #: False after a metrics-file snapshot failed to write; restored
+        #: (with a recovery event) by the next successful snapshot.
+        self.metrics_file_writable = True
+        #: False after a journal append failed (full disk, yanked mount).
+        #: The daemon keeps serving — responses still flow — but resume
+        #: coverage is degraded, and the health payload says so.
+        self.journal_writable = True
+        #: False while the filesystem under the durable writers is below
+        #: the diskguard floor (checked on a cadence in the main loop).
+        self.disk_headroom = True
+        #: Requests shed for memory pressure (subset of shed_total).
+        self.shed_memory = 0
+        #: Graceful worker recycles summed over every batch's pool stats.
+        self.recycles = 0
+        self._max_rss_bytes = (
+            int(options.max_rss_mb * 1024 * 1024)
+            if options.max_rss_mb is not None else None
+        )
+        self._disk_due = 0.0
         self._metrics_due = 0.0
         self._blackbox_due = 0.0
         self._blackbox_path: Optional[str] = None
@@ -285,6 +312,37 @@ class Server:
     def _inc(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:
             self.metrics.inc(name, amount)
+
+    def _journal_append(self, record: Dict[str, object]) -> None:
+        """Append to the journal, degrading *loudly* when the disk fails.
+
+        A full disk or yanked mount must not take the daemon down — the
+        response path still works — but it must not be silent either:
+        one ``journal-unwritable`` event per outage, a
+        ``journal_writable: false`` health flag, and a recovery event
+        when appends start landing again.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(record)
+        except OSError as exc:
+            if self.journal_writable:
+                self.journal_writable = False
+                if self.ops is not None:
+                    self.ops.emit(
+                        "journal-unwritable",
+                        path=self.options.effective_journal_path(),
+                        error=str(exc),
+                    )
+        else:
+            if not self.journal_writable:
+                self.journal_writable = True
+                if self.ops is not None:
+                    self.ops.emit(
+                        "journal-recovered",
+                        path=self.options.effective_journal_path(),
+                    )
 
     # -- journal / resume ---------------------------------------------------
 
@@ -324,7 +382,7 @@ class Server:
     def _run_request(self, req: _Request) -> Dict[str, object]:
         queue_wait_ms = (time.monotonic() - req.admitted_at) * 1000.0
         if req.deadline_ms is not None and queue_wait_ms > req.deadline_ms:
-            self.journal.append(cancel_record(req.id, "queue-deadline"))
+            self._journal_append(cancel_record(req.id, "queue-deadline"))
             self.telemetry.record_shed()
             if self.ops is not None:
                 self.ops.emit("shed", reason="queue-deadline",
@@ -348,7 +406,7 @@ class Server:
                     pool=self.pool,
                 )
             except Exception as exc:  # a bug, not an input failure
-                self.journal.append(cancel_record(
+                self._journal_append(cancel_record(
                     req.id, f"internal: {type(exc).__name__}: {exc}"
                 ))
                 flightrec.dump(
@@ -364,7 +422,7 @@ class Server:
                         "message": f"{type(exc).__name__}: {exc}"}
         canonical = report.canonical_json()
         digest = report_digest(canonical)
-        self.journal.append(done_record(
+        self._journal_append(done_record(
             req.id, report.exit_code, canonical, resumed=req.resumed,
         ))
         self.served += 1
@@ -377,6 +435,7 @@ class Server:
         self.telemetry.add_respawns(
             int((report.pool or {}).get("respawns", 0))
         )
+        self.recycles += int((report.pool or {}).get("recycles", 0))
         if req.resumed:
             self.resumed_digests[req.id] = digest
         return {
@@ -436,6 +495,30 @@ class Server:
                 "retry_after_ms": self._retry_after_ms(),
             })
             return
+        if self._max_rss_bytes is not None:
+            # Drain idle heartbeat chatter first so the RSS view is
+            # current, but only while the executor is provably parked
+            # (empty queue, nothing in flight) — it owns the pipes
+            # during a batch.
+            with self.cond:
+                idle = self.current is None and not self.queue
+            if idle and self.pool is not None:
+                self.pool.flush()
+            rss = self.pool.rss_bytes() if self.pool is not None else 0
+            if rss >= self._max_rss_bytes:
+                self.shed_memory += 1
+                self._inc("server.shed_memory")
+                self.telemetry.record_shed()
+                if self.ops is not None:
+                    self.ops.emit("shed", reason="memory-pressure",
+                                  rss_bytes=rss,
+                                  max_rss_mb=self.options.max_rss_mb)
+                self._respond(conn, {
+                    "type": "shed",
+                    "reason": "memory-pressure",
+                    "retry_after_ms": self._retry_after_ms(),
+                })
+                return
         if len(self.queue) >= self.options.max_queue:
             self._inc("server.overload")
             self.telemetry.record_shed()
@@ -471,7 +554,7 @@ class Server:
             rid, conn, sources, policy, policy_json, schedule_json,
             policy.deadline_ms,
         )
-        self.journal.append(begin_record(
+        self._journal_append(begin_record(
             rid, sources, policy_json, schedule_json,
         ))
         conn.requests.append(req)
@@ -505,7 +588,17 @@ class Server:
             "workers_detail": (
                 self.pool.worker_status() if self.pool is not None else []
             ),
+            "rss_bytes": self.pool.rss_bytes() if self.pool else 0,
+            "memory_pressure": (
+                self._max_rss_bytes is not None
+                and self.pool is not None
+                and self.pool.rss_bytes() >= self._max_rss_bytes
+            ),
+            "recycles": self.recycles,
             "ops_log_writable": self.ops_log_writable,
+            "metrics_file_writable": self.metrics_file_writable,
+            "journal_writable": self.journal_writable,
+            "disk_headroom": self.disk_headroom,
         }
 
     def _journal_tail(self, limit: int = 20) -> List[Dict[str, object]]:
@@ -571,7 +664,10 @@ class Server:
             "queue_wait_ms": snap["queue_wait_ms"],
             "worker_utilization": snap["worker_utilization"],
             "shed_total": snap["shed_total"],
+            "shed_memory": self.shed_memory,
             "respawns": self._total_respawns(),
+            "recycles": self.recycles,
+            "rss_bytes": self.pool.rss_bytes() if self.pool else 0,
             "ops_seq": self.ops.seq if self.ops is not None else 0,
         }
 
@@ -710,7 +806,7 @@ class Server:
                 if queued:
                     self.queue.remove(req)
             if queued:
-                self.journal.append(cancel_record(req.id, reason))
+                self._journal_append(cancel_record(req.id, reason))
                 self._inc("server.cancelled")
         conn.requests = []
         try:
@@ -760,22 +856,75 @@ class Server:
             if self.ops is not None:
                 self.ops.emit("drain")
 
+    def _note_metrics_unwritable(self, error: str) -> None:
+        if self.metrics_file_writable:
+            self.metrics_file_writable = False
+            if self.ops is not None:
+                self.ops.emit(
+                    "metrics-file-unwritable",
+                    path=self.options.metrics_file, error=error,
+                )
+
     def _maybe_write_metrics(self) -> None:
         """Write the Prometheus snapshot when due (atomic tmp+rename, so a
-        scraper never reads a torn file)."""
+        scraper never reads a torn file).
+
+        Metrics stay advisory — a failure never takes the daemon down —
+        but it is no longer *silent*: the first failed snapshot emits a
+        ``metrics-file-unwritable`` event and flips the health flag, and
+        the first successful one after that emits the recovery.
+        """
         if self.options.metrics_file is None:
             return
         now = time.monotonic()
         if now < self._metrics_due:
             return
         self._metrics_due = now + max(0.05, self.options.metrics_interval_s)
+        if not diskguard.has_headroom(
+            self.options.metrics_file, need_bytes=65536
+        ):
+            self._note_metrics_unwritable("below disk-headroom floor")
+            return
         tmp = self.options.metrics_file + ".tmp"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
                 fh.write(prometheus_text(self._stats_payload()))
             os.replace(tmp, self.options.metrics_file)
-        except OSError:
-            pass  # metrics are advisory; never take the daemon down
+        except OSError as exc:
+            self._note_metrics_unwritable(str(exc))
+        else:
+            if not self.metrics_file_writable:
+                self.metrics_file_writable = True
+                if self.ops is not None:
+                    self.ops.emit(
+                        "metrics-file-recovered",
+                        path=self.options.metrics_file,
+                    )
+
+    #: Seconds between disk-headroom probes of the durable writers' home.
+    DISK_CHECK_INTERVAL_S = 1.0
+
+    def _maybe_check_disk(self) -> None:
+        """Watch free space under the journal (the durable writers all
+        live next to the socket by default): below the diskguard floor,
+        emit one ``disk-pressure`` event and flip the health flag; emit
+        the recovery when headroom returns."""
+        now = time.monotonic()
+        if now < self._disk_due:
+            return
+        self._disk_due = now + self.DISK_CHECK_INTERVAL_S
+        path = self.options.effective_journal_path()
+        headroom = diskguard.has_headroom(path)
+        if headroom == self.disk_headroom:
+            return
+        self.disk_headroom = headroom
+        if self.ops is not None:
+            free = diskguard.free_bytes(path)
+            self.ops.emit(
+                "disk-pressure" if not headroom else "disk-recovered",
+                path=path, free_bytes=free,
+                floor_bytes=diskguard.floor_bytes(),
+            )
 
     def _maybe_write_blackbox(self) -> None:
         """Persist the live "blackbox" bundle when due.
@@ -834,6 +983,7 @@ class Server:
             candidates.append(self._metrics_due - now)
         if flightrec.bundle_directory() is not None:
             candidates.append(self._blackbox_due - now)
+        candidates.append(self._disk_due - now)
         if not candidates:
             return None
         return max(0.0, min(candidates))
@@ -881,7 +1031,10 @@ class Server:
             context_provider=self._crash_context,
         )
         try:
-            self.ops = OpsLog(self.options.effective_ops_log_path())
+            self.ops = OpsLog(
+                self.options.effective_ops_log_path(),
+                max_bytes=self.options.ops_log_max_bytes,
+            )
         except OSError as exc:
             # Degrade to the in-memory ring, but *loudly*: a warning
             # event plus ``ops_log_writable: false`` in every health
@@ -948,6 +1101,7 @@ class Server:
                     self._note_drain()
                     self._maybe_write_metrics()
                     self._maybe_write_blackbox()
+                    self._maybe_check_disk()
             with self.cond:
                 self.stopping = True
                 self.cond.notify_all()

@@ -115,7 +115,12 @@ def _run_task_inner(payload, limits, faults, instrumentation, telemetry,
             raise
         crash = crash_report_from_exception(exc)
         return {
-            "status": "crash",
+            # A MemoryError under the per-worker rlimit is the governor's
+            # own fault kind: contained, transient, retried on a fresh
+            # worker with a clean heap.
+            "status": (
+                "memory" if isinstance(exc, MemoryError) else "crash"
+            ),
             "diagnostics": [],
             "severities": {},
             "rendered": "",
@@ -166,6 +171,13 @@ def main() -> int:
     flightrec.arm()  # bundle directory (if any) comes from $FG_CRASH_DIR
     result_fd = proto.shield_stdout()
     payload = json.load(sys.stdin)
+    if payload.get("max_mem_mb") is not None:
+        # The one-shot child governs itself: the rlimit turns a runaway
+        # allocation into a contained MemoryError ("memory" result)
+        # instead of a kernel OOM kill of an anonymous process.
+        from repro.service.resources import apply_memory_limit
+
+        apply_memory_limit(payload["max_mem_mb"])
     result = run_task(payload)
     result["flightrec"] = flightrec.recorder().wire_tail()
     proto.write_frame_fd(result_fd, result)
@@ -173,13 +185,16 @@ def main() -> int:
     return 0
 
 
-def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
+def serve(task_fd: int, result_fd: int, heartbeat_ms: float,
+          max_mem_mb=None) -> int:
     """Persistent mode: loop over framed tasks until shutdown or EOF."""
     from repro.observability import flightrec
     from repro.service import proto
+    from repro.service.resources import apply_memory_limit, sample_rss_bytes
 
     flightrec.arm()  # bundle directory (if any) comes from $FG_CRASH_DIR
     proto.shield_stdout()  # stray stdout writes can never reach a pipe
+    apply_memory_limit(max_mem_mb)
     write_lock = threading.Lock()
     stop = threading.Event()
 
@@ -198,6 +213,11 @@ def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
             except RuntimeError:
                 tail = None
             message = {"type": "heartbeat", "pid": os.getpid()}
+            # Self-sampled RSS rides every heartbeat so the supervisor
+            # can recycle bloated workers without touching /proc itself.
+            rss = sample_rss_bytes()
+            if rss is not None:
+                message["rss_bytes"] = rss
             if tail is not None:
                 message["flightrec"] = tail
             try:
@@ -248,7 +268,7 @@ def serve(task_fd: int, result_fd: int, heartbeat_ms: float) -> int:
 
 
 def _parse_serve_args(argv) -> dict:
-    options = {"heartbeat_ms": 100.0}
+    options = {"heartbeat_ms": 100.0, "max_mem_mb": None}
     it = iter(argv)
     for arg in it:
         if arg == "--task-fd":
@@ -257,6 +277,8 @@ def _parse_serve_args(argv) -> dict:
             options["result_fd"] = int(next(it))
         elif arg == "--heartbeat-ms":
             options["heartbeat_ms"] = float(next(it))
+        elif arg == "--max-mem-mb":
+            options["max_mem_mb"] = float(next(it))
         else:
             raise SystemExit(f"subproc --serve: unknown argument {arg!r}")
     if "task_fd" not in options or "result_fd" not in options:
@@ -270,6 +292,7 @@ if __name__ == "__main__":
         args = [a for a in sys.argv[1:] if a != "--serve"]
         opts = _parse_serve_args(args)
         sys.exit(serve(
-            opts["task_fd"], opts["result_fd"], opts["heartbeat_ms"]
+            opts["task_fd"], opts["result_fd"], opts["heartbeat_ms"],
+            max_mem_mb=opts["max_mem_mb"],
         ))
     sys.exit(main())

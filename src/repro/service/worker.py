@@ -45,7 +45,7 @@ TRACEBACK_TAIL = 8
 class AttemptResult:
     """What one isolated attempt produced (internal to the service)."""
 
-    status: str  # "ok" | "diagnostics" | "timeout" | "crash"
+    status: str  # "ok" | "diagnostics" | "timeout" | "memory" | "crash"
     diagnostics: List[Dict[str, object]] = field(default_factory=list)
     severities: Dict[str, int] = field(default_factory=dict)
     rendered: str = ""
@@ -235,8 +235,12 @@ def run_attempt_thread(
         return AttemptResult(status="timeout", duration_ms=duration_ms)
     observed = telemetry_result(instrumentation, telemetry, start_ns, end_ns)
     if kind == "error":
+        # A MemoryError is the governor's fault kind, not a generic crash:
+        # the containment wall held, and the retry policy treats it as
+        # transient (a fresh worker has a clean heap).
+        status = "memory" if isinstance(value, MemoryError) else "crash"
         return AttemptResult(
-            status="crash",
+            status=status,
             crash=crash_report_from_exception(value),
             duration_ms=duration_ms,
             telemetry=observed,
@@ -283,6 +287,7 @@ def task_payload(
     fault_specs: Tuple[FaultSpec, ...],
     hang_s: float,
     telemetry: Optional[Dict[str, object]] = None,
+    max_mem_mb: Optional[float] = None,
 ) -> Dict[str, object]:
     """The JSON task shape both isolation walls ship to a worker process.
 
@@ -308,6 +313,7 @@ def task_payload(
         "exception_faults": list(exception_faults),
         "fault_specs": [spec.to_json() for spec in fault_specs],
         "hang_s": hang_s,
+        "max_mem_mb": max_mem_mb,
     }
 
 
@@ -341,6 +347,7 @@ def run_attempt_subprocess(
     hang_s: float,
     deadline_ms: Optional[float],
     telemetry: Optional[Dict[str, object]] = None,
+    max_mem_mb: Optional[float] = None,
 ) -> AttemptResult:
     """One attempt in a fresh interpreter (see :mod:`repro.service.subproc`).
 
@@ -355,7 +362,7 @@ def run_attempt_subprocess(
 
     payload = task_payload(
         text, filename, check_kwargs, exception_faults, fault_specs, hang_s,
-        telemetry=telemetry,
+        telemetry=telemetry, max_mem_mb=max_mem_mb,
     )
     start = time.perf_counter()
     start_ns = time.perf_counter_ns()

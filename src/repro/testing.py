@@ -277,6 +277,7 @@ def chaos_schedule(
     kinds: Tuple[str, ...] = ("crash", "hang"),
     hang_s: float = 1.5,
     worker_kills: int = 0,
+    memhogs: int = 0,
 ):
     """A deterministic fault schedule for ``n_files`` inputs.
 
@@ -286,7 +287,11 @@ def chaos_schedule(
     outruns).  With ``worker_kills > 0`` (pool mode), that many distinct
     files additionally get a :class:`~repro.service.WorkerKillSpec`: at the
     dispatch of the file's first attempt, SIGKILL the worker that received
-    it.  Pure function of ``(n_files, seed, stages, kinds, worker_kills)``.
+    it.  With ``memhogs > 0``, up to that many of the *unfaulted* files get
+    a transient (attempt-0) ``"memhog"`` fault — a runaway allocation the
+    memory governor must contain as a ``"memory"`` outcome and a retry on a
+    fresh worker must outrun.  Pure function of
+    ``(n_files, seed, stages, kinds, worker_kills, memhogs)``.
     """
     from repro.service import FaultSchedule, FaultSpec, WorkerKillSpec
 
@@ -302,6 +307,20 @@ def chaos_schedule(
         )
         for index in indices
     )
+    if memhogs:
+        # Memhogs land on files with no other fault, so the contract for
+        # each attempt stays unambiguous (one scheduled fault, one
+        # expected status).
+        spare = [i for i in range(n_files) if i not in set(indices)]
+        specs += tuple(
+            FaultSpec(
+                index=index,
+                stage=rng.choice(stages),
+                kind="memhog",
+                attempts=frozenset({0}),
+            )
+            for index in sorted(rng.sample(spare, min(memhogs, len(spare))))
+        )
     kills: Tuple = ()
     if worker_kills:
         kills = tuple(
@@ -326,6 +345,9 @@ def run_chaos(
     pool_workers: int = 2,
     max_respawns: int = 4,
     worker_kills: int = 0,
+    memhogs: int = 0,
+    max_worker_mem_mb: Optional[float] = None,
+    recycle_after_tasks: Optional[int] = None,
 ) -> Dict[str, object]:
     """Chaos mode: run a batch under an injected fault schedule, ``rounds``
     times, asserting the containment contract every time.
@@ -350,6 +372,13 @@ def run_chaos(
     determinism: once the budget runs out, *where* the pool degrades to
     in-process execution depends on timing.
 
+    ``memhogs`` schedules that many transient ``"memhog"`` faults (runaway
+    allocations contained as ``"memory"`` outcomes and outrun by a retry);
+    ``max_worker_mem_mb``/``recycle_after_tasks`` pass the memory governor
+    through to the policy.  The governor knobs are stripped from the
+    canonical digest, so ``report_digest`` is identical with the governor
+    on or off — the invariance tests pin exactly that.
+
     Returns the final round's counters plus ``report_digest`` (SHA-256 of
     the canonical report) and, in pool mode, the supervisor's ``pool``
     stats block.
@@ -364,7 +393,7 @@ def run_chaos(
         files = [(f"<chaos{i}>", src) for i, src in enumerate(FUZZ_SEEDS)]
     schedule = chaos_schedule(
         len(files), seed, hang_s=max(0.2, deadline_ms * 3 / 1000.0),
-        worker_kills=worker_kills,
+        worker_kills=worker_kills, memhogs=memhogs,
     )
     policy = BatchPolicy(
         jobs=jobs,
@@ -374,6 +403,8 @@ def run_chaos(
         isolate=isolate,
         pool_workers=pool_workers,
         max_respawns=max_respawns,
+        max_worker_mem_mb=max_worker_mem_mb,
+        recycle_after_tasks=recycle_after_tasks,
     )
     digests = []
     report = None
@@ -393,6 +424,7 @@ def run_chaos(
         "ok": rollup["ok"],
         "diagnostics": rollup["diagnostics"],
         "timeout": rollup["timeout"],
+        "memory": rollup["memory"],
         "crash": rollup["crash"],
         "quarantined": rollup["quarantined"],
         "retries": rollup["retries"],
@@ -450,6 +482,16 @@ def _assert_chaos_contract(report, files, schedule) -> None:
                     f"{outcome.file} attempt {record.attempt}: injected "
                     f"crash not reported (status={record.status})"
                 )
+            elif "memhog" in kinds:
+                assert record.status == "memory", (
+                    f"{outcome.file} attempt {record.attempt}: injected "
+                    f"memhog not contained as a memory fault "
+                    f"(status={record.status})"
+                )
+                assert record.fault == "memory", (
+                    f"{outcome.file} attempt {record.attempt}: memhog "
+                    f"recorded as {record.fault!r}, expected 'memory'"
+                )
             elif "hang" in kinds:
                 assert record.status == "timeout", (
                     f"{outcome.file} attempt {record.attempt}: injected "
@@ -470,9 +512,12 @@ def _assert_chaos_contract(report, files, schedule) -> None:
 #: Chaos kinds for :func:`run_server_chaos`.  Unlike :data:`CHAOS_KINDS`
 #: (which target a *worker attempt*), these target the daemon: kill the
 #: daemon process mid-batch and resume from the journal; disconnect a
-#: client with requests queued; stall a connection mid-frame forever.
+#: client with requests queued; stall a connection mid-frame forever;
+#: run a batch whose scheduled runaway allocation ("memhog") the memory
+#: governor must contain as a ``"memory"`` outcome without poisoning the
+#: warm pool.
 SERVER_CHAOS_KINDS: Tuple[str, ...] = (
-    "daemon-kill", "client-disconnect", "slow-loris",
+    "daemon-kill", "client-disconnect", "slow-loris", "memhog",
 )
 
 
@@ -581,6 +626,13 @@ def run_server_chaos(
         specs=(FaultSpec(index=0, stage="check", kind="hang"),),
         hang_s=hang_s,
     )
+    memhog_schedule = FaultSchedule(
+        specs=(FaultSpec(
+            index=rng.randrange(len(files)), stage="check", kind="memhog",
+            attempts=frozenset({0}),
+        ),),
+        hang_s=hang_s,
+    )
     policy = BatchPolicy(
         deadline_ms=deadline_ms, isolate="pool", pool_workers=pool_workers,
     )
@@ -657,6 +709,23 @@ def run_server_chaos(
             assert hang.get("type") == "report", (
                 f"hang batch did not complete: {hang}"
             )
+            if "memhog" in kinds:
+                mem = check_remote(
+                    options.socket_path, files,
+                    schedule_json=memhog_schedule.to_json(), timeout=120.0,
+                )
+                assert mem.get("type") == "report", (
+                    f"memhog batch did not complete: {mem}"
+                )
+                mem_statuses = [
+                    entry["status"]
+                    for entry in mem["report"]["files"]
+                ]
+                assert "memory" in mem_statuses, (
+                    f"memhog fault was not contained as a memory outcome: "
+                    f"{mem_statuses}"
+                )
+                outcome["memhog_digest"] = mem["digest"]
             snapshot = health(options.socket_path)
             assert snapshot.get("status") == "ok", (
                 f"daemon unhealthy after faults: {snapshot}"

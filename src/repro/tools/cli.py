@@ -559,6 +559,9 @@ def _run_batch(args: argparse.Namespace) -> int:
             pool_workers=args.pool_workers,
             max_respawns=args.max_respawns,
             heartbeat_ms=args.heartbeat_ms,
+            max_worker_mem_mb=args.max_worker_mem_mb,
+            recycle_rss_mb=args.recycle_rss_mb,
+            recycle_after_tasks=args.recycle_after_tasks,
             prelude=args.prelude,
             ext=args.ext,
             max_errors=args.max_errors,
@@ -625,6 +628,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             pool_workers=args.pool_workers,
             max_respawns=args.max_respawns,
             heartbeat_ms=args.heartbeat_ms,
+            max_worker_mem_mb=args.max_worker_mem_mb,
+            recycle_rss_mb=args.recycle_rss_mb,
+            recycle_after_tasks=args.recycle_after_tasks,
             prelude=args.prelude,
             ext=args.ext,
             max_errors=args.max_errors,
@@ -642,6 +648,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             metrics_interval_s=args.metrics_interval_ms / 1000.0,
             ops_log_path=args.ops_log,
             crash_dir=args.crash_dir,
+            max_rss_mb=args.max_rss_mb,
+            ops_log_max_bytes=args.ops_log_max_bytes,
         )
     except ValueError as err:
         print(f"fg serve: {err}", file=sys.stderr)
@@ -876,6 +884,8 @@ _DOCTOR_CLASSIFICATION = {
                     "rest of the batch completed)",
     "worker-lost": "a pool worker process vanished mid-attempt "
                    "(killed externally or died hard)",
+    "memory": "a worker tripped its per-worker memory budget (contained "
+              "as a retryable 'memory' fault; the seat was recycled)",
     "deadline-kill": "the supervisor hard-killed a worker that ran past "
                      "its deadline",
     "respawn-exhausted": "the pool's respawn budget was spent and a "
@@ -1121,8 +1131,8 @@ def _render_remote_report(report_json: dict) -> str:
         lines.append(
             "-- rollup: "
             + " ".join(f"{k}={roll[k]}" for k in
-                       ("files", "ok", "diagnostics", "timeout", "crash",
-                        "quarantined", "retries") if k in roll)
+                       ("files", "ok", "diagnostics", "timeout", "memory",
+                        "crash", "quarantined", "retries") if k in roll)
         )
     return "\n".join(lines)
 
@@ -1238,6 +1248,24 @@ def main(argv=None) -> int:
         help="pool worker heartbeat period (default 100)",
     )
     batch.add_argument(
+        "--max-worker-mem-mb", type=float, default=None, metavar="M",
+        help="per-worker memory budget (RLIMIT_AS, falling back to "
+        "RLIMIT_DATA): a runaway allocation becomes a contained, "
+        "retryable 'memory' fault instead of a kernel OOM kill",
+    )
+    batch.add_argument(
+        "--recycle-rss-mb", type=float, default=None, metavar="M",
+        help="pool-mode RSS high-water mark: a worker whose "
+        "heartbeat-sampled RSS crosses it is gracefully recycled "
+        "between tasks (never mid-attempt, never charged to "
+        "--max-respawns)",
+    )
+    batch.add_argument(
+        "--recycle-after-tasks", type=int, default=None, metavar="N",
+        help="pool-mode task cap per worker process: recycle a worker "
+        "after it completes N tasks (leak hygiene for long batches)",
+    )
+    batch.add_argument(
         "--verify", action="store_true",
         help="also run the Theorem 1/2 translation check per file",
     )
@@ -1245,7 +1273,7 @@ def main(argv=None) -> int:
         "--chaos", action="append", default=None, metavar="SPEC",
         help="inject a deterministic fault schedule (testing hook): "
         "INDEX:STAGE:KIND[:ATTEMPTS][,...] with KIND one of crash|hang|"
-        "kill|noise and ATTEMPTS N, A-B, or * (default)",
+        "kill|noise|memhog and ATTEMPTS N, A-B, or * (default)",
     )
     batch.add_argument(
         "--kill-worker", action="append", default=None, metavar="SPEC",
@@ -1368,6 +1396,34 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--heartbeat-ms", type=float, default=100.0, metavar="T",
         help="pool worker heartbeat period (default 100)",
+    )
+    serve.add_argument(
+        "--max-worker-mem-mb", type=float, default=None, metavar="M",
+        help="per-worker memory budget (RLIMIT_AS, falling back to "
+        "RLIMIT_DATA): a runaway allocation becomes a contained, "
+        "retryable 'memory' fault instead of a kernel OOM kill",
+    )
+    serve.add_argument(
+        "--recycle-rss-mb", type=float, default=None, metavar="M",
+        help="worker RSS high-water mark: a worker whose "
+        "heartbeat-sampled RSS crosses it is gracefully recycled "
+        "between tasks (never charged to --max-respawns)",
+    )
+    serve.add_argument(
+        "--recycle-after-tasks", type=int, default=None, metavar="N",
+        help="recycle a worker process after it completes N tasks "
+        "(leak hygiene for long-lived daemons)",
+    )
+    serve.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="M",
+        help="aggregate worker-RSS admission budget: while the pool's "
+        "sampled RSS total is at or over it, new batch requests are "
+        "shed with reason 'memory-pressure' and a retry_after_ms hint",
+    )
+    serve.add_argument(
+        "--ops-log-max-bytes", type=int, default=None, metavar="N",
+        help="rotate the ops log to <file>.1 when it reaches N bytes "
+        "(one backup generation; default: never rotate)",
     )
     serve.add_argument(
         "--prelude", action="store_true",

@@ -1,0 +1,61 @@
+"""Disk-headroom probing for the durable writers."""
+
+from repro.observability import diskguard
+
+
+class TestFloor:
+    def test_default_floor(self, monkeypatch):
+        monkeypatch.delenv(diskguard.ENV_DISK_FLOOR_MB, raising=False)
+        assert diskguard.floor_bytes() == int(
+            diskguard.DEFAULT_FLOOR_MB * 1024 * 1024
+        )
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(diskguard.ENV_DISK_FLOOR_MB, "4")
+        assert diskguard.floor_bytes() == 4 * 1024 * 1024
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(diskguard.ENV_DISK_FLOOR_MB, "plenty")
+        assert diskguard.floor_bytes() == int(
+            diskguard.DEFAULT_FLOOR_MB * 1024 * 1024
+        )
+
+    def test_negative_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv(diskguard.ENV_DISK_FLOOR_MB, "-3")
+        assert diskguard.floor_bytes() == int(
+            diskguard.DEFAULT_FLOOR_MB * 1024 * 1024
+        )
+
+
+class TestFreeBytes:
+    def test_existing_directory(self, tmp_path):
+        free = diskguard.free_bytes(str(tmp_path))
+        assert free is not None and free > 0
+
+    def test_nonexistent_descendant_walks_up(self, tmp_path):
+        # The journal path usually names a file that does not exist yet,
+        # several directories deep; the probe must climb to the nearest
+        # existing ancestor rather than give up.
+        deep = tmp_path / "a" / "b" / "c" / "journal.db"
+        free = diskguard.free_bytes(str(deep))
+        assert free is not None and free > 0
+
+    def test_falsy_path_probes_cwd(self):
+        assert diskguard.free_bytes("") is not None
+
+
+class TestHeadroom:
+    def test_tmpdir_has_headroom(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(diskguard.ENV_DISK_FLOOR_MB, "1")
+        assert diskguard.has_headroom(str(tmp_path)) is True
+
+    def test_absurd_need_fails(self, tmp_path):
+        assert diskguard.has_headroom(
+            str(tmp_path), need_bytes=1 << 60
+        ) is False
+
+    def test_unprobeable_path_is_optimistic(self, monkeypatch):
+        # When the filesystem itself cannot be asked, degrade open: the
+        # writer will surface the real OSError if the write fails.
+        monkeypatch.setattr(diskguard, "free_bytes", lambda path: None)
+        assert diskguard.has_headroom("/anywhere", need_bytes=1 << 60) is True

@@ -266,6 +266,61 @@ class TestWireFold:
         assert len(rec) == 0
 
 
+class TestRetention:
+    def _seed_bundles(self, directory, n):
+        # Distinct mtimes so "oldest first" is unambiguous on coarse
+        # filesystem clocks.
+        paths = []
+        for i in range(n):
+            path = write_bundle(
+                build_bundle("manual", {"i": i}), str(directory),
+            )
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            paths.append(path)
+        return paths
+
+    def test_prune_keeps_the_newest_crash_bundles(self, tmp_path):
+        paths = self._seed_bundles(tmp_path, 5)
+        removed = flightrec.prune_bundles(str(tmp_path), keep=2)
+        assert sorted(removed) == sorted(paths[:3])
+        assert flightrec.find_bundles(str(tmp_path)) == paths[3:]
+
+    def test_prune_spares_the_live_blackbox(self, tmp_path):
+        self._seed_bundles(tmp_path, 2)
+        live = os.path.join(str(tmp_path), "live-serve.bundle.json")
+        write_bundle(build_bundle("manual"), str(tmp_path),
+                     name="live-serve.bundle.json")
+        flightrec.prune_bundles(str(tmp_path), keep=1)
+        remaining = flightrec.find_bundles(str(tmp_path))
+        assert live in remaining
+        assert len(remaining) == 2  # 1 crash bundle + the blackbox
+
+    def test_keep_comes_from_the_environment(self, monkeypatch):
+        monkeypatch.delenv(flightrec.ENV_CRASH_KEEP, raising=False)
+        assert flightrec.crash_keep_from_env() == \
+            flightrec.DEFAULT_CRASH_KEEP
+        monkeypatch.setenv(flightrec.ENV_CRASH_KEEP, "3")
+        assert flightrec.crash_keep_from_env() == 3
+        monkeypatch.setenv(flightrec.ENV_CRASH_KEEP, "0")
+        assert flightrec.crash_keep_from_env() == 1  # floor: keep one
+        monkeypatch.setenv(flightrec.ENV_CRASH_KEEP, "lots")
+        assert flightrec.crash_keep_from_env() == \
+            flightrec.DEFAULT_CRASH_KEEP
+
+    def test_dump_enforces_retention(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(flightrec.ENV_CRASH_KEEP, "2")
+        for i in range(4):
+            path = flightrec.dump(
+                "manual", {"i": i}, directory=str(tmp_path),
+            )
+            assert path is not None
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        found = flightrec.find_bundles(str(tmp_path))
+        assert len(found) == 2
+        assert [read_bundle(p)["fault"]["detail"]["i"] for p in found] == \
+            [2, 3]
+
+
 class TestArm:
     def test_arm_disarm_guard_state(self, tmp_path):
         state_before = dict(flightrec._arm_state)

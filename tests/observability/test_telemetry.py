@@ -7,6 +7,7 @@ walls lives in ``tests/service/test_telemetry_propagation.py``.
 """
 
 import json
+import os
 
 import pytest
 
@@ -328,6 +329,46 @@ class TestOpsLog:
             fh.write("\n".join(lines))
         records = read_ops_log(path)
         assert [r["event"] for r in records] == ["a", "b", "c"]
+
+
+class TestOpsLogRotation:
+    def test_rotation_keeps_one_backup_and_marks_the_cut(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        with OpsLog(path, max_bytes=200) as ops:
+            for i in range(20):
+                ops.emit("worker-spawn", slot=i, padding="x" * 40)
+        assert os.path.exists(path + ".1")
+        with open(path, encoding="utf-8") as fh:
+            first = json.loads(fh.readline())
+        # The marker and its triggering record land in the new file.
+        assert first["event"] == "ops-log-rotate"
+        assert first["backup"] == path + ".1"
+
+    def test_read_is_continuous_across_the_boundary(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        with OpsLog(path, max_bytes=200) as ops:
+            for i in range(20):
+                ops.emit("worker-spawn", slot=i, padding="x" * 40)
+            final_seq = ops.seq
+        records = read_ops_log(path)
+        # seq stays contiguous through rotation (markers included), and
+        # no record is lost to the rename.
+        assert [r["seq"] for r in records] == \
+            list(range(records[0]["seq"], final_seq + 1))
+        assert any(r["event"] == "ops-log-rotate" for r in records)
+        slots = [r["slot"] for r in records
+                 if r["event"] == "worker-spawn"]
+        # Only one backup generation: the oldest records may be gone,
+        # but what remains is a contiguous, in-order suffix.
+        assert slots == list(range(slots[0], 20))
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        with OpsLog(path) as ops:
+            for i in range(50):
+                ops.emit("worker-spawn", slot=i, padding="x" * 40)
+        assert not os.path.exists(path + ".1")
+        assert len(read_ops_log(path)) == 50
 
 
 class TestPrometheusText:

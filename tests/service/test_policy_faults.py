@@ -119,7 +119,7 @@ class TestFaultSpec:
         assert FaultSpec.from_json(spec.to_json()) == spec
 
     def test_kinds_stable(self):
-        assert CHAOS_KINDS == ("crash", "hang", "kill", "noise")
+        assert CHAOS_KINDS == ("crash", "hang", "kill", "noise", "memhog")
 
 
 class TestWorkerKillSpec:

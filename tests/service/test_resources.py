@@ -1,0 +1,97 @@
+"""Process resource helpers: RSS sampling and the per-worker rlimit.
+
+The sampler side is tested against a fake ``/proc/self/status`` and a
+monkeypatched getrusage so the fallback chain is pinned without relying
+on the host kernel.  The rlimit side runs in a subprocess: installing a
+real address-space cap inside the pytest process would govern the whole
+test run.
+"""
+
+import subprocess
+import sys
+
+from repro.service import resources
+
+
+class TestRssSampling:
+    def test_proc_status_parse(self, tmp_path):
+        status = tmp_path / "status"
+        status.write_text(
+            "Name:\tfg-worker\nVmPeak:\t  999999 kB\n"
+            "VmRSS:\t  12345 kB\nThreads:\t3\n"
+        )
+        assert resources._rss_from_proc(str(status)) == 12345 * 1024
+
+    def test_proc_status_missing_vmrss_line(self, tmp_path):
+        status = tmp_path / "status"
+        status.write_text("Name:\tfg-worker\nThreads:\t3\n")
+        assert resources._rss_from_proc(str(status)) is None
+
+    def test_proc_status_garbage_value(self, tmp_path):
+        status = tmp_path / "status"
+        status.write_text("VmRSS:\tnot-a-number kB\n")
+        assert resources._rss_from_proc(str(status)) is None
+
+    def test_missing_proc_file_is_none(self, tmp_path):
+        assert resources._rss_from_proc(str(tmp_path / "nope")) is None
+
+    def test_sample_prefers_proc(self, tmp_path):
+        status = tmp_path / "status"
+        status.write_text("VmRSS:\t  2048 kB\n")
+        assert resources.sample_rss_bytes(str(status)) == 2048 * 1024
+
+    def test_sample_falls_back_to_getrusage(self, tmp_path, monkeypatch):
+        # No /proc → the portable high-water mark takes over.
+        monkeypatch.setattr(
+            resources, "_rss_from_getrusage", lambda: 777 * 1024
+        )
+        rss = resources.sample_rss_bytes(str(tmp_path / "missing"))
+        assert rss == 777 * 1024
+
+    def test_sample_none_when_both_sources_fail(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(resources, "_rss_from_getrusage", lambda: None)
+        assert resources.sample_rss_bytes(str(tmp_path / "missing")) is None
+
+    def test_real_sample_is_plausible(self):
+        # On the Linux CI host both sources exist; a live interpreter
+        # occupies at least a megabyte.
+        rss = resources.sample_rss_bytes()
+        assert rss is None or rss > 1 << 20
+
+
+class TestMemoryLimit:
+    def test_none_and_nonpositive_are_noops(self):
+        assert resources.apply_memory_limit(None) is False
+        assert resources.apply_memory_limit(0) is False
+        assert resources.apply_memory_limit(-5) is False
+
+    def test_limit_applies_and_contains_in_subprocess(self):
+        # The real thing, in its own interpreter: install a 128 MiB cap,
+        # observe it via current_memory_limit_bytes, then trip it and
+        # catch the contained MemoryError.
+        code = (
+            "from repro.service.resources import ("
+            "apply_memory_limit, current_memory_limit_bytes)\n"
+            "assert apply_memory_limit(128) is True\n"
+            "cap = current_memory_limit_bytes()\n"
+            "assert cap is not None and cap <= 128 * 1024 * 1024, cap\n"
+            "blocks = []\n"
+            "try:\n"
+            "    while True:\n"
+            "        blocks.append(bytearray(1 << 20))\n"
+            "except MemoryError:\n"
+            "    del blocks[:]\n"
+            "    print('contained')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "contained" in proc.stdout
+
+    def test_unlimited_process_reports_none_or_finite(self):
+        # In the test process no cap was installed by us; the helper
+        # must answer without raising either way.
+        cap = resources.current_memory_limit_bytes()
+        assert cap is None or cap > 0

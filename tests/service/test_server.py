@@ -13,7 +13,12 @@ import time
 
 import pytest
 
-from repro.observability import Instrumentation, MetricsRegistry, Tracer
+from repro.observability import (
+    Instrumentation,
+    MetricsRegistry,
+    OpsLog,
+    Tracer,
+)
 from repro.service import (
     BatchPolicy,
     FaultSchedule,
@@ -436,3 +441,197 @@ def test_resume_only_repairs_a_torn_tail(tmp_path):
     )).serve()
     assert summary["truncated_bytes"] == 6
     assert list(summary["resumed"]) == ["1"]
+
+
+# ---------------------------------------------------------------------------
+# Resource-pressure degradation (unit level: no daemon thread, no socket
+# bind — a bare Server plus a ring-only ops log)
+# ---------------------------------------------------------------------------
+
+def _bare_server(tmp_path, **options):
+    server = Server(BatchPolicy(), ServeOptions(
+        socket_path=os.path.join(str(tmp_path), "fg.sock"), **options,
+    ))
+    server.ops = OpsLog()  # ring only: events observable, nothing on disk
+    return server
+
+
+class _FakePool:
+    """Stands in for PersistentPool where only the RSS view matters."""
+
+    alive_workers = 1
+    idle_respawns = 0
+
+    def __init__(self, rss):
+        self._rss = rss
+        self.flushes = 0
+
+    def rss_bytes(self):
+        return self._rss
+
+    def flush(self):
+        self.flushes += 1
+
+    def worker_status(self):
+        return []
+
+
+def _ops_events(server):
+    return [r["event"] for r in server.ops.tail(50)]
+
+
+def test_health_payload_carries_the_resource_flags(tmp_path):
+    server = _bare_server(tmp_path)
+    snap = server._health_payload()
+    assert snap["metrics_file_writable"] is True
+    assert snap["journal_writable"] is True
+    assert snap["disk_headroom"] is True
+    assert snap["memory_pressure"] is False
+    assert snap["rss_bytes"] == 0
+    assert snap["recycles"] == 0
+    stats = server._stats_payload()
+    assert stats["shed_memory"] == 0
+    assert stats["recycles"] == 0
+    assert stats["rss_bytes"] == 0
+
+
+def test_memory_pressure_is_visible_before_it_sheds(tmp_path):
+    server = _bare_server(tmp_path, max_rss_mb=1.0)
+    server.pool = _FakePool(rss=2 * 1024 * 1024)
+    snap = server._health_payload()
+    assert snap["memory_pressure"] is True
+    assert snap["rss_bytes"] == 2 * 1024 * 1024
+
+
+def test_memory_pressure_sheds_at_admission(tmp_path):
+    import selectors
+    import socket
+
+    from repro.service.server import _Conn
+
+    server = _bare_server(tmp_path, max_rss_mb=1.0,
+                          retry_after_base_ms=100)
+    server.pool = _FakePool(rss=2 * 1024 * 1024)
+    server.sel = selectors.DefaultSelector()
+    ours, theirs = socket.socketpair()
+    try:
+        conn = _Conn(ours)
+        server.sel.register(ours, selectors.EVENT_READ, conn)
+        server._admit(conn, {
+            "type": "batch", "sources": [["good.fg", GOOD]],
+        })
+        response = read_response(theirs)
+    finally:
+        server.sel.close()
+        ours.close()
+        theirs.close()
+    assert response["type"] == "shed"
+    assert response["reason"] == "memory-pressure"
+    # Deterministic hint: base * (queued + in_flight); the bare server
+    # is idle, so the client may retry immediately.
+    assert response["retry_after_ms"] == 0
+    assert server.shed_memory == 1
+    # The idle daemon flushed heartbeat chatter before judging RSS.
+    assert server.pool.flushes == 1
+    shed = [r for r in server.ops.tail(10) if r["event"] == "shed"]
+    assert shed and shed[0]["reason"] == "memory-pressure"
+    assert shed[0]["rss_bytes"] == 2 * 1024 * 1024
+
+
+def test_admission_is_not_shed_below_the_rss_budget(tmp_path):
+    import selectors
+    import socket
+
+    from repro.service.server import _Conn
+
+    server = _bare_server(tmp_path, max_rss_mb=1024.0)
+    server.pool = _FakePool(rss=1024)
+    server.sel = selectors.DefaultSelector()
+    ours, theirs = socket.socketpair()
+    try:
+        conn = _Conn(ours)
+        server.sel.register(ours, selectors.EVENT_READ, conn)
+        server._admit(conn, {
+            "type": "batch", "sources": [["good.fg", GOOD]],
+        })
+        reader = proto.FrameReader()
+        frames = list(reader.feed(theirs.recv(65536)))
+    finally:
+        server.sel.close()
+        ours.close()
+        theirs.close()
+    # Below budget: the request was accepted and queued, nothing shed.
+    assert server.shed_memory == 0
+    assert len(server.queue) == 1
+    assert frames and frames[0]["type"] == "accepted"
+
+
+def test_metrics_file_unwritable_degrades_loudly_and_recovers(tmp_path):
+    from dataclasses import replace
+
+    bad = os.path.join(str(tmp_path), "no-such-dir", "metrics.prom")
+    server = _bare_server(tmp_path, metrics_file=bad,
+                          metrics_interval_s=0.1)
+    server._metrics_due = 0.0
+    server._maybe_write_metrics()
+    assert server.metrics_file_writable is False
+    assert "metrics-file-unwritable" in _ops_events(server)
+    assert server._health_payload()["metrics_file_writable"] is False
+    # Only the transition is an event: a second failure stays quiet.
+    server._metrics_due = 0.0
+    server._maybe_write_metrics()
+    assert _ops_events(server).count("metrics-file-unwritable") == 1
+    # Retarget somewhere writable: the next snapshot recovers the flag.
+    good_path = os.path.join(str(tmp_path), "metrics.prom")
+    server.options = replace(server.options, metrics_file=good_path)
+    server._metrics_due = 0.0
+    server._maybe_write_metrics()
+    assert server.metrics_file_writable is True
+    assert "metrics-file-recovered" in _ops_events(server)
+    with open(good_path, encoding="utf-8") as fh:
+        assert "fg_shed_memory" in fh.read()
+
+
+def test_journal_append_failure_degrades_loudly_and_recovers(tmp_path):
+    class _BrokenJournal:
+        def __init__(self):
+            self.works = False
+
+        def append(self, record):
+            if not self.works:
+                raise OSError(28, "No space left on device")
+
+    server = _bare_server(tmp_path)
+    server.journal = _BrokenJournal()
+    server._journal_append({"kind": "begin"})
+    assert server.journal_writable is False
+    assert "journal-unwritable" in _ops_events(server)
+    # One event per outage, not one per append.
+    server._journal_append({"kind": "begin"})
+    assert _ops_events(server).count("journal-unwritable") == 1
+    server.journal.works = True
+    server._journal_append({"kind": "done"})
+    assert server.journal_writable is True
+    assert "journal-recovered" in _ops_events(server)
+
+
+def test_disk_pressure_probe_flips_the_flag_on_transition(tmp_path,
+                                                          monkeypatch):
+    from repro.observability import diskguard
+
+    server = _bare_server(tmp_path)
+    headroom = {"value": False}
+    monkeypatch.setattr(diskguard, "has_headroom",
+                        lambda path, need_bytes=0: headroom["value"])
+    server._disk_due = 0.0
+    server._maybe_check_disk()
+    assert server.disk_headroom is False
+    assert "disk-pressure" in _ops_events(server)
+    # Cadence: an immediate re-probe is skipped entirely.
+    server._maybe_check_disk()
+    assert _ops_events(server).count("disk-pressure") == 1
+    headroom["value"] = True
+    server._disk_due = 0.0
+    server._maybe_check_disk()
+    assert server.disk_headroom is True
+    assert "disk-recovered" in _ops_events(server)

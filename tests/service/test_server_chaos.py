@@ -15,7 +15,7 @@ pytestmark = pytest.mark.slow
 
 def test_kind_catalog_is_stable():
     assert SERVER_CHAOS_KINDS == (
-        "daemon-kill", "client-disconnect", "slow-loris",
+        "daemon-kill", "client-disconnect", "slow-loris", "memhog",
     )
     with pytest.raises(ValueError):
         run_server_chaos(kinds=("daemon-implosion",))

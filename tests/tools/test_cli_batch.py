@@ -235,3 +235,65 @@ def envelope_has_resolutions(envelope) -> bool:
         for entry in envelope.get("explain", ())
         if isinstance(entry, dict)
     )
+
+
+class TestBatchMemoryGovernor:
+    def test_injected_memhog_is_partial_failure(self, capsys, corpus):
+        code, out, _ = run_cli(
+            capsys, "batch",
+            str(corpus / "a.fg"), str(corpus / "nested" / "b.fg"),
+            "--chaos", "0:check:memhog", "--json",
+        )
+        assert code == EXIT_PARTIAL
+        blob = json.loads(out)
+        assert blob["rollup"]["memory"] == 1
+        hit = blob["files"][0]
+        assert hit["status"] == "memory"
+        assert hit["crash"]["exc_type"] == "MemoryError"
+
+    def test_memory_rollup_renders_in_text_mode(self, capsys, corpus):
+        code, out, _ = run_cli(
+            capsys, "batch",
+            str(corpus / "a.fg"), str(corpus / "nested" / "b.fg"),
+            "--chaos", "0:check:memhog",
+        )
+        assert code == EXIT_PARTIAL
+        assert "memory=1" in out
+        assert "MemoryError" in out
+
+    def test_retry_outruns_a_first_attempt_memhog(self, capsys, corpus):
+        code, out, _ = run_cli(
+            capsys, "batch",
+            str(corpus / "a.fg"), str(corpus / "nested" / "b.fg"),
+            "--chaos", "0:check:memhog:0", "--retries", "1", "--json",
+        )
+        assert code == EXIT_OK
+        blob = json.loads(out)
+        attempts = blob["files"][0]["attempts"]
+        assert [a["status"] for a in attempts] == ["memory", "ok"]
+        assert attempts[0]["retryable"] is True
+
+    def test_governor_flags_validate_at_the_cli(self, capsys, corpus):
+        code, _, err = run_cli(
+            capsys, "batch", str(corpus / "a.fg"),
+            "--max-worker-mem-mb", "-1",
+        )
+        assert code == EXIT_USAGE
+        assert err
+        code, _, err = run_cli(
+            capsys, "batch", str(corpus / "a.fg"),
+            "--recycle-after-tasks", "0",
+        )
+        assert code == EXIT_USAGE
+
+    def test_governor_flags_echo_in_the_policy(self, capsys, corpus):
+        code, out, _ = run_cli(
+            capsys, "batch", str(corpus / "a.fg"),
+            "--max-worker-mem-mb", "512", "--recycle-rss-mb", "256",
+            "--recycle-after-tasks", "8", "--json",
+        )
+        assert code == EXIT_OK
+        policy = json.loads(out)["policy"]
+        assert policy["max_worker_mem_mb"] == 512.0
+        assert policy["recycle_rss_mb"] == 256.0
+        assert policy["recycle_after_tasks"] == 8

@@ -28,14 +28,14 @@ BATCH_ENVELOPE = {"schema", "files", "policy", "rollup", "quarantine",
                   "exit_code", "elapsed_ms", "pool"}
 POOL_KEYS = {"workers", "spawned", "respawns", "worker_lost",
              "deadline_kills", "retired", "degraded", "steals",
-             "heartbeat_misses", "warm_ms"}
+             "heartbeat_misses", "warm_ms", "recycles", "rss_bytes"}
 BATCH_FILE_KEYS = {"file", "index", "status", "ok", "quarantined",
                    "attempts", "diagnostics", "severities", "rendered",
                    "crash"}
 BATCH_ATTEMPT_KEYS = {"attempt", "status", "fault", "retryable",
                       "backoff_ms", "injected", "duration_ms"}
-BATCH_ROLLUP_KEYS = {"files", "ok", "diagnostics", "timeout", "crash",
-                     "quarantined", "retries", "severities"}
+BATCH_ROLLUP_KEYS = {"files", "ok", "diagnostics", "timeout", "memory",
+                     "crash", "quarantined", "retries", "severities"}
 CRASH_KEYS = {"exc_type", "message", "where", "traceback", "returncode"}
 
 
